@@ -1,0 +1,116 @@
+// Command diameter computes the delay-optimal paths, per-hop-bound delay
+// CDFs and the (1−ε)-diameter of a contact trace, using the exhaustive
+// algorithm of the paper's §4.
+//
+// Usage:
+//
+//	diameter -trace infocom05.trace
+//	diameter -trace rand.trace -eps 0.05 -hops 1,2,3,4
+//	tracegen -dataset hongkong | diameter
+//
+// The trace is read in the text format produced by cmd/tracegen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"opportunet/internal/analysis"
+	"opportunet/internal/core"
+	"opportunet/internal/export"
+	"opportunet/internal/stats"
+	"opportunet/internal/trace"
+)
+
+func main() {
+	path := flag.String("trace", "", "trace file (default: read stdin)")
+	eps := flag.Float64("eps", 0.01, "diameter confidence parameter")
+	hops := flag.String("hops", "1,2,3,4,5,6", "comma-separated hop bounds to tabulate (0 = unbounded is always included)")
+	points := flag.Int("points", 30, "delay-grid resolution")
+	verify := flag.Int("verify", 0, "spot-check N random (source, time) points against an independent flooding simulation")
+	flag.Parse()
+
+	in := os.Stdin
+	if *path != "" {
+		f, err := os.Open(*path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := trace.Read(in)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("trace %q: %d devices (%d internal), %d contacts, window %s\n",
+		tr.Name, tr.NumNodes(), tr.NumInternal(), len(tr.Contacts),
+		export.FormatDuration(tr.Duration()))
+
+	st, err := analysis.NewStudy(tr, core.Options{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("optimal paths computed: fixpoint at %d hops\n\n", st.Result.Hops)
+
+	var bounds []int
+	for _, part := range strings.Split(*hops, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 0 {
+			fail(fmt.Errorf("bad hop bound %q", part))
+		}
+		bounds = append(bounds, k)
+	}
+	bounds = append(bounds, analysis.Unbounded)
+
+	hi := tr.Duration()
+	if hi <= 0 {
+		fail(fmt.Errorf("trace window is empty"))
+	}
+	// The paper presents budgets from 2 minutes up; shorter traces (e.g.
+	// slot-based random models) get a proportional grid instead.
+	lo := 120.0
+	if lo >= hi/2 {
+		lo = hi / 100
+	}
+	grid := stats.LogSpace(lo, hi, *points)
+	cdfs := st.DelayCDFs(bounds, grid)
+	cols := make([]export.Column, len(cdfs))
+	for i, c := range cdfs {
+		name := fmt.Sprintf("<=%d hops", c.HopBound)
+		if c.HopBound == analysis.Unbounded {
+			name = "unbounded"
+		}
+		cols[i] = export.Column{Name: name, Ys: c.Success}
+	}
+	if err := export.Series(os.Stdout, "delay(s)", grid, cols); err != nil {
+		fail(err)
+	}
+
+	d, worst := st.Diameter(*eps, grid)
+	fmt.Printf("\n(1-eps)-diameter at eps=%g: %d hops (worst ratio %.4f)\n", *eps, d, worst)
+
+	if *verify > 0 {
+		if err := st.SelfCheck(*verify, uint64(*verify)+1); err != nil {
+			fail(err)
+		}
+		fmt.Printf("self-check passed: %d random (source, time) points agree with flooding\n", *verify)
+	}
+	ks := st.DiameterAtDelay(*eps, grid)
+	fmt.Println("\ndiameter per delay budget:")
+	for i := 0; i < len(grid); i += 3 {
+		fmt.Printf("  %-8s -> %d hops\n", export.FormatDuration(grid[i]), ks[i])
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "diameter: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-seed N] [-quick] [-eps E] all
+//	experiments [-seed N] [-quick] [-eps E] table1 fig9 fig12 ...
+//	experiments -list
+//
+// Each experiment writes plot-ready text (aligned series and tables) to
+// stdout. -quick scales the synthetic data sets down so the whole suite
+// finishes in about a minute; the default runs at paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"opportunet/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "seed for every generator in the run")
+	quick := flag.Bool("quick", false, "scale data sets down for a fast run")
+	eps := flag.Float64("eps", 0.01, "diameter confidence parameter (paper: 0.01)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	outDir := flag.String("o", "", "write each experiment's output to <dir>/<name>.txt instead of stdout")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: name one or more experiments, or 'all' (-list to enumerate)")
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	cfg := &experiments.Config{Out: os.Stdout, Seed: *seed, Quick: *quick, Eps: *eps}
+	runOne := func(e experiments.Experiment) error {
+		if *outDir == "" {
+			return e.Run(cfg)
+		}
+		f, err := os.Create(filepath.Join(*outDir, e.Name+".txt"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return e.Run(cfg.WithOutput(f))
+	}
+	run := func(name string) error {
+		if name == "all" {
+			if *outDir == "" {
+				return experiments.RunAll(cfg)
+			}
+			for _, e := range experiments.All() {
+				if err := runOne(e); err != nil {
+					return fmt.Errorf("%s: %w", e.Name, err)
+				}
+			}
+			return nil
+		}
+		e, err := experiments.Find(name)
+		if err != nil {
+			return err
+		}
+		return runOne(e)
+	}
+	for i, name := range args {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

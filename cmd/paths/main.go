@@ -1,0 +1,89 @@
+// Command paths inspects individual delay-optimal paths in a contact
+// trace: the delivery function of a pair and a reconstructed optimal
+// path (the actual relay sequence) for a given starting time.
+//
+// Usage:
+//
+//	tracegen -dataset hongkong -o hk.trace
+//	paths -trace hk.trace -src 0 -dst 5 -t 3600
+//	paths -trace hk.trace -src 0 -dst 5 -t 3600 -maxhops 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"opportunet/internal/core"
+	"opportunet/internal/export"
+	"opportunet/internal/trace"
+)
+
+func main() {
+	path := flag.String("trace", "", "trace file (default: read stdin)")
+	src := flag.Int("src", 0, "source device")
+	dst := flag.Int("dst", 1, "destination device")
+	t0 := flag.Float64("t", 0, "message creation time (seconds)")
+	maxHops := flag.Int("maxhops", 0, "hop bound (0 = unbounded)")
+	delta := flag.Float64("delta", 0, "per-hop transmission delay (seconds)")
+	flag.Parse()
+
+	in := os.Stdin
+	if *path != "" {
+		f, err := os.Open(*path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := trace.Read(in)
+	if err != nil {
+		fail(err)
+	}
+
+	opt := core.Options{TransmitDelay: *delta, Sources: []trace.NodeID{trace.NodeID(*src)}}
+	res, err := core.Compute(tr, opt)
+	if err != nil {
+		fail(err)
+	}
+	f := res.Frontier(trace.NodeID(*src), trace.NodeID(*dst), *maxHops)
+	fmt.Printf("delivery function %d -> %d", *src, *dst)
+	if *maxHops > 0 {
+		fmt.Printf(" (at most %d hops)", *maxHops)
+	}
+	fmt.Println(":")
+	if f.Empty() {
+		fmt.Println("  no path at any time")
+		return
+	}
+	for _, e := range f.Entries {
+		fmt.Printf("  depart by %-10s deliver at %-10s (%d hops)\n",
+			export.FormatDuration(e.LD), export.FormatDuration(e.EA), e.Hop)
+	}
+
+	del := f.Del(*t0)
+	if math.IsInf(del, 1) {
+		fmt.Printf("\nmessage created at t=%g: undeliverable\n", *t0)
+		return
+	}
+	fmt.Printf("\nmessage created at t=%g: delivered at %g (delay %s)\n",
+		*t0, del, export.FormatDuration(del-*t0))
+
+	p, err := core.ReconstructPath(tr, trace.NodeID(*src), trace.NodeID(*dst), *t0, *maxHops, opt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("optimal path (%d hops): %s\n", len(p.Hops), p.String())
+	for i, h := range p.Hops {
+		fmt.Printf("  hop %d: %d -> %d during contact [%s, %s], transfer at %s\n",
+			i+1, h.From, h.To,
+			export.FormatDuration(h.Beg), export.FormatDuration(h.End), export.FormatDuration(h.At))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "paths: %v\n", err)
+	os.Exit(1)
+}

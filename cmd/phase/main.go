@@ -1,0 +1,66 @@
+// Command phase prints the analytical results of the paper's §3: the
+// phase-transition curves (Figures 1 and 2), the normalized hop-number
+// of the delay-optimal path (Figure 3), and the concrete predictions for
+// a given network size and contact rate.
+//
+// Usage:
+//
+//	phase -fig 1
+//	phase -fig 3
+//	phase -predict -n 1000 -lambda 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"opportunet/internal/experiments"
+	"opportunet/internal/randtemp"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to print: 1, 2 or 3")
+	predict := flag.Bool("predict", false, "print delay/hop predictions for -n and -lambda")
+	n := flag.Int("n", 1000, "network size for predictions")
+	lambda := flag.Float64("lambda", 0.5, "contact rate for predictions")
+	seed := flag.Uint64("seed", 1, "seed for the Figure 3 Monte Carlo points")
+	flag.Parse()
+
+	cfg := &experiments.Config{Out: os.Stdout, Seed: *seed}
+	switch {
+	case *predict:
+		lnN := math.Log(float64(*n))
+		fmt.Printf("predictions for N=%d (ln N = %.2f), lambda=%g\n\n", *n, lnN, *lambda)
+		fmt.Printf("short contacts: critical tau=%.4f -> delay ~ %.1f slots, hops ~ %.1f\n",
+			randtemp.CriticalTauShort(*lambda),
+			randtemp.CriticalTauShort(*lambda)*lnN,
+			randtemp.NormalizedHopsShort(*lambda)*lnN)
+		if *lambda < 1 {
+			fmt.Printf("long contacts:  critical tau=%.4f -> delay ~ %.1f slots, hops ~ %.1f\n",
+				randtemp.CriticalTauLong(*lambda),
+				randtemp.CriticalTauLong(*lambda)*lnN,
+				randtemp.NormalizedHopsLong(*lambda)*lnN)
+		} else {
+			fmt.Printf("long contacts:  lambda >= 1, paths exist within tau*lnN for any tau > 0; hops ~ %.1f\n",
+				randtemp.NormalizedHopsLong(*lambda)*lnN)
+		}
+	case *fig == 1:
+		must(experiments.Figure1(cfg))
+	case *fig == 2:
+		must(experiments.Figure2(cfg))
+	case *fig == 3:
+		must(experiments.Figure3(cfg))
+	default:
+		fmt.Fprintln(os.Stderr, "phase: pass -fig 1|2|3 or -predict")
+		os.Exit(2)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phase: %v\n", err)
+		os.Exit(1)
+	}
+}

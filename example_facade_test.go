@@ -1,0 +1,39 @@
+package opportunet_test
+
+import (
+	"fmt"
+
+	"opportunet"
+)
+
+// Example demonstrates the one-call analysis workflow on a hand-built
+// trace: three devices, a relay path and a late direct contact.
+func Example() {
+	tr := &opportunet.Trace{
+		Name:  "example",
+		Start: 0,
+		End:   3600,
+		Kinds: make([]opportunet.Kind, 3),
+		Contacts: []opportunet.Contact{
+			{A: 0, B: 1, Beg: 0, End: 300},
+			{A: 1, B: 2, Beg: 600, End: 900},
+			{A: 0, B: 2, Beg: 3000, End: 3300},
+		},
+	}
+	opt := opportunet.DefaultAnalysis()
+	opt.MinBudget, opt.MaxBudget = 60, 3600
+	rep, err := opportunet.Analyze(tr, opt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("diameter at 99%%: %d hops\n", rep.Diameter99)
+
+	p, err := opportunet.ReconstructPath(tr, 0, 2, 0, 0, opportunet.ComputeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal path from 0 to 2 at t=0: %s\n", p)
+	// Output:
+	// diameter at 99%: 2 hops
+	// optimal path from 0 to 2 at t=0: 0 -(t=0)-> 1 -(t=600)-> 2
+}

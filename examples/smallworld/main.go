@@ -1,0 +1,91 @@
+// Smallworld: the §3 theory in action. For a random temporal network of
+// N devices with contact rate λ, theory predicts a phase transition —
+// below a critical delay budget no constrained path exists, above it
+// paths abound — and that the delay-optimal path uses about
+// NormalizedHops(λ)·ln N hops almost independently of λ.
+//
+// This example checks both claims by simulation: the existence
+// probability around the critical budget, and the measured hop count of
+// delay-optimal paths, both on the discrete model and through the §4
+// engine on a generated realization.
+//
+// Run with: go run ./examples/smallworld
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"opportunet/internal/core"
+	"opportunet/internal/randtemp"
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+func main() {
+	const n = 300
+	lnN := math.Log(n)
+	r := rng.New(2026)
+
+	fmt.Printf("random temporal network, N=%d (ln N = %.2f)\n\n", n, lnN)
+
+	// 1. Phase transition (short contacts, λ=1): existence probability
+	// of a path within τ·lnN slots and γ*·τ·lnN hops, around the
+	// critical τ.
+	lambda := 1.0
+	gamma := randtemp.GammaStarShort(lambda)
+	tauC := randtemp.CriticalTauShort(lambda)
+	fmt.Printf("phase transition at critical tau = %.3f (lambda=%g, gamma*=%.3f):\n", tauC, lambda, gamma)
+	for _, f := range []float64{0.4, 0.8, 1.2, 2.0, 3.0} {
+		p := randtemp.ExistenceProbability(n, tauC*f, gamma, lambda, false, 120, r)
+		fmt.Printf("  tau = %.2f x critical: P[constrained path exists] = %.2f\n", f, p)
+	}
+
+	// 2. Hop count of the delay-optimal path vs λ: nearly flat in λ,
+	// close to ln N, while the delay itself scales like 1/λ.
+	fmt.Printf("\ndelay-optimal paths (short contacts), averaged over 25 runs:\n")
+	fmt.Printf("%8s %14s %14s %14s\n", "lambda", "delay (slots)", "hops", "theory hops")
+	for _, l := range []float64{0.2, 0.5, 1.0, 2.0} {
+		sumH, sumD, cnt := 0.0, 0.0, 0
+		for i := 0; i < 25; i++ {
+			d := randtemp.MeasureDelayOptimal(n, l, false, 5000, r)
+			if !math.IsInf(d.Delay, 1) {
+				sumH += float64(d.Hops)
+				sumD += d.Delay
+				cnt++
+			}
+		}
+		fmt.Printf("%8.1f %14.1f %14.2f %14.2f\n",
+			l, sumD/float64(cnt), sumH/float64(cnt), randtemp.NormalizedHopsShort(l)*lnN)
+	}
+
+	// 3. The same question answered by the exhaustive §4 engine on one
+	// generated realization (long contact case): generate, compute all
+	// optimal paths from a source, find the minimal hop bound whose
+	// delivery time matches the unbounded optimum.
+	model := randtemp.DiscreteModel{N: n, Lambda: 0.5, Slots: 60}
+	tr, err := model.Generate(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Compute(tr, core.Options{Sources: []trace.NodeID{0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := res.Frontier(0, 1, 0)
+	if full.Empty() {
+		fmt.Println("\nengine check: destination unreachable in this realization")
+		return
+	}
+	opt := full.Del(0)
+	hops := 0
+	for k := 1; k <= res.Hops; k++ {
+		if res.Frontier(0, 1, k).Del(0) == opt {
+			hops = k
+			break
+		}
+	}
+	fmt.Printf("\nengine check (long contacts, lambda=0.5): delivery at slot %.0f using %d hops"+
+		" (theory: ~%.1f hops)\n", opt, hops, randtemp.NormalizedHopsLong(0.5)*lnN)
+}

@@ -1,0 +1,3 @@
+module opportunet
+
+go 1.22

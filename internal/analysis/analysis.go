@@ -1,0 +1,410 @@
+// Package analysis turns core path computations into the paper's
+// empirical quantities: the aggregated delay CDFs of Figure 9/10/11, the
+// (1−ε)-diameter of §4.1, the diameter-as-a-function-of-delay curve of
+// Figure 12, the data-set summaries of Table 1, and the contact-removal
+// studies of §6.
+//
+// Every probability is the paper's: an empirical success ratio over all
+// ordered internal (source, destination) pairs with the starting time
+// uniform over the observation window, with unreachable cases counted in
+// the denominator. The integration over starting times is exact — the
+// delivery functions are piecewise, so no per-second enumeration is
+// needed.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"opportunet/internal/core"
+	"opportunet/internal/flood"
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+// Unbounded selects the no-hop-limit class in hop-bound lists.
+const Unbounded = 0
+
+// Study wraps one trace with its exhaustive path computation and caches
+// per-hop-bound frontiers for the pair set under analysis.
+type Study struct {
+	Trace  *trace.Trace
+	Result *core.Result
+	// Pairs are the ordered (source, destination) pairs aggregated over:
+	// all ordered pairs of internal devices. External devices still act
+	// as relays inside paths.
+	Pairs [][2]trace.NodeID
+
+	frontiers map[int][]core.Frontier // hop bound -> frontier per pair
+}
+
+// NewStudy computes optimal paths for all internal sources of the trace
+// and prepares aggregation over all ordered internal pairs. opt.Sources
+// is overridden with the internal device set.
+func NewStudy(tr *trace.Trace, opt core.Options) (*Study, error) {
+	internal := tr.InternalNodes()
+	if len(internal) < 2 {
+		return nil, fmt.Errorf("analysis: trace %q has %d internal devices, need at least 2", tr.Name, len(internal))
+	}
+	opt.Sources = internal
+	res, err := core.Compute(tr, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{Trace: tr, Result: res, frontiers: make(map[int][]core.Frontier)}
+	for _, a := range internal {
+		for _, b := range internal {
+			if a != b {
+				s.Pairs = append(s.Pairs, [2]trace.NodeID{a, b})
+			}
+		}
+	}
+	return s, nil
+}
+
+// frontiersFor returns (building and caching on first use) the frontier
+// of every analyzed pair under the given hop bound.
+func (s *Study) frontiersFor(hopBound int) []core.Frontier {
+	if fs, ok := s.frontiers[hopBound]; ok {
+		return fs
+	}
+	fs := make([]core.Frontier, len(s.Pairs))
+	for i, p := range s.Pairs {
+		fs[i] = s.Result.Frontier(p[0], p[1], hopBound)
+	}
+	s.frontiers[hopBound] = fs
+	return fs
+}
+
+// SuccessProbability returns P[a message between a uniform ordered
+// internal pair, created at a uniform time in the window, is delivered
+// within delay d using at most hopBound hops] (hopBound 0 = unbounded).
+func (s *Study) SuccessProbability(d float64, hopBound int) float64 {
+	a, b := s.Trace.Start, s.Trace.End
+	if b <= a {
+		return 0
+	}
+	fs := s.frontiersFor(hopBound)
+	sum := 0.0
+	for _, f := range fs {
+		sum += f.SuccessWithin(d, a, b)
+	}
+	return sum / (float64(len(fs)) * (b - a))
+}
+
+// DelayCDF is the empirical CDF of the optimal delay for one hop-bound
+// class, evaluated on a grid of delay budgets (one curve of Figure 9).
+type DelayCDF struct {
+	HopBound int // 0 = unbounded
+	Grid     []float64
+	Success  []float64
+}
+
+// DelayCDFs evaluates the success probability on the grid for each hop
+// bound (Figures 9–11). Bounds are evaluated in the order given.
+func (s *Study) DelayCDFs(hopBounds []int, grid []float64) []DelayCDF {
+	return s.DelayCDFsWindow(hopBounds, grid, s.Trace.Start, s.Trace.End)
+}
+
+// DelayCDFsWindow restricts the starting times to [a, b] — e.g. daytime
+// only, as in the paper's §5.3.1 remark that the multi-hop improvement
+// during the day correlates with the contact rate. Paths may still use
+// contacts after b.
+func (s *Study) DelayCDFsWindow(hopBounds []int, grid []float64, a, b float64) []DelayCDF {
+	out := make([]DelayCDF, len(hopBounds))
+	for i, k := range hopBounds {
+		cdf := DelayCDF{HopBound: k, Grid: grid, Success: make([]float64, len(grid))}
+		fs := s.frontiersFor(k)
+		for _, f := range fs {
+			for gi, d := range grid {
+				cdf.Success[gi] += f.SuccessWithin(d, a, b)
+			}
+		}
+		norm := float64(len(fs)) * (b - a)
+		for gi := range cdf.Success {
+			cdf.Success[gi] /= norm
+		}
+		out[i] = cdf
+	}
+	return out
+}
+
+// Diameter returns the (1−ε)-diameter of §4.1 evaluated on the delay
+// grid: the smallest hop bound k such that, for every budget d in the
+// grid, the success probability within k hops is at least (1−ε) times
+// the unbounded success probability. The second return value reports the
+// per-budget worst ratio of the returned k (diagnostics).
+func (s *Study) Diameter(eps float64, grid []float64) (int, float64) {
+	ref := s.DelayCDFs([]int{Unbounded}, grid)[0].Success
+	maxK := s.Result.Hops
+	for k := 1; k <= maxK; k++ {
+		cur := s.DelayCDFs([]int{k}, grid)[0].Success
+		worst := 1.0
+		ok := true
+		for i := range grid {
+			if ref[i] <= 0 {
+				continue
+			}
+			ratio := cur[i] / ref[i]
+			if ratio < worst {
+				worst = ratio
+			}
+			if cur[i]+1e-12 < (1-eps)*ref[i] {
+				ok = false
+			}
+		}
+		if ok {
+			return k, worst
+		}
+	}
+	return maxK, 0
+}
+
+// DiameterVsEpsilon returns the (1−ε)-diameter for each confidence
+// parameter in eps, sharing one set of per-hop success curves. The
+// diameter is monotone non-increasing in ε: demanding a larger share of
+// flooding's success can only require more hops. This sweep quantifies
+// how much of the headline number rides on the strictness of the 99%
+// criterion.
+func (s *Study) DiameterVsEpsilon(eps []float64, grid []float64) []int {
+	ref := s.DelayCDFs([]int{Unbounded}, grid)[0].Success
+	out := make([]int, len(eps))
+	for i := range out {
+		out[i] = -1
+	}
+	remaining := len(eps)
+	for k := 1; k <= s.Result.Hops && remaining > 0; k++ {
+		cur := s.DelayCDFs([]int{k}, grid)[0].Success
+		worst := 1.0
+		for gi := range grid {
+			if ref[gi] <= 0 {
+				continue
+			}
+			if r := cur[gi] / ref[gi]; r < worst {
+				worst = r
+			}
+		}
+		for i, e := range eps {
+			if out[i] < 0 && worst+1e-12 >= 1-e {
+				out[i] = k
+				remaining--
+			}
+		}
+	}
+	for i := range out {
+		if out[i] < 0 {
+			out[i] = s.Result.Hops
+		}
+	}
+	return out
+}
+
+// DiameterAtDelay returns, for every budget d in the grid, the smallest
+// hop bound achieving (1−ε) of the unbounded success at that single
+// budget — the curve of Figure 12.
+func (s *Study) DiameterAtDelay(eps float64, grid []float64) []int {
+	ref := s.DelayCDFs([]int{Unbounded}, grid)[0].Success
+	out := make([]int, len(grid))
+	remaining := len(grid)
+	for i := range out {
+		out[i] = -1
+		if ref[i] <= 0 {
+			out[i] = 0 // nothing succeeds at this budget at all
+			remaining--
+		}
+	}
+	for k := 1; k <= s.Result.Hops && remaining > 0; k++ {
+		cur := s.DelayCDFs([]int{k}, grid)[0].Success
+		for i := range grid {
+			if out[i] < 0 && cur[i]+1e-12 >= (1-eps)*ref[i] {
+				out[i] = k
+				remaining--
+			}
+		}
+	}
+	for i := range out {
+		if out[i] < 0 {
+			out[i] = s.Result.Hops
+		}
+	}
+	return out
+}
+
+// MinDelayDist collects, over all pairs, the minimum achievable delay
+// within the window for the given hop bound (+Inf when a pair is never
+// connected) — a compact connectivity summary.
+func (s *Study) MinDelayDist(hopBound int) []float64 {
+	a, b := s.Trace.Start, s.Trace.End
+	fs := s.frontiersFor(hopBound)
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		out[i] = f.MinDelay(a, b)
+	}
+	return out
+}
+
+// DeliveryExample is Figure 8's subject: one source-destination pair with
+// the frontier (delivery function representation) for each hop bound.
+type DeliveryExample struct {
+	Src, Dst  trace.NodeID
+	HopBounds []int
+	Frontiers []core.Frontier
+}
+
+// FindDeliveryExample looks for a pair whose connectivity requires at
+// least minHops relays (no path with fewer hops exists at any time), as
+// in Figure 8 where a Hong-Kong pair has no path below 3 hops. It
+// returns the first such pair with the frontiers for bounds 1..maxBound
+// and unbounded, or an error if no pair needs that many hops.
+func (s *Study) FindDeliveryExample(minHops, maxBound int) (*DeliveryExample, error) {
+	for _, p := range s.Pairs {
+		mh := s.Result.MinHops(p[0], p[1])
+		if mh != minHops {
+			continue
+		}
+		ex := &DeliveryExample{Src: p[0], Dst: p[1]}
+		for k := 1; k <= maxBound; k++ {
+			ex.HopBounds = append(ex.HopBounds, k)
+			ex.Frontiers = append(ex.Frontiers, s.Result.Frontier(p[0], p[1], k))
+		}
+		ex.HopBounds = append(ex.HopBounds, Unbounded)
+		ex.Frontiers = append(ex.Frontiers, s.Result.Frontier(p[0], p[1], Unbounded))
+		return ex, nil
+	}
+	return nil, fmt.Errorf("analysis: no pair with minimal hop count %d", minHops)
+}
+
+// AverageCDFs averages success curves from repeated experiments
+// (Figure 10 averages 5 independent removals). All inputs must share the
+// same grid and hop bound layout.
+func AverageCDFs(runs [][]DelayCDF) ([]DelayCDF, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("analysis: no runs to average")
+	}
+	base := runs[0]
+	out := make([]DelayCDF, len(base))
+	for i := range base {
+		out[i] = DelayCDF{HopBound: base[i].HopBound, Grid: base[i].Grid, Success: make([]float64, len(base[i].Success))}
+	}
+	for _, run := range runs {
+		if len(run) != len(base) {
+			return nil, fmt.Errorf("analysis: run shape mismatch")
+		}
+		for i := range run {
+			if run[i].HopBound != base[i].HopBound || len(run[i].Success) != len(base[i].Success) {
+				return nil, fmt.Errorf("analysis: run %d layout mismatch", i)
+			}
+			for j, v := range run[i].Success {
+				out[i].Success[j] += v
+			}
+		}
+	}
+	for i := range out {
+		for j := range out[i].Success {
+			out[i].Success[j] /= float64(len(runs))
+		}
+	}
+	return out, nil
+}
+
+// RandomRemovalStudy applies the §6.1 treatment: remove each contact
+// independently with probability p, analyze, and average over reps
+// repetitions. It returns the averaged CDFs and the per-repetition
+// diameters.
+func RandomRemovalStudy(tr *trace.Trace, p float64, reps int, seed uint64, opt core.Options, hopBounds []int, grid []float64, eps float64) ([]DelayCDF, []int, error) {
+	if reps < 1 {
+		return nil, nil, fmt.Errorf("analysis: need at least one repetition")
+	}
+	r := rng.New(seed)
+	var runs [][]DelayCDF
+	var diameters []int
+	for rep := 0; rep < reps; rep++ {
+		cut := tr.RemoveRandom(p, r.Split())
+		st, err := NewStudy(cut, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, st.DelayCDFs(hopBounds, grid))
+		d, _ := st.Diameter(eps, grid)
+		diameters = append(diameters, d)
+	}
+	avg, err := AverageCDFs(runs)
+	return avg, diameters, err
+}
+
+// DurationThresholdStudy applies the §6.2 treatment: drop every contact
+// shorter than the threshold, then analyze. It returns the study over
+// the filtered trace and the fraction of contacts removed.
+func DurationThresholdStudy(tr *trace.Trace, threshold float64, opt core.Options) (*Study, float64, error) {
+	cut := tr.MinDuration(threshold)
+	removed := 1 - float64(len(cut.Contacts))/math.Max(1, float64(len(tr.Contacts)))
+	st, err := NewStudy(cut, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, removed, nil
+}
+
+// SelfCheck validates a study's engine results against an independent
+// event-driven flooding simulation at `probes` random (source, starting
+// time) points, covering every destination each time. It returns an
+// error describing the first disagreement — which would indicate a bug,
+// never expected in normal operation. Exposed so tools can offer
+// first-party verification on user traces.
+func (s *Study) SelfCheck(probes int, seed uint64) error {
+	fl := flood.New(s.Trace, flood.Options{})
+	r := rng.New(seed)
+	internal := s.Trace.InternalNodes()
+	for i := 0; i < probes; i++ {
+		src := internal[r.Intn(len(internal))]
+		t0 := s.Trace.Start + r.Uniform(0, s.Trace.Duration())
+		arr := fl.EarliestDelivery(src, t0)
+		for _, dst := range internal {
+			if dst == src {
+				continue
+			}
+			got := s.Result.Frontier(src, dst, Unbounded).Del(t0)
+			want := arr[dst]
+			if math.IsInf(got, 1) != math.IsInf(want, 1) ||
+				(!math.IsInf(got, 1) && math.Abs(got-want) > 1e-6) {
+				return fmt.Errorf("analysis: self-check failed: pair (%d, %d) at t=%v: engine %v, flooding %v",
+					src, dst, t0, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// DatasetSummary is one row of Table 1.
+type DatasetSummary struct {
+	Name             string
+	DurationDays     float64
+	Granularity      float64
+	InternalDevices  int
+	InternalContacts int
+	// InternalRate is the average number of internal contacts per
+	// internal device per day.
+	InternalRate    float64
+	ExternalDevices int
+	// ExternalContacts counts contacts touching an external device.
+	ExternalContacts int
+	// TotalRate includes external contacts.
+	TotalRate float64
+}
+
+// Summarize computes the Table 1 row for a trace.
+func Summarize(tr *trace.Trace) DatasetSummary {
+	s := DatasetSummary{
+		Name:            tr.Name,
+		DurationDays:    tr.Duration() / 86400,
+		Granularity:     tr.Granularity,
+		InternalDevices: tr.NumInternal(),
+		ExternalDevices: tr.NumNodes() - tr.NumInternal(),
+	}
+	internal := tr.InternalOnly()
+	s.InternalContacts = len(internal.Contacts)
+	s.ExternalContacts = len(tr.Contacts) - s.InternalContacts
+	s.InternalRate = internal.RateOfContact()
+	s.TotalRate = tr.RateOfContact()
+	return s
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+// benchTrace is a mid-size random temporal network reused by the
+// package's micro-benchmarks.
+func coreBenchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	r := rng.New(1)
+	tr := &trace.Trace{Name: "bench", Start: 0, End: 10000, Kinds: make([]trace.Kind, 60)}
+	for i := 0; i < 20000; i++ {
+		a := trace.NodeID(r.Intn(60))
+		c := trace.NodeID(r.Intn(60))
+		if a == c {
+			continue
+		}
+		beg := r.Uniform(0, 9900)
+		tr.Contacts = append(tr.Contacts, trace.Contact{A: a, B: c, Beg: beg, End: beg + r.Uniform(0, 300)})
+	}
+	return tr
+}
+
+func BenchmarkComputeRandomTrace(b *testing.B) {
+	tr := coreBenchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(tr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrontierQuery(b *testing.B) {
+	tr := coreBenchTrace(b)
+	res, err := Compute(tr, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.Frontier(trace.NodeID(i%60), trace.NodeID((i+7)%60), 4)
+	}
+}
+
+func BenchmarkDel(b *testing.B) {
+	tr := coreBenchTrace(b)
+	res, err := Compute(tr, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := res.Frontier(0, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Del(float64(i % 10000))
+	}
+}
+
+func BenchmarkSuccessWithin(b *testing.B) {
+	tr := coreBenchTrace(b)
+	res, err := Compute(tr, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := res.Frontier(0, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.SuccessWithin(600, 0, 10000)
+	}
+}
+
+func BenchmarkReconstructPath(b *testing.B) {
+	tr := coreBenchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = ReconstructPath(tr, 0, 1, float64(i%5000), 0, Options{})
+	}
+}

@@ -1,0 +1,60 @@
+// Package core implements the paper's central contribution (§4): the
+// exhaustive computation of delay-optimal paths in a temporal network and
+// the (1−ε)-diameter built on top of it.
+//
+// A sequence of contacts e_1 … e_n supports a time-respecting path iff
+// t_end_i ≥ max_{j<i} t_beg_j (paper eq. 2). Such a sequence is fully
+// summarized, for path-optimality purposes, by two numbers:
+//
+//   - LD (last departure)   = min_i t_end_i — the latest time the message
+//     may leave the source and still traverse the sequence, and
+//   - EA (earliest arrival) = max_i t_beg_i — the earliest time the
+//     message can reach the destination through it.
+//
+// Two sequences concatenate iff EA(first) ≤ LD(second) (paper fact iv),
+// yielding LD = min, EA = max of the parts. The optimal delivery time of
+// a message created at time t is del(t) = min{max(t, EA_k) : t ≤ LD_k}
+// over the summaries of all sequences between the pair (paper eq. 3), and
+// only the Pareto-optimal summaries — condition (4): those whose EA is
+// minimal among all summaries with greater-or-equal LD — are needed to
+// represent del. Frontier stores exactly that minimal representation.
+//
+// Compute builds, for every (source, destination) pair, the frontiers of
+// all hop-bounded classes k = 1, 2, … up to the fixpoint, by iterated
+// right-concatenation of single contacts, as described in §4.4. The
+// result answers, exactly and for every possible starting time at once:
+// what is the optimal delivery delay with at most k relays? That is the
+// primitive from which every empirical figure of the paper (delay CDFs,
+// delivery functions, the diameter) is derived.
+//
+// The optional per-hop transmission delay mentioned in §4.2 ("it is
+// possible to include a positive transmission delay in all these
+// definitions") is supported through Options.TransmitDelay; it generalizes
+// the summary to (LD, EA, hops) with three-way Pareto dominance.
+package core
+
+import "math"
+
+// Inf is the delivery time of an unreachable destination.
+var Inf = math.Inf(1)
+
+// Entry is the summary of one Pareto-optimal sequence of contacts between
+// a fixed source-destination pair: the sequence departs the source no
+// later than LD, delivers no earlier than EA, and uses Hop contacts.
+type Entry struct {
+	LD, EA float64
+	Hop    int32
+}
+
+// dominates2D reports whether a renders b useless when hop counts do not
+// matter (TransmitDelay == 0): a departs no earlier and arrives no later.
+func dominates2D(a, b Entry) bool {
+	return a.LD >= b.LD && a.EA <= b.EA
+}
+
+// dominates3D is the hop-aware version used when each hop costs
+// TransmitDelay: a must also use no more hops, because a summary with
+// fewer hops extends into strictly better compound sequences.
+func dominates3D(a, b Entry) bool {
+	return a.LD >= b.LD && a.EA <= b.EA && a.Hop <= b.Hop
+}

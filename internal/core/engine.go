@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"opportunet/internal/trace"
+)
+
+// Options configures Compute.
+type Options struct {
+	// MaxHops bounds the number of contacts per sequence; 0 means run to
+	// the fixpoint (no optimal path uses more hops — the engine detects
+	// this and stops).
+	MaxHops int
+	// Directed treats each contact (A, B) as usable only from A to B.
+	// The default (false) matches the paper: either endpoint can forward
+	// to the other while the contact lasts.
+	Directed bool
+	// TransmitDelay is the time one hop takes. 0 reproduces the paper's
+	// model, in which any number of simultaneous contacts may be chained
+	// (the "long contact case" of §3.1.3, which §4.2 adopts for traces).
+	TransmitDelay float64
+	// Sources restricts the computation to paths originating at the
+	// given devices. nil computes every source. Destinations are always
+	// all devices. Restricting sources is how the Hong-Kong analysis
+	// uses external devices as relays without paying for their N²
+	// source profiles.
+	Sources []trace.NodeID
+}
+
+// Result holds the archives of Pareto-optimal path summaries for every
+// computed (source, destination) pair, annotated with the minimal hop
+// count at which each summary is achievable. All hop-bounded delivery
+// functions are derived from it via Frontier.
+type Result struct {
+	// NumNodes is the device count of the analyzed trace.
+	NumNodes int
+	// Hops is the hop count at which the computation stopped: either the
+	// fixpoint (no frontier changed when allowing one more hop) or
+	// Options.MaxHops.
+	Hops int
+	// Fixpoint reports whether Hops is a true fixpoint, i.e. no optimal
+	// path in the trace uses more than Hops contacts.
+	Fixpoint bool
+	// Delta echoes Options.TransmitDelay.
+	Delta float64
+
+	sources  []trace.NodeID
+	srcIndex []int32   // node -> row in arch, or -1
+	arch     [][]Entry // [srcRow*NumNodes + dst] append-only summaries
+}
+
+// dirContact is one usable direction of a trace contact.
+type dirContact struct {
+	to       trace.NodeID
+	beg, end float64
+}
+
+// Compute runs the exhaustive optimal-path computation of §4.4 on the
+// trace and returns the per-pair summary archives. The trace is not
+// modified. It returns an error if the trace fails validation or if a
+// requested source is out of range.
+func Compute(tr *trace.Trace, opt Options) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	n := tr.NumNodes()
+	res := &Result{
+		NumNodes: n,
+		Delta:    opt.TransmitDelay,
+		srcIndex: make([]int32, n),
+	}
+	if opt.TransmitDelay < 0 {
+		return nil, fmt.Errorf("core: negative TransmitDelay %v", opt.TransmitDelay)
+	}
+	if opt.Sources == nil {
+		res.sources = make([]trace.NodeID, n)
+		for i := range res.sources {
+			res.sources[i] = trace.NodeID(i)
+		}
+	} else {
+		res.sources = append([]trace.NodeID(nil), opt.Sources...)
+	}
+	for i := range res.srcIndex {
+		res.srcIndex[i] = -1
+	}
+	for row, s := range res.sources {
+		if int(s) < 0 || int(s) >= n {
+			return nil, fmt.Errorf("core: source %d out of range (nodes=%d)", s, n)
+		}
+		res.srcIndex[s] = int32(row)
+	}
+	res.arch = make([][]Entry, len(res.sources)*n)
+
+	// Group usable contact directions by their departure node, sorted by
+	// begin time: extend2D sweeps a frontier pointer monotonically across
+	// them instead of binary-searching per contact.
+	adj := make([][]dirContact, n)
+	for _, c := range tr.Contacts {
+		adj[c.A] = append(adj[c.A], dirContact{to: c.B, beg: c.Beg, end: c.End})
+		if !opt.Directed {
+			adj[c.B] = append(adj[c.B], dirContact{to: c.A, beg: c.Beg, end: c.End})
+		}
+	}
+	for _, es := range adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].beg < es[j].beg })
+	}
+
+	eng := &engine{res: res, opt: opt, n: n, adj: adj}
+	eng.run()
+	return res, nil
+}
+
+// engine holds the mutable state of one Compute run. Frontiers are
+// indexed by [srcRow*n + dst]. cur is the frozen frontier of the previous
+// iteration; pending collects this iteration's insertions (copy-on-write
+// from cur) so that every candidate generated during iteration k extends
+// only summaries available with at most k−1 hops — the property that
+// makes each archive entry's Hop the minimal hop count of its summary.
+type engine struct {
+	res *Result
+	opt Options
+	n   int
+	adj [][]dirContact
+
+	cur         []frontier2D
+	cur3        []frontier3D
+	pendingFlag []bool       // pair index touched this iteration
+	pendingList []int32      // touched pair indexes, for commit
+	next        []frontier2D // copy-on-write overlays of cur
+	next3       []frontier3D
+
+	changed     []bool // pair (srcRow, node) frontiers that changed last iteration
+	changedNext []bool
+}
+
+func (g *engine) run() {
+	rows := len(g.res.sources)
+	size := rows * g.n
+	use3D := g.opt.TransmitDelay > 0
+	if use3D {
+		g.cur3 = make([]frontier3D, size)
+		g.next3 = make([]frontier3D, size)
+	} else {
+		g.cur = make([]frontier2D, size)
+		g.next = make([]frontier2D, size)
+	}
+	g.pendingFlag = make([]bool, size)
+	g.changed = make([]bool, size)
+	g.changedNext = make([]bool, size)
+
+	// Hop 1: every usable contact leaving a tracked source is a
+	// one-contact sequence with LD = t_end, EA = t_beg.
+	for row, src := range g.res.sources {
+		for _, e := range g.adj[src] {
+			if e.to == src {
+				continue
+			}
+			idx := int32(row*g.n + int(e.to))
+			g.insert(idx, Entry{LD: e.end, EA: e.beg, Hop: 1})
+		}
+	}
+	g.commit()
+	g.res.Hops = 1
+
+	maxHops := g.opt.MaxHops
+	// Safety valve: with Delta == 0 the reachable (LD, EA) grid is finite
+	// so the fixpoint always terminates, but guard against pathological
+	// inputs anyway.
+	hardCap := 100000
+	for hop := 2; maxHops == 0 || hop <= maxHops; hop++ {
+		if hop > hardCap {
+			break
+		}
+		for row := range g.res.sources {
+			base := row * g.n
+			for u := 0; u < g.n; u++ {
+				pairIdx := base + u
+				if !g.changed[pairIdx] {
+					continue
+				}
+				if use3D {
+					g.extend3D(int32(base), trace.NodeID(u), g.cur3[pairIdx], int32(hop))
+				} else {
+					g.extend2D(int32(base), trace.NodeID(u), g.cur[pairIdx], int32(hop))
+				}
+			}
+		}
+		progressed := anyTrue(g.changedNext)
+		g.commit()
+		if !progressed {
+			g.res.Hops = hop - 1
+			g.res.Fixpoint = true
+			return
+		}
+		g.res.Hops = hop
+	}
+	// Stopped by MaxHops; check whether it happens to be a fixpoint
+	// already (no changes pending means the previous pass stabilized).
+	g.res.Fixpoint = !anyTrue(g.changed)
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// insert routes a candidate into the copy-on-write overlay for pair idx
+// and archives it if it survives dominance.
+func (g *engine) insert(idx int32, e Entry) {
+	if g.cur3 != nil {
+		if !g.pendingFlag[idx] {
+			g.next3[idx] = append(frontier3D(nil), g.cur3[idx]...)
+			g.pendingFlag[idx] = true
+			g.pendingList = append(g.pendingList, idx)
+		}
+		if g.next3[idx].add(e) {
+			g.res.arch[idx] = append(g.res.arch[idx], e)
+			g.changedNext[idx] = true
+		}
+		return
+	}
+	if !g.pendingFlag[idx] {
+		g.next[idx] = append(frontier2D(nil), g.cur[idx]...)
+		g.pendingFlag[idx] = true
+		g.pendingList = append(g.pendingList, idx)
+	}
+	if g.next[idx].add(e) {
+		g.res.arch[idx] = append(g.res.arch[idx], e)
+		g.changedNext[idx] = true
+	}
+}
+
+// commit publishes this iteration's overlays as the new frozen frontiers
+// and rolls the change flags.
+func (g *engine) commit() {
+	for _, idx := range g.pendingList {
+		g.pendingFlag[idx] = false
+		if g.cur3 != nil {
+			g.cur3[idx] = g.next3[idx]
+			g.next3[idx] = nil
+		} else {
+			g.cur[idx] = g.next[idx]
+			g.next[idx] = nil
+		}
+	}
+	g.pendingList = g.pendingList[:0]
+	g.changed, g.changedNext = g.changedNext, g.changed
+	for i := range g.changedNext {
+		g.changedNext[i] = false
+	}
+}
+
+// extend2D generates the candidates obtained by appending each contact
+// leaving u to the summaries of (source row, u), for the Delta == 0
+// model. For a contact with interval [tb, te] and a frontier sorted by
+// increasing LD and EA:
+//
+//   - among summaries with EA <= tb, only the one with the largest LD
+//     matters: the compound is (min(LD, te), tb);
+//   - summaries with tb < EA <= te compose to (min(LD, te), EA); once
+//     LD >= te every further compound shares LD = te with a larger EA
+//     and is dominated, so the scan stops early;
+//   - summaries with EA > te cannot be extended through the contact
+//     (concatenation condition iv).
+//
+// hop is the current iteration; since a summary enters the frontier at
+// the iteration equal to its hop count, only pivots with Hop == hop−1
+// are new. Candidates pivoting on older summaries were already attempted
+// — or were dominated by candidates attempted — in the iteration where
+// their pivot entered, so they are skipped.
+func (g *engine) extend2D(base int32, u trace.NodeID, f frontier2D, hop int32) {
+	if len(f) == 0 {
+		return
+	}
+	src := g.res.sources[base/int32(g.n)]
+	newHop := hop - 1
+	// First summary with EA > tb; contacts are sorted by tb so the
+	// boundary only moves forward.
+	i := 0
+	for _, e := range g.adj[u] {
+		for i < len(f) && f[i].EA <= e.beg {
+			i++
+		}
+		if e.to == src || e.to == u {
+			continue
+		}
+		idx := base + int32(e.to)
+		if i > 0 {
+			if p := f[i-1]; p.Hop == newHop {
+				g.insert(idx, Entry{LD: math.Min(p.LD, e.end), EA: e.beg, Hop: p.Hop + 1})
+			}
+		}
+		for j := i; j < len(f); j++ {
+			p := f[j]
+			if p.EA > e.end {
+				break
+			}
+			if p.LD >= e.end {
+				if p.Hop == newHop {
+					g.insert(idx, Entry{LD: e.end, EA: p.EA, Hop: p.Hop + 1})
+				}
+				break
+			}
+			if p.Hop == newHop {
+				g.insert(idx, Entry{LD: p.LD, EA: p.EA, Hop: p.Hop + 1})
+			}
+		}
+	}
+}
+
+// extend3D is the hop-aware variant used when TransmitDelay > 0: a
+// summary with h hops occupying its earliest schedule reaches u at
+// EA + delta at the soonest, so the contact must still be open then; the
+// compound last departure shrinks by h*delta because the chain needs h
+// inter-hop gaps before the appended contact.
+func (g *engine) extend3D(base int32, u trace.NodeID, f frontier3D, hop int32) {
+	if len(f) == 0 {
+		return
+	}
+	delta := g.opt.TransmitDelay
+	src := g.res.sources[base/int32(g.n)]
+	newHop := hop - 1
+	for _, e := range g.adj[u] {
+		if e.to == src || e.to == u {
+			continue
+		}
+		idx := base + int32(e.to)
+		for _, p := range f {
+			if p.Hop != newHop || p.EA+delta > e.end {
+				continue
+			}
+			g.insert(idx, Entry{
+				LD:  math.Min(p.LD, e.end-float64(p.Hop)*delta),
+				EA:  math.Max(p.EA+delta, e.beg),
+				Hop: p.Hop + 1,
+			})
+		}
+	}
+}
+
+// Frontier returns the delivery-function representation for the pair
+// (src, dst) within the class of paths using at most maxHop contacts.
+// maxHop <= 0 means unbounded. It panics if src was not among the
+// computed sources or either ID is out of range — a programming error,
+// not a data error.
+func (r *Result) Frontier(src, dst trace.NodeID, maxHop int) Frontier {
+	if int(src) < 0 || int(src) >= r.NumNodes || int(dst) < 0 || int(dst) >= r.NumNodes {
+		panic(fmt.Sprintf("core: Frontier(%d, %d) out of range (nodes=%d)", src, dst, r.NumNodes))
+	}
+	row := r.srcIndex[src]
+	if row < 0 {
+		panic(fmt.Sprintf("core: source %d was not computed", src))
+	}
+	bound := int32(math.MaxInt32)
+	if maxHop > 0 {
+		bound = int32(maxHop)
+	}
+	entries := r.arch[int(row)*r.NumNodes+int(dst)]
+	if r.Delta > 0 {
+		return Frontier{Entries: buildFrontier3D(entries, bound), Delta: r.Delta}
+	}
+	return Frontier{Entries: buildFrontier2D(entries, bound), Delta: 0}
+}
+
+// Sources returns the source devices the result was computed for.
+func (r *Result) Sources() []trace.NodeID {
+	return append([]trace.NodeID(nil), r.sources...)
+}
+
+// MinHops returns the smallest hop bound under which dst is reachable
+// from src at some starting time, or 0 if it never is.
+func (r *Result) MinHops(src, dst trace.NodeID) int {
+	row := r.srcIndex[src]
+	if row < 0 {
+		panic(fmt.Sprintf("core: source %d was not computed", src))
+	}
+	entries := r.arch[int(row)*r.NumNodes+int(dst)]
+	best := int32(0)
+	for _, e := range entries {
+		if best == 0 || e.Hop < best {
+			best = e.Hop
+		}
+	}
+	return int(best)
+}

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opportunet/internal/flood"
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+// mk builds a trace over n internal devices with the given contacts.
+func mk(n int, contacts ...trace.Contact) *trace.Trace {
+	end := 0.0
+	for _, c := range contacts {
+		if c.End > end {
+			end = c.End
+		}
+	}
+	return &trace.Trace{
+		Name:     "test",
+		Start:    0,
+		End:      end + 1,
+		Kinds:    make([]trace.Kind, n),
+		Contacts: contacts,
+	}
+}
+
+func mustCompute(t *testing.T, tr *trace.Trace, opt Options) *Result {
+	t.Helper()
+	res, err := Compute(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSingleContact(t *testing.T) {
+	tr := mk(2, trace.Contact{A: 0, B: 1, Beg: 5, End: 15})
+	res := mustCompute(t, tr, Options{})
+	f := res.Frontier(0, 1, 0)
+	if len(f.Entries) != 1 || f.Entries[0] != (Entry{LD: 15, EA: 5, Hop: 1}) {
+		t.Fatalf("frontier = %+v", f.Entries)
+	}
+	// Undirected: the reverse direction exists too.
+	g := res.Frontier(1, 0, 0)
+	if len(g.Entries) != 1 || g.Entries[0].LD != 15 {
+		t.Fatalf("reverse frontier = %+v", g.Entries)
+	}
+	if !res.Fixpoint {
+		t.Error("expected fixpoint")
+	}
+}
+
+func TestTwoHopStoreAndForward(t *testing.T) {
+	// A-B at [0,10], B-C at [20,30]: the message waits at B.
+	tr := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 0, End: 10},
+		trace.Contact{A: 1, B: 2, Beg: 20, End: 30},
+	)
+	res := mustCompute(t, tr, Options{})
+	f := res.Frontier(0, 2, 0)
+	if len(f.Entries) != 1 || f.Entries[0] != (Entry{LD: 10, EA: 20, Hop: 2}) {
+		t.Fatalf("frontier = %+v, want (LD=10, EA=20)", f.Entries)
+	}
+	// Created at t=0: delivered at 20. Created at t=10: still delivered
+	// at 20 (leaves on the last instant). Created at t=11: never.
+	if got := f.Del(0); got != 20 {
+		t.Errorf("Del(0) = %v", got)
+	}
+	if got := f.Del(10); got != 20 {
+		t.Errorf("Del(10) = %v", got)
+	}
+	if got := f.Del(11); !math.IsInf(got, 1) {
+		t.Errorf("Del(11) = %v", got)
+	}
+	// One hop only: unreachable.
+	if !res.Frontier(0, 2, 1).Empty() {
+		t.Error("0→2 should be unreachable in 1 hop")
+	}
+	if res.MinHops(0, 2) != 2 {
+		t.Errorf("MinHops = %d", res.MinHops(0, 2))
+	}
+}
+
+func TestChronologicalOrderRequired(t *testing.T) {
+	// A-B at [20,30], B-C at [0,10]: no A→C path (condition 2 violated),
+	// but C→A works: C-B then B-A.
+	tr := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 20, End: 30},
+		trace.Contact{A: 1, B: 2, Beg: 0, End: 10},
+	)
+	res := mustCompute(t, tr, Options{})
+	if !res.Frontier(0, 2, 0).Empty() {
+		t.Error("0→2 should be unreachable")
+	}
+	f := res.Frontier(2, 0, 0)
+	if len(f.Entries) != 1 || f.Entries[0] != (Entry{LD: 10, EA: 20, Hop: 2}) {
+		t.Fatalf("2→0 frontier = %+v", f.Entries)
+	}
+}
+
+func TestLongOverlappingContact(t *testing.T) {
+	// The case that defeats single-chronological-sweep algorithms: a
+	// long contact A-B [5,30] must be usable BEFORE the shorter,
+	// earlier-ending contact B-C [10,20].
+	tr := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 5, End: 30},
+		trace.Contact{A: 1, B: 2, Beg: 10, End: 20},
+	)
+	res := mustCompute(t, tr, Options{})
+	f := res.Frontier(0, 2, 0)
+	if len(f.Entries) != 1 || f.Entries[0] != (Entry{LD: 20, EA: 10, Hop: 2}) {
+		t.Fatalf("frontier = %+v, want (LD=20, EA=10)", f.Entries)
+	}
+	// Contemporaneous window [10, 20]: immediate delivery.
+	if got := f.Delay(15); got != 0 {
+		t.Errorf("Delay(15) = %v, want 0", got)
+	}
+}
+
+func TestSimultaneousChaining(t *testing.T) {
+	// Long contact case (§3.1.3 / §4.2): several contacts during the same
+	// instant can be chained. Three instantaneous contacts at t=10 give a
+	// 3-hop path delivered at t=10.
+	tr := mk(4,
+		trace.Contact{A: 0, B: 1, Beg: 10, End: 10},
+		trace.Contact{A: 1, B: 2, Beg: 10, End: 10},
+		trace.Contact{A: 2, B: 3, Beg: 10, End: 10},
+	)
+	res := mustCompute(t, tr, Options{})
+	f := res.Frontier(0, 3, 0)
+	if len(f.Entries) != 1 || f.Entries[0] != (Entry{LD: 10, EA: 10, Hop: 3}) {
+		t.Fatalf("frontier = %+v", f.Entries)
+	}
+}
+
+func TestTransmitDelayBlocksSimultaneousChaining(t *testing.T) {
+	// With a positive per-hop delay the same instantaneous relay chain
+	// becomes impossible (this is how the short contact case arises).
+	tr := mk(4,
+		trace.Contact{A: 0, B: 1, Beg: 10, End: 10},
+		trace.Contact{A: 1, B: 2, Beg: 10, End: 10},
+		trace.Contact{A: 2, B: 3, Beg: 10, End: 10},
+	)
+	res := mustCompute(t, tr, Options{TransmitDelay: 1})
+	if !res.Frontier(0, 2, 0).Empty() {
+		t.Error("two-hop instantaneous chain should be blocked by TransmitDelay")
+	}
+	f := res.Frontier(0, 1, 0)
+	if f.Empty() {
+		t.Fatal("direct contact must survive")
+	}
+	// Delivery takes one TransmitDelay: created at 10, delivered at 11.
+	if got := f.Del(10); got != 11 {
+		t.Errorf("Del(10) = %v, want 11", got)
+	}
+}
+
+func TestTransmitDelayChainAcrossLongContacts(t *testing.T) {
+	// A-B [0,100], B-C [0,100], delta=5: transmissions at t and t+5,
+	// delivery at t+10. Created at 0 → delivered at 10.
+	tr := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 0, End: 100},
+		trace.Contact{A: 1, B: 2, Beg: 0, End: 100},
+	)
+	res := mustCompute(t, tr, Options{TransmitDelay: 5})
+	f := res.Frontier(0, 2, 0)
+	if f.Empty() {
+		t.Fatal("unreachable")
+	}
+	if got := f.Del(0); got != 10 {
+		t.Errorf("Del(0) = %v, want 10", got)
+	}
+	// The last possible departure leaves 2 transmissions: t1 ≤ 95.
+	if got := f.Del(95); got != 105 {
+		t.Errorf("Del(95) = %v, want 105", got)
+	}
+	if got := f.Del(96); !math.IsInf(got, 1) {
+		t.Errorf("Del(96) = %v, want +Inf", got)
+	}
+}
+
+func TestDirectedOption(t *testing.T) {
+	tr := mk(2, trace.Contact{A: 0, B: 1, Beg: 0, End: 10})
+	res := mustCompute(t, tr, Options{Directed: true})
+	if res.Frontier(0, 1, 0).Empty() {
+		t.Error("forward direction missing")
+	}
+	if !res.Frontier(1, 0, 0).Empty() {
+		t.Error("reverse direction should not exist in directed mode")
+	}
+}
+
+func TestSourcesRestriction(t *testing.T) {
+	tr := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 0, End: 10},
+		trace.Contact{A: 1, B: 2, Beg: 20, End: 30},
+	)
+	res := mustCompute(t, tr, Options{Sources: []trace.NodeID{0}})
+	if res.Frontier(0, 2, 0).Empty() {
+		t.Error("0→2 should be computed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("querying an uncomputed source should panic")
+		}
+	}()
+	res.Frontier(1, 2, 0)
+}
+
+func TestComputeRejectsBadInput(t *testing.T) {
+	tr := mk(2, trace.Contact{A: 0, B: 1, Beg: 0, End: 10})
+	if _, err := Compute(tr, Options{TransmitDelay: -1}); err == nil {
+		t.Error("negative TransmitDelay accepted")
+	}
+	if _, err := Compute(tr, Options{Sources: []trace.NodeID{7}}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	bad := mk(2, trace.Contact{A: 0, B: 0, Beg: 0, End: 1})
+	if _, err := Compute(bad, Options{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestMultiplePathsParetoFrontier(t *testing.T) {
+	// Two alternative routes 0→2: early-departure-late-arrival via 1,
+	// late-departure-early... build: direct contact [50,60] and relay
+	// path leaving by 10 arriving 40.
+	tr := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 0, End: 10},
+		trace.Contact{A: 1, B: 2, Beg: 40, End: 45},
+		trace.Contact{A: 0, B: 2, Beg: 50, End: 60},
+	)
+	res := mustCompute(t, tr, Options{})
+	f := res.Frontier(0, 2, 0)
+	if len(f.Entries) != 2 {
+		t.Fatalf("frontier = %+v, want 2 entries", f.Entries)
+	}
+	if f.Entries[0] != (Entry{LD: 10, EA: 40, Hop: 2}) {
+		t.Errorf("entry 0 = %+v", f.Entries[0])
+	}
+	if f.Entries[1] != (Entry{LD: 60, EA: 50, Hop: 1}) {
+		t.Errorf("entry 1 = %+v", f.Entries[1])
+	}
+	// A message created at 5 uses the relay (delivered 40); at 20 it
+	// must wait for the direct contact (delivered 50).
+	if f.Del(5) != 40 || f.Del(20) != 50 {
+		t.Errorf("Del(5)=%v Del(20)=%v", f.Del(5), f.Del(20))
+	}
+	// Hop bound 1 removes the relay route.
+	f1 := res.Frontier(0, 2, 1)
+	if len(f1.Entries) != 1 || f1.Del(5) != 50 {
+		t.Errorf("hop-1 frontier = %+v", f1.Entries)
+	}
+}
+
+func TestRevisitingNodesNeverHelps(t *testing.T) {
+	// A cycle 0-1-2-0 with generous windows: frontier entries should stay
+	// minimal and the fixpoint small.
+	tr := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 0, End: 100},
+		trace.Contact{A: 1, B: 2, Beg: 0, End: 100},
+		trace.Contact{A: 2, B: 0, Beg: 0, End: 100},
+	)
+	res := mustCompute(t, tr, Options{})
+	if !res.Fixpoint {
+		t.Error("cycle should still reach a fixpoint")
+	}
+	if res.Hops > 3 {
+		t.Errorf("fixpoint at %d hops, expected <= 3", res.Hops)
+	}
+	f := res.Frontier(0, 2, 0)
+	if f.Del(50) != 50 {
+		t.Errorf("Del(50) = %v, want 50 (direct contact)", f.Del(50))
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := mk(3)
+	res := mustCompute(t, tr, Options{})
+	if !res.Frontier(0, 1, 0).Empty() {
+		t.Error("empty trace should have empty frontiers")
+	}
+	if !res.Fixpoint {
+		t.Error("empty trace is trivially a fixpoint")
+	}
+}
+
+func TestMaxHopsCap(t *testing.T) {
+	// A 5-hop chain with MaxHops 3: destination 5 unreachable, 3 reachable.
+	var cs []trace.Contact
+	for i := 0; i < 5; i++ {
+		cs = append(cs, trace.Contact{A: trace.NodeID(i), B: trace.NodeID(i + 1), Beg: float64(10 * i), End: float64(10*i + 5)})
+	}
+	tr := mk(6, cs...)
+	res := mustCompute(t, tr, Options{MaxHops: 3})
+	if res.Hops != 3 {
+		t.Errorf("Hops = %d, want 3", res.Hops)
+	}
+	if res.Frontier(0, 3, 0).Empty() {
+		t.Error("3-hop destination should be reachable")
+	}
+	if !res.Frontier(0, 5, 0).Empty() {
+		t.Error("5-hop destination should be cut off by MaxHops")
+	}
+	full := mustCompute(t, tr, Options{})
+	if full.Frontier(0, 5, 0).Empty() {
+		t.Error("unbounded run should reach the chain end")
+	}
+	if full.Hops < 5 {
+		t.Errorf("unbounded Hops = %d, want >= 5", full.Hops)
+	}
+}
+
+// randomTrace builds a random temporal network for cross-validation.
+func randomTrace(r *rng.Source, n, maxContacts int, span float64, instantaneous bool) *trace.Trace {
+	tr := &trace.Trace{Name: "rand", Start: 0, End: span, Kinds: make([]trace.Kind, n)}
+	m := 1 + r.Intn(maxContacts)
+	for i := 0; i < m; i++ {
+		a := trace.NodeID(r.Intn(n))
+		b := trace.NodeID(r.Intn(n))
+		if a == b {
+			continue
+		}
+		beg := r.Uniform(0, span*0.9)
+		var end float64
+		if instantaneous && r.Bool(0.5) {
+			end = beg
+		} else {
+			end = beg + r.Uniform(0, span/4)
+		}
+		tr.Contacts = append(tr.Contacts, trace.Contact{A: a, B: b, Beg: beg, End: end})
+	}
+	return tr
+}
+
+// TestEngineMatchesFloodingUnbounded is the central cross-validation:
+// the profile engine evaluated at any starting time must equal the
+// independent event-driven flooding simulation.
+func TestEngineMatchesFloodingUnbounded(t *testing.T) {
+	r := rng.New(2024)
+	err := quick.Check(func(seed uint64) bool {
+		n := 3 + r.Intn(8)
+		tr := randomTrace(r, n, 40, 100, true)
+		res, err := Compute(tr, Options{})
+		if err != nil {
+			return false
+		}
+		fl := flood.New(tr, flood.Options{})
+		for probe := 0; probe < 10; probe++ {
+			src := trace.NodeID(r.Intn(n))
+			t0 := r.Uniform(-5, 110)
+			arr := fl.EarliestDelivery(src, t0)
+			for dst := 0; dst < n; dst++ {
+				if trace.NodeID(dst) == src {
+					continue
+				}
+				want := arr[dst]
+				got := res.Frontier(src, trace.NodeID(dst), 0).Del(t0)
+				if math.IsInf(want, 1) != math.IsInf(got, 1) {
+					return false
+				}
+				if !math.IsInf(want, 1) && math.Abs(want-got) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineMatchesFloodingHopBounded validates every hop-bounded class
+// against Bellman-Ford flooding.
+func TestEngineMatchesFloodingHopBounded(t *testing.T) {
+	r := rng.New(4048)
+	err := quick.Check(func(seed uint64) bool {
+		n := 3 + r.Intn(7)
+		tr := randomTrace(r, n, 30, 100, true)
+		res, err := Compute(tr, Options{})
+		if err != nil {
+			return false
+		}
+		fl := flood.New(tr, flood.Options{})
+		maxK := 6
+		for probe := 0; probe < 6; probe++ {
+			src := trace.NodeID(r.Intn(n))
+			t0 := r.Uniform(0, 100)
+			byHops := fl.EarliestDeliveryByHops(src, t0, maxK)
+			for k := 1; k <= maxK; k++ {
+				for dst := 0; dst < n; dst++ {
+					if trace.NodeID(dst) == src {
+						continue
+					}
+					want := byHops[k][dst]
+					got := res.Frontier(src, trace.NodeID(dst), k).Del(t0)
+					if math.IsInf(want, 1) != math.IsInf(got, 1) {
+						return false
+					}
+					if !math.IsInf(want, 1) && math.Abs(want-got) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineMatchesFloodingTransmitDelay validates the hop-aware variant.
+func TestEngineMatchesFloodingTransmitDelay(t *testing.T) {
+	r := rng.New(777)
+	err := quick.Check(func(seed uint64) bool {
+		n := 3 + r.Intn(6)
+		tr := randomTrace(r, n, 25, 100, false)
+		delta := r.Uniform(0.5, 5)
+		res, err := Compute(tr, Options{TransmitDelay: delta})
+		if err != nil {
+			return false
+		}
+		fl := flood.New(tr, flood.Options{TransmitDelay: delta})
+		for probe := 0; probe < 8; probe++ {
+			src := trace.NodeID(r.Intn(n))
+			t0 := r.Uniform(0, 100)
+			arr := fl.EarliestDelivery(src, t0)
+			for dst := 0; dst < n; dst++ {
+				if trace.NodeID(dst) == src {
+					continue
+				}
+				want := arr[dst]
+				got := res.Frontier(src, trace.NodeID(dst), 0).Del(t0)
+				if math.IsInf(want, 1) != math.IsInf(got, 1) {
+					return false
+				}
+				if !math.IsInf(want, 1) && math.Abs(want-got) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontierQueryPanicsOutOfRange(t *testing.T) {
+	tr := mk(2, trace.Contact{A: 0, B: 1, Beg: 0, End: 1})
+	res := mustCompute(t, tr, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Frontier query should panic")
+		}
+	}()
+	res.Frontier(0, 5, 0)
+}
+
+func TestSourcesAccessor(t *testing.T) {
+	tr := mk(3, trace.Contact{A: 0, B: 1, Beg: 0, End: 1})
+	res := mustCompute(t, tr, Options{Sources: []trace.NodeID{2, 0}})
+	got := res.Sources()
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("Sources = %v", got)
+	}
+	got[0] = 99 // must not alias internal state
+	if res.Sources()[0] != 2 {
+		t.Fatal("Sources leaked internal slice")
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	// Identical inputs must give identical archives — map iteration or
+	// other nondeterminism must never leak into results.
+	r := rng.New(515)
+	tr := randomTrace(r, 12, 60, 200, true)
+	a := mustCompute(t, tr, Options{})
+	b := mustCompute(t, tr, Options{})
+	if a.Hops != b.Hops {
+		t.Fatalf("fixpoints differ: %d vs %d", a.Hops, b.Hops)
+	}
+	for src := 0; src < 12; src++ {
+		for dst := 0; dst < 12; dst++ {
+			if src == dst {
+				continue
+			}
+			fa := a.Frontier(trace.NodeID(src), trace.NodeID(dst), 0)
+			fb := b.Frontier(trace.NodeID(src), trace.NodeID(dst), 0)
+			if len(fa.Entries) != len(fb.Entries) {
+				t.Fatalf("pair (%d,%d): %d vs %d entries", src, dst, len(fa.Entries), len(fb.Entries))
+			}
+			for i := range fa.Entries {
+				if fa.Entries[i] != fb.Entries[i] {
+					t.Fatalf("pair (%d,%d) entry %d differs", src, dst, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFixpointBoundsOptimalHops(t *testing.T) {
+	// No frontier entry may carry a hop count beyond the fixpoint.
+	r := rng.New(616)
+	err := quick.Check(func(seed uint64) bool {
+		n := 4 + r.Intn(8)
+		tr := randomTrace(r, n, 40, 150, true)
+		res, err := Compute(tr, Options{})
+		if err != nil {
+			return false
+		}
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				f := res.Frontier(trace.NodeID(src), trace.NodeID(dst), 0)
+				if f.MaxHop() > res.Hops {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Frontier is the minimal representation of the delivery function of one
+// source-destination pair within a hop-bounded class: the Pareto-optimal
+// (LD, EA) summaries, sorted by increasing LD (and, when Delta == 0,
+// strictly increasing EA — the staircase of paper Figure 5).
+//
+// Delta is the per-hop transmission delay the frontier was computed with;
+// it changes how delivery times are evaluated (each of the Hop hops adds
+// Delta, and consecutive contacts must be Delta apart).
+type Frontier struct {
+	Entries []Entry
+	Delta   float64
+}
+
+// Empty reports whether no path exists at all within the class.
+func (f Frontier) Empty() bool { return len(f.Entries) == 0 }
+
+// Del returns the optimal delivery time of a message created at time t
+// (paper eq. 3), or +Inf if no sequence can still carry it.
+func (f Frontier) Del(t float64) float64 {
+	if f.Delta != 0 {
+		return f.delDelta(t)
+	}
+	es := f.Entries
+	// First entry with LD >= t; its EA is minimal among all applicable
+	// entries because EA increases with LD along the frontier.
+	i := sort.Search(len(es), func(i int) bool { return es[i].LD >= t })
+	if i == len(es) {
+		return Inf
+	}
+	return math.Max(t, es[i].EA)
+}
+
+// delDelta evaluates the delivery time with per-hop delay Delta: a
+// message created at t and carried by a summary (LD, EA, h) departs at
+// some t_1 ∈ [t, LD], reaches the last contact no earlier than
+// max(EA, t_1 + (h−1)Delta) and is delivered Delta later.
+func (f Frontier) delDelta(t float64) float64 {
+	best := Inf
+	for _, e := range f.Entries {
+		if e.LD < t {
+			continue
+		}
+		arr := math.Max(e.EA, t+float64(e.Hop-1)*f.Delta) + f.Delta
+		if arr < best {
+			best = arr
+		}
+	}
+	return best
+}
+
+// Delay returns Del(t) − t: the optimal delivery delay for a message
+// created at time t.
+func (f Frontier) Delay(t float64) float64 {
+	d := f.Del(t)
+	if math.IsInf(d, 1) {
+		return Inf
+	}
+	return d - t
+}
+
+// SuccessWithin returns the Lebesgue measure of starting times
+// t ∈ [a, b] whose optimal delay is at most d. Dividing by (b − a) gives
+// the per-pair success probability of paper §4.1 for a uniformly random
+// starting time. For Delta == 0 the measure is exact (the delay profile
+// is piecewise max(0, EA_i − t)); for Delta > 0 it is estimated on a
+// dense grid.
+func (f Frontier) SuccessWithin(d, a, b float64) float64 {
+	if b <= a || len(f.Entries) == 0 || d < 0 {
+		return 0
+	}
+	if f.Delta != 0 {
+		return f.successWithinDelta(d, a, b)
+	}
+	total := 0.0
+	left := a
+	for _, e := range f.Entries {
+		if e.LD <= left {
+			continue
+		}
+		segEnd := math.Min(e.LD, b)
+		lo := math.Max(left, e.EA-d)
+		if segEnd > lo {
+			total += segEnd - lo
+		}
+		left = e.LD
+		if left >= b {
+			break
+		}
+	}
+	return total
+}
+
+// successWithinDeltaSamples controls the grid resolution of the sampled
+// success measure used when Delta > 0.
+const successWithinDeltaSamples = 2048
+
+func (f Frontier) successWithinDelta(d, a, b float64) float64 {
+	step := (b - a) / successWithinDeltaSamples
+	hits := 0
+	for i := 0; i < successWithinDeltaSamples; i++ {
+		t := a + (float64(i)+0.5)*step
+		if f.Del(t)-t <= d {
+			hits++
+		}
+	}
+	return float64(hits) * step
+}
+
+// MinDelay returns the smallest optimal delay over starting times in
+// [a, b], or +Inf if the pair is unreachable throughout. For Delta == 0
+// the delay profile on segment (LD_{i−1}, LD_i] is max(0, EA_i − t),
+// minimized at the segment's right edge.
+func (f Frontier) MinDelay(a, b float64) float64 {
+	if len(f.Entries) == 0 || b < a {
+		return Inf
+	}
+	if f.Delta != 0 {
+		best := Inf
+		step := (b - a) / successWithinDeltaSamples
+		for i := 0; i <= successWithinDeltaSamples; i++ {
+			t := a + float64(i)*step
+			if dl := f.Del(t) - t; dl < best {
+				best = dl
+			}
+		}
+		return best
+	}
+	best := Inf
+	left := a
+	for _, e := range f.Entries {
+		if e.LD <= left {
+			continue
+		}
+		t := math.Min(e.LD, b) // delay is non-increasing within the segment
+		if t >= left {
+			if dl := math.Max(0, e.EA-t); dl < best {
+				best = dl
+			}
+		}
+		left = e.LD
+		if left >= b {
+			break
+		}
+	}
+	return best
+}
+
+// MaxHop returns the largest hop count among frontier entries, 0 when
+// empty.
+func (f Frontier) MaxHop() int {
+	m := int32(0)
+	for _, e := range f.Entries {
+		if e.Hop > m {
+			m = e.Hop
+		}
+	}
+	return int(m)
+}
+
+// ParetoSet is an incrementally maintained Pareto frontier of path
+// summaries under the paper's two-dimensional dominance (later departure
+// and earlier arrival are both better). It is the data structure behind
+// the engine's "concise representation of optimal paths" and is exposed
+// for callers building custom path analyses.
+type ParetoSet struct {
+	f frontier2D
+}
+
+// Add inserts a summary unless it is dominated, removing summaries it
+// dominates; it reports whether the summary entered the set.
+func (p *ParetoSet) Add(e Entry) bool { return p.f.add(e) }
+
+// Len returns the current frontier size.
+func (p *ParetoSet) Len() int { return len(p.f) }
+
+// Entries returns the frontier sorted by increasing LD (and EA). The
+// returned slice is a copy.
+func (p *ParetoSet) Entries() []Entry { return append([]Entry(nil), p.f...) }
+
+// frontier2D is the engine's mutable Pareto set for the paper model
+// (Delta == 0): entries sorted by strictly increasing LD and strictly
+// increasing EA.
+type frontier2D []Entry
+
+// add inserts e unless it is dominated, removing entries e dominates.
+// It reports whether e entered the frontier.
+func (f *frontier2D) add(e Entry) bool {
+	es := *f
+	// First index with LD >= e.LD. Because EA increases with LD, that
+	// entry has the minimal EA among all entries with LD >= e.LD.
+	i := sort.Search(len(es), func(i int) bool { return es[i].LD >= e.LD })
+	if i < len(es) && es[i].EA <= e.EA {
+		return false // dominated (possibly a duplicate)
+	}
+	// Remove entries dominated by e: LD <= e.LD (all indices < hi, which
+	// includes an existing entry with LD equal to e.LD — necessarily of
+	// larger EA, or e would have been dominated above) and EA >= e.EA (a
+	// suffix of those, since EA is increasing).
+	hi := i
+	if hi < len(es) && es[hi].LD == e.LD {
+		hi++
+	}
+	lo := sort.Search(hi, func(j int) bool { return es[j].EA >= e.EA })
+	if lo == hi {
+		// Nothing to remove: insert at hi.
+		es = append(es, Entry{})
+		copy(es[hi+1:], es[hi:])
+		es[hi] = e
+	} else {
+		es[lo] = e
+		es = append(es[:lo+1], es[hi:]...)
+	}
+	*f = es
+	return true
+}
+
+// frontier3D is the engine's mutable Pareto set when each hop costs a
+// positive transmission delay: dominance must respect hop counts, so the
+// set is a 3-way Pareto frontier kept as a flat list (frontiers stay
+// small; linear scans are fine).
+type frontier3D []Entry
+
+// add inserts e unless some entry 3D-dominates it, removing entries e
+// 3D-dominates. It reports whether e entered the frontier.
+func (f *frontier3D) add(e Entry) bool {
+	es := *f
+	for _, q := range es {
+		if dominates3D(q, e) {
+			return false
+		}
+	}
+	out := es[:0]
+	for _, q := range es {
+		if !dominates3D(e, q) {
+			out = append(out, q)
+		}
+	}
+	*f = append(out, e)
+	return true
+}
+
+// buildFrontier2D extracts the Pareto frontier of all entries with
+// Hop <= maxHop, for the Delta == 0 model. It returns entries sorted by
+// increasing LD and EA.
+func buildFrontier2D(entries []Entry, maxHop int32) []Entry {
+	var kept []Entry
+	for _, e := range entries {
+		if e.Hop <= maxHop {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].LD != kept[j].LD {
+			return kept[i].LD < kept[j].LD
+		}
+		if kept[i].EA != kept[j].EA {
+			return kept[i].EA < kept[j].EA
+		}
+		return kept[i].Hop < kept[j].Hop
+	})
+	// Right-to-left sweep keeping entries whose EA is a new strict
+	// minimum — exactly condition (4) of the paper. Within an equal-LD
+	// group the sweep sees EA in decreasing order, so each improvement
+	// replaces the previously kept entry of that group; likewise an
+	// equal (LD, EA) duplicate with a smaller hop count replaces the
+	// larger one.
+	out := make([]Entry, 0, len(kept))
+	bestEA := math.Inf(1)
+	for i := len(kept) - 1; i >= 0; i-- {
+		if kept[i].EA <= bestEA {
+			if len(out) > 0 && out[len(out)-1].LD == kept[i].LD {
+				if kept[i].EA <= out[len(out)-1].EA {
+					out[len(out)-1] = kept[i]
+					bestEA = kept[i].EA
+				}
+				continue
+			}
+			if kept[i].EA == bestEA {
+				continue // same EA, smaller LD: dominated
+			}
+			out = append(out, kept[i])
+			bestEA = kept[i].EA
+		}
+	}
+	// Reverse into LD-ascending order.
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}
+
+// buildFrontier3D extracts the hop-aware Pareto frontier of all entries
+// with Hop <= maxHop, sorted by increasing LD for readability.
+func buildFrontier3D(entries []Entry, maxHop int32) []Entry {
+	var f frontier3D
+	for _, e := range entries {
+		if e.Hop <= maxHop {
+			f.add(e)
+		}
+	}
+	sort.Slice(f, func(i, j int) bool { return f[i].LD < f[j].LD })
+	return f
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParetoSet drives the incremental frontier with arbitrary summary
+// streams: the staircase invariant and the dominance semantics must hold
+// whatever the insertion order.
+func FuzzParetoSet(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{9, 0, 9, 0, 1, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p ParetoSet
+		var all []Entry
+		for i := 0; i+1 < len(data); i += 2 {
+			e := Entry{LD: float64(data[i]), EA: float64(data[i+1]), Hop: 1}
+			all = append(all, e)
+			p.Add(e)
+		}
+		es := p.Entries()
+		for i := 1; i < len(es); i++ {
+			if es[i].LD <= es[i-1].LD || es[i].EA <= es[i-1].EA {
+				t.Fatalf("staircase invariant broken: %+v", es)
+			}
+		}
+		// The frontier must preserve del(t) against the raw stream.
+		fr := Frontier{Entries: es}
+		for probe := 0.0; probe <= 256; probe += 16 {
+			want := bruteDel(all, probe)
+			got := fr.Del(probe)
+			if math.IsInf(want, 1) != math.IsInf(got, 1) {
+				t.Fatalf("del(%v): inf mismatch", probe)
+			}
+			if !math.IsInf(want, 1) && want != got {
+				t.Fatalf("del(%v) = %v, want %v", probe, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+func TestReconstructSimpleChain(t *testing.T) {
+	tr := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 0, End: 10},
+		trace.Contact{A: 1, B: 2, Beg: 20, End: 30},
+	)
+	p, err := ReconstructPath(tr, 0, 2, 0, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Delivered != 20 || len(p.Hops) != 2 {
+		t.Fatalf("path %+v", p)
+	}
+	if p.Hops[0].From != 0 || p.Hops[0].To != 1 || p.Hops[0].At != 0 {
+		t.Fatalf("hop 0 = %+v", p.Hops[0])
+	}
+	if p.Hops[1].From != 1 || p.Hops[1].To != 2 || p.Hops[1].At != 20 {
+		t.Fatalf("hop 1 = %+v", p.Hops[1])
+	}
+	if !strings.Contains(p.String(), "-(t=20)-> 2") {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+func TestReconstructPrefersFewerHops(t *testing.T) {
+	// Direct contact and a 2-hop detour both deliver at t=20; the
+	// reconstruction must use the direct contact.
+	tr := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 0, End: 30},
+		trace.Contact{A: 1, B: 2, Beg: 0, End: 30},
+		trace.Contact{A: 0, B: 2, Beg: 20, End: 40},
+	)
+	p, err := ReconstructPath(tr, 0, 2, 20, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hops) != 1 {
+		t.Fatalf("expected the direct contact, got %v", p.String())
+	}
+}
+
+func TestReconstructUnreachable(t *testing.T) {
+	tr := mk(3, trace.Contact{A: 0, B: 1, Beg: 0, End: 10})
+	if _, err := ReconstructPath(tr, 0, 2, 0, 0, Options{}); err == nil {
+		t.Fatal("unreachable pair accepted")
+	}
+	// Reachable in 2 hops but capped at 1.
+	tr2 := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 0, End: 10},
+		trace.Contact{A: 1, B: 2, Beg: 20, End: 30},
+	)
+	if _, err := ReconstructPath(tr2, 0, 2, 0, 1, Options{}); err == nil {
+		t.Fatal("hop cap not honored")
+	}
+}
+
+func TestReconstructSelfPair(t *testing.T) {
+	tr := mk(2, trace.Contact{A: 0, B: 1, Beg: 0, End: 10})
+	p, err := ReconstructPath(tr, 0, 0, 5, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Delivered != 5 || len(p.Hops) != 0 {
+		t.Fatalf("self path %+v", p)
+	}
+}
+
+func TestReconstructOutOfRange(t *testing.T) {
+	tr := mk(2, trace.Contact{A: 0, B: 1, Beg: 0, End: 10})
+	if _, err := ReconstructPath(tr, 0, 9, 0, 0, Options{}); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+}
+
+func TestReconstructWithTransmitDelay(t *testing.T) {
+	tr := mk(3,
+		trace.Contact{A: 0, B: 1, Beg: 0, End: 100},
+		trace.Contact{A: 1, B: 2, Beg: 0, End: 100},
+	)
+	p, err := ReconstructPath(tr, 0, 2, 0, 0, Options{TransmitDelay: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Delivered != 10 {
+		t.Fatalf("delivered at %v, want 10", p.Delivered)
+	}
+	if len(p.Hops) != 2 || p.Hops[0].At != 0 || p.Hops[1].At != 5 {
+		t.Fatalf("hops %+v", p.Hops)
+	}
+}
+
+// TestReconstructMatchesEngineProperty: for random traces and starting
+// times, the reconstructed delivery time must equal the engine's del(t),
+// and the path must validate (checked inside ReconstructPath).
+func TestReconstructMatchesEngineProperty(t *testing.T) {
+	r := rng.New(808)
+	err := quick.Check(func(seed uint64) bool {
+		n := 3 + r.Intn(8)
+		tr := randomTrace(r, n, 30, 100, true)
+		res, err := Compute(tr, Options{})
+		if err != nil {
+			return false
+		}
+		for probe := 0; probe < 8; probe++ {
+			src := trace.NodeID(r.Intn(n))
+			dst := trace.NodeID(r.Intn(n))
+			if src == dst {
+				continue
+			}
+			t0 := r.Uniform(0, 100)
+			want := res.Frontier(src, dst, 0).Del(t0)
+			p, err := ReconstructPath(tr, src, dst, t0, 0, Options{})
+			if math.IsInf(want, 1) {
+				if err == nil {
+					return false
+				}
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			if math.Abs(p.Delivered-want) > 1e-9 {
+				return false
+			}
+			// And the hop count must be achievable per the frontier.
+			f := res.Frontier(src, dst, len(p.Hops))
+			if math.Abs(f.Del(t0)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructHopBoundedProperty(t *testing.T) {
+	// With a hop cap, the reconstruction matches the capped frontier.
+	r := rng.New(909)
+	err := quick.Check(func(seed uint64) bool {
+		n := 3 + r.Intn(6)
+		tr := randomTrace(r, n, 25, 100, true)
+		res, err := Compute(tr, Options{})
+		if err != nil {
+			return false
+		}
+		for probe := 0; probe < 5; probe++ {
+			src := trace.NodeID(r.Intn(n))
+			dst := trace.NodeID(r.Intn(n))
+			if src == dst {
+				continue
+			}
+			t0 := r.Uniform(0, 100)
+			k := 1 + r.Intn(4)
+			want := res.Frontier(src, dst, k).Del(t0)
+			p, err := ReconstructPath(tr, src, dst, t0, k, Options{})
+			if math.IsInf(want, 1) {
+				if err == nil {
+					return false
+				}
+				continue
+			}
+			if err != nil || math.Abs(p.Delivered-want) > 1e-9 || len(p.Hops) > k {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortHopsByTime(t *testing.T) {
+	hs := []Hop{{At: 3}, {At: 1}, {At: 2}}
+	sortHopsByTime(hs)
+	if hs[0].At != 1 || hs[2].At != 3 {
+		t.Fatalf("not sorted: %+v", hs)
+	}
+}

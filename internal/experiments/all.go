@@ -1,0 +1,65 @@
+package experiments
+
+import "fmt"
+
+// Experiment pairs a name with its runner, for dispatch by
+// cmd/experiments.
+type Experiment struct {
+	Name        string
+	Description string
+	Run         func(*Config) error
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "characteristics of the four data sets", Table1},
+		{"fig1", "phase transition function, short contacts", Figure1},
+		{"fig2", "phase transition function, long contacts", Figure2},
+		{"fig3", "hop-number of the delay-optimal path vs contact rate", Figure3},
+		{"fig6", "next-contact step functions of six participants", Figure6},
+		{"fig7", "CCDF of contact duration", Figure7},
+		{"fig8", "delivery function of a multi-hop-only pair", Figure8},
+		{"fig9", "delay CDFs per hop bound and diameters", Figure9},
+		{"fig10", "random contact removal study", Figure10},
+		{"fig11", "short-contact removal study", Figure11},
+		{"fig12", "diameter as a function of delay", Figure12},
+		{"phasecheck", "Monte Carlo check of Corollary 1", PhaseCheck},
+		{"forwarding", "forwarding algorithms vs flooding", Forwarding},
+		{"sizescaling", "delay-optimal paths vs network size (~ln N)", SizeScaling},
+		{"renewal", "inter-contact distribution shapes (§3.4)", Renewal},
+		{"heterogeneity", "community structure vs optimal paths (§7)", Heterogeneity},
+		{"intercontact", "inter-contact time CCDFs of the data sets", InterContact},
+		{"daynight", "day vs night starting times (§5.3.1)", DayNight},
+		{"wlan", "campus WLAN co-association data set", WLAN},
+		{"ttlsweep", "forwarding success vs TTL", TTLSweep},
+		{"snapshots", "instantaneous contact-graph structure", Snapshots},
+		{"epssweep", "diameter vs confidence level", EpsSweep},
+	}
+}
+
+// Find returns the experiment with the given name.
+func Find(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}
+
+// RunAll executes every experiment against the same Config (sharing the
+// dataset cache), separating sections with blank lines.
+func RunAll(c *Config) error {
+	for i, e := range All() {
+		if i > 0 {
+			fmt.Fprintln(c.Out)
+			fmt.Fprintln(c.Out, "================================================================")
+			fmt.Fprintln(c.Out)
+		}
+		if err := e.Run(c); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+	}
+	return nil
+}

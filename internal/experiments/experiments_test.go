@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickConfig(buf io.Writer) *Config {
+	return &Config{Out: buf, Seed: 1, Quick: true}
+}
+
+func TestFindAndAll(t *testing.T) {
+	all := All()
+	if len(all) != 22 {
+		t.Fatalf("expected 22 experiments, got %d", len(all))
+	}
+	for _, e := range all {
+		got, err := Find(e.Name)
+		if err != nil || got.Name != e.Name {
+			t.Fatalf("Find(%q) failed: %v", e.Name, err)
+		}
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("Find accepted an unknown name")
+	}
+}
+
+func TestEpsilonDefault(t *testing.T) {
+	c := &Config{}
+	if c.Epsilon() != 0.01 {
+		t.Fatalf("default epsilon = %v", c.Epsilon())
+	}
+	c.Eps = 0.05
+	if c.Epsilon() != 0.05 {
+		t.Fatalf("explicit epsilon = %v", c.Epsilon())
+	}
+}
+
+func TestDatasetCacheIdentity(t *testing.T) {
+	c := quickConfig(io.Discard)
+	a, err := c.Trace(HongKong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Trace(HongKong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Trace is not cached")
+	}
+	s1, err := c.Study(HongKong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Study(HongKong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("Study is not cached")
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	c := quickConfig(io.Discard)
+	if _, err := c.Trace("bogus"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := c.RawTrace("bogus"); err == nil {
+		t.Fatal("unknown raw dataset accepted")
+	}
+}
+
+func TestInfocomTracesAreInternalOnly(t *testing.T) {
+	c := quickConfig(io.Discard)
+	tr, err := c.Trace(Infocom05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ct := range tr.Contacts {
+		if tr.Kinds[ct.A] != 0 || tr.Kinds[ct.B] != 0 {
+			t.Fatal("infocom05 figure trace contains external contacts")
+		}
+	}
+	raw, err := c.RawTrace(Infocom05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Contacts) <= len(tr.Contacts) {
+		t.Fatal("raw trace should contain the external contacts too")
+	}
+}
+
+func TestInfocom06Day2Window(t *testing.T) {
+	c := quickConfig(io.Discard)
+	tr, err := c.Trace(Infocom06Day2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Start != 86400 || tr.End != 2*86400 {
+		t.Fatalf("day-2 window [%v, %v]", tr.Start, tr.End)
+	}
+	for _, ct := range tr.Contacts {
+		if ct.Beg < 86400 || ct.End > 2*86400 {
+			t.Fatalf("contact outside day 2: %+v", ct)
+		}
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"infocom05", "infocom06", "hongkong", "realitymining", "granularity"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTheoryFiguresOutput(t *testing.T) {
+	for _, f := range []func(*Config) error{Figure1, Figure2} {
+		var buf bytes.Buffer
+		if err := f(quickConfig(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		for _, want := range []string{"lambda=0.5", "lambda=1.5", "gamma"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("figure output missing %q", want)
+			}
+		}
+	}
+}
+
+func TestFigure3Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure3(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Monte Carlo") || !strings.Contains(buf.String(), "short-contact") {
+		t.Fatalf("Figure3 output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestFigure7HeadlineNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick datasets still take seconds")
+	}
+	var buf bytes.Buffer
+	if err := Figure7(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	// Single-slot fractions must land in the §5.1 regime (55–90%).
+	re := regexp.MustCompile(`(\d+)% of contacts last one slot`)
+	ms := re.FindAllStringSubmatch(buf.String(), -1)
+	if len(ms) != 4 {
+		t.Fatalf("expected 4 single-slot lines, got %d:\n%s", len(ms), buf.String())
+	}
+	for _, m := range ms {
+		v, _ := strconv.Atoi(m[1])
+		if v < 50 || v > 92 {
+			t.Fatalf("single-slot fraction %d%% out of the observed regime", v)
+		}
+	}
+}
+
+func TestFigure9DiametersInBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	var buf bytes.Buffer
+	if err := Figure9(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`diameter at 99%: (\d+) hops`)
+	ms := re.FindAllStringSubmatch(buf.String(), -1)
+	if len(ms) != 3 {
+		t.Fatalf("expected 3 diameters, got %d:\n%s", len(ms), buf.String())
+	}
+	for _, m := range ms {
+		d, _ := strconv.Atoi(m[1])
+		// The paper reports 4-6; synthetic traces land in a slightly
+		// wider small-world band — and far below the device counts
+		// (41-905).
+		if d < 3 || d > 10 {
+			t.Fatalf("diameter %d outside the small-world band", d)
+		}
+	}
+}
+
+func TestFigure8FindsMultiHopPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	var buf bytes.Buffer
+	if err := Figure8(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no path at any time") {
+		t.Fatal("Figure 8 pair should be unreachable at low hop bounds")
+	}
+	if !strings.Contains(buf.String(), "optimal paths") {
+		t.Fatal("Figure 8 should list optimal paths at higher bounds")
+	}
+}
+
+func TestPhaseCheckRegimes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PhaseCheck(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "subcritical") || !strings.Contains(out, "supercritical") {
+		t.Fatalf("phase check should cover both regimes:\n%s", out)
+	}
+}
+
+func TestRemovalExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, f := range []func(*Config) error{Figure10, Figure11, Figure12} {
+		var buf bytes.Buffer
+		if err := f(quickConfig(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("experiment produced no output")
+		}
+	}
+}
+
+func TestForwardingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	var buf bytes.Buffer
+	if err := Forwarding(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"epidemic", "two-hop", "direct", "spray-4"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("forwarding output missing %q", want)
+		}
+	}
+}
+
+func TestFigure6Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	var buf bytes.Buffer
+	if err := Figure6(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "longest disconnection") {
+		t.Fatal("Figure 6 summary missing")
+	}
+}

@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"opportunet/internal/analysis"
+	"opportunet/internal/core"
+	"opportunet/internal/export"
+	"opportunet/internal/randtemp"
+	"opportunet/internal/rng"
+	"opportunet/internal/snapshots"
+	"opportunet/internal/stats"
+	"opportunet/internal/tracegen"
+)
+
+// The experiments in this file go beyond the paper's figures, covering
+// its stated extensions: the Θ(log N) growth of the diameter with
+// network size (the headline of §3), renewal inter-contact processes
+// (§3.4), heterogeneity in contact processes (§7), the inter-contact
+// time statistics underlying the model discussion, and day-vs-night
+// starting times (§5.3.1).
+
+// SizeScaling measures how the delay-optimal path's delay and hop count
+// grow with the network size on the discrete random model — the paper's
+// central analytical claim is that both grow like ln N.
+func SizeScaling(c *Config) error {
+	fmt.Fprintln(c.Out, "Size scaling — delay-optimal paths vs network size (discrete model, lambda=1, short contacts)")
+	sizes := []int{50, 100, 200, 400, 800}
+	reps := 40
+	if c.Quick {
+		sizes = []int{50, 100, 200}
+		reps = 15
+	}
+	lambda := 1.0
+	r := rng.New(c.Seed)
+	rows := [][]string{}
+	for _, n := range sizes {
+		lnN := math.Log(float64(n))
+		sumH, sumD := 0.0, 0.0
+		cnt := 0
+		for i := 0; i < reps; i++ {
+			d := randtemp.MeasureDelayOptimal(n, lambda, false, int(60*lnN)+100, r)
+			if math.IsInf(d.Delay, 1) {
+				continue
+			}
+			sumH += float64(d.Hops)
+			sumD += d.Delay
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			export.FormatFloat(lnN),
+			export.FormatFloat(sumD / float64(cnt)),
+			export.FormatFloat(sumD / float64(cnt) / lnN),
+			export.FormatFloat(sumH / float64(cnt)),
+			export.FormatFloat(sumH / float64(cnt) / lnN),
+		})
+	}
+	fmt.Fprintf(c.Out, "theory: delay/lnN -> %.3f, hops/lnN -> %.3f\n",
+		randtemp.CriticalTauShort(lambda), randtemp.NormalizedHopsShort(lambda))
+	return export.Table(c.Out, []string{"N", "lnN", "delay", "delay/lnN", "hops", "hops/lnN"}, rows)
+}
+
+// Renewal sweeps the inter-contact distribution shape (§3.4): the delay
+// of the optimal path moves strongly with the shape while its hop count
+// barely does.
+func Renewal(c *Config) error {
+	fmt.Fprintln(c.Out, "Renewal inter-contact processes (§3.4) — delay moves, hops barely")
+	n, horizon := 200, 600.0
+	reps := 30
+	if c.Quick {
+		n, reps = 120, 15
+	}
+	r := rng.New(c.Seed)
+	rows := [][]string{}
+	for _, ict := range []randtemp.ICTDist{
+		randtemp.UniformICT{},
+		randtemp.ExponentialICT{},
+		randtemp.ParetoICT{Alpha: 1.5, Cut: 200},
+		randtemp.ParetoICT{Alpha: 0.9, Cut: 2000},
+	} {
+		sumH, sumD := 0.0, 0.0
+		cnt := 0
+		for i := 0; i < reps; i++ {
+			m := randtemp.RenewalModel{N: n, Lambda: 0.5, Horizon: horizon, ICT: ict}
+			tr, err := m.Generate(r)
+			if err != nil {
+				return err
+			}
+			d := randtemp.MeasureDelayOptimalTrace(tr)
+			if math.IsInf(d.Delay, 1) {
+				continue
+			}
+			sumH += float64(d.Hops)
+			sumD += d.Delay
+			cnt++
+		}
+		if cnt == 0 {
+			rows = append(rows, []string{ict.Name(), "-", "-", "0"})
+			continue
+		}
+		rows = append(rows, []string{
+			ict.Name(),
+			export.FormatFloat(sumD / float64(cnt)),
+			export.FormatFloat(sumH / float64(cnt)),
+			fmt.Sprintf("%d/%d", cnt, reps),
+		})
+	}
+	return export.Table(c.Out, []string{"inter-contact shape", "mean delay", "mean hops", "delivered"}, rows)
+}
+
+// Heterogeneity sweeps community homophily on the BlockModel (§7's
+// future-work direction): the delay-optimal hop count stays small until
+// the communities effectively disconnect.
+func Heterogeneity(c *Config) error {
+	fmt.Fprintln(c.Out, "Heterogeneity (§7) — community structure vs delay-optimal paths (block model)")
+	n, comm, horizon := 160, 4, 400.0
+	reps := 30
+	if c.Quick {
+		n, reps = 80, 15
+	}
+	r := rng.New(c.Seed)
+	rows := [][]string{}
+	for _, h := range []float64{0.75, 0.9, 0.97, 0.995} {
+		sumH, sumD := 0.0, 0.0
+		cnt := 0
+		for i := 0; i < reps; i++ {
+			m := randtemp.BlockModel{N: n, Lambda: 0.5, Horizon: horizon, Communities: comm, Homophily: h}
+			tr, err := m.Generate(r)
+			if err != nil {
+				return err
+			}
+			d := randtemp.MeasureDelayOptimalTrace(tr)
+			if math.IsInf(d.Delay, 1) {
+				continue
+			}
+			sumH += float64(d.Hops)
+			sumD += d.Delay
+			cnt++
+		}
+		row := []string{export.FormatFloat(h), "-", "-", fmt.Sprintf("%d/%d", cnt, reps)}
+		if cnt > 0 {
+			row[1] = export.FormatFloat(sumD / float64(cnt))
+			row[2] = export.FormatFloat(sumH / float64(cnt))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Fprintln(c.Out, "(devices 0 and 1 share a community; cross-community pairs dominate the tail)")
+	return export.Table(c.Out, []string{"homophily", "mean delay", "mean hops", "delivered"}, rows)
+}
+
+// InterContact prints the CCDF of inter-contact times per data set: the
+// statistic prior work measured (power-law-like at short time scales,
+// exponential-like cutoff at day/week scales) and §3.4 discusses as the
+// main modeling assumption.
+func InterContact(c *Config) error {
+	fmt.Fprintln(c.Out, "Inter-contact time distribution (CCDF) per data set")
+	grid := stats.LogSpace(120, 14*86400, 30)
+	cols := []export.Column{}
+	type tail struct {
+		name        string
+		alpha, body float64
+	}
+	var tails []tail
+	for _, name := range fourDatasets {
+		tr, err := c.Trace(name)
+		if err != nil {
+			return err
+		}
+		var d stats.Dist
+		var gaps []float64
+		for _, gap := range tr.InterContactTimes() {
+			if gap > 0 {
+				d.Add(gap)
+				gaps = append(gaps, gap)
+			}
+		}
+		ys := make([]float64, len(grid))
+		for i, x := range grid {
+			ys[i] = d.CCDF(x)
+		}
+		cols = append(cols, export.Column{Name: name, Ys: ys})
+		tails = append(tails, tail{
+			name,
+			stats.HillTailExponent(gaps, len(gaps)/10),
+			stats.HillTailExponent(gaps, len(gaps)/2),
+		})
+	}
+	if err := export.Series(c.Out, "gap(s)", grid, cols); err != nil {
+		return err
+	}
+	fmt.Fprintln(c.Out, "\nHill exponent estimates: the distribution body (top half) is"+
+		" power-law-like with a small exponent, while the far tail (top decile)"+
+		" is much steeper — the day/week-scale cutoff the paper's §3.4 cites:")
+	for _, t := range tails {
+		fmt.Fprintf(c.Out, "  %-14s body alpha ~ %-8s far-tail alpha ~ %s\n",
+			t.name, export.FormatFloat(t.body), export.FormatFloat(t.alpha))
+	}
+	return nil
+}
+
+// DayNight compares the delay CDF for messages created during day hours
+// against night hours on the Infocom05 data set — §5.3.1's observation
+// that the multi-hop improvement at small time scales follows the
+// contact rate.
+func DayNight(c *Config) error {
+	fmt.Fprintln(c.Out, "Day vs night starting times — Infocom05 (trace opens 08:00)")
+	st, err := c.Study(Infocom05)
+	if err != nil {
+		return err
+	}
+	tr := st.Trace
+	grid := stats.LogSpace(120, math.Min(86400, tr.Duration()), 16)
+	// The trace opens at 08:00; day one's working hours are [1h, 10h]
+	// into the trace (09:00-18:00), night is [14h, 23h] (22:00-07:00).
+	day := [2]float64{3600, 10 * 3600}
+	night := [2]float64{14 * 3600, 23 * 3600}
+	bounds := []int{1, 4, analysis.Unbounded}
+	for _, w := range []struct {
+		label string
+		win   [2]float64
+	}{{"day (09:00-18:00)", day}, {"night (22:00-07:00)", night}} {
+		cdfs := st.DelayCDFsWindow(bounds, grid, w.win[0], w.win[1])
+		cols := make([]export.Column, len(cdfs))
+		for i, cdf := range cdfs {
+			label := fmt.Sprintf("<=%d hops", cdf.HopBound)
+			if cdf.HopBound == analysis.Unbounded {
+				label = "unbounded"
+			}
+			cols[i] = export.Column{Name: label, Ys: cdf.Success}
+		}
+		fmt.Fprintf(c.Out, "\nmessages created during %s:\n", w.label)
+		if err := export.Series(c.Out, "delay", grid, cols); err != nil {
+			return err
+		}
+		// Multi-hop improvement at the 10-minute scale.
+		oneHop := cdfs[0].Success[gridIndex(grid, 600)]
+		unb := cdfs[len(cdfs)-1].Success[gridIndex(grid, 600)]
+		fmt.Fprintf(c.Out, "multi-hop gain within 10min: %.3f -> %.3f\n", oneHop, unb)
+	}
+	return nil
+}
+
+// Snapshots quantifies instantaneous connectivity per data set: how
+// large, how tight and how clustered the contact graph of a random
+// active moment is. It explains the small-delay behaviour of Figures
+// 9-12: multi-hop gains at small time scales require big, shallow,
+// clustered instantaneous components (conferences), and disappear when
+// moments are fragmented (Hong-Kong).
+func Snapshots(c *Config) error {
+	fmt.Fprintln(c.Out, "Instantaneous contact graph — per-dataset summary over sampled moments")
+	samples := 200
+	if c.Quick {
+		samples = 60
+	}
+	r := rng.New(c.Seed + 13)
+	rows := [][]string{}
+	for _, name := range fourDatasets {
+		tr, err := c.Trace(name)
+		if err != nil {
+			return err
+		}
+		times := make([]float64, samples)
+		for i := range times {
+			times[i] = tr.Start + r.Uniform(0, tr.Duration())
+		}
+		sum := snapshots.Summarize(tr, snapshots.Series(tr, times))
+		rows = append(rows, []string{
+			name,
+			export.FormatFloat(sum.MeanDegree),
+			export.FormatFloat(sum.MeanLargestFraction),
+			fmt.Sprintf("%d", sum.MaxEccentricity),
+			export.FormatFloat(sum.MeanClustering),
+			export.FormatFloat(sum.ConnectedFraction),
+		})
+	}
+	return export.Table(c.Out, []string{
+		"data set", "mean degree", "largest comp (frac)", "max hop diam", "clustering", "majority-connected frac",
+	}, rows)
+}
+
+// WLAN runs the Figure-9 analysis on a synthetic campus WLAN
+// co-association trace — the other trace family the paper's authors
+// analyzed — showing that the small diameter is not specific to
+// Bluetooth-style sampling.
+func WLAN(c *Config) error {
+	fmt.Fprintln(c.Out, "WLAN co-association data set — delay CDFs and diameter")
+	cfg := tracegen.CampusWLANConfig()
+	if c.Quick {
+		cfg.Devices = 60
+		cfg.DurationDays = 5
+	}
+	tr, err := tracegen.GenerateWLAN(cfg, c.Seed)
+	if err != nil {
+		return err
+	}
+	st, err := analysis.NewStudy(tr, core.Options{})
+	if err != nil {
+		return err
+	}
+	return printDelayCDFs(c, cfg.Name, st)
+}
+
+// EpsSweep traces the (1−ε)-diameter of each data set across confidence
+// levels: the paper's 99% headline is the strictest point of a curve
+// that flattens quickly — at 95% the synthetic data sets sit in the
+// paper's 4–6 band, quantifying how much of the diameter rides on the
+// last percent of flooding success.
+func EpsSweep(c *Config) error {
+	fmt.Fprintln(c.Out, "Diameter vs confidence level (1-eps)")
+	epsGrid := []float64{0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}
+	header := []string{"data set"}
+	for _, e := range epsGrid {
+		header = append(header, fmt.Sprintf("%.1f%%", 100*(1-e)))
+	}
+	rows := [][]string{}
+	for _, name := range []string{Infocom05, RealityMining, HongKong} {
+		st, err := c.Study(name)
+		if err != nil {
+			return err
+		}
+		grid := delayGrid(st.Trace, 40)
+		ds := st.DiameterVsEpsilon(epsGrid, grid)
+		row := []string{name}
+		for _, d := range ds {
+			row = append(row, fmt.Sprintf("%d", d))
+		}
+		rows = append(rows, row)
+	}
+	return export.Table(c.Out, header, rows)
+}
+
+// gridIndex returns the index of the largest grid value <= x.
+func gridIndex(grid []float64, x float64) int {
+	best := 0
+	for i, g := range grid {
+		if g <= x {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSizeScalingOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SizeScaling(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"theory", "hops/lnN", "200"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("size scaling output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenewalOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Renewal(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"uniform", "exponential", "pareto(1.5)", "pareto(0.9)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("renewal output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeterogeneityOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Heterogeneity(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "homophily") {
+		t.Fatalf("heterogeneity output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestInterContactOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	var buf bytes.Buffer
+	if err := InterContact(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gap(s)", "hongkong", "realitymining"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("intercontact output missing %q", want)
+		}
+	}
+}
+
+func TestDayNightOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	var buf bytes.Buffer
+	if err := DayNight(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "day (09:00-18:00)") || !strings.Contains(out, "night (22:00-07:00)") {
+		t.Fatalf("daynight output incomplete:\n%s", out)
+	}
+	if strings.Count(out, "multi-hop gain within 10min") != 2 {
+		t.Fatal("expected gain lines for both windows")
+	}
+}
+
+func TestGridIndex(t *testing.T) {
+	grid := []float64{1, 10, 100}
+	if gridIndex(grid, 5) != 0 || gridIndex(grid, 10) != 1 || gridIndex(grid, 1e6) != 2 {
+		t.Fatal("gridIndex wrong")
+	}
+	if gridIndex(grid, 0.5) != 0 {
+		t.Fatal("gridIndex below range should clamp to 0")
+	}
+}
+
+func TestSnapshotsOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	var buf bytes.Buffer
+	if err := Snapshots(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mean degree", "clustering", "hongkong"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("snapshots output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestTTLSweepOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	var buf bytes.Buffer
+	if err := TTLSweep(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ttl(s)", "epidemic", "first-contact"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("ttlsweep output missing %q", want)
+		}
+	}
+}
+
+func TestEpsSweepOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	var buf bytes.Buffer
+	if err := EpsSweep(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"99.0%", "95.0%", "infocom05", "hongkong"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("epssweep output missing %q:\n%s", want, out)
+		}
+	}
+}

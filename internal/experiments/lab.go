@@ -1,0 +1,185 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Table 1, Figures 1–3 and 6–12) plus the two extension
+// experiments (the §3.2 phase-transition Monte Carlo check and the §7
+// forwarding implication). Each experiment is a function writing its
+// rows/series to a writer; cmd/experiments exposes them as subcommands
+// and bench_test.go uses them as benchmark bodies.
+//
+// Results are deterministic for a fixed Config (seeded generators, exact
+// path computation). Quick mode scales the data sets down so the whole
+// suite runs in CI time; the default reproduces the paper-scale setup.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"opportunet/internal/analysis"
+	"opportunet/internal/core"
+	"opportunet/internal/stats"
+	"opportunet/internal/trace"
+	"opportunet/internal/tracegen"
+)
+
+// Config parameterizes one experiment run.
+type Config struct {
+	// Out receives the experiment's tables and series.
+	Out io.Writer
+	// Seed drives every generator in the run.
+	Seed uint64
+	// Quick scales the data sets down (fewer contacts, shorter Reality
+	// Mining horizon) for fast runs.
+	Quick bool
+	// Eps is the diameter confidence parameter; 0 means the paper's 0.01.
+	Eps float64
+
+	lab map[string]*labEntry
+}
+
+// WithOutput returns a copy of the Config writing to w while sharing the
+// generated-dataset cache, so per-experiment output files do not pay for
+// regeneration.
+func (c *Config) WithOutput(w io.Writer) *Config {
+	if c.lab == nil {
+		c.lab = make(map[string]*labEntry)
+	}
+	cp := *c
+	cp.Out = w
+	return &cp
+}
+
+// Epsilon returns the effective ε.
+func (c *Config) Epsilon() float64 {
+	if c.Eps == 0 {
+		return 0.01
+	}
+	return c.Eps
+}
+
+// labEntry caches a generated trace and its (lazily computed) study.
+type labEntry struct {
+	trace *trace.Trace
+	study *analysis.Study
+}
+
+// Dataset names used throughout.
+const (
+	Infocom05     = "infocom05"
+	Infocom06     = "infocom06"
+	Infocom06Day2 = "infocom06-day2"
+	HongKong      = "hongkong"
+	RealityMining = "realitymining"
+)
+
+// datasetConfig returns the generator configuration for a dataset name,
+// honoring Quick mode.
+func (c *Config) datasetConfig(name string) (tracegen.Config, error) {
+	switch name {
+	case Infocom05:
+		cfg := tracegen.Infocom05Config()
+		if c.Quick {
+			cfg.TargetContacts /= 4
+			cfg.ExternalDevices, cfg.ExternalContacts = 40, 200
+		}
+		return cfg, nil
+	case Infocom06, Infocom06Day2:
+		cfg := tracegen.Infocom06Config()
+		if c.Quick {
+			cfg.TargetContacts /= 8
+			cfg.ExternalDevices, cfg.ExternalContacts = 60, 400
+		}
+		return cfg, nil
+	case HongKong:
+		return tracegen.HongKongConfig(), nil
+	case RealityMining:
+		if c.Quick {
+			return tracegen.RealityMiningScaled(20), nil
+		}
+		return tracegen.RealityMiningConfig(), nil
+	}
+	return tracegen.Config{}, fmt.Errorf("experiments: unknown dataset %q", name)
+}
+
+// Trace returns the (cached) generated trace for a dataset.
+func (c *Config) Trace(name string) (*trace.Trace, error) {
+	if c.lab == nil {
+		c.lab = make(map[string]*labEntry)
+	}
+	if e, ok := c.lab[name]; ok {
+		return e.trace, nil
+	}
+	cfg, err := c.datasetConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := tracegen.Generate(cfg, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case Infocom05, Infocom06:
+		// §5.1: "by default we are presenting here results for internal
+		// contacts only" for the conference data sets.
+		tr = tr.InternalOnly()
+	case Infocom06Day2:
+		// §6 uses the second day of Infocom06.
+		tr = tr.InternalOnly().TimeWindow(86400, 2*86400)
+	}
+	c.lab[name] = &labEntry{trace: tr}
+	return tr, nil
+}
+
+// RawTrace returns the dataset as generated — including external devices
+// and the full window — bypassing the per-figure filtering of Trace.
+// Used by Table 1, which reports internal and external populations.
+func (c *Config) RawTrace(name string) (*trace.Trace, error) {
+	if c.lab == nil {
+		c.lab = make(map[string]*labEntry)
+	}
+	key := name + "/raw"
+	if e, ok := c.lab[key]; ok {
+		return e.trace, nil
+	}
+	cfg, err := c.datasetConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := tracegen.Generate(cfg, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c.lab[key] = &labEntry{trace: tr}
+	return tr, nil
+}
+
+// Study returns the (cached) full path computation for a dataset.
+func (c *Config) Study(name string) (*analysis.Study, error) {
+	tr, err := c.Trace(name)
+	if err != nil {
+		return nil, err
+	}
+	e := c.lab[name]
+	if e.study == nil {
+		st, err := analysis.NewStudy(tr, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		e.study = st
+	}
+	return e.study, nil
+}
+
+// delayGrid returns the paper's presentation grid [2 min, 1 week],
+// clipped to the trace window, with n points.
+func delayGrid(tr *trace.Trace, n int) []float64 {
+	hi := math.Min(7*86400, tr.Duration())
+	if hi <= 120 {
+		hi = tr.Duration()
+	}
+	return stats.LogSpace(120, hi, n)
+}
+
+// namedBudgets are the axis labels the paper annotates (2min … 1w),
+// used for compact tables.
+var namedBudgets = []float64{120, 600, 3600, 3 * 3600, 6 * 3600, 86400, 2 * 86400, 7 * 86400}

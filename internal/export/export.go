@@ -1,0 +1,163 @@
+// Package export renders the experiment harness's tables and figure data
+// as aligned text (for terminals) and CSV (for plotting tools). Figures
+// are emitted as column series: the x grid followed by one column per
+// curve, which gnuplot or any spreadsheet turns back into the paper's
+// plots.
+package export
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table writes an aligned fixed-width text table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := line(headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes a minimal comma-separated table. Cells containing commas,
+// quotes or newlines are quoted per RFC 4180.
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Column is one named curve of a figure.
+type Column struct {
+	Name string
+	Ys   []float64
+}
+
+// Series writes figure data: the x grid in the first column and one
+// column per curve, as an aligned table. NaN renders as "-" and +Inf as
+// "inf".
+func Series(w io.Writer, xName string, xs []float64, cols []Column) error {
+	headers := make([]string, 0, len(cols)+1)
+	headers = append(headers, xName)
+	for _, c := range cols {
+		headers = append(headers, c.Name)
+	}
+	rows := make([][]string, len(xs))
+	for i, x := range xs {
+		row := make([]string, 0, len(cols)+1)
+		row = append(row, FormatFloat(x))
+		for _, c := range cols {
+			if i < len(c.Ys) {
+				row = append(row, FormatFloat(c.Ys[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows[i] = row
+	}
+	return Table(w, headers, rows)
+}
+
+// FormatFloat renders a value compactly: integers without decimals,
+// small magnitudes with four significant digits, NaN as "-".
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// FormatDuration renders a duration in seconds the way the paper labels
+// its time axes: "2min", "1h", "3h", "1d", "1w".
+func FormatDuration(seconds float64) string {
+	switch {
+	case math.IsInf(seconds, 1):
+		return "inf"
+	case seconds < 60:
+		return fmt.Sprintf("%.0fs", seconds)
+	case seconds < 3600:
+		return trimZero(seconds/60) + "min"
+	case seconds < 86400:
+		return trimZero(seconds/3600) + "h"
+	case seconds < 7*86400:
+		return trimZero(seconds/86400) + "d"
+	default:
+		return trimZero(seconds/(7*86400)) + "w"
+	}
+}
+
+func trimZero(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	return strings.TrimSuffix(s, ".0")
+}

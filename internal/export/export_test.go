@@ -1,0 +1,108 @@
+package export
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer-name", "22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("separator line %q", lines[1])
+	}
+	// The value column must start at the same offset on every row.
+	off := strings.Index(lines[0], "value")
+	if strings.Index(lines[3], "22") != off {
+		t.Fatalf("misaligned columns:\n%s", buf.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"a", "b"}, [][]string{
+		{`plain`, `with,comma`},
+		{`with"quote`, "with\nnewline"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",\"with\nnewline\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Series(&buf, "x", []float64{1, 2}, []Column{
+		{Name: "y1", Ys: []float64{0.5, math.NaN()}},
+		{Name: "y2", Ys: []float64{math.Inf(1)}}, // short column
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"x", "y1", "y2", "0.5", "inf", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1, "1"},
+		{1234, "1234"},
+		{0.5, "0.5"},
+		{0.123456, "0.1235"},
+		{math.NaN(), "-"},
+		{math.Inf(1), "inf"},
+		{math.Inf(-1), "-inf"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{30, "30s"},
+		{120, "2min"},
+		{600, "10min"},
+		{3600, "1h"},
+		{3 * 3600, "3h"},
+		{86400, "1d"},
+		{2 * 86400, "2d"},
+		{7 * 86400, "1w"},
+		{math.Inf(1), "inf"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.v); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

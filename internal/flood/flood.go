@@ -1,0 +1,174 @@
+// Package flood implements earliest-delivery computation by simulated
+// flooding, the independent approach the paper cites (ref. [18]: "a
+// discrete event simulator is used to simulate flooding"). Given a start
+// time it answers the same question as the core profile engine evaluated
+// at that time — which makes it both a correctness oracle for the engine
+// (they must agree everywhere) and the baseline of the ablation bench
+// contrasting per-start-time flooding with the paper's all-start-times
+// profile representation.
+//
+// Flooding is also the Π(t, k) primitive of §4.1: the diameter compares
+// hop-limited flooding with unlimited flooding, and package forward uses
+// the same computation to evaluate epidemic routing.
+package flood
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"opportunet/internal/trace"
+)
+
+// Options configures a Flooder.
+type Options struct {
+	// MaxHops bounds the number of contacts per path; 0 means unbounded.
+	MaxHops int
+	// Directed treats each contact as usable from A to B only.
+	Directed bool
+	// TransmitDelay is the duration of one hop; consecutive hops must
+	// start TransmitDelay apart and delivery happens TransmitDelay after
+	// the last transmission starts. 0 reproduces the paper's model.
+	TransmitDelay float64
+}
+
+// Flooder computes earliest-delivery times over one trace. It is
+// read-only after construction and safe for concurrent use.
+type Flooder struct {
+	n   int
+	opt Options
+	adj [][]edge // outgoing usable contact directions, sorted by End desc
+}
+
+type edge struct {
+	to       trace.NodeID
+	beg, end float64
+}
+
+// New builds a Flooder for the trace.
+func New(tr *trace.Trace, opt Options) *Flooder {
+	f := &Flooder{n: tr.NumNodes(), opt: opt}
+	f.adj = make([][]edge, f.n)
+	for _, c := range tr.Contacts {
+		f.adj[c.A] = append(f.adj[c.A], edge{to: c.B, beg: c.Beg, end: c.End})
+		if !opt.Directed {
+			f.adj[c.B] = append(f.adj[c.B], edge{to: c.A, beg: c.Beg, end: c.End})
+		}
+	}
+	// Sorting by descending End lets the relaxation loop stop as soon as
+	// contacts end before the current arrival time.
+	for _, es := range f.adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].end > es[j].end })
+	}
+	return f
+}
+
+// NumNodes returns the device count of the underlying trace.
+func (f *Flooder) NumNodes() int { return f.n }
+
+// item is a heap element of the temporal Dijkstra: device v is delivered
+// the message at time t.
+type item struct {
+	t float64
+	v trace.NodeID
+}
+
+type minHeap []item
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// EarliestDelivery floods a message created on src at time t0 and returns
+// the earliest delivery time at every device (+Inf if unreachable),
+// honoring Options.MaxHops.
+func (f *Flooder) EarliestDelivery(src trace.NodeID, t0 float64) []float64 {
+	if f.opt.MaxHops > 0 {
+		byHops := f.EarliestDeliveryByHops(src, t0, f.opt.MaxHops)
+		return byHops[f.opt.MaxHops]
+	}
+	arr := make([]float64, f.n)
+	for i := range arr {
+		arr[i] = math.Inf(1)
+	}
+	arr[src] = t0
+	h := &minHeap{{t: t0, v: src}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(item)
+		if it.t > arr[it.v] {
+			continue // stale entry
+		}
+		f.relax(it.v, it.t, func(to trace.NodeID, at float64) {
+			if at < arr[to] {
+				arr[to] = at
+				heap.Push(h, item{t: at, v: to})
+			}
+		})
+	}
+	return arr
+}
+
+// relax visits every contact leaving v that is still usable at delivery
+// time t and reports the delivery time it achieves at the neighbor.
+func (f *Flooder) relax(v trace.NodeID, t float64, visit func(trace.NodeID, float64)) {
+	delta := f.opt.TransmitDelay
+	for _, e := range f.adj[v] {
+		if e.end < t {
+			break // sorted by End descending: nothing further is usable
+		}
+		// Transmission starts at max(t, beg) ≤ end (guaranteed by the
+		// check above for t; beg ≤ end by trace validation).
+		dep := math.Max(t, e.beg)
+		visit(e.to, dep+delta)
+	}
+}
+
+// EarliestDeliveryByHops returns, for every hop bound k = 0 … maxK, the
+// earliest delivery time at every device using at most k contacts
+// (Bellman-Ford over hop count; index [k][v]). Row 0 is t0 at src and
+// +Inf elsewhere. This is the Π(t, k) oracle of §4.1 for one source and
+// starting time.
+func (f *Flooder) EarliestDeliveryByHops(src trace.NodeID, t0 float64, maxK int) [][]float64 {
+	out := make([][]float64, maxK+1)
+	prev := make([]float64, f.n)
+	for i := range prev {
+		prev[i] = math.Inf(1)
+	}
+	prev[src] = t0
+	out[0] = append([]float64(nil), prev...)
+	for k := 1; k <= maxK; k++ {
+		next := append([]float64(nil), prev...)
+		for v := 0; v < f.n; v++ {
+			if math.IsInf(prev[v], 1) {
+				continue
+			}
+			f.relax(trace.NodeID(v), prev[v], func(to trace.NodeID, at float64) {
+				if at < next[to] {
+					next[to] = at
+				}
+			})
+		}
+		out[k] = next
+		prev = next
+	}
+	return out
+}
+
+// Reachability reports which devices ever receive a message created on
+// src at t0 (within the hop limit, if any).
+func (f *Flooder) Reachability(src trace.NodeID, t0 float64) []bool {
+	arr := f.EarliestDelivery(src, t0)
+	out := make([]bool, len(arr))
+	for i, t := range arr {
+		out[i] = !math.IsInf(t, 1)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package flood
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/trace"
+)
+
+func chain() *trace.Trace {
+	// 0-1 at [0,10], 1-2 at [20,30], 2-3 at [25,40].
+	return &trace.Trace{
+		Start: 0, End: 50, Kinds: make([]trace.Kind, 4),
+		Contacts: []trace.Contact{
+			{A: 0, B: 1, Beg: 0, End: 10},
+			{A: 1, B: 2, Beg: 20, End: 30},
+			{A: 2, B: 3, Beg: 25, End: 40},
+		},
+	}
+}
+
+func TestEarliestDeliveryChain(t *testing.T) {
+	f := New(chain(), Options{})
+	arr := f.EarliestDelivery(0, 0)
+	want := []float64{0, 0, 20, 25}
+	for i := range want {
+		if arr[i] != want[i] {
+			t.Errorf("arr[%d] = %v, want %v", i, arr[i], want[i])
+		}
+	}
+}
+
+func TestEarliestDeliveryLateStart(t *testing.T) {
+	f := New(chain(), Options{})
+	// Starting at t=15, the first contact is gone: node 1 unreachable...
+	// no wait: contact 0-1 ended at 10, so 1, 2, 3 all unreachable.
+	arr := f.EarliestDelivery(0, 15)
+	for i := 1; i < 4; i++ {
+		if !math.IsInf(arr[i], 1) {
+			t.Errorf("arr[%d] = %v, want +Inf", i, arr[i])
+		}
+	}
+	// From node 1 at t=15, the rest of the chain works.
+	arr = f.EarliestDelivery(1, 15)
+	if arr[2] != 20 || arr[3] != 25 {
+		t.Errorf("arr = %v", arr)
+	}
+}
+
+func TestEarliestDeliveryByHops(t *testing.T) {
+	f := New(chain(), Options{})
+	byHops := f.EarliestDeliveryByHops(0, 0, 3)
+	if !math.IsInf(byHops[0][1], 1) || byHops[0][0] != 0 {
+		t.Errorf("hop 0 row wrong: %v", byHops[0])
+	}
+	if byHops[1][1] != 0 || !math.IsInf(byHops[1][2], 1) {
+		t.Errorf("hop 1 row wrong: %v", byHops[1])
+	}
+	if byHops[2][2] != 20 || !math.IsInf(byHops[2][3], 1) {
+		t.Errorf("hop 2 row wrong: %v", byHops[2])
+	}
+	if byHops[3][3] != 25 {
+		t.Errorf("hop 3 row wrong: %v", byHops[3])
+	}
+}
+
+func TestMaxHopsOption(t *testing.T) {
+	f := New(chain(), Options{MaxHops: 2})
+	arr := f.EarliestDelivery(0, 0)
+	if arr[2] != 20 {
+		t.Errorf("arr[2] = %v", arr[2])
+	}
+	if !math.IsInf(arr[3], 1) {
+		t.Errorf("arr[3] = %v, want +Inf with MaxHops=2", arr[3])
+	}
+}
+
+func TestDirected(t *testing.T) {
+	tr := &trace.Trace{
+		Start: 0, End: 10, Kinds: make([]trace.Kind, 2),
+		Contacts: []trace.Contact{{A: 0, B: 1, Beg: 0, End: 5}},
+	}
+	f := New(tr, Options{Directed: true})
+	if arr := f.EarliestDelivery(0, 0); arr[1] != 0 {
+		t.Errorf("forward arr = %v", arr)
+	}
+	if arr := f.EarliestDelivery(1, 0); !math.IsInf(arr[0], 1) {
+		t.Errorf("reverse arr = %v, want +Inf", arr)
+	}
+}
+
+func TestTransmitDelay(t *testing.T) {
+	tr := &trace.Trace{
+		Start: 0, End: 200, Kinds: make([]trace.Kind, 3),
+		Contacts: []trace.Contact{
+			{A: 0, B: 1, Beg: 0, End: 100},
+			{A: 1, B: 2, Beg: 0, End: 100},
+		},
+	}
+	f := New(tr, Options{TransmitDelay: 5})
+	arr := f.EarliestDelivery(0, 0)
+	if arr[1] != 5 {
+		t.Errorf("arr[1] = %v, want 5", arr[1])
+	}
+	if arr[2] != 10 {
+		t.Errorf("arr[2] = %v, want 10", arr[2])
+	}
+	// Start too late for two transmissions: first can start at <=100,
+	// second needs start <= 100, so start at 96 → second at 101 > 100.
+	arr = f.EarliestDelivery(0, 96)
+	if !math.IsInf(arr[2], 1) {
+		t.Errorf("arr[2] = %v, want +Inf (no time for relay)", arr[2])
+	}
+}
+
+func TestReachability(t *testing.T) {
+	f := New(chain(), Options{})
+	got := f.Reachability(0, 0)
+	for i, want := range []bool{true, true, true, true} {
+		if got[i] != want {
+			t.Errorf("Reachability[%d] = %v", i, got[i])
+		}
+	}
+	got = f.Reachability(3, 30)
+	// From 3 at t=30: 2 via [25,40], then 1 via [20,30] exactly at its
+	// last instant; 0 is gone (its contact ended at 10).
+	if !got[2] || !got[1] || got[0] {
+		t.Errorf("Reachability from 3 at 30 = %v", got)
+	}
+}
+
+func TestNumNodes(t *testing.T) {
+	if New(chain(), Options{}).NumNodes() != 4 {
+		t.Error("NumNodes wrong")
+	}
+}

@@ -1,0 +1,221 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+func TestDist(t *testing.T) {
+	if d := Dist(Vec{0, 0}, Vec{3, 4}); d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+}
+
+func TestRandomWaypointStaysInArea(t *testing.T) {
+	r := rng.New(1)
+	w := NewRandomWaypoint(100, 0.5, 2, 30, r)
+	for i := 0; i < 5000; i++ {
+		w.Advance(float64(i)*10, 10, r)
+		p := w.Position()
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Fatalf("walker left the area: %+v", p)
+		}
+	}
+}
+
+func TestRandomWaypointMoves(t *testing.T) {
+	r := rng.New(2)
+	w := NewRandomWaypoint(100, 1, 1, 0, r)
+	start := w.Position()
+	total := 0.0
+	prev := start
+	for i := 0; i < 100; i++ {
+		w.Advance(float64(i), 1, r)
+		total += Dist(prev, w.Position())
+		prev = w.Position()
+	}
+	// Speed 1 m/s with no pausing: ≈ 100 m traveled (slightly less when
+	// a waypoint is reached mid-step and the path bends).
+	if total < 90 || total > 100+1e-9 {
+		t.Fatalf("traveled %v m in 100 s at 1 m/s", total)
+	}
+}
+
+func TestRandomWaypointSpeedBounds(t *testing.T) {
+	r := rng.New(3)
+	w := NewRandomWaypoint(1000, 2, 3, 0, r)
+	prev := w.Position()
+	for i := 0; i < 200; i++ {
+		w.Advance(float64(i), 1, r)
+		d := Dist(prev, w.Position())
+		// Per-second displacement never exceeds VMax.
+		if d > 3+1e-9 {
+			t.Fatalf("step displacement %v exceeds VMax", d)
+		}
+		prev = w.Position()
+	}
+}
+
+func TestScheduledMoverFollowsAnchors(t *testing.T) {
+	a := Anchor{At: Vec{0, 0}, Radius: 5}
+	b := Anchor{At: Vec{100, 100}, Radius: 5}
+	sched := func(now float64) Anchor {
+		if now < 1000 {
+			return a
+		}
+		return b
+	}
+	r := rng.New(4)
+	m := NewScheduledMover(2, 60, sched)
+	for now := 0.0; now < 900; now += 30 {
+		m.Advance(now, 30, r)
+	}
+	if Dist(m.Position(), a.At) > 10 {
+		t.Fatalf("mover not near anchor A: %+v", m.Position())
+	}
+	for now := 1000.0; now < 2000; now += 30 {
+		m.Advance(now, 30, r)
+	}
+	if Dist(m.Position(), b.At) > 10 {
+		t.Fatalf("mover did not migrate to anchor B: %+v", m.Position())
+	}
+}
+
+func TestGroundTruthTwoWalkersMeeting(t *testing.T) {
+	// Two scheduled movers sharing a tiny anchor must be in contact most
+	// of the time; a third mover far away must never contact them.
+	near := Anchor{At: Vec{0, 0}, Radius: 2}
+	far := Anchor{At: Vec{500, 500}, Radius: 2}
+	constant := func(a Anchor) Schedule { return func(float64) Anchor { return a } }
+	sim := &Sim{Range: 10, Step: 10, Movers: []Mover{
+		NewScheduledMover(1, 60, constant(near)),
+		NewScheduledMover(1, 60, constant(near)),
+		NewScheduledMover(1, 60, constant(far)),
+	}}
+	r := rng.New(5)
+	truth, err := sim.GroundTruth(0, 3600, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nearTime float64
+	for _, c := range truth {
+		if c.A == 0 && c.B == 1 {
+			nearTime += c.Duration()
+		}
+		if c.B == 2 || c.A == 2 {
+			t.Fatalf("distant mover made a contact: %+v", c)
+		}
+	}
+	if nearTime < 3000 {
+		t.Fatalf("co-located movers in contact only %v of 3600 s", nearTime)
+	}
+}
+
+func TestGroundTruthValidation(t *testing.T) {
+	sim := &Sim{Range: 0, Step: 10}
+	if _, err := sim.GroundTruth(0, 100, rng.New(1)); err == nil {
+		t.Error("zero range accepted")
+	}
+	sim = &Sim{Range: 10, Step: 10}
+	if _, err := sim.GroundTruth(100, 0, rng.New(1)); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestSampleScansQuantizesAndMisses(t *testing.T) {
+	r := rng.New(6)
+	truth := []trace.Contact{
+		{A: 0, B: 1, Beg: 100, End: 1000}, // long: always observed
+	}
+	// Plus many 5-second meetings at random times: with a 120 s scan
+	// period only ~4% should be caught. (Times must be random — the
+	// scan phase is fixed per pair, so periodic meetings would hit
+	// either always or never.)
+	for i := 0; i < 500; i++ {
+		beg := 1000.0 + float64(i)*200 + r.Uniform(0, 150)
+		truth = append(truth, trace.Contact{A: 0, B: 2, Beg: beg, End: beg + 5})
+	}
+	obs := SampleScans(truth, 120, 1e9, r)
+	caughtShort := 0
+	foundLong := false
+	for _, c := range obs {
+		if c.B == 2 {
+			caughtShort++
+		}
+		if c.B == 1 {
+			foundLong = true
+			if c.Beg < 100 || c.End > 1000+120 {
+				t.Fatalf("long contact mis-snapped: %+v", c)
+			}
+			if math.Mod(c.End-c.Beg, 120) > 1e-6 {
+				t.Fatalf("observed duration off the scan grid: %+v", c)
+			}
+		}
+	}
+	if !foundLong {
+		t.Fatal("long contact missed")
+	}
+	frac := float64(caughtShort) / 500
+	if frac < 0.01 || frac > 0.12 {
+		t.Fatalf("caught %v of 5s-meetings with 120s scans, want ~0.04", frac)
+	}
+}
+
+func TestSampleScansZeroGranularityPassthrough(t *testing.T) {
+	truth := []trace.Contact{{A: 0, B: 1, Beg: 1, End: 2}}
+	obs := SampleScans(truth, 0, 100, rng.New(7))
+	if len(obs) != 1 || obs[0] != truth[0] {
+		t.Fatalf("passthrough failed: %+v", obs)
+	}
+}
+
+func TestConferenceScenarioEndToEnd(t *testing.T) {
+	r := rng.New(8)
+	sim := ConferenceScenario(12, 3, r.Split())
+	// Simulate 6 hours spanning a session block (9:00–15:00).
+	tr, err := sim.Trace("conf-test", 9*3600, 15*3600, 120, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 12 {
+		t.Fatalf("nodes = %d", tr.NumNodes())
+	}
+	if len(tr.Contacts) == 0 {
+		t.Fatal("conference produced no contacts")
+	}
+	// Group-mates (i, i+rooms) share a session room: they should meet
+	// much more total time than an arbitrary cross-group pair... at
+	// minimum, contacts must exist between some same-room pair.
+	sameRoom := 0.0
+	for _, c := range tr.Contacts {
+		if int(c.A)%3 == int(c.B)%3 {
+			sameRoom += c.Duration()
+		}
+	}
+	if sameRoom == 0 {
+		t.Fatal("no same-room contact time")
+	}
+}
+
+func TestCityScenarioSparseContacts(t *testing.T) {
+	r := rng.New(21)
+	sim := CityScenario(25, r.Split())
+	tr, err := sim.Trace("city-test", 0, 2*86400, 120, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// City-scale spread: far fewer contacts than a conference of the
+	// same size and duration.
+	conf := ConferenceScenario(25, 3, rng.New(22))
+	confTr, err := conf.Trace("conf-ref", 0, 2*86400, 120, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Contacts)*5 > len(confTr.Contacts) {
+		t.Fatalf("city (%d contacts) not clearly sparser than conference (%d)",
+			len(tr.Contacts), len(confTr.Contacts))
+	}
+}

@@ -1,0 +1,174 @@
+// Package randgraph provides the static uniform random graph substrate
+// (Erdős–Rényi G(N, p)) underlying the paper's random temporal network:
+// each time slot of the discrete model of §3.1.1 is one such graph, and
+// the emergence of the giant component at λ = Np > 1 explains the
+// long-contact singularity of §3.2.3 ("when λ is greater than 1, there
+// almost surely exists a unique connected component with a large size").
+package randgraph
+
+import (
+	"sort"
+
+	"opportunet/internal/rng"
+)
+
+// Graph is an undirected simple graph on vertices 0 … N−1.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// Sample draws a uniform random graph G(n, p): every unordered pair is an
+// edge independently with probability p. For small p it skips over
+// non-edges geometrically, so the cost is proportional to the number of
+// edges rather than n².
+func Sample(n int, p float64, r *rng.Source) *Graph {
+	g := &Graph{N: n}
+	if n < 2 || p <= 0 {
+		return g
+	}
+	if p >= 1 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.Edges = append(g.Edges, [2]int{i, j})
+			}
+		}
+		return g
+	}
+	// Enumerate pairs in a linear order and jump ahead by geometric
+	// skips (Batagelj–Brandes).
+	total := n * (n - 1) / 2
+	pos := -1
+	for {
+		pos += r.Geometric(p)
+		if pos >= total {
+			break
+		}
+		i, j := pairFromIndex(pos, n)
+		g.Edges = append(g.Edges, [2]int{i, j})
+	}
+	return g
+}
+
+// pairFromIndex maps a linear index in [0, n(n−1)/2) to the unordered
+// pair (i, j), i < j, in row-major order of the strict upper triangle.
+func pairFromIndex(idx, n int) (int, int) {
+	// Row i contributes n−1−i pairs. Walk rows; n is small enough in all
+	// our uses that the linear walk is negligible next to sampling.
+	i := 0
+	for {
+		row := n - 1 - i
+		if idx < row {
+			return i, i + 1 + idx
+		}
+		idx -= row
+		i++
+	}
+}
+
+// Adjacency returns adjacency lists of the graph.
+func (g *Graph) Adjacency() [][]int {
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+// Degrees returns the degree of every vertex.
+func (g *Graph) Degrees() []int {
+	deg := make([]int, g.N)
+	for _, e := range g.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	return deg
+}
+
+// unionFind is a disjoint-set forest with union by size and path
+// compression.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}
+
+// Components returns the vertex sets of the connected components, largest
+// first.
+func (g *Graph) Components() [][]int {
+	u := newUnionFind(g.N)
+	for _, e := range g.Edges {
+		u.union(e[0], e[1])
+	}
+	byRoot := make(map[int][]int)
+	for v := 0; v < g.N; v++ {
+		r := u.find(v)
+		byRoot[r] = append(byRoot[r], v)
+	}
+	out := make([][]int, 0, len(byRoot))
+	for _, c := range byRoot {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// LargestComponentSize returns the order of the largest connected
+// component (0 for an empty graph).
+func (g *Graph) LargestComponentSize() int {
+	if g.N == 0 {
+		return 0
+	}
+	return len(g.Components()[0])
+}
+
+// GiantComponentFraction estimates, by Monte Carlo over samples draws,
+// the expected fraction of vertices in the largest component of
+// G(n, λ/n). It reproduces the classical phase transition at λ = 1
+// referenced by the paper (Janson–Łuczak–Ruciński Thm 5.4).
+func GiantComponentFraction(n int, lambda float64, samples int, r *rng.Source) float64 {
+	if samples <= 0 || n == 0 {
+		return 0
+	}
+	p := lambda / float64(n)
+	sum := 0.0
+	for s := 0; s < samples; s++ {
+		g := Sample(n, p, r)
+		sum += float64(g.LargestComponentSize()) / float64(n)
+	}
+	return sum / float64(samples)
+}

@@ -1,0 +1,181 @@
+package randgraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opportunet/internal/rng"
+)
+
+func TestSampleEdgeCount(t *testing.T) {
+	r := rng.New(1)
+	n, p := 200, 0.05
+	trials := 200
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += len(Sample(n, p, r).Edges)
+	}
+	mean := float64(sum) / float64(trials)
+	want := p * float64(n*(n-1)) / 2
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("mean edges %v, want ~%v", mean, want)
+	}
+}
+
+func TestSampleNoDuplicatesNoSelfLoops(t *testing.T) {
+	r := rng.New(2)
+	err := quick.Check(func(seed uint64) bool {
+		n := 2 + r.Intn(50)
+		g := Sample(n, r.Uniform(0, 0.5), r)
+		seen := map[[2]int]bool{}
+		for _, e := range g.Edges {
+			if e[0] == e[1] || e[0] < 0 || e[1] >= n {
+				return false
+			}
+			k := e
+			if k[0] > k[1] {
+				k[0], k[1] = k[1], k[0]
+			}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleExtremes(t *testing.T) {
+	r := rng.New(3)
+	if g := Sample(10, 0, r); len(g.Edges) != 0 {
+		t.Error("p=0 should give no edges")
+	}
+	if g := Sample(10, 1, r); len(g.Edges) != 45 {
+		t.Errorf("p=1 gave %d edges, want 45", len(Sample(10, 1, r).Edges))
+	}
+	if g := Sample(1, 0.5, r); len(g.Edges) != 0 {
+		t.Error("single vertex should have no edges")
+	}
+	if g := Sample(0, 0.5, r); g.N != 0 || len(g.Edges) != 0 {
+		t.Error("empty graph mishandled")
+	}
+}
+
+func TestPairFromIndexBijective(t *testing.T) {
+	n := 17
+	seen := map[[2]int]bool{}
+	total := n * (n - 1) / 2
+	for idx := 0; idx < total; idx++ {
+		i, j := pairFromIndex(idx, n)
+		if i < 0 || j <= i || j >= n {
+			t.Fatalf("pairFromIndex(%d) = (%d, %d) invalid", idx, i, j)
+		}
+		k := [2]int{i, j}
+		if seen[k] {
+			t.Fatalf("pair (%d, %d) repeated", i, j)
+		}
+		seen[k] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("covered %d pairs, want %d", len(seen), total)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := &Graph{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {1, 3}}}
+	deg := g.Degrees()
+	want := []int{1, 3, 1, 1}
+	for i := range want {
+		if deg[i] != want[i] {
+			t.Fatalf("Degrees = %v, want %v", deg, want)
+		}
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	g := Sample(30, 0.2, rng.New(4))
+	adj := g.Adjacency()
+	for u, ns := range adj {
+		for _, v := range ns {
+			found := false
+			for _, w := range adj[v] {
+				if w == u {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d->%d", u, v)
+			}
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := &Graph{N: 6, Edges: [][2]int{{0, 1}, {1, 2}, {3, 4}}}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes %d %d %d", len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+	if g.LargestComponentSize() != 3 {
+		t.Fatalf("LargestComponentSize = %d", g.LargestComponentSize())
+	}
+}
+
+func TestComponentsPartitionProperty(t *testing.T) {
+	r := rng.New(5)
+	err := quick.Check(func(seed uint64) bool {
+		n := 1 + r.Intn(60)
+		g := Sample(n, r.Uniform(0, 0.2), r)
+		comps := g.Components()
+		seen := make([]bool, n)
+		count := 0
+		for _, c := range comps {
+			for _, v := range c {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				count++
+			}
+		}
+		return count == n
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGiantComponentPhaseTransition reproduces the classical result the
+// paper leans on for the long-contact case: below λ=1 the largest
+// component is a vanishing fraction; above it is a positive fraction
+// close to the survival probability of the branching process.
+func TestGiantComponentPhaseTransition(t *testing.T) {
+	r := rng.New(6)
+	n := 2000
+	sub := GiantComponentFraction(n, 0.5, 10, r)
+	super := GiantComponentFraction(n, 2.0, 10, r)
+	if sub > 0.05 {
+		t.Errorf("subcritical giant fraction %v, want < 0.05", sub)
+	}
+	// For λ=2 the giant fraction solves x = 1 − e^{−λx} → ≈ 0.797.
+	if math.Abs(super-0.797) > 0.05 {
+		t.Errorf("supercritical giant fraction %v, want ~0.797", super)
+	}
+}
+
+func TestGiantComponentFractionDegenerate(t *testing.T) {
+	r := rng.New(7)
+	if GiantComponentFraction(0, 1, 5, r) != 0 {
+		t.Error("n=0 should give 0")
+	}
+	if GiantComponentFraction(10, 1, 0, r) != 0 {
+		t.Error("samples=0 should give 0")
+	}
+}

@@ -1,0 +1,336 @@
+package randtemp
+
+import (
+	"fmt"
+	"math"
+
+	"opportunet/internal/randgraph"
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+// This file implements the extensions the paper sketches:
+//
+//   - §3.4 "it is nevertheless possible to extend all of the results ...
+//     to contacts described by a renewal process with general
+//     inter-contact time distribution with finite variance. We expect
+//     this to have a major impact on the delay of a path, but a
+//     relatively small impact on hop-number" — RenewalModel with
+//     pluggable inter-contact distributions;
+//   - §7 "extending these results to study the impact of memory and
+//     heterogeneity in contact processes on the diameter" —
+//     BlockModel, a community-structured contact process;
+//   - Lemma 1 validation on realizations — CountConstrainedWalks, an
+//     exact dynamic program counting delay-and-hop-constrained
+//     chronological walks in one sampled network, with its closed-form
+//     expectation for comparison.
+
+// ICTDist is an inter-contact time distribution shape. Samples are
+// rescaled by the model so that the mean matches the required pair rate;
+// only the shape matters.
+type ICTDist interface {
+	// Sample draws one gap.
+	Sample(r *rng.Source) float64
+	// Mean returns the distribution's mean, used for rescaling.
+	Mean() float64
+	// Name labels the distribution in reports.
+	Name() string
+}
+
+// ExponentialICT is the memoryless baseline (the paper's Poisson model).
+type ExponentialICT struct{}
+
+// Sample implements ICTDist.
+func (ExponentialICT) Sample(r *rng.Source) float64 { return r.Exponential(1) }
+
+// Mean implements ICTDist.
+func (ExponentialICT) Mean() float64 { return 1 }
+
+// Name implements ICTDist.
+func (ExponentialICT) Name() string { return "exponential" }
+
+// UniformICT is a low-variance renewal shape (close to periodic
+// contacts, like scheduled buses).
+type UniformICT struct{}
+
+// Sample implements ICTDist.
+func (UniformICT) Sample(r *rng.Source) float64 { return r.Uniform(0.5, 1.5) }
+
+// Mean implements ICTDist.
+func (UniformICT) Mean() float64 { return 1 }
+
+// Name implements ICTDist.
+func (UniformICT) Name() string { return "uniform" }
+
+// ParetoICT is a heavy-tailed shape with finite variance for
+// Alpha > 2 — the regime §3.4 covers — truncated at Cut to keep all
+// moments finite for smaller exponents.
+type ParetoICT struct {
+	Alpha float64
+	Cut   float64
+}
+
+// Sample implements ICTDist.
+func (p ParetoICT) Sample(r *rng.Source) float64 { return r.ParetoTrunc(p.Alpha, 1, p.cut()) }
+
+func (p ParetoICT) cut() float64 {
+	if p.Cut <= 1 {
+		return 1000
+	}
+	return p.Cut
+}
+
+// Mean implements ICTDist.
+func (p ParetoICT) Mean() float64 {
+	c := 1 - math.Pow(p.cut(), -p.Alpha)
+	if math.Abs(p.Alpha-1) < 1e-9 {
+		return math.Log(p.cut()) / c
+	}
+	return p.Alpha / (1 - p.Alpha) * (math.Pow(p.cut(), 1-p.Alpha) - 1) / c
+}
+
+// Name implements ICTDist.
+func (p ParetoICT) Name() string { return fmt.Sprintf("pareto(%.2g)", p.Alpha) }
+
+// RenewalModel is the §3.4 generalization of the continuous model: every
+// pair meets at the renewal instants of an independent process with the
+// given inter-contact shape, rescaled so each device still makes λ
+// contacts per unit of time on average.
+type RenewalModel struct {
+	N       int
+	Lambda  float64
+	Horizon float64
+	ICT     ICTDist
+}
+
+// Generate samples one realization as a trace of instantaneous contacts.
+func (m RenewalModel) Generate(r *rng.Source) (*trace.Trace, error) {
+	if m.N < 2 || m.Horizon <= 0 || m.Lambda <= 0 {
+		return nil, fmt.Errorf("randtemp: invalid RenewalModel %+v", m)
+	}
+	ict := m.ICT
+	if ict == nil {
+		ict = ExponentialICT{}
+	}
+	meanGap := float64(m.N) / m.Lambda // per-pair mean inter-contact
+	scale := meanGap / ict.Mean()
+	tr := &trace.Trace{
+		Name:  fmt.Sprintf("renewal-%s-n%d-l%g", ict.Name(), m.N, m.Lambda),
+		Start: 0,
+		End:   m.Horizon,
+		Kinds: make([]trace.Kind, m.N),
+	}
+	for a := 0; a < m.N; a++ {
+		for b := a + 1; b < m.N; b++ {
+			// Stationary-ish start: first gap shortened uniformly.
+			t := ict.Sample(r) * scale * r.Float64()
+			for t < m.Horizon {
+				tr.Contacts = append(tr.Contacts, trace.Contact{
+					A: trace.NodeID(a), B: trace.NodeID(b), Beg: t, End: t,
+				})
+				t += ict.Sample(r) * scale
+			}
+		}
+	}
+	tr.SortByBeg()
+	return tr, nil
+}
+
+// BlockModel is a community-structured contact process (§7's
+// heterogeneity): N devices split evenly into Communities groups; each
+// device still makes λ contacts per unit time, but a Homophily fraction
+// of them stay inside its community. Homophily = (k−1)/k reproduces the
+// homogeneous model; Homophily → 1 disconnects the communities.
+type BlockModel struct {
+	N           int
+	Lambda      float64
+	Horizon     float64
+	Communities int
+	Homophily   float64
+}
+
+// Generate samples one realization with pairwise Poisson processes whose
+// rates depend on community co-membership.
+func (m BlockModel) Generate(r *rng.Source) (*trace.Trace, error) {
+	if m.N < 2 || m.Horizon <= 0 || m.Lambda <= 0 {
+		return nil, fmt.Errorf("randtemp: invalid BlockModel %+v", m)
+	}
+	if m.Communities < 1 || m.N%m.Communities != 0 {
+		return nil, fmt.Errorf("randtemp: N=%d must split evenly into %d communities", m.N, m.Communities)
+	}
+	if m.Homophily < 0 || m.Homophily >= 1 {
+		return nil, fmt.Errorf("randtemp: Homophily %v outside [0,1)", m.Homophily)
+	}
+	size := m.N / m.Communities
+	// Per-device rate budget λ: Homophily·λ spread over (size−1)
+	// in-community partners, the rest over the other communities.
+	var rateIn, rateOut float64
+	if size > 1 {
+		rateIn = m.Lambda * m.Homophily / float64(size-1)
+	}
+	if m.N-size > 0 {
+		rateOut = m.Lambda * (1 - m.Homophily) / float64(m.N-size)
+	}
+	tr := &trace.Trace{
+		Name:  fmt.Sprintf("block-n%d-c%d-h%g", m.N, m.Communities, m.Homophily),
+		Start: 0,
+		End:   m.Horizon,
+		Kinds: make([]trace.Kind, m.N),
+	}
+	community := func(i int) int { return i / size }
+	for a := 0; a < m.N; a++ {
+		for b := a + 1; b < m.N; b++ {
+			rate := rateOut
+			if community(a) == community(b) {
+				rate = rateIn
+			}
+			if rate <= 0 {
+				continue
+			}
+			t := r.Exponential(rate)
+			for t < m.Horizon {
+				tr.Contacts = append(tr.Contacts, trace.Contact{
+					A: trace.NodeID(a), B: trace.NodeID(b), Beg: t, End: t,
+				})
+				t += r.Exponential(rate)
+			}
+		}
+	}
+	tr.SortByBeg()
+	return tr, nil
+}
+
+// MeasureDelayOptimalTrace runs the delay-optimal measurement of
+// MeasureDelayOptimal on an arbitrary instantaneous-contact trace (as
+// produced by RenewalModel or BlockModel) between devices 0 and 1, long
+// contact semantics, starting at time 0. It returns delay in trace time
+// units.
+func MeasureDelayOptimalTrace(tr *trace.Trace) DelayOptimal {
+	const unreached = math.MaxInt32
+	n := tr.NumNodes()
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = unreached
+	}
+	hops[0] = 0
+	// Contacts sorted by time; chain within identical timestamps (long
+	// contact case) via repeated relaxation per time group.
+	cs := append([]trace.Contact(nil), tr.Contacts...)
+	// The trace is expected sorted; be safe.
+	for i := 1; i < len(cs); i++ {
+		if cs[i].Beg < cs[i-1].Beg {
+			tr2 := tr.Clone()
+			tr2.SortByBeg()
+			cs = tr2.Contacts
+			break
+		}
+	}
+	i := 0
+	for i < len(cs) {
+		j := i
+		for j < len(cs) && cs[j].Beg == cs[i].Beg {
+			j++
+		}
+		group := cs[i:j]
+		for changed := true; changed; {
+			changed = false
+			for _, c := range group {
+				a, b := int(c.A), int(c.B)
+				if hops[a] != unreached && hops[a]+1 < hops[b] {
+					hops[b] = hops[a] + 1
+					changed = true
+				}
+				if hops[b] != unreached && hops[b]+1 < hops[a] {
+					hops[a] = hops[b] + 1
+					changed = true
+				}
+			}
+		}
+		if hops[1] != unreached {
+			return DelayOptimal{Delay: cs[i].Beg, Hops: hops[1]}
+		}
+		i = j
+	}
+	return DelayOptimal{Delay: math.Inf(1)}
+}
+
+// CountConstrainedWalks samples one discrete-time realization and counts
+// exactly (by dynamic programming, in float64) the chronological walks
+// from device 0 to device 1 using at most t slots and exactly k hops,
+// under short- or long-contact semantics. Walks may revisit devices —
+// unlike Lemma 1's paths — so compare against LogExpectedWalks, not
+// LogExpectedPaths; for k ≪ √N the two are nearly identical.
+func CountConstrainedWalks(n, t, k int, lambda float64, long bool, r *rng.Source) float64 {
+	if k < 1 || t < 1 || n < 2 {
+		return 0
+	}
+	p := lambda / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	// counts[h][v] = number of valid walks from 0 to v with exactly h
+	// hops so far.
+	counts := make([][]float64, k+1)
+	for h := range counts {
+		counts[h] = make([]float64, n)
+	}
+	counts[0][0] = 1
+	for slot := 0; slot < t; slot++ {
+		g := randgraph.Sample(n, p, r)
+		if long {
+			// Within-slot chaining: relax hop levels in increasing order
+			// so a walk may take several of this slot's edges. Because
+			// each added edge increases h, processing h ascending uses
+			// same-slot updates exactly once per extra hop.
+			for h := 1; h <= k; h++ {
+				add := make([]float64, n)
+				for _, e := range g.Edges {
+					add[e[1]] += counts[h-1][e[0]]
+					add[e[0]] += counts[h-1][e[1]]
+				}
+				for v := 0; v < n; v++ {
+					counts[h][v] += add[v]
+				}
+			}
+		} else {
+			// One hop per slot: extend from the pre-slot state only.
+			prev := make([][]float64, k+1)
+			for h := range prev {
+				prev[h] = append([]float64(nil), counts[h]...)
+			}
+			for h := 1; h <= k; h++ {
+				for _, e := range g.Edges {
+					counts[h][e[1]] += prev[h-1][e[0]]
+					counts[h][e[0]] += prev[h-1][e[1]]
+				}
+			}
+		}
+	}
+	return counts[k][1]
+}
+
+// LogExpectedWalks is the closed-form expectation of
+// CountConstrainedWalks: the number of endpoint-fixed sequences with no
+// immediate backtracking to the same vertex is ((N−1)^k − (−1)^k)/N, and
+// each sequence succeeds with probability p^k over C(t, k) slot choices
+// (short contacts) or C(t+k−1, k) (long contacts).
+func LogExpectedWalks(n, t, k int, lambda float64, long bool) float64 {
+	if k < 1 || t < 1 || n < 2 {
+		return math.Inf(-1)
+	}
+	if !long && k > t {
+		return math.Inf(-1)
+	}
+	nf := float64(n)
+	seqs := (math.Pow(nf-1, float64(k)) - math.Pow(-1, float64(k))) / nf
+	if seqs <= 0 {
+		return math.Inf(-1)
+	}
+	var times float64
+	if long {
+		times = lnBinomial(float64(t+k-1), float64(k))
+	} else {
+		times = lnBinomial(float64(t), float64(k))
+	}
+	return math.Log(seqs) + times + float64(k)*math.Log(lambda/nf)
+}

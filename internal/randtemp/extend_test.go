@@ -1,0 +1,265 @@
+package randtemp
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/rng"
+)
+
+func TestICTShapes(t *testing.T) {
+	r := rng.New(1)
+	for _, d := range []ICTDist{ExponentialICT{}, UniformICT{}, ParetoICT{Alpha: 1.5}, ParetoICT{Alpha: 0.9, Cut: 500}} {
+		if d.Name() == "" {
+			t.Error("empty name")
+		}
+		// Empirical mean must match the declared mean.
+		sum := 0.0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			v := d.Sample(r)
+			if v <= 0 {
+				t.Fatalf("%s: non-positive sample %v", d.Name(), v)
+			}
+			sum += v
+		}
+		got := sum / n
+		if math.Abs(got-d.Mean())/d.Mean() > 0.05 {
+			t.Errorf("%s: empirical mean %v, declared %v", d.Name(), got, d.Mean())
+		}
+	}
+}
+
+func TestRenewalModelRateCalibration(t *testing.T) {
+	r := rng.New(2)
+	for _, tc := range []struct {
+		ict ICTDist
+		tol float64
+	}{
+		{ExponentialICT{}, 0.2},
+		{UniformICT{}, 0.2},
+		// Heavy tails converge to the nominal rate only on horizons far
+		// beyond the truncation point; on shorter windows the observed
+		// rate is dominated by the short-gap bulk and runs higher.
+		{ParetoICT{Alpha: 1.2, Cut: 20}, 0.5},
+	} {
+		m := RenewalModel{N: 60, Lambda: 1.0, Horizon: 2000, ICT: tc.ict}
+		tr, err := m.Generate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Per-device contact rate ≈ λ·(N−1)/N ≈ 0.98.
+		rate := 2 * float64(len(tr.Contacts)) / 60 / 2000
+		if math.Abs(rate-0.98) > tc.tol {
+			t.Errorf("%s: per-device rate %v, want ~0.98", tc.ict.Name(), rate)
+		}
+	}
+}
+
+func TestRenewalModelDefaultsToExponential(t *testing.T) {
+	m := RenewalModel{N: 10, Lambda: 1, Horizon: 50}
+	tr, err := m.Generate(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Contacts) == 0 {
+		t.Fatal("no contacts generated")
+	}
+}
+
+func TestRenewalModelRejectsBadParams(t *testing.T) {
+	for _, m := range []RenewalModel{
+		{N: 1, Lambda: 1, Horizon: 10},
+		{N: 10, Lambda: 0, Horizon: 10},
+		{N: 10, Lambda: 1, Horizon: -1},
+	} {
+		if _, err := m.Generate(rng.New(1)); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+}
+
+// TestRenewalHopInsensitivity is §3.4's claim: switching the
+// inter-contact shape changes the delay of the optimal path strongly,
+// but its hop count only mildly.
+func TestRenewalHopInsensitivity(t *testing.T) {
+	r := rng.New(4)
+	measure := func(ict ICTDist) (hops, delay float64) {
+		const reps = 30
+		var h, d float64
+		cnt := 0
+		for i := 0; i < reps; i++ {
+			m := RenewalModel{N: 150, Lambda: 0.5, Horizon: 400, ICT: ict}
+			tr, err := m.Generate(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := MeasureDelayOptimalTrace(tr)
+			if math.IsInf(res.Delay, 1) {
+				continue
+			}
+			h += float64(res.Hops)
+			d += res.Delay
+			cnt++
+		}
+		if cnt == 0 {
+			t.Fatal("no successful runs")
+		}
+		return h / float64(cnt), d / float64(cnt)
+	}
+	hExp, dExp := measure(ExponentialICT{})
+	hPar, dPar := measure(ParetoICT{Alpha: 0.9, Cut: 2000})
+	hUni, dUni := measure(UniformICT{})
+	// The inter-contact shape must move the delay strongly (here the
+	// bursty heavy-tailed process delivers much faster than the
+	// near-periodic one at the same mean rate — the direction depends on
+	// the residual-time treatment, the magnitude is the point)...
+	ratio := dPar / dUni
+	if ratio > 0.67 && ratio < 1.5 {
+		t.Errorf("ICT shape barely moved the delay: pareto %v vs uniform %v", dPar, dUni)
+	}
+	// ...while hop counts stay within a modest factor of each other
+	// (§3.4: "a relatively small impact on hop-number").
+	for _, pair := range [][2]float64{{hExp, hPar}, {hExp, hUni}} {
+		r := pair[0] / pair[1]
+		if r < 0.5 || r > 2 {
+			t.Errorf("hop counts vary too much across ICT shapes: %v vs %v", pair[0], pair[1])
+		}
+	}
+	_ = dExp
+}
+
+func TestBlockModelValidation(t *testing.T) {
+	for _, m := range []BlockModel{
+		{N: 10, Lambda: 1, Horizon: 10, Communities: 3}, // uneven split
+		{N: 10, Lambda: 1, Horizon: 10, Communities: 2, Homophily: 1},
+		{N: 10, Lambda: 1, Horizon: 10, Communities: 2, Homophily: -0.1},
+		{N: 0, Lambda: 1, Horizon: 10, Communities: 1},
+	} {
+		if _, err := m.Generate(rng.New(1)); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+}
+
+func TestBlockModelRateAndStructure(t *testing.T) {
+	r := rng.New(5)
+	m := BlockModel{N: 60, Lambda: 1, Horizon: 300, Communities: 4, Homophily: 0.8}
+	tr, err := m.Generate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Total per-device rate stays ≈ λ.
+	rate := 2 * float64(len(tr.Contacts)) / 60 / 300
+	if math.Abs(rate-1) > 0.15 {
+		t.Errorf("per-device rate %v, want ~1", rate)
+	}
+	// ~80% of contacts inside communities.
+	in := 0
+	for _, c := range tr.Contacts {
+		if int(c.A)/15 == int(c.B)/15 {
+			in++
+		}
+	}
+	frac := float64(in) / float64(len(tr.Contacts))
+	if math.Abs(frac-0.8) > 0.06 {
+		t.Errorf("in-community fraction %v, want ~0.8", frac)
+	}
+}
+
+func TestMeasureDelayOptimalTraceChainsWithinInstant(t *testing.T) {
+	// Instantaneous contacts at the same time chain (long contact case).
+	m := BlockModel{N: 4, Lambda: 1, Horizon: 1, Communities: 1, Homophily: 0}
+	_ = m
+	tr, err := (DiscreteModel{N: 4, Lambda: 4, Slots: 3}).Generate(rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MeasureDelayOptimalTrace(tr)
+	// Dense graph: delivery within the horizon with few hops.
+	if math.IsInf(res.Delay, 1) {
+		t.Skip("sparse draw; skip")
+	}
+	if res.Hops < 1 {
+		t.Fatalf("bad hops %d", res.Hops)
+	}
+}
+
+func TestCountConstrainedWalksDirect(t *testing.T) {
+	// k=1, t slots: count = number of slots where edge (0,1) appears;
+	// expectation = t·λ/n.
+	r := rng.New(7)
+	n, tN := 50, 200
+	lambda := 2.0
+	sum := 0.0
+	const reps = 200
+	for i := 0; i < reps; i++ {
+		sum += CountConstrainedWalks(n, tN, 1, lambda, false, r)
+	}
+	got := sum / reps
+	want := float64(tN) * lambda / float64(n)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("mean direct-walk count %v, want ~%v", got, want)
+	}
+}
+
+func TestCountConstrainedWalksMatchesExpectation(t *testing.T) {
+	// Sample mean of the DP count vs the closed-form expectation. For
+	// short contacts every step uses a distinct slot so the closed form
+	// is exact; for long contacts a walk may reuse an edge within one
+	// slot, making the closed form a lower bound that tightens as t·λ
+	// grows (relative excess ~ 3/(t·λ) for k=3).
+	r := rng.New(8)
+	n, tN, k := 40, 30, 3
+	lambda := 1.5
+	for _, long := range []bool{false, true} {
+		sum := 0.0
+		const reps = 300
+		for i := 0; i < reps; i++ {
+			sum += CountConstrainedWalks(n, tN, k, lambda, long, r)
+		}
+		got := sum / reps
+		want := math.Exp(LogExpectedWalks(n, tN, k, lambda, long))
+		if long {
+			if got < want*0.97 || got > want*1.35 {
+				t.Fatalf("long: mean walk count %v outside [%v, %v]", got, want*0.97, want*1.35)
+			}
+		} else if math.Abs(got-want)/want > 0.15 {
+			t.Fatalf("short: mean walk count %v, want ~%v", got, want)
+		}
+	}
+}
+
+func TestCountConstrainedWalksShortNeedsEnoughSlots(t *testing.T) {
+	r := rng.New(9)
+	if CountConstrainedWalks(20, 2, 3, 5, false, r) != 0 {
+		t.Fatal("3 hops cannot fit in 2 short-contact slots")
+	}
+	if CountConstrainedWalks(20, 0, 1, 5, false, r) != 0 {
+		t.Fatal("degenerate input should count 0")
+	}
+}
+
+func TestLogExpectedWalksVsPaths(t *testing.T) {
+	// Walks dominate paths (they include them), and for k ≪ √N the two
+	// are close.
+	n, tN, k := 10000, 40, 4
+	lambda := 1.0
+	walks := LogExpectedWalks(n, tN, k, lambda, false)
+	paths := LogExpectedPaths(n, tN, k, lambda, false)
+	if walks < paths {
+		t.Fatalf("walks %v below paths %v", walks, paths)
+	}
+	if walks-paths > 0.01 {
+		t.Fatalf("walks and paths should nearly coincide for k<<sqrt(N): %v vs %v", walks, paths)
+	}
+	if !math.IsInf(LogExpectedWalks(1, 5, 1, 1, false), -1) {
+		t.Fatal("degenerate expectation should be -Inf")
+	}
+}

@@ -1,0 +1,237 @@
+package randtemp
+
+import (
+	"fmt"
+	"math"
+
+	"opportunet/internal/randgraph"
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+// DiscreteModel is the discrete-time random temporal network of §3.1.1:
+// during each of Slots time slots, every unordered pair of the N devices
+// is in contact independently with probability λ/N. Contacts are
+// instantaneous events at the slot time: chaining several of them within
+// one slot is exactly the long contact case; forbidding it (one slot per
+// hop, e.g. core.Options.TransmitDelay = SlotSeconds) is the short
+// contact case.
+type DiscreteModel struct {
+	N      int
+	Lambda float64
+	Slots  int
+	// SlotSeconds scales slot indices to trace seconds; 0 means 1.
+	SlotSeconds float64
+}
+
+// Generate samples one realization as a contact trace.
+func (m DiscreteModel) Generate(r *rng.Source) (*trace.Trace, error) {
+	if m.N < 2 || m.Slots < 1 || m.Lambda <= 0 {
+		return nil, fmt.Errorf("randtemp: invalid DiscreteModel %+v", m)
+	}
+	slot := m.SlotSeconds
+	if slot == 0 {
+		slot = 1
+	}
+	p := m.Lambda / float64(m.N)
+	if p > 1 {
+		p = 1
+	}
+	tr := &trace.Trace{
+		Name:        fmt.Sprintf("discrete-n%d-l%g", m.N, m.Lambda),
+		Granularity: slot,
+		Start:       0,
+		End:         float64(m.Slots) * slot,
+		Kinds:       make([]trace.Kind, m.N),
+	}
+	for t := 0; t < m.Slots; t++ {
+		g := randgraph.Sample(m.N, p, r)
+		at := float64(t) * slot
+		for _, e := range g.Edges {
+			tr.Contacts = append(tr.Contacts, trace.Contact{
+				A: trace.NodeID(e[0]), B: trace.NodeID(e[1]), Beg: at, End: at,
+			})
+		}
+	}
+	return tr, nil
+}
+
+// ContinuousModel is the continuous-time model of §3.1.2: every unordered
+// pair meets at the instants of an independent Poisson process of rate
+// λ/N per unit of time, over [0, Horizon].
+type ContinuousModel struct {
+	N       int
+	Lambda  float64
+	Horizon float64
+}
+
+// Generate samples one realization as a contact trace of instantaneous
+// contacts.
+func (m ContinuousModel) Generate(r *rng.Source) (*trace.Trace, error) {
+	if m.N < 2 || m.Horizon <= 0 || m.Lambda <= 0 {
+		return nil, fmt.Errorf("randtemp: invalid ContinuousModel %+v", m)
+	}
+	rate := m.Lambda / float64(m.N)
+	tr := &trace.Trace{
+		Name:  fmt.Sprintf("continuous-n%d-l%g", m.N, m.Lambda),
+		Start: 0,
+		End:   m.Horizon,
+		Kinds: make([]trace.Kind, m.N),
+	}
+	for a := 0; a < m.N; a++ {
+		for b := a + 1; b < m.N; b++ {
+			t := r.Exponential(rate)
+			for t < m.Horizon {
+				tr.Contacts = append(tr.Contacts, trace.Contact{
+					A: trace.NodeID(a), B: trace.NodeID(b), Beg: t, End: t,
+				})
+				t += r.Exponential(rate)
+			}
+		}
+	}
+	tr.SortByBeg()
+	return tr, nil
+}
+
+// PathExists simulates the discrete model slot by slot and reports
+// whether a chronological path from device 0 to device 1 exists using at
+// most t slots and at most k hops. It is an independent implementation
+// of the reachability question (no shared code with the core engine),
+// used for Monte Carlo validation of the phase transition and as a
+// cross-check oracle.
+func PathExists(n, t, k int, lambda float64, long bool, r *rng.Source) bool {
+	const unreached = math.MaxInt32
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = unreached
+	}
+	hops[0] = 0
+	p := lambda / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	for slot := 0; slot < t; slot++ {
+		g := randgraph.Sample(n, p, r)
+		if long {
+			// Within-slot closure: any number of hops during one slot.
+			adj := g.Adjacency()
+			// Repeated relaxation: each round extends paths by one hop
+			// through this slot's edges.
+			for changed := true; changed; {
+				changed = false
+				for u := 0; u < n; u++ {
+					if hops[u] >= k {
+						continue
+					}
+					for _, v := range adj[u] {
+						if hops[u]+1 < hops[v] {
+							hops[v] = hops[u] + 1
+							changed = true
+						}
+					}
+				}
+			}
+		} else {
+			// One contact per slot: extend from the pre-slot state only.
+			prev := append([]int(nil), hops...)
+			for _, e := range g.Edges {
+				u, v := e[0], e[1]
+				if prev[u] < k && prev[u]+1 < hops[v] {
+					hops[v] = prev[u] + 1
+				}
+				if prev[v] < k && prev[v]+1 < hops[u] {
+					hops[u] = prev[v] + 1
+				}
+			}
+		}
+		if hops[1] <= k {
+			return true
+		}
+	}
+	return hops[1] <= k
+}
+
+// ExistenceProbability estimates by Monte Carlo the probability that a
+// path exists from a fixed source to a fixed destination within
+// t = τ ln N slots and k = γ t hops (the constrained-path event whose
+// expectation Lemma 1 controls).
+func ExistenceProbability(n int, tau, gamma, lambda float64, long bool, samples int, r *rng.Source) float64 {
+	t := int(math.Ceil(tau * math.Log(float64(n))))
+	if t < 1 {
+		t = 1
+	}
+	k := int(math.Ceil(gamma * float64(t)))
+	if k < 1 {
+		k = 1
+	}
+	hits := 0
+	for s := 0; s < samples; s++ {
+		if PathExists(n, t, k, lambda, long, r) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// DelayOptimal describes the delay-optimal path measured on one model
+// realization for one source-destination pair: the earliest delivery
+// slot for a message created at time 0, and the minimal hop count that
+// achieves it.
+type DelayOptimal struct {
+	Delay float64 // slots until delivery; +Inf if unreachable in horizon
+	Hops  int     // hops of the delay-optimal path; 0 if unreachable
+}
+
+// MeasureDelayOptimal simulates the discrete model slot by slot (short or
+// long contact semantics) from device 0 until device 1 is reached (or
+// maxSlots elapse) and returns the delay-optimal delay and hop count.
+func MeasureDelayOptimal(n int, lambda float64, long bool, maxSlots int, r *rng.Source) DelayOptimal {
+	const unreached = math.MaxInt32
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = unreached
+	}
+	hops[0] = 0
+	p := lambda / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	for slot := 0; slot < maxSlots; slot++ {
+		g := randgraph.Sample(n, p, r)
+		if long {
+			adj := g.Adjacency()
+			for changed := true; changed; {
+				changed = false
+				for u := 0; u < n; u++ {
+					if hops[u] == unreached {
+						continue
+					}
+					for _, v := range adj[u] {
+						if hops[u]+1 < hops[v] {
+							hops[v] = hops[u] + 1
+							changed = true
+						}
+					}
+				}
+			}
+		} else {
+			prev := append([]int(nil), hops...)
+			for _, e := range g.Edges {
+				u, v := e[0], e[1]
+				if prev[u] != unreached && prev[u]+1 < hops[v] {
+					hops[v] = prev[u] + 1
+				}
+				if prev[v] != unreached && prev[v]+1 < hops[u] {
+					hops[u] = prev[v] + 1
+				}
+			}
+		}
+		if hops[1] != unreached {
+			// First slot at which the destination is reached: this is
+			// the delay-optimal delivery; hops[1] is minimal among paths
+			// achieving it because the DP relaxes by hop count.
+			return DelayOptimal{Delay: float64(slot + 1), Hops: hops[1]}
+		}
+	}
+	return DelayOptimal{Delay: math.Inf(1)}
+}

@@ -1,0 +1,317 @@
+package randtemp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opportunet/internal/core"
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+func TestDiscreteModelGenerate(t *testing.T) {
+	m := DiscreteModel{N: 100, Lambda: 2, Slots: 50}
+	tr, err := m.Generate(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 100 || tr.End != 50 {
+		t.Fatalf("metadata wrong: n=%d end=%v", tr.NumNodes(), tr.End)
+	}
+	// Expected contacts per slot: C(100,2) × 2/100 = 99. Over 50 slots
+	// ≈ 4950; allow 10%.
+	if c := float64(len(tr.Contacts)); math.Abs(c-4950)/4950 > 0.1 {
+		t.Errorf("contact count %v, want ~4950", c)
+	}
+	// All contacts are instantaneous at integer slot times.
+	for _, c := range tr.Contacts {
+		if c.Beg != c.End || c.Beg != math.Trunc(c.Beg) {
+			t.Fatalf("bad contact %+v", c)
+		}
+	}
+}
+
+func TestDiscreteModelSlotSeconds(t *testing.T) {
+	m := DiscreteModel{N: 10, Lambda: 1, Slots: 5, SlotSeconds: 60}
+	tr, err := m.Generate(rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.End != 300 {
+		t.Fatalf("End = %v, want 300", tr.End)
+	}
+	for _, c := range tr.Contacts {
+		if math.Mod(c.Beg, 60) != 0 {
+			t.Fatalf("contact not on slot grid: %+v", c)
+		}
+	}
+}
+
+func TestDiscreteModelRejectsBadParams(t *testing.T) {
+	r := rng.New(3)
+	for _, m := range []DiscreteModel{
+		{N: 1, Lambda: 1, Slots: 5},
+		{N: 10, Lambda: 0, Slots: 5},
+		{N: 10, Lambda: 1, Slots: 0},
+	} {
+		if _, err := m.Generate(r); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+}
+
+func TestContinuousModelGenerate(t *testing.T) {
+	m := ContinuousModel{N: 50, Lambda: 1, Horizon: 100}
+	tr, err := m.Generate(rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pair rate λ/N = 0.02; pairs = 1225; horizon 100 → ≈ 2450 contacts.
+	if c := float64(len(tr.Contacts)); math.Abs(c-2450)/2450 > 0.15 {
+		t.Errorf("contact count %v, want ~2450", c)
+	}
+	// Per-device contact rate should be ≈ λ per unit time (within noise):
+	// each device has 49 pairs × 0.02 = 0.98.
+	events := 2 * len(tr.Contacts)
+	rate := float64(events) / 50 / 100
+	if math.Abs(rate-0.98) > 0.15 {
+		t.Errorf("per-device contact rate %v, want ~0.98", rate)
+	}
+}
+
+func TestContinuousModelRejectsBadParams(t *testing.T) {
+	r := rng.New(5)
+	for _, m := range []ContinuousModel{
+		{N: 1, Lambda: 1, Horizon: 10},
+		{N: 10, Lambda: -1, Horizon: 10},
+		{N: 10, Lambda: 1, Horizon: 0},
+	} {
+		if _, err := m.Generate(r); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+}
+
+// TestPathExistsMatchesCoreEngine cross-checks the slot DP against the
+// validated core engine on identical realizations: generate a discrete
+// trace, then answer the same reachability question both ways.
+func TestPathExistsMatchesCoreEngine(t *testing.T) {
+	r := rng.New(6)
+	err := quick.Check(func(seed uint64) bool {
+		n := 5 + r.Intn(15)
+		slots := 3 + r.Intn(10)
+		lambda := r.Uniform(0.3, 3)
+		m := DiscreteModel{N: n, Lambda: lambda, Slots: slots}
+		tr, err := m.Generate(r)
+		if err != nil {
+			return false
+		}
+		for _, long := range []bool{true, false} {
+			var opt core.Options
+			if !long {
+				opt.TransmitDelay = 1
+			}
+			res, err := core.Compute(tr, opt)
+			if err != nil {
+				return false
+			}
+			for k := 1; k <= 4; k++ {
+				f := res.Frontier(0, 1, k)
+				// Reachable from t=0 within the horizon?
+				var engineReach bool
+				if long {
+					engineReach = !math.IsInf(f.Del(0), 1)
+				} else {
+					// Short contacts: delivery = last start + 1; a start
+					// in slot s < slots is within horizon.
+					engineReach = !math.IsInf(f.Del(0), 1)
+				}
+				dpReach := pathExistsOnTrace(tr, n, slots, k, long)
+				if engineReach != dpReach {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pathExistsOnTrace replays the PathExists DP on a fixed generated trace
+// instead of sampling a fresh one, so the comparison with the engine is
+// on identical inputs.
+func pathExistsOnTrace(tr *trace.Trace, n, slots, k int, long bool) bool {
+	const unreached = math.MaxInt32
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = unreached
+	}
+	hops[0] = 0
+	// Bucket contacts by slot.
+	bySlot := make([][][2]int, slots)
+	for _, c := range tr.Contacts {
+		s := int(c.Beg)
+		bySlot[s] = append(bySlot[s], [2]int{int(c.A), int(c.B)})
+	}
+	for s := 0; s < slots; s++ {
+		edges := bySlot[s]
+		if long {
+			for changed := true; changed; {
+				changed = false
+				for _, e := range edges {
+					u, v := e[0], e[1]
+					if hops[u] < k && hops[u]+1 < hops[v] {
+						hops[v] = hops[u] + 1
+						changed = true
+					}
+					if hops[v] < k && hops[v]+1 < hops[u] {
+						hops[u] = hops[v] + 1
+						changed = true
+					}
+				}
+			}
+		} else {
+			prev := append([]int(nil), hops...)
+			for _, e := range edges {
+				u, v := e[0], e[1]
+				if prev[u] < k && prev[u]+1 < hops[v] {
+					hops[v] = prev[u] + 1
+				}
+				if prev[v] < k && prev[v]+1 < hops[u] {
+					hops[u] = prev[v] + 1
+				}
+			}
+		}
+		if hops[1] <= k {
+			return true
+		}
+	}
+	return hops[1] <= k
+}
+
+// TestPhaseTransitionMonteCarlo verifies the qualitative prediction of
+// Corollary 1 on a moderate network: well below the critical τ paths
+// within the bounds are rare; well above, they are common.
+func TestPhaseTransitionMonteCarlo(t *testing.T) {
+	r := rng.New(7)
+	n := 400
+	lambda := 1.0
+	gamma := GammaStarShort(lambda)
+	tauC := CriticalTauShort(lambda)
+	sub := ExistenceProbability(n, tauC*0.4, gamma, lambda, false, 150, r)
+	super := ExistenceProbability(n, tauC*3, gamma, lambda, false, 150, r)
+	if sub > 0.25 {
+		t.Errorf("subcritical existence probability %v, want small", sub)
+	}
+	if super < 0.75 {
+		t.Errorf("supercritical existence probability %v, want large", super)
+	}
+	if super <= sub {
+		t.Error("existence probability should increase with τ")
+	}
+}
+
+func TestMeasureDelayOptimal(t *testing.T) {
+	r := rng.New(8)
+	// Dense network: destination reached quickly with few hops.
+	d := MeasureDelayOptimal(200, 5, true, 200, r)
+	if math.IsInf(d.Delay, 1) {
+		t.Fatal("dense network should deliver")
+	}
+	if d.Hops < 1 || d.Hops > 10 {
+		t.Errorf("hops = %d, want small positive", d.Hops)
+	}
+	// Zero horizon: unreachable.
+	d = MeasureDelayOptimal(50, 1, true, 0, r)
+	if !math.IsInf(d.Delay, 1) || d.Hops != 0 {
+		t.Errorf("zero horizon should be unreachable, got %+v", d)
+	}
+}
+
+// TestHopNumberInsensitiveToLambda is the Monte Carlo counterpart of
+// Figure 3's message: in the sparse regime the hop count of the
+// delay-optimal path stays near ln N while the delay varies strongly
+// with λ.
+func TestHopNumberInsensitiveToLambda(t *testing.T) {
+	r := rng.New(9)
+	n := 300
+	lnN := math.Log(float64(n))
+	avg := func(lambda float64) (hops, delay float64) {
+		const reps = 40
+		var h, dl float64
+		count := 0
+		for i := 0; i < reps; i++ {
+			d := MeasureDelayOptimal(n, lambda, false, 4000, r)
+			if math.IsInf(d.Delay, 1) {
+				continue
+			}
+			h += float64(d.Hops)
+			dl += d.Delay
+			count++
+		}
+		if count == 0 {
+			return math.NaN(), math.NaN()
+		}
+		return h / float64(count), dl / float64(count)
+	}
+	hSparse, dSparse := avg(0.2)
+	hDense, dDense := avg(2.0)
+	// Delay must react strongly to λ (10× rate ≈ much faster delivery).
+	if !(dSparse > 2*dDense) {
+		t.Errorf("delay should drop sharply with λ: sparse %v, dense %v", dSparse, dDense)
+	}
+	// Hop count varies much less: within a factor ~2.5 while the rate
+	// changed 10×, and both in the vicinity of ln N.
+	if hSparse > 2.5*hDense || hDense > 2.5*hSparse {
+		t.Errorf("hop counts too different: sparse %v, dense %v", hSparse, hDense)
+	}
+	for _, h := range []float64{hSparse, hDense} {
+		if h < 0.2*lnN || h > 3*lnN {
+			t.Errorf("hop count %v far from ln N = %v", h, lnN)
+		}
+	}
+}
+
+// TestContinuousModelMatchesDiscretePredictions: §3.1.2 says all results
+// carry to the continuous model. Check the delay-optimal hop count on
+// generated continuous realizations against the short-contact theory
+// (instantaneous Poisson contacts rarely coincide, so chaining within an
+// instant is immaterial and the short-contact prediction applies).
+func TestContinuousModelMatchesDiscretePredictions(t *testing.T) {
+	r := rng.New(20)
+	n := 250
+	lambda := 1.0
+	lnN := math.Log(float64(n))
+	var sumH float64
+	cnt := 0
+	for i := 0; i < 25; i++ {
+		m := ContinuousModel{N: n, Lambda: lambda, Horizon: 8 * lnN}
+		tr, err := m.Generate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := MeasureDelayOptimalTrace(tr)
+		if math.IsInf(d.Delay, 1) {
+			continue
+		}
+		sumH += float64(d.Hops)
+		cnt++
+	}
+	if cnt < 15 {
+		t.Fatalf("only %d/25 runs delivered", cnt)
+	}
+	got := sumH / float64(cnt) / lnN
+	want := NormalizedHopsShort(lambda)
+	if got < 0.5*want || got > 1.6*want {
+		t.Fatalf("continuous-model hops/lnN = %v, theory %v", got, want)
+	}
+}

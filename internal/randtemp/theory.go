@@ -1,0 +1,222 @@
+// Package randtemp implements §3 of the paper: random temporal networks
+// and their phase transition for paths constrained in both delay and
+// hop-number.
+//
+// The discrete-time model is a sequence of independent uniform random
+// graphs G(N, λ/N), one per time slot; the continuous-time model makes
+// every pair meet at the instants of an independent Poisson process of
+// rate λ/N. Paths must follow contacts chronologically; the "short
+// contact case" allows one contact per slot, the "long contact case"
+// allows chaining any number of contacts within a slot.
+//
+// For delay budget t_N = τ ln N and hop budget k_N = γ t_N, Lemma 1
+// gives E[Π_N] = Θ(N^{−1+τ(γ ln λ + h(γ))}) (short contacts; g replaces
+// h for long contacts), so paths appear/vanish according to the sign of
+// the exponent — the phase transition of Figures 1 and 2. This package
+// provides those closed forms, the resulting predictions for the
+// delay-optimal path (Figure 3), exact expected-path counts to validate
+// Lemma 1, and generators that realize both models as contact traces for
+// the §4 engine.
+package randtemp
+
+import "math"
+
+// H is the binary entropy in nats: H(x) = −x ln x − (1−x) ln(1−x) on
+// [0, 1], with H(0) = H(1) = 0. It appears in the short-contact path
+// count through the number C(t, k) of ways to pick the k contact slots.
+func H(x float64) float64 {
+	if x <= 0 || x >= 1 {
+		return 0
+	}
+	return -x*math.Log(x) - (1-x)*math.Log(1-x)
+}
+
+// G is the long-contact counterpart: G(x) = (1+x) ln(1+x) − x ln x for
+// x ≥ 0, with G(0) = 0. It comes from counting non-decreasing slot
+// sequences, C(t+k−1, k).
+func G(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return (1+x)*math.Log(1+x) - x*math.Log(x)
+}
+
+// PhaseShort evaluates γ ln λ + h(γ), the function whose comparison with
+// 1/τ decides the short-contact phase (Figure 1). γ must lie in [0, 1]
+// (the short-contact case uses at most one contact per slot, so k ≤ t).
+func PhaseShort(gamma, lambda float64) float64 {
+	return gamma*math.Log(lambda) + H(gamma)
+}
+
+// PhaseLong evaluates γ ln λ + g(γ) for γ ≥ 0 (Figure 2); in the long
+// contact case γ may exceed 1.
+func PhaseLong(gamma, lambda float64) float64 {
+	return gamma*math.Log(lambda) + G(gamma)
+}
+
+// GammaStarShort is the maximizer γ* = λ/(1+λ) of PhaseShort.
+func GammaStarShort(lambda float64) float64 { return lambda / (1 + lambda) }
+
+// MaxPhaseShort is the maximum M = ln(1+λ) of PhaseShort over γ ∈ [0,1].
+func MaxPhaseShort(lambda float64) float64 { return math.Log1p(lambda) }
+
+// CriticalTauShort is the critical delay coefficient 1/ln(1+λ): below it
+// no path satisfies the logarithmic bounds; above it the expected number
+// of such paths diverges.
+func CriticalTauShort(lambda float64) float64 { return 1 / math.Log1p(lambda) }
+
+// GammaStarLong is the maximizer γ* = λ/(1−λ) of PhaseLong, defined for
+// λ < 1. For λ ≥ 1 PhaseLong is increasing and unbounded in γ and there
+// is no finite maximizer; the function returns +Inf.
+func GammaStarLong(lambda float64) float64 {
+	if lambda >= 1 {
+		return math.Inf(1)
+	}
+	return lambda / (1 - lambda)
+}
+
+// MaxPhaseLong is the maximum M = −ln(1−λ) of PhaseLong, for λ < 1;
+// +Inf for λ ≥ 1 (the function is unbounded — the regime in which the
+// network is essentially almost-simultaneously connected).
+func MaxPhaseLong(lambda float64) float64 {
+	if lambda >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-lambda)
+}
+
+// CriticalTauLong is the critical delay coefficient −1/ln(1−λ) for
+// λ < 1, and 0 for λ ≥ 1: above the giant-component threshold, paths
+// exist within τ ln N for arbitrarily small τ.
+func CriticalTauLong(lambda float64) float64 {
+	if lambda >= 1 {
+		return 0
+	}
+	return -1 / math.Log1p(-lambda)
+}
+
+// ExponentShort returns the growth exponent a in E[Π_N] = Θ(N^a) for the
+// short-contact case with delay τ ln N and hops γτ ln N (Lemma 1 +
+// Proposition 1): a = −1 + τ (γ ln λ + h(γ)).
+func ExponentShort(tau, gamma, lambda float64) float64 {
+	return -1 + tau*PhaseShort(gamma, lambda)
+}
+
+// ExponentLong is the long-contact analogue of ExponentShort.
+func ExponentLong(tau, gamma, lambda float64) float64 {
+	return -1 + tau*PhaseLong(gamma, lambda)
+}
+
+// Supercritical reports whether the (τ, γ) point is in the phase where
+// the expected number of constrained paths diverges (Corollary 1).
+func Supercritical(tau, gamma, lambda float64, long bool) bool {
+	if long {
+		return 1/tau < PhaseLong(gamma, lambda)
+	}
+	return 1/tau < PhaseShort(gamma, lambda)
+}
+
+// NormalizedDelayShort is the predicted delay of the delay-optimal path
+// divided by ln N: the critical τ for short contacts.
+func NormalizedDelayShort(lambda float64) float64 { return CriticalTauShort(lambda) }
+
+// NormalizedDelayLong is the long-contact analogue; 0 for λ ≥ 1.
+func NormalizedDelayLong(lambda float64) float64 { return CriticalTauLong(lambda) }
+
+// NormalizedHopsShort is the predicted hop-number of the delay-optimal
+// path divided by ln N: γ* τ_c = λ / ((1+λ) ln(1+λ)). It tends to 1 as
+// λ → 0 — the hop count of the delay-optimal path barely depends on the
+// contact rate (§3.3, Figure 3).
+func NormalizedHopsShort(lambda float64) float64 {
+	return GammaStarShort(lambda) * CriticalTauShort(lambda)
+}
+
+// NormalizedHopsLong is the long-contact hop prediction of Figure 3:
+// λ / ((1−λ)(−ln(1−λ))) below the threshold, 1/ln λ above it, with the
+// singularity at λ = 1 discussed in §3.3.
+func NormalizedHopsLong(lambda float64) float64 {
+	switch {
+	case lambda < 1:
+		return GammaStarLong(lambda) * CriticalTauLong(lambda)
+	case lambda == 1:
+		return math.Inf(1)
+	default:
+		return 1 / math.Log(lambda)
+	}
+}
+
+// lnFallingFactorial returns ln(n (n−1) … (n−k+1)) = ln Γ(n+1) − ln Γ(n−k+1).
+func lnFallingFactorial(n, k float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	a, _ := math.Lgamma(n + 1)
+	b, _ := math.Lgamma(n - k + 1)
+	return a - b
+}
+
+// lnBinomial returns ln C(n, k).
+func lnBinomial(n, k float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	a, _ := math.Lgamma(n + 1)
+	b, _ := math.Lgamma(k + 1)
+	c, _ := math.Lgamma(n - k + 1)
+	return a - b - c
+}
+
+// LogExpectedPaths returns ln E[Π_N] exactly (not asymptotically) for
+// the discrete-time model: the expected number of paths from a fixed
+// source to a fixed destination using exactly k hops within t slots, for
+// edge probability p = λ/N. Intermediate devices are distinct and
+// distinct from source and destination; the k contact slots are strictly
+// increasing (short contacts) or non-decreasing (long contacts).
+//
+// The closed form is ln[(N−2)…(N−k)] + ln C_times(t, k) + k ln(λ/N),
+// with C_times = C(t, k) for short and C(t+k−1, k) for long contacts.
+// It underlies the proof of Lemma 1 and lets tests validate the Θ
+// exponent numerically.
+func LogExpectedPaths(n int, t, k int, lambda float64, long bool) float64 {
+	if k < 1 || t < 1 || n < 2 {
+		return math.Inf(-1)
+	}
+	if !long && k > t {
+		return math.Inf(-1) // short contacts: at most one hop per slot
+	}
+	nf := float64(n)
+	nodes := lnFallingFactorial(nf-2, float64(k-1))
+	var times float64
+	if long {
+		times = lnBinomial(float64(t+k-1), float64(k))
+	} else {
+		times = lnBinomial(float64(t), float64(k))
+	}
+	return nodes + times + float64(k)*math.Log(lambda/nf)
+}
+
+// LogExpectedPathsUpTo returns ln E[number of paths with at most k hops
+// within t slots] by summing the exact per-hop counts.
+func LogExpectedPathsUpTo(n int, t, k int, lambda float64, long bool) float64 {
+	best := math.Inf(-1)
+	var sum float64
+	// Log-sum-exp over hop counts.
+	logs := make([]float64, 0, k)
+	for h := 1; h <= k; h++ {
+		l := LogExpectedPaths(n, t, h, lambda, long)
+		if math.IsInf(l, -1) {
+			continue
+		}
+		logs = append(logs, l)
+		if l > best {
+			best = l
+		}
+	}
+	if len(logs) == 0 {
+		return math.Inf(-1)
+	}
+	for _, l := range logs {
+		sum += math.Exp(l - best)
+	}
+	return best + math.Log(sum)
+}

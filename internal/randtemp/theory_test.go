@@ -1,0 +1,236 @@
+package randtemp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEntropyH(t *testing.T) {
+	if H(0) != 0 || H(1) != 0 {
+		t.Error("H must vanish at the endpoints")
+	}
+	if !almost(H(0.5), math.Ln2, 1e-12) {
+		t.Errorf("H(0.5) = %v, want ln 2", H(0.5))
+	}
+	// Symmetry.
+	for _, x := range []float64{0.1, 0.25, 0.4} {
+		if !almost(H(x), H(1-x), 1e-12) {
+			t.Errorf("H not symmetric at %v", x)
+		}
+	}
+}
+
+func TestEntropyG(t *testing.T) {
+	if G(0) != 0 {
+		t.Error("G(0) must be 0")
+	}
+	if !almost(G(1), 2*math.Ln2, 1e-12) {
+		t.Errorf("G(1) = %v, want 2 ln 2", G(1))
+	}
+	// G is increasing on [0, ∞).
+	prev := 0.0
+	for x := 0.05; x < 5; x += 0.05 {
+		if G(x) <= prev {
+			t.Fatalf("G not increasing at %v", x)
+		}
+		prev = G(x)
+	}
+}
+
+func TestPhaseShortMaximum(t *testing.T) {
+	// The maximum of γ ln λ + h(γ) over [0,1] is ln(1+λ) at γ = λ/(1+λ).
+	for _, lambda := range []float64{0.5, 1.0, 1.5} {
+		gs := GammaStarShort(lambda)
+		m := MaxPhaseShort(lambda)
+		if !almost(PhaseShort(gs, lambda), m, 1e-12) {
+			t.Errorf("λ=%v: PhaseShort(γ*) = %v, want %v", lambda, PhaseShort(gs, lambda), m)
+		}
+		// Verify it is a maximum on a grid.
+		for g := 0.01; g < 1; g += 0.01 {
+			if PhaseShort(g, lambda) > m+1e-9 {
+				t.Fatalf("λ=%v: PhaseShort(%v) exceeds claimed maximum", lambda, g)
+			}
+		}
+	}
+}
+
+func TestPhaseLongMaximum(t *testing.T) {
+	for _, lambda := range []float64{0.3, 0.5, 0.9} {
+		gs := GammaStarLong(lambda)
+		m := MaxPhaseLong(lambda)
+		if !almost(PhaseLong(gs, lambda), m, 1e-12) {
+			t.Errorf("λ=%v: PhaseLong(γ*) = %v, want %v", lambda, PhaseLong(gs, lambda), m)
+		}
+		for g := 0.01; g < 10; g += 0.01 {
+			if PhaseLong(g, lambda) > m+1e-9 {
+				t.Fatalf("λ=%v: PhaseLong(%v) = %v exceeds maximum %v", lambda, g, PhaseLong(g, lambda), m)
+			}
+		}
+	}
+}
+
+func TestPhaseLongUnboundedAboveOne(t *testing.T) {
+	// For λ > 1 the function increases without bound (§3.2.3).
+	lambda := 1.5
+	if !math.IsInf(MaxPhaseLong(lambda), 1) || !math.IsInf(GammaStarLong(lambda), 1) {
+		t.Fatal("λ>1 long-contact maximum should be unbounded")
+	}
+	if PhaseLong(100, lambda) < 10 {
+		t.Error("PhaseLong should grow large for large γ when λ>1")
+	}
+	if CriticalTauLong(lambda) != 0 {
+		t.Error("critical τ should be 0 for λ>1")
+	}
+}
+
+func TestCriticalValuesPaperExample(t *testing.T) {
+	// §3.2.2: λ = 0.5 (short contacts) → delay ≈ ln N / ln 1.5 =
+	// 2.466 ln N with γ* = 1/3.
+	if !almost(CriticalTauShort(0.5), 2.466, 0.001) {
+		t.Errorf("CriticalTauShort(0.5) = %v", CriticalTauShort(0.5))
+	}
+	if !almost(GammaStarShort(0.5), 1.0/3, 1e-12) {
+		t.Errorf("GammaStarShort(0.5) = %v", GammaStarShort(0.5))
+	}
+	// §3.2.3: λ = 0.5 (long contacts) → γ* = 1, delay coefficient
+	// −1/ln(0.5) = 1/ln 2, and the same number of hops as delay slots.
+	if !almost(GammaStarLong(0.5), 1, 1e-12) {
+		t.Errorf("GammaStarLong(0.5) = %v", GammaStarLong(0.5))
+	}
+	if !almost(NormalizedHopsLong(0.5), NormalizedDelayLong(0.5), 1e-12) {
+		t.Error("long contacts at λ=0.5: hops and delay coefficients must agree (γ*=1)")
+	}
+}
+
+func TestNormalizedHopsLimits(t *testing.T) {
+	// §3.3: as λ → 0, the hop-number of the delay-optimal path no longer
+	// depends on λ and converges to ln N, i.e. the normalized value → 1.
+	for _, f := range []func(float64) float64{NormalizedHopsShort, NormalizedHopsLong} {
+		if !almost(f(1e-6), 1, 1e-3) {
+			t.Errorf("normalized hops at λ→0 = %v, want → 1", f(1e-6))
+		}
+	}
+	// Large λ: both decay like 1/ln λ.
+	if NormalizedHopsShort(100) > 0.3 {
+		t.Error("short-contact hops should shrink for dense networks")
+	}
+	if !almost(NormalizedHopsLong(100), 1/math.Log(100), 1e-9) {
+		t.Error("long-contact hops for λ>1 should equal 1/ln λ")
+	}
+	// Long-contact singularity at λ = 1.
+	if !math.IsInf(NormalizedHopsLong(1), 1) {
+		t.Error("long-contact hops at λ=1 should be infinite")
+	}
+}
+
+func TestSupercritical(t *testing.T) {
+	lambda := 0.5
+	tauCrit := CriticalTauShort(lambda)
+	gs := GammaStarShort(lambda)
+	if Supercritical(tauCrit*0.9, gs, lambda, false) {
+		t.Error("below critical τ nothing should be supercritical")
+	}
+	if !Supercritical(tauCrit*1.1, gs, lambda, false) {
+		t.Error("above critical τ the optimal γ should be supercritical")
+	}
+	// Long-contact, λ>1: any positive τ admits supercritical γ.
+	if !Supercritical(0.05, 40, 1.5, true) {
+		t.Error("λ>1 long contacts should be supercritical for some γ at tiny τ")
+	}
+}
+
+func TestExponentSignMatchesSupercritical(t *testing.T) {
+	err := quick.Check(func(tauRaw, gammaRaw, lambdaRaw float64) bool {
+		tau := 0.1 + math.Mod(math.Abs(tauRaw), 5)
+		gamma := 0.05 + math.Mod(math.Abs(gammaRaw), 0.9)
+		lambda := 0.1 + math.Mod(math.Abs(lambdaRaw), 3)
+		// a > 0 ⟺ supercritical (Proposition 1 + Corollary 1).
+		return (ExponentShort(tau, gamma, lambda) > 0) == Supercritical(tau, gamma, lambda, false)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogExpectedPathsMatchesAsymptotics(t *testing.T) {
+	// For large N the exact expected count must match the Lemma 1
+	// exponent: ln E / ln N → −1 + τ(γ ln λ + h(γ)).
+	lambda := 0.8
+	tau := 3.0
+	gamma := GammaStarShort(lambda)
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		lnN := math.Log(float64(n))
+		tN := int(tau * lnN)
+		kN := int(gamma * float64(tN))
+		got := LogExpectedPaths(n, tN, kN, lambda, false) / lnN
+		want := ExponentShort(float64(tN)/lnN, float64(kN)/float64(tN), lambda)
+		// The Θ hides (ln N)^±β factors; allow a generous but shrinking
+		// tolerance.
+		tol := 3 * math.Log(lnN) / lnN
+		if math.Abs(got-want) > tol {
+			t.Errorf("n=%d: exponent %v, want %v (tol %v)", n, got, want, tol)
+		}
+	}
+}
+
+func TestLogExpectedPathsLongVsShort(t *testing.T) {
+	// Long contacts allow more time arrangements, so the expected count
+	// can only be larger.
+	for _, k := range []int{1, 3, 7} {
+		short := LogExpectedPaths(1000, 10, k, 0.7, false)
+		long := LogExpectedPaths(1000, 10, k, 0.7, true)
+		if long < short {
+			t.Errorf("k=%d: long %v < short %v", k, long, short)
+		}
+	}
+}
+
+func TestLogExpectedPathsDegenerate(t *testing.T) {
+	if !math.IsInf(LogExpectedPaths(100, 5, 0, 1, false), -1) {
+		t.Error("k=0 should be -Inf")
+	}
+	if !math.IsInf(LogExpectedPaths(100, 3, 5, 1, false), -1) {
+		t.Error("short contacts with k>t should be impossible")
+	}
+	if math.IsInf(LogExpectedPaths(100, 3, 5, 1, true), -1) {
+		t.Error("long contacts allow k>t")
+	}
+	if !math.IsInf(LogExpectedPaths(1, 3, 1, 1, false), -1) {
+		t.Error("n<2 should be -Inf")
+	}
+}
+
+func TestLogExpectedPathsUpTo(t *testing.T) {
+	// The cumulative count must dominate every per-hop term and be at
+	// most their number times the max.
+	n, tN, lambda := 500, 12, 0.9
+	upTo := LogExpectedPathsUpTo(n, tN, 6, lambda, false)
+	best := math.Inf(-1)
+	for h := 1; h <= 6; h++ {
+		if l := LogExpectedPaths(n, tN, h, lambda, false); l > best {
+			best = l
+		}
+	}
+	if upTo < best-1e-9 {
+		t.Errorf("cumulative %v below max term %v", upTo, best)
+	}
+	if upTo > best+math.Log(6)+1e-9 {
+		t.Errorf("cumulative %v exceeds max+log(6)", upTo)
+	}
+	if !math.IsInf(LogExpectedPathsUpTo(1, 3, 2, 1, false), -1) {
+		t.Error("degenerate cumulative should be -Inf")
+	}
+}
+
+func TestDirectPathExpectationExact(t *testing.T) {
+	// k=1: E = (#slots choose 1) × λ/N exactly.
+	n, tN, lambda := 100, 7, 0.5
+	got := math.Exp(LogExpectedPaths(n, tN, 1, lambda, false))
+	want := float64(tN) * lambda / float64(n)
+	if !almost(got, want, 1e-9) {
+		t.Errorf("direct-path expectation %v, want %v", got, want)
+	}
+}

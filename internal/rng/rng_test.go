@@ -1,0 +1,345 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams from identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent seeds produced %d identical outputs out of 1000", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s := r.Split()
+	// The split stream must differ from the parent's continuation.
+	equal := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == s.Uint64() {
+			equal++
+		}
+	}
+	if equal > 0 {
+		t.Fatalf("split stream collides with parent stream %d times", equal)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const buckets = 10
+	counts := make([]int, buckets)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates too far from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(6)
+	for _, rate := range []float64{0.1, 1, 5} {
+		sum := 0.0
+		n := 100000
+		for i := 0; i < n; i++ {
+			sum += r.Exponential(rate)
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-1/rate) > 0.05/rate {
+			t.Fatalf("Exponential(%v) mean %v, want ~%v", rate, mean, 1/rate)
+		}
+	}
+}
+
+func TestExponentialNonNegative(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 10000; i++ {
+		if v := r.Exponential(2); v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Exponential produced invalid value %v", v)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(9)
+	for _, p := range []float64{0.05, 0.3, 0.9} {
+		sum := 0
+		n := 100000
+		for i := 0; i < n; i++ {
+			sum += r.Geometric(p)
+		}
+		mean := float64(sum) / float64(n)
+		want := 1 / p
+		if math.Abs(mean-want) > 0.05*want {
+			t.Fatalf("Geometric(%v) mean %v, want ~%v", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricSupport(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 10000; i++ {
+		if v := r.Geometric(0.5); v < 1 {
+			t.Fatalf("Geometric produced %d < 1", v)
+		}
+	}
+	if v := r.Geometric(1); v != 1 {
+		t.Fatalf("Geometric(1) = %d, want 1", v)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(11)
+	for _, mean := range []float64{0.5, 4, 50} {
+		sum := 0
+		n := 100000
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / float64(n)
+		tol := 4 * math.Sqrt(mean/float64(n)) * 3
+		if tol < 0.02 {
+			tol = 0.02
+		}
+		if math.Abs(got-mean) > tol {
+			t.Fatalf("Poisson(%v) mean %v, want ~%v", mean, got, mean)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	if New(1).Poisson(0) != 0 {
+		t.Fatal("Poisson(0) != 0")
+	}
+	if New(1).Poisson(-1) != 0 {
+		t.Fatal("Poisson(-1) != 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(12)
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("Normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("Normal variance %v, want ~1", variance)
+	}
+}
+
+func TestParetoSupport(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(1.5, 2); v < 2 {
+			t.Fatalf("Pareto below xmin: %v", v)
+		}
+	}
+}
+
+func TestParetoTailExponent(t *testing.T) {
+	// Empirical CCDF at x should be close to (xmin/x)^alpha.
+	r := New(14)
+	alpha, xmin := 1.2, 1.0
+	n := 200000
+	over10 := 0
+	for i := 0; i < n; i++ {
+		if r.Pareto(alpha, xmin) > 10 {
+			over10++
+		}
+	}
+	got := float64(over10) / float64(n)
+	want := math.Pow(xmin/10, alpha)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("Pareto CCDF(10) = %v, want ~%v", got, want)
+	}
+}
+
+func TestParetoTruncBounds(t *testing.T) {
+	r := New(15)
+	for i := 0; i < 10000; i++ {
+		v := r.ParetoTrunc(0.8, 60, 86400)
+		if v < 60 || v > 86400*1.0000001 {
+			t.Fatalf("ParetoTrunc out of bounds: %v", v)
+		}
+	}
+	// Degenerate truncation collapses to xmin.
+	if v := r.ParetoTrunc(1, 5, 5); v != 5 {
+		t.Fatalf("ParetoTrunc degenerate = %v, want 5", v)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(17)
+	n := 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(18)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooseDistinct(t *testing.T) {
+	r := New(19)
+	err := quick.Check(func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		k := int(kRaw) % (n + 1)
+		c := r.Choose(n, k)
+		if len(c) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range c {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooseUniformCoverage(t *testing.T) {
+	// Each element should be chosen with probability k/n.
+	r := New(20)
+	n, k, trials := 10, 3, 60000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.Choose(n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n)
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("element %d chosen %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(21)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkExponential(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exponential(1)
+	}
+}

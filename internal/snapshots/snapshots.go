@@ -1,0 +1,235 @@
+// Package snapshots analyzes the instantaneous contact graph of a trace:
+// which contacts are active at a moment, how connected the moment is,
+// and how clustered. It quantifies the structure behind two of the
+// paper's observations — the long-contact case collapses to static
+// connectivity when the instantaneous graph percolates (§3.2.3, "the
+// network is essentially almost-simultaneously connected"), and
+// small-delay multi-hop delivery is governed by the size, diameter and
+// clustering of the moment's components (§5.3.1, §6).
+package snapshots
+
+import (
+	"math"
+	"sort"
+
+	"opportunet/internal/trace"
+)
+
+// Snapshot summarizes the instantaneous contact graph at one moment.
+type Snapshot struct {
+	// Time is the probed instant.
+	Time float64
+	// ActiveContacts is the number of contacts covering the instant.
+	ActiveContacts int
+	// ActiveDevices is the number of devices with at least one active
+	// contact.
+	ActiveDevices int
+	// MeanDegree is the average degree over all devices of the trace.
+	MeanDegree float64
+	// Components is the number of connected components among active
+	// devices (isolated devices not counted).
+	Components int
+	// LargestComponent is the device count of the largest component
+	// (0 when nothing is active).
+	LargestComponent int
+	// LargestEccentricity is the graph eccentricity of the largest
+	// component (its hop diameter): the longest shortest path inside it.
+	LargestEccentricity int
+	// Clustering is the global clustering coefficient (3 × triangles /
+	// connected triples); NaN when no device has degree ≥ 2.
+	Clustering float64
+}
+
+// At computes the snapshot of the trace's contact graph at time t.
+// Duplicate edges between a pair are collapsed.
+func At(tr *trace.Trace, t float64) Snapshot {
+	n := tr.NumNodes()
+	adjSet := make(map[uint64]struct{})
+	adj := make([][]int32, n)
+	active := 0
+	for _, c := range tr.Contacts {
+		if c.Beg > t || c.End < t {
+			continue
+		}
+		active++
+		a, b := c.A, c.B
+		if a > b {
+			a, b = b, a
+		}
+		key := uint64(uint32(a))<<32 | uint64(uint32(b))
+		if _, dup := adjSet[key]; dup {
+			continue
+		}
+		adjSet[key] = struct{}{}
+		adj[a] = append(adj[a], int32(b))
+		adj[b] = append(adj[b], int32(a))
+	}
+	s := Snapshot{Time: t, ActiveContacts: active}
+	edges := len(adjSet)
+	if n > 0 {
+		s.MeanDegree = 2 * float64(edges) / float64(n)
+	}
+	// Components by BFS; track the largest for its eccentricity.
+	seen := make([]bool, n)
+	var largest []int32
+	for v := 0; v < n; v++ {
+		if seen[v] || len(adj[v]) == 0 {
+			continue
+		}
+		s.Components++
+		comp := bfsComponent(adj, int32(v), seen)
+		s.ActiveDevices += len(comp)
+		if len(comp) > len(largest) {
+			largest = comp
+		}
+	}
+	s.LargestComponent = len(largest)
+	if len(largest) > 0 {
+		s.LargestEccentricity = eccentricity(adj, largest)
+	}
+	s.Clustering = clustering(adj)
+	return s
+}
+
+// bfsComponent collects the component of start, marking seen.
+func bfsComponent(adj [][]int32, start int32, seen []bool) []int32 {
+	queue := []int32{start}
+	seen[start] = true
+	for i := 0; i < len(queue); i++ {
+		for _, w := range adj[queue[i]] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return queue
+}
+
+// eccentricity returns the largest BFS depth between any two members of
+// the component (its hop diameter). Components in our traces are small
+// (tens of devices), so all-pairs BFS is fine.
+func eccentricity(adj [][]int32, comp []int32) int {
+	best := 0
+	dist := make(map[int32]int, len(comp))
+	for _, src := range comp {
+		for k := range dist {
+			delete(dist, k)
+		}
+		dist[src] = 0
+		queue := []int32{src}
+		for i := 0; i < len(queue); i++ {
+			v := queue[i]
+			for _, w := range adj[v] {
+				if _, ok := dist[w]; !ok {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+					if dist[w] > best {
+						best = dist[w]
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// clustering returns the global clustering coefficient of the graph.
+func clustering(adj [][]int32) float64 {
+	triangles, triples := 0, 0
+	for v := range adj {
+		d := len(adj[v])
+		if d < 2 {
+			continue
+		}
+		triples += d * (d - 1) / 2
+		// Count edges among neighbors.
+		set := make(map[int32]struct{}, d)
+		for _, w := range adj[v] {
+			set[w] = struct{}{}
+		}
+		for _, w := range adj[v] {
+			for _, x := range adj[w] {
+				if x == int32(v) {
+					continue
+				}
+				if _, ok := set[x]; ok {
+					triangles++ // counted twice per (v,w,x) ordered pair
+				}
+			}
+		}
+	}
+	if triples == 0 {
+		return math.NaN()
+	}
+	// Each triangle is seen 2× per corner = 6× total; closed triples are
+	// 3 per triangle: coefficient = 3T / triples = (triangles/2) / triples...
+	// triangles variable holds 2× per corner: total = 6T. 3T/triples =
+	// (triangles/2)/triples.
+	return float64(triangles) / 2 / float64(triples)
+}
+
+// Series computes snapshots at the given instants, sorted by time.
+func Series(tr *trace.Trace, times []float64) []Snapshot {
+	ts := append([]float64(nil), times...)
+	sort.Float64s(ts)
+	out := make([]Snapshot, len(ts))
+	for i, t := range ts {
+		out[i] = At(tr, t)
+	}
+	return out
+}
+
+// Summary aggregates a snapshot series.
+type Summary struct {
+	Samples int
+	// MeanDegree averages the per-snapshot mean degree.
+	MeanDegree float64
+	// MeanLargestFraction is the average fraction of internal devices in
+	// the largest instantaneous component.
+	MeanLargestFraction float64
+	// MaxEccentricity is the largest instantaneous hop diameter seen.
+	MaxEccentricity int
+	// MeanClustering averages the defined clustering coefficients.
+	MeanClustering float64
+	// ConnectedFraction is the fraction of snapshots whose largest
+	// component holds a majority of the devices.
+	ConnectedFraction float64
+}
+
+// Summarize aggregates snapshots against the trace's internal device
+// count.
+func Summarize(tr *trace.Trace, snaps []Snapshot) Summary {
+	s := Summary{Samples: len(snaps)}
+	if len(snaps) == 0 {
+		return s
+	}
+	n := float64(tr.NumInternal())
+	if n == 0 {
+		n = float64(tr.NumNodes())
+	}
+	clusterCount := 0
+	for _, sn := range snaps {
+		s.MeanDegree += sn.MeanDegree
+		s.MeanLargestFraction += float64(sn.LargestComponent) / n
+		if sn.LargestEccentricity > s.MaxEccentricity {
+			s.MaxEccentricity = sn.LargestEccentricity
+		}
+		if !math.IsNaN(sn.Clustering) {
+			s.MeanClustering += sn.Clustering
+			clusterCount++
+		}
+		if float64(sn.LargestComponent) > n/2 {
+			s.ConnectedFraction++
+		}
+	}
+	s.MeanDegree /= float64(len(snaps))
+	s.MeanLargestFraction /= float64(len(snaps))
+	s.ConnectedFraction /= float64(len(snaps))
+	if clusterCount > 0 {
+		s.MeanClustering /= float64(clusterCount)
+	} else {
+		s.MeanClustering = math.NaN()
+	}
+	return s
+}

@@ -1,0 +1,144 @@
+package snapshots
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/trace"
+)
+
+// star at t=10: 0-1, 0-2, 0-3; plus a separate pair 4-5; device 6 idle.
+func starTrace() *trace.Trace {
+	return &trace.Trace{
+		Start: 0, End: 100, Kinds: make([]trace.Kind, 7),
+		Contacts: []trace.Contact{
+			{A: 0, B: 1, Beg: 5, End: 15},
+			{A: 0, B: 2, Beg: 5, End: 15},
+			{A: 0, B: 3, Beg: 5, End: 15},
+			{A: 4, B: 5, Beg: 8, End: 12},
+			{A: 1, B: 2, Beg: 50, End: 60}, // later, inactive at t=10
+		},
+	}
+}
+
+func TestAtStar(t *testing.T) {
+	s := At(starTrace(), 10)
+	if s.ActiveContacts != 4 {
+		t.Errorf("ActiveContacts = %d, want 4", s.ActiveContacts)
+	}
+	if s.ActiveDevices != 6 {
+		t.Errorf("ActiveDevices = %d, want 6", s.ActiveDevices)
+	}
+	if s.Components != 2 {
+		t.Errorf("Components = %d, want 2", s.Components)
+	}
+	if s.LargestComponent != 4 {
+		t.Errorf("LargestComponent = %d, want 4", s.LargestComponent)
+	}
+	// Star of 4: diameter 2 (leaf to leaf via hub).
+	if s.LargestEccentricity != 2 {
+		t.Errorf("LargestEccentricity = %d, want 2", s.LargestEccentricity)
+	}
+	// Star has no triangles: clustering 0 (triples exist at the hub).
+	if s.Clustering != 0 {
+		t.Errorf("Clustering = %v, want 0", s.Clustering)
+	}
+	// Mean degree: edges 4, devices 7 -> 8/7.
+	if math.Abs(s.MeanDegree-8.0/7) > 1e-12 {
+		t.Errorf("MeanDegree = %v", s.MeanDegree)
+	}
+}
+
+func TestAtQuietInstant(t *testing.T) {
+	s := At(starTrace(), 30)
+	if s.ActiveContacts != 0 || s.Components != 0 || s.LargestComponent != 0 {
+		t.Errorf("quiet snapshot not empty: %+v", s)
+	}
+	if !math.IsNaN(s.Clustering) {
+		t.Errorf("quiet clustering = %v, want NaN", s.Clustering)
+	}
+}
+
+func TestAtTriangleClustering(t *testing.T) {
+	tr := &trace.Trace{
+		Start: 0, End: 10, Kinds: make([]trace.Kind, 3),
+		Contacts: []trace.Contact{
+			{A: 0, B: 1, Beg: 0, End: 10},
+			{A: 1, B: 2, Beg: 0, End: 10},
+			{A: 0, B: 2, Beg: 0, End: 10},
+		},
+	}
+	s := At(tr, 5)
+	if s.Clustering != 1 {
+		t.Errorf("triangle clustering = %v, want 1", s.Clustering)
+	}
+	if s.LargestEccentricity != 1 {
+		t.Errorf("triangle eccentricity = %d, want 1", s.LargestEccentricity)
+	}
+}
+
+func TestAtCollapsesDuplicateEdges(t *testing.T) {
+	tr := &trace.Trace{
+		Start: 0, End: 10, Kinds: make([]trace.Kind, 2),
+		Contacts: []trace.Contact{
+			{A: 0, B: 1, Beg: 0, End: 10},
+			{A: 1, B: 0, Beg: 2, End: 8},
+		},
+	}
+	s := At(tr, 5)
+	if s.ActiveContacts != 2 {
+		t.Errorf("ActiveContacts = %d, want 2", s.ActiveContacts)
+	}
+	if s.MeanDegree != 1 { // one unique edge over two devices
+		t.Errorf("MeanDegree = %v, want 1", s.MeanDegree)
+	}
+}
+
+func TestSeriesSorted(t *testing.T) {
+	snaps := Series(starTrace(), []float64{55, 10, 30})
+	if len(snaps) != 3 {
+		t.Fatalf("len = %d", len(snaps))
+	}
+	if snaps[0].Time != 10 || snaps[2].Time != 55 {
+		t.Fatalf("series not sorted: %+v", snaps)
+	}
+	if snaps[2].ActiveContacts != 1 {
+		t.Fatalf("snapshot at 55 should see the late contact")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := starTrace()
+	snaps := Series(tr, []float64{10, 30, 55})
+	sum := Summarize(tr, snaps)
+	if sum.Samples != 3 {
+		t.Fatalf("Samples = %d", sum.Samples)
+	}
+	// Largest fractions: 4/7, 0, 2/7 -> mean 6/21.
+	if math.Abs(sum.MeanLargestFraction-6.0/21) > 1e-12 {
+		t.Errorf("MeanLargestFraction = %v", sum.MeanLargestFraction)
+	}
+	if sum.MaxEccentricity != 2 {
+		t.Errorf("MaxEccentricity = %d", sum.MaxEccentricity)
+	}
+	// Majority connected in none of the snapshots (4/7 > 3.5 → actually
+	// 4 > 3.5 at t=10!).
+	if math.Abs(sum.ConnectedFraction-1.0/3) > 1e-12 {
+		t.Errorf("ConnectedFraction = %v", sum.ConnectedFraction)
+	}
+	empty := Summarize(tr, nil)
+	if empty.Samples != 0 {
+		t.Error("empty summary wrong")
+	}
+}
+
+func TestSummarizeUsesInternalCount(t *testing.T) {
+	tr := starTrace()
+	tr.Kinds[5] = trace.External
+	tr.Kinds[6] = trace.External
+	snaps := []Snapshot{{LargestComponent: 5}}
+	sum := Summarize(tr, snaps)
+	if sum.MeanLargestFraction != 1 {
+		t.Errorf("fraction = %v, want 1 (5 internal devices)", sum.MeanLargestFraction)
+	}
+}

@@ -1,0 +1,298 @@
+// Package stats provides the small statistics toolkit shared by the trace
+// analysis and experiment harness: exact empirical distributions that can
+// carry probability mass at +Inf (messages that are never delivered),
+// weighted samples, time grids, and basic summary statistics.
+//
+// The paper reports every empirical result as a CDF or CCDF over delays or
+// contact durations, with an explicit infinite value included in the
+// distribution when no path exists (§5.3.1); Dist mirrors that convention.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist is an empirical distribution built from weighted observations.
+// Observations may be +Inf; their weight contributes to the total mass so
+// that CDF values are fractions of all observations, exactly as the paper
+// includes "an infinite value in the distribution" for unreachable pairs.
+type Dist struct {
+	xs      []float64 // sorted finite observations
+	ws      []float64 // weights aligned with xs
+	cum     []float64 // cumulative weights (prefix sums over ws)
+	infMass float64   // total weight observed at +Inf
+	total   float64   // total weight incl. infMass
+	sorted  bool
+}
+
+// Add records one observation with weight 1.
+func (d *Dist) Add(x float64) { d.AddWeighted(x, 1) }
+
+// AddWeighted records an observation with the given weight. Non-positive
+// weights are ignored. NaN observations are rejected by panic since they
+// always indicate a bug upstream.
+func (d *Dist) AddWeighted(x, w float64) {
+	if w <= 0 {
+		return
+	}
+	if math.IsNaN(x) {
+		panic("stats: NaN observation")
+	}
+	if math.IsInf(x, 1) {
+		d.infMass += w
+		d.total += w
+		return
+	}
+	d.xs = append(d.xs, x)
+	d.ws = append(d.ws, w)
+	d.total += w
+	d.sorted = false
+}
+
+// Merge folds all observations of other into d.
+func (d *Dist) Merge(other *Dist) {
+	if other == nil {
+		return
+	}
+	d.xs = append(d.xs, other.xs...)
+	d.ws = append(d.ws, other.ws...)
+	d.infMass += other.infMass
+	d.total += other.total
+	d.sorted = false
+}
+
+// N returns the total weight of all observations, including infinite ones.
+func (d *Dist) N() float64 { return d.total }
+
+// InfMass returns the total weight observed at +Inf.
+func (d *Dist) InfMass() float64 { return d.infMass }
+
+func (d *Dist) ensureSorted() {
+	if d.sorted {
+		return
+	}
+	idx := make([]int, len(d.xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d.xs[idx[a]] < d.xs[idx[b]] })
+	xs := make([]float64, len(d.xs))
+	ws := make([]float64, len(d.ws))
+	for i, j := range idx {
+		xs[i] = d.xs[j]
+		ws[i] = d.ws[j]
+	}
+	d.xs, d.ws = xs, ws
+	d.cum = d.cum[:0]
+	run := 0.0
+	for _, w := range ws {
+		run += w
+		d.cum = append(d.cum, run)
+	}
+	d.sorted = true
+}
+
+// CDF returns P[X <= x] as a fraction of the total mass (infinite
+// observations count in the denominator and never in the numerator).
+// It returns 0 for an empty distribution.
+func (d *Dist) CDF(x float64) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	// Rightmost index with xs[i] <= x.
+	i := sort.SearchFloat64s(d.xs, math.Nextafter(x, math.Inf(1)))
+	if i == 0 {
+		return 0
+	}
+	return d.cum[i-1] / d.total
+}
+
+// CCDF returns P[X > x] = 1 - CDF(x).
+func (d *Dist) CCDF(x float64) float64 { return 1 - d.CDF(x) }
+
+// Quantile returns the smallest finite observation x with CDF(x) >= q,
+// or +Inf if the finite mass is insufficient (e.g. the median of a
+// distribution whose majority mass is at +Inf). q outside (0, 1] is
+// clamped.
+func (d *Dist) Quantile(q float64) float64 {
+	if d.total == 0 {
+		return math.Inf(1)
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	d.ensureSorted()
+	target := q * d.total
+	i := sort.Search(len(d.cum), func(i int) bool { return d.cum[i] >= target-1e-12 })
+	if i == len(d.cum) {
+		return math.Inf(1)
+	}
+	return d.xs[i]
+}
+
+// Mean returns the mean of the finite observations, ignoring infinite
+// mass; it returns NaN for an empty distribution. Use FiniteFraction to
+// learn how much mass was ignored.
+func (d *Dist) Mean() float64 {
+	fin := d.total - d.infMass
+	if fin <= 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i, x := range d.xs {
+		sum += x * d.ws[i]
+	}
+	return sum / fin
+}
+
+// FiniteFraction returns the fraction of the total mass that is finite.
+func (d *Dist) FiniteFraction() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return (d.total - d.infMass) / d.total
+}
+
+// Min returns the smallest finite observation, or +Inf if there is none.
+func (d *Dist) Min() float64 {
+	if len(d.xs) == 0 {
+		return math.Inf(1)
+	}
+	d.ensureSorted()
+	return d.xs[0]
+}
+
+// Max returns the largest finite observation, or -Inf if there is none.
+func (d *Dist) Max() float64 {
+	if len(d.xs) == 0 {
+		return math.Inf(-1)
+	}
+	d.ensureSorted()
+	return d.xs[len(d.xs)-1]
+}
+
+// LogSpace returns n points logarithmically spaced over [lo, hi]
+// inclusive. It panics if lo <= 0, hi < lo or n < 2: a log grid needs a
+// strictly positive span and at least its two endpoints.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi < lo || n < 2 {
+		panic("stats: invalid LogSpace parameters")
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		f := float64(i) / float64(n-1)
+		out[i] = math.Exp(llo + f*(lhi-llo))
+	}
+	// Force exact endpoints despite rounding.
+	out[0], out[n-1] = lo, hi
+	return out
+}
+
+// LinSpace returns n points linearly spaced over [lo, hi] inclusive.
+// It panics if hi < lo or n < 2.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if hi < lo || n < 2 {
+		panic("stats: invalid LinSpace parameters")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		f := float64(i) / float64(n-1)
+		out[i] = lo + f*(hi-lo)
+	}
+	out[0], out[n-1] = lo, hi
+	return out
+}
+
+// Summary holds the basic moments of a finite sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64
+	Min      float64
+	Max      float64
+}
+
+// Summarize computes a Summary over xs. Variance is the population
+// variance. An empty sample yields a zero Summary with Min=+Inf,
+// Max=-Inf.
+func Summarize(xs []float64) Summary {
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.N = len(xs)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	ss := 0.0
+	for _, x := range xs {
+		dx := x - s.Mean
+		ss += dx * dx
+	}
+	s.Variance = ss / float64(s.N)
+	return s
+}
+
+// Median returns the median of xs (average of the two middle elements for
+// even length). It returns NaN for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// HillTailExponent estimates the power-law tail exponent α of a sample
+// (P[X > x] ~ x^{-α}) from its k largest order statistics, using the
+// Hill estimator: the reciprocal of the mean log-excess over the k-th
+// largest value. It returns NaN when fewer than k+1 positive values are
+// available or k < 1. Measured inter-contact times are the classic use:
+// prior work the paper builds on reports α ≈ 0.3–1 over minutes-to-hours
+// time scales.
+func HillTailExponent(xs []float64, k int) float64 {
+	if k < 1 {
+		return math.NaN()
+	}
+	var pos []float64
+	for _, x := range xs {
+		if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) {
+			pos = append(pos, x)
+		}
+	}
+	if len(pos) < k+1 {
+		return math.NaN()
+	}
+	sort.Float64s(pos)
+	ref := pos[len(pos)-k-1]
+	if ref <= 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := len(pos) - k; i < len(pos); i++ {
+		sum += math.Log(pos[i] / ref)
+	}
+	if sum <= 0 {
+		return math.NaN()
+	}
+	return float64(k) / sum
+}

@@ -1,0 +1,315 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistCDFBasic(t *testing.T) {
+	var d Dist
+	for _, x := range []float64{1, 2, 3, 4} {
+		d.Add(x)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := d.CDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDistInfiniteMass(t *testing.T) {
+	var d Dist
+	d.Add(10)
+	d.Add(math.Inf(1))
+	d.Add(math.Inf(1))
+	d.Add(20)
+	if got := d.CDF(15); got != 0.25 {
+		t.Errorf("CDF(15) = %v, want 0.25", got)
+	}
+	if got := d.CDF(1e18); got != 0.5 {
+		t.Errorf("CDF(huge) = %v, want 0.5 (inf mass excluded)", got)
+	}
+	if d.InfMass() != 2 {
+		t.Errorf("InfMass = %v, want 2", d.InfMass())
+	}
+	if d.FiniteFraction() != 0.5 {
+		t.Errorf("FiniteFraction = %v, want 0.5", d.FiniteFraction())
+	}
+}
+
+func TestDistWeighted(t *testing.T) {
+	var d Dist
+	d.AddWeighted(1, 3)
+	d.AddWeighted(2, 1)
+	if got := d.CDF(1); got != 0.75 {
+		t.Errorf("weighted CDF(1) = %v, want 0.75", got)
+	}
+	d.AddWeighted(5, 0)  // ignored
+	d.AddWeighted(5, -1) // ignored
+	if d.N() != 4 {
+		t.Errorf("N = %v, want 4", d.N())
+	}
+}
+
+func TestDistQuantile(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	if got := d.Quantile(0.5); got != 50 {
+		t.Errorf("Quantile(0.5) = %v, want 50", got)
+	}
+	if got := d.Quantile(0.99); got != 99 {
+		t.Errorf("Quantile(0.99) = %v, want 99", got)
+	}
+	if got := d.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v, want 100", got)
+	}
+}
+
+func TestDistQuantileWithInf(t *testing.T) {
+	var d Dist
+	d.Add(1)
+	d.Add(math.Inf(1))
+	d.Add(math.Inf(1))
+	d.Add(math.Inf(1))
+	if got := d.Quantile(0.25); got != 1 {
+		t.Errorf("Quantile(0.25) = %v, want 1", got)
+	}
+	if got := d.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Errorf("Quantile(0.5) = %v, want +Inf", got)
+	}
+}
+
+func TestDistMerge(t *testing.T) {
+	var a, b Dist
+	a.Add(1)
+	a.Add(math.Inf(1))
+	b.Add(3)
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.N() != 3 {
+		t.Fatalf("merged N = %v, want 3", a.N())
+	}
+	if got := a.CDF(2); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("merged CDF(2) = %v, want 1/3", got)
+	}
+}
+
+func TestDistMean(t *testing.T) {
+	var d Dist
+	d.Add(2)
+	d.Add(4)
+	d.Add(math.Inf(1))
+	if got := d.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3 (finite only)", got)
+	}
+	var empty Dist
+	if !math.IsNaN(empty.Mean()) {
+		t.Error("Mean of empty dist should be NaN")
+	}
+}
+
+func TestDistMinMax(t *testing.T) {
+	var d Dist
+	if !math.IsInf(d.Min(), 1) || !math.IsInf(d.Max(), -1) {
+		t.Fatal("empty dist Min/Max sentinel wrong")
+	}
+	d.Add(5)
+	d.Add(-2)
+	d.Add(math.Inf(1))
+	if d.Min() != -2 || d.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want -2/5", d.Min(), d.Max())
+	}
+}
+
+func TestDistCDFMonotoneProperty(t *testing.T) {
+	// CDF must be non-decreasing and bounded to [0,1] for arbitrary data.
+	err := quick.Check(func(raw []float64, probes []float64) bool {
+		var d Dist
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			if math.IsInf(x, -1) {
+				continue
+			}
+			d.Add(math.Abs(x))
+		}
+		sort.Float64s(probes)
+		prev := -1.0
+		for _, p := range probes {
+			if math.IsNaN(p) {
+				continue
+			}
+			v := d.CDF(p)
+			if v < 0 || v > 1 || v+1e-12 < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistAddNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(NaN) did not panic")
+		}
+	}()
+	var d Dist
+	d.Add(math.NaN())
+}
+
+func TestLogSpace(t *testing.T) {
+	g := LogSpace(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(g[i]-want[i])/want[i] > 1e-9 {
+			t.Errorf("LogSpace[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+}
+
+func TestLogSpaceEndpoints(t *testing.T) {
+	g := LogSpace(120, 604800, 50)
+	if g[0] != 120 || g[len(g)-1] != 604800 {
+		t.Fatalf("endpoints %v, %v", g[0], g[len(g)-1])
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("LogSpace not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestLogSpacePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { LogSpace(0, 1, 3) },
+		func() { LogSpace(2, 1, 3) },
+		func() { LogSpace(1, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid LogSpace did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	g := LinSpace(0, 10, 11)
+	for i := range g {
+		if math.Abs(g[i]-float64(i)) > 1e-12 {
+			t.Errorf("LinSpace[%d] = %v, want %d", i, g[i], i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if math.Abs(s.Variance-1.25) > 1e-12 {
+		t.Fatalf("variance %v, want 1.25", s.Variance)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsInf(empty.Min, 1) {
+		t.Fatalf("empty summary wrong: %+v", empty)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+	// Input must not be reordered.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median modified its input")
+	}
+}
+
+func TestQuantileCDFInverseProperty(t *testing.T) {
+	// For any sample, CDF(Quantile(q)) >= q when Quantile is finite.
+	err := quick.Check(func(raw []float64, qRaw float64) bool {
+		var d Dist
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			d.Add(x)
+		}
+		if d.N() == 0 {
+			return true
+		}
+		q := math.Mod(math.Abs(qRaw), 1)
+		if q == 0 {
+			q = 0.5
+		}
+		x := d.Quantile(q)
+		if math.IsInf(x, 1) {
+			return true
+		}
+		return d.CDF(x)+1e-9 >= q
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHillTailExponentOnPareto(t *testing.T) {
+	// Pure Pareto(α) samples: the Hill estimator must recover α.
+	for _, alpha := range []float64{0.8, 1.5, 2.5} {
+		xs := make([]float64, 20000)
+		// Inverse-CDF sampling with a deterministic low-discrepancy
+		// sequence keeps the test stable without an RNG dependency.
+		for i := range xs {
+			u := (float64(i) + 0.5) / float64(len(xs))
+			xs[i] = math.Pow(1-u, -1/alpha)
+		}
+		got := HillTailExponent(xs, 2000)
+		if math.Abs(got-alpha)/alpha > 0.1 {
+			t.Errorf("alpha=%v: Hill estimate %v", alpha, got)
+		}
+	}
+}
+
+func TestHillTailExponentDegenerate(t *testing.T) {
+	if !math.IsNaN(HillTailExponent(nil, 10)) {
+		t.Error("empty sample should give NaN")
+	}
+	if !math.IsNaN(HillTailExponent([]float64{1, 2, 3}, 0)) {
+		t.Error("k=0 should give NaN")
+	}
+	if !math.IsNaN(HillTailExponent([]float64{1, 2}, 5)) {
+		t.Error("k larger than sample should give NaN")
+	}
+	if !math.IsNaN(HillTailExponent([]float64{-1, 0, math.NaN()}, 1)) {
+		t.Error("no positive values should give NaN")
+	}
+	// Constant sample: zero log-excess -> NaN.
+	if !math.IsNaN(HillTailExponent([]float64{5, 5, 5, 5}, 2)) {
+		t.Error("constant sample should give NaN")
+	}
+}

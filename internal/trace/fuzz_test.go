@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary text to the trace parser: it must never
+// panic, and whatever it accepts must survive a write/read round trip
+// unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("# trace x\n# nodes 3\n0 1 0 5\n1 2 3 9\n")
+	f.Add("0 1 0 5\n")
+	f.Add("# external 1\n# nodes 2\n0 1 1e3 2e3\n")
+	f.Add("# granularity 120\n# window 0 100\n")
+	f.Add("garbage\n\n# nodes\n")
+	f.Add("0 1 5 4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted traces must be valid and round-trippable.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("Write failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumNodes() != tr.NumNodes() || len(back.Contacts) != len(tr.Contacts) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.NumNodes(), len(back.Contacts), tr.NumNodes(), len(tr.Contacts))
+		}
+		for i := range back.Contacts {
+			if back.Contacts[i] != tr.Contacts[i] {
+				t.Fatalf("round trip changed contact %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is a line-oriented text format close to the one used
+// for published iMote trace releases:
+//
+//	# trace infocom05
+//	# granularity 120
+//	# window 0 259200
+//	# nodes 41
+//	# external 38 39 40
+//	0 1 3600 3720
+//	...
+//
+// Header lines start with '#'; body lines are "A B Beg End". The
+// "external" header lists device IDs that are external Bluetooth devices;
+// all others are internal.
+
+// Write serializes the trace in the text format above.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# trace %s\n", t.Name)
+	fmt.Fprintf(bw, "# granularity %g\n", t.Granularity)
+	fmt.Fprintf(bw, "# window %g %g\n", t.Start, t.End)
+	fmt.Fprintf(bw, "# nodes %d\n", t.NumNodes())
+	var ext []string
+	for id, k := range t.Kinds {
+		if k == External {
+			ext = append(ext, strconv.Itoa(id))
+		}
+	}
+	if len(ext) > 0 {
+		fmt.Fprintf(bw, "# external %s\n", strings.Join(ext, " "))
+	}
+	for _, c := range t.Contacts {
+		fmt.Fprintf(bw, "%d %d %g %g\n", c.A, c.B, c.Beg, c.End)
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace from the text format written by Write. It
+// validates the result before returning it.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var external []int
+	nodes := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(strings.TrimPrefix(text, "#"))
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "trace":
+				if len(fields) > 1 {
+					t.Name = fields[1]
+				}
+			case "granularity":
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("trace: line %d: malformed granularity header", line)
+				}
+				g, err := strconv.ParseFloat(fields[1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: %v", line, err)
+				}
+				t.Granularity = g
+			case "window":
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("trace: line %d: malformed window header", line)
+				}
+				a, err1 := strconv.ParseFloat(fields[1], 64)
+				b, err2 := strconv.ParseFloat(fields[2], 64)
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("trace: line %d: malformed window values", line)
+				}
+				t.Start, t.End = a, b
+			case "nodes":
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("trace: line %d: malformed nodes header", line)
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("trace: line %d: bad node count %q", line, fields[1])
+				}
+				nodes = n
+			case "external":
+				for _, f := range fields[1:] {
+					id, err := strconv.Atoi(f)
+					if err != nil {
+						return nil, fmt.Errorf("trace: line %d: bad external id %q", line, f)
+					}
+					external = append(external, id)
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(fields))
+		}
+		a, err1 := strconv.Atoi(fields[0])
+		b, err2 := strconv.Atoi(fields[1])
+		beg, err3 := strconv.ParseFloat(fields[2], 64)
+		end, err4 := strconv.ParseFloat(fields[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("trace: line %d: malformed contact %q", line, text)
+		}
+		t.Contacts = append(t.Contacts, Contact{A: NodeID(a), B: NodeID(b), Beg: beg, End: end})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if nodes < 0 {
+		// Infer from the highest device ID seen.
+		maxID := -1
+		for _, c := range t.Contacts {
+			if int(c.A) > maxID {
+				maxID = int(c.A)
+			}
+			if int(c.B) > maxID {
+				maxID = int(c.B)
+			}
+		}
+		nodes = maxID + 1
+	}
+	t.Kinds = make([]Kind, nodes)
+	for _, id := range external {
+		if id < 0 || id >= nodes {
+			return nil, fmt.Errorf("trace: external id %d out of range (nodes=%d)", id, nodes)
+		}
+		t.Kinds[id] = External
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"opportunet/internal/rng"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tr := tiny()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Granularity != tr.Granularity ||
+		got.Start != tr.Start || got.End != tr.End {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, tr)
+	}
+	if got.NumNodes() != tr.NumNodes() || got.NumInternal() != tr.NumInternal() {
+		t.Fatalf("device set mismatch")
+	}
+	if len(got.Contacts) != len(tr.Contacts) {
+		t.Fatalf("contact count %d, want %d", len(got.Contacts), len(tr.Contacts))
+	}
+	for i := range got.Contacts {
+		if got.Contacts[i] != tr.Contacts[i] {
+			t.Fatalf("contact %d: %+v vs %+v", i, got.Contacts[i], tr.Contacts[i])
+		}
+	}
+}
+
+func TestRoundTripPropertyRandomTraces(t *testing.T) {
+	// Any structurally valid random trace must survive a write/read cycle.
+	r := rng.New(99)
+	err := quick.Check(func(seed uint64) bool {
+		n := 2 + r.Intn(20)
+		tr := &Trace{Name: "prop", Granularity: 60, Start: 0, End: 10000, Kinds: make([]Kind, n)}
+		for i := range tr.Kinds {
+			if r.Bool(0.2) {
+				tr.Kinds[i] = External
+			}
+		}
+		for c := 0; c < r.Intn(50); c++ {
+			a := NodeID(r.Intn(n))
+			b := NodeID(r.Intn(n))
+			if a == b {
+				continue
+			}
+			beg := r.Uniform(0, 9000)
+			tr.Contacts = append(tr.Contacts, Contact{A: a, B: b, Beg: beg, End: beg + r.Uniform(0, 1000)})
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumNodes() != tr.NumNodes() || len(got.Contacts) != len(tr.Contacts) {
+			return false
+		}
+		for i := range got.Contacts {
+			if got.Contacts[i] != tr.Contacts[i] {
+				return false
+			}
+		}
+		for i := range got.Kinds {
+			if got.Kinds[i] != tr.Kinds[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadInfersNodes(t *testing.T) {
+	in := "0 5 10 20\n1 2 30 40\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 6 {
+		t.Fatalf("inferred %d nodes, want 6", tr.NumNodes())
+	}
+}
+
+func TestReadSkipsBlankAndComments(t *testing.T) {
+	in := "# trace x\n\n# some free comment\n0 1 0 5\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Contacts) != 1 || tr.Name != "x" {
+		t.Fatalf("unexpected parse: %+v", tr)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"0 1 0\n",                   // missing field
+		"0 1 0 5 9\n",               // extra field
+		"a 1 0 5\n",                 // bad id
+		"0 1 x 5\n",                 // bad time
+		"# nodes -3\n0 1 0 5\n",     // bad node count
+		"# nodes two\n",             // unparsable node count
+		"# external 9\n# nodes 2\n", // external out of range
+		"# granularity\n",           // malformed header
+		"# window 1\n",              // malformed window
+		"# nodes 2\n0 1 5 1\n",      // negative duration caught by Validate
+		"# nodes 1\n0 0 1 2\n",      // self contact
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read accepted malformed input %q", in)
+		}
+	}
+}

@@ -1,0 +1,530 @@
+package tracegen
+
+import (
+	"fmt"
+	"math"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+// Config describes one synthetic data set. The default configurations in
+// datasets.go are calibrated to the paper's Table 1; Generate accepts any
+// combination for parameter studies.
+type Config struct {
+	// Name labels the trace.
+	Name string
+	// Devices is the number of internal (experimental) devices.
+	Devices int
+	// DurationDays is the observation window length.
+	DurationDays float64
+	// Granularity is the Bluetooth scan period in seconds.
+	Granularity float64
+	// Profile is the weekly activity profile; nil means flat.
+	Profile *Profile
+	// StartHour is the hour of the week (0 = Monday 00:00) at which the
+	// trace window opens, anchoring the diurnal pattern.
+	StartHour float64
+	// TargetContacts is the expected number of observed internal
+	// contacts.
+	TargetContacts int
+	// Groups is the number of communities devices are split into; pairs
+	// within a community meet InGroupBoost times more often.
+	Groups int
+	// InGroupBoost multiplies the meeting rate of same-community pairs
+	// (>= 1; 1 disables community structure).
+	InGroupBoost float64
+	// SociabilitySigma is the log-normal σ of per-device sociability
+	// (0 = homogeneous devices).
+	SociabilitySigma float64
+	// GapAlpha is the Pareto shape of inter-contact gaps in activity
+	// time (heavier tail for smaller values; measured human traces show
+	// shapes near 1).
+	GapAlpha float64
+	// GapMaxFactor is the ratio between the truncation point and the
+	// minimum of the gap distribution (the exponential-cutoff time scale
+	// relative to the shortest gaps).
+	GapMaxFactor float64
+	// DurShortFrac is the fraction of true contact durations shorter
+	// than one scan period (observed as a single slot when caught).
+	DurShortFrac float64
+	// DurAlpha is the Pareto shape of the long-duration tail.
+	DurAlpha float64
+	// DurMax caps contact durations, in seconds.
+	DurMax float64
+	// External, when non-zero, adds external Bluetooth devices seen
+	// opportunistically: ExternalDevices devices totalling
+	// ExternalContacts observed contacts with internal devices.
+	ExternalDevices  int
+	ExternalContacts int
+	// RawContacts disables the scanning sampler: true proximity
+	// intervals are emitted instead of scan-aligned observations.
+	RawContacts bool
+
+	// GatheringFrac routes this fraction of contacts through gatherings:
+	// clusters of devices co-located for a while, meeting each other in
+	// bursts. Gatherings give the trace the contemporaneous-clique
+	// structure of real venues (a session room, a lab), without which
+	// pairwise-independent contacts overstate the value of long
+	// simultaneous relay chains and inflate the diameter. 0 disables.
+	GatheringFrac float64
+	// GatheringSize is the mean number of devices per gathering (>= 2
+	// when GatheringFrac > 0).
+	GatheringSize float64
+	// GatheringWindow is the mean gathering length in seconds.
+	GatheringWindow float64
+	// GatheringPairContacts is the mean number of contacts each
+	// co-present pair records during one gathering.
+	GatheringPairContacts float64
+	// GatheringMix is the probability that a gathering member is drawn
+	// from outside the gathering's home community.
+	GatheringMix float64
+	// GatheringMixedFrac is the fraction of gatherings that are fully
+	// mixed (members drawn uniformly from everyone): the coffee-break /
+	// lunch crowd that puts members of distant communities one hop
+	// apart. The rest are community gatherings (session rooms, labs).
+	GatheringMixedFrac float64
+	// GatheringSeatedFrac is the probability that a gathering member is
+	// "seated": seated members of the same gathering record one long
+	// contact per pair (they stay together), everyone else records short
+	// passing contacts. Long contacts are therefore transitive — they
+	// form cliques, as people sitting around the same table do — instead
+	// of accumulating into a random long-contact backbone whose chains
+	// would inflate the diameter.
+	GatheringSeatedFrac float64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Devices < 2:
+		return fmt.Errorf("tracegen: need at least 2 devices, got %d", c.Devices)
+	case c.DurationDays <= 0:
+		return fmt.Errorf("tracegen: non-positive duration %v", c.DurationDays)
+	case c.Granularity <= 0 && !c.RawContacts:
+		return fmt.Errorf("tracegen: non-positive granularity %v", c.Granularity)
+	case c.TargetContacts < 0 || c.ExternalContacts < 0 || c.ExternalDevices < 0:
+		return fmt.Errorf("tracegen: negative counts")
+	case c.Groups < 1:
+		return fmt.Errorf("tracegen: need at least one group")
+	case c.InGroupBoost < 1:
+		return fmt.Errorf("tracegen: InGroupBoost must be >= 1")
+	case c.GapAlpha <= 0 || c.GapMaxFactor <= 1:
+		return fmt.Errorf("tracegen: invalid gap distribution (alpha=%v, maxFactor=%v)", c.GapAlpha, c.GapMaxFactor)
+	case c.DurShortFrac < 0 || c.DurShortFrac > 1:
+		return fmt.Errorf("tracegen: DurShortFrac %v outside [0,1]", c.DurShortFrac)
+	case c.DurAlpha <= 0 || c.DurMax <= 0:
+		return fmt.Errorf("tracegen: invalid duration distribution")
+	case c.GatheringFrac < 0 || c.GatheringFrac > 1:
+		return fmt.Errorf("tracegen: GatheringFrac %v outside [0,1]", c.GatheringFrac)
+	case c.GatheringFrac > 0 && (c.GatheringSize < 2 || c.GatheringWindow <= 0 || c.GatheringPairContacts <= 0):
+		return fmt.Errorf("tracegen: gatherings enabled with invalid parameters")
+	case c.GatheringMix < 0 || c.GatheringMix > 1:
+		return fmt.Errorf("tracegen: GatheringMix %v outside [0,1]", c.GatheringMix)
+	case c.GatheringMixedFrac < 0 || c.GatheringMixedFrac > 1:
+		return fmt.Errorf("tracegen: GatheringMixedFrac %v outside [0,1]", c.GatheringMixedFrac)
+	case c.GatheringSeatedFrac < 0 || c.GatheringSeatedFrac > 1:
+		return fmt.Errorf("tracegen: GatheringSeatedFrac %v outside [0,1]", c.GatheringSeatedFrac)
+	}
+	return nil
+}
+
+// paretoTruncMeanUnit returns the mean of ParetoTrunc(alpha, 1, R).
+func paretoTruncMeanUnit(alpha, ratio float64) float64 {
+	c := 1 - math.Pow(ratio, -alpha)
+	if math.Abs(alpha-1) < 1e-9 {
+		return math.Log(ratio) / c
+	}
+	return alpha / (1 - alpha) * (math.Pow(ratio, 1-alpha) - 1) / c
+}
+
+// Generate produces one synthetic trace from the configuration and seed.
+// The same (config, seed) always yields the identical trace.
+func Generate(cfg Config, seed uint64) (*trace.Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	prof := cfg.Profile
+	if prof == nil {
+		prof = FlatProfile()
+	}
+	horizon := cfg.DurationDays * 86400
+	startAbs := cfg.StartHour * 3600
+	warp := func(t float64) float64 { return prof.Warp(startAbs+t) - prof.Warp(startAbs) }
+	unwarp := func(s float64) float64 { return prof.Unwarp(prof.Warp(startAbs)+s) - startAbs }
+	warpedHorizon := warp(horizon)
+
+	n := cfg.Devices
+	tr := &trace.Trace{
+		Name:        cfg.Name,
+		Granularity: cfg.Granularity,
+		Start:       0,
+		End:         horizon,
+		Kinds:       make([]trace.Kind, n+cfg.ExternalDevices),
+	}
+	for i := 0; i < cfg.ExternalDevices; i++ {
+		tr.Kinds[n+i] = trace.External
+	}
+
+	// Per-device sociability (log-normal, mean 1) and community.
+	soc := make([]float64, n)
+	group := make([]int, n)
+	for i := range soc {
+		soc[i] = math.Exp(cfg.SociabilitySigma*r.Normal() - cfg.SociabilitySigma*cfg.SociabilitySigma/2)
+		group[i] = r.Intn(cfg.Groups)
+	}
+
+	// Pair weights and their sum.
+	weight := func(i, j int) float64 {
+		w := soc[i] * soc[j]
+		if group[i] == group[j] {
+			w *= cfg.InGroupBoost
+		}
+		return w
+	}
+	// The sampler misses a fraction of short contacts; inflate raw
+	// targets so that the observed count matches TargetContacts. The hit
+	// probability of a duration-d contact against a scan period g is
+	// min(1, d/g); estimate its mean over the relevant distributions.
+	hitRenewal, hitShort := 1.0, 1.0
+	if !cfg.RawContacts {
+		const probes = 4000
+		hr := r.Split()
+		sumR, sumS := 0.0, 0.0
+		for i := 0; i < probes; i++ {
+			sumR += math.Min(1, sampleDuration(cfg, hr)/cfg.Granularity)
+			sumS += math.Min(1, shortDuration(cfg, hr)/cfg.Granularity)
+		}
+		hitRenewal = math.Max(0.05, sumR/probes)
+		hitShort = math.Max(0.05, sumS/probes)
+	}
+	targetGather := float64(cfg.TargetContacts) * cfg.GatheringFrac // observed
+	rawRenewal := float64(cfg.TargetContacts) * (1 - cfg.GatheringFrac) / hitRenewal
+
+	// The background process models people moving through the venue or
+	// city: each device takes "walks" — renewal events in activity time
+	// with heavy-tailed gaps — and each walk is a burst of flash contacts
+	// with several nearby devices within a few minutes. Bursting matters
+	// beyond realism: a walker is a low-eccentricity hub that links the
+	// people around its path two hops apart, whereas independent random
+	// pair contacts would create physically impossible direct edges
+	// between distant clusters whose chains inflate the diameter.
+	const meanBurst = 3.0
+	meanUnit := paretoTruncMeanUnit(cfg.GapAlpha, cfg.GapMaxFactor)
+	var sumSoc float64
+	for _, s := range soc {
+		sumSoc += s
+	}
+	// Cumulative weights for partner choice per walker.
+	cum := make([]float64, n)
+	pickPartner := func(i int) int {
+		run := 0.0
+		for j := 0; j < n; j++ {
+			if j == i {
+				cum[j] = run
+				continue
+			}
+			run += weight(i, j)
+			cum[j] = run
+		}
+		x := r.Uniform(0, run)
+		for j := 0; j < n; j++ {
+			if j != i && cum[j] >= x {
+				return j
+			}
+		}
+		return (i + 1) % n
+	}
+	for i := 0; i < n; i++ {
+		expectedWalks := rawRenewal / meanBurst * soc[i] / sumSoc
+		if expectedWalks <= 0 {
+			continue
+		}
+		meanGap := warpedHorizon / expectedWalks
+		gmin := meanGap / meanUnit
+		gmax := gmin * cfg.GapMaxFactor
+		// Renewal in activity time; the first gap is scaled by a uniform
+		// factor to approximate a stationary start.
+		s := r.ParetoTrunc(cfg.GapAlpha, gmin, gmax) * r.Float64()
+		for s < warpedHorizon {
+			walkBeg := unwarp(s)
+			for k := 1 + r.Poisson(meanBurst-1); k > 0; k-- {
+				j := pickPartner(i)
+				beg := walkBeg + r.Uniform(0, 300)
+				dur := sampleDuration(cfg, r)
+				end := math.Min(beg+dur, horizon)
+				emitContact(tr, cfg, r, trace.NodeID(i), trace.NodeID(j), beg, end)
+			}
+			s += r.ParetoTrunc(cfg.GapAlpha, gmin, gmax)
+		}
+	}
+
+	// Gatherings are membership-disjoint within a window, so peak hours
+	// can exhaust the population and under-produce; top-up passes renew
+	// the budget until the emitted volume is close to the target (each
+	// pass is disjoint within itself, so residual cross-membership stays
+	// rare — people occasionally moving rooms mid-window).
+	remaining := targetGather
+	for pass := 0; pass < 4 && remaining > 0.05*targetGather; pass++ {
+		remaining -= generateGatherings(tr, cfg, r, group, warp, horizon, remaining, hitShort)
+	}
+
+	// External devices: passers-by seen a handful of times each. Every
+	// external contact pairs a uniformly chosen external device with a
+	// sociability-weighted internal device at an activity-warped time.
+	// Externals never contact each other — the experiment cannot observe
+	// those meetings (§5.1).
+	if cfg.ExternalDevices > 0 && cfg.ExternalContacts > 0 {
+		// Cumulative sociability for weighted internal choice.
+		cum := make([]float64, n)
+		run := 0.0
+		for i := 0; i < n; i++ {
+			run += soc[i]
+			cum[i] = run
+		}
+		rawExt := int(math.Round(float64(cfg.ExternalContacts) / hitRenewal))
+		for c := 0; c < rawExt; c++ {
+			ext := trace.NodeID(n + r.Intn(cfg.ExternalDevices))
+			x := r.Uniform(0, run)
+			i := 0
+			for cum[i] < x {
+				i++
+			}
+			beg := unwarp(r.Uniform(0, warpedHorizon))
+			dur := sampleDuration(cfg, r)
+			end := math.Min(beg+dur, horizon)
+			emitContact(tr, cfg, r, trace.NodeID(i), ext, beg, end)
+		}
+	}
+
+	tr.SortByBeg()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("tracegen: generated invalid trace: %w", err)
+	}
+	return tr, nil
+}
+
+// generateGatherings emits the gathering component: room-structured
+// co-location. Time is divided into consecutive session windows of
+// length GatheringWindow; during a session each community holds (with an
+// activity-dependent rate) gatherings in its own "room", attended by a
+// subset of its members plus a few outsiders, while fully-mixed "break"
+// gatherings recruit from everyone. Each co-present pair records a
+// Poisson number of meetings inside the window. It returns the expected
+// number of raw contacts actually emitted (before scan sampling).
+//
+// Devices attend at most one room per window — you cannot sit in two
+// rooms at once — while mixed gatherings (hallway hubs) may overlap room
+// membership. GatheringSeatedFrac of the members are seated: each seated
+// pair shares one long contact, everyone else records short passing
+// contacts. Long contacts therefore come in transitive cliques (tables,
+// seat rows), not as an accumulating random backbone; that is what keeps
+// the empirical diameter at the paper's 4-6 instead of letting
+// contemporaneous chains of accidental long contacts pay off at 8+ hops.
+//
+// targetObserved and the returned value are in observed (post-sampling)
+// contacts; hitShort is the scan-hit probability of a short contact.
+func generateGatherings(tr *trace.Trace, cfg Config, r *rng.Source, group []int, warp func(float64) float64, horizon, targetObserved, hitShort float64) float64 {
+	n := cfg.Devices
+	byGroup := make([][]int, cfg.Groups)
+	for i, g := range group {
+		byGroup[g] = append(byGroup[g], i)
+	}
+	// Mixed gatherings (break crowds) draw everyone into one large
+	// component, so they are substantially bigger than community
+	// gatherings; sampleSize reproduces the sizing used below.
+	sampleSize := func(rr *rng.Source, mixed bool) int {
+		mean := cfg.GatheringSize
+		if mixed {
+			mean = 2 + 3*(cfg.GatheringSize-2)
+		}
+		m := 2 + rr.Poisson(mean-2)
+		if m > n {
+			m = n
+		}
+		return m
+	}
+	// Expected observed contacts per gathering, estimated over the
+	// mixture of attendance distributions: each seated pair yields one
+	// long contact (scan hit ≈ 1), every other pair yields
+	// Poisson(GatheringPairContacts) short ones caught with probability
+	// hitShort.
+	const probes = 2000
+	pr := r.Split()
+	perEventSum := 0.0
+	for i := 0; i < probes; i++ {
+		m := sampleSize(pr, pr.Bool(cfg.GatheringMixedFrac))
+		seated := 0
+		for j := 0; j < m; j++ {
+			if pr.Bool(cfg.GatheringSeatedFrac) {
+				seated++
+			}
+		}
+		seatedPairs := float64(seated*(seated-1)) / 2
+		otherPairs := float64(m*(m-1))/2 - seatedPairs
+		perEventSum += seatedPairs + otherPairs*cfg.GatheringPairContacts*hitShort
+	}
+	perEvent := perEventSum / probes
+	window := cfg.GatheringWindow
+	warpedHorizon := warp(horizon)
+	// Expected gatherings per (group, window) are proportional to the
+	// window's share of activity time; the constant calibrates the
+	// expected observed contact count to targetObserved. Poisson sampling
+	// keeps the calibration exact even when peak-hour rates exceed one
+	// gathering per window.
+	scale := targetObserved / (perEvent * float64(cfg.Groups) * warpedHorizon / window)
+	emitted := 0.0
+	for s0 := 0.0; s0 < horizon; s0 += window {
+		s1 := math.Min(s0+window, horizon)
+		lambda := scale * (warp(s1) - warp(s0)) / window
+		busy := make(map[int]bool) // devices already in a room this window
+		for g := 0; g < cfg.Groups; g++ {
+			for ev := r.Poisson(lambda); ev > 0; ev-- {
+				mixed := r.Bool(cfg.GatheringMixedFrac)
+				m := sampleSize(r, mixed)
+				var members []int
+				seen := make(map[int]bool, m)
+				for guard := 0; len(members) < m && guard < 20*m; guard++ {
+					var cand int
+					if !mixed && len(byGroup[g]) > 0 && !r.Bool(cfg.GatheringMix) {
+						cand = byGroup[g][r.Intn(len(byGroup[g]))]
+					} else {
+						cand = r.Intn(n)
+					}
+					// Rooms are mutually disjoint — you cannot sit in two
+					// rooms at once. Mixed gatherings are hallway/break
+					// hubs: they recruit anyone, including room members
+					// (people at the door), which is what keeps
+					// cross-room paths short when they exist at all.
+					if mixed {
+						if !seen[cand] {
+							seen[cand] = true
+							members = append(members, cand)
+						}
+					} else if !busy[cand] && !seen[cand] {
+						busy[cand] = true
+						seen[cand] = true
+						members = append(members, cand)
+					}
+				}
+				seated := make([]bool, len(members))
+				nSeated := 0
+				for i := range seated {
+					seated[i] = r.Bool(cfg.GatheringSeatedFrac)
+					if seated[i] {
+						nSeated++
+					}
+				}
+				for i := 0; i < len(members); i++ {
+					for j := i + 1; j < len(members); j++ {
+						if seated[i] && seated[j] {
+							// One long contact: the pair stays together,
+							// usually until the session ends, sometimes
+							// beyond it.
+							beg := s0 + r.Uniform(0, 0.4*(s1-s0))
+							dur := seatedDuration(cfg, r)
+							if r.Bool(0.8) && beg+dur > s1 {
+								dur = s1 - beg
+							}
+							end := math.Min(beg+dur, horizon)
+							emitContact(tr, cfg, r, trace.NodeID(members[i]), trace.NodeID(members[j]), beg, end)
+							emitted++
+						}
+					}
+				}
+				// Passing contacts happen as "mingle bursts": a member
+				// wanders for a couple of minutes and flashes past
+				// several co-members nearly simultaneously. A burst is a
+				// star — its center reaches everyone it brushed in one
+				// hop — so the per-slot contact graph is cliques plus
+				// hubs rather than scattered independent edges, whose
+				// spindly chains would otherwise dominate small-delay
+				// connectivity and inflate the diameter.
+				mm := float64(len(members))
+				totalShort := (mm*(mm-1)/2 - float64(nSeated*(nSeated-1))/2) * cfg.GatheringPairContacts
+				const burstSize = 5.0
+				walksPerMember := totalShort / (mm * burstSize)
+				for i := range members {
+					for w := r.Poisson(walksPerMember); w > 0; w-- {
+						walkAt := s0 + r.Uniform(0, s1-s0)
+						for b := 1 + r.Poisson(burstSize-1); b > 0; b-- {
+							j := r.Intn(len(members))
+							if j == i {
+								continue
+							}
+							emitted += hitShort
+							beg := walkAt + r.Uniform(0, cfg.Granularity)
+							dur := shortDuration(cfg, r)
+							end := math.Min(beg+dur, horizon)
+							emitContact(tr, cfg, r, trace.NodeID(members[i]), trace.NodeID(members[j]), beg, end)
+						}
+					}
+				}
+			}
+		}
+	}
+	return emitted
+}
+
+// shortDuration draws a passing-contact duration: shorter than one scan
+// period, observed (when caught) as a single slot.
+func shortDuration(cfg Config, r *rng.Source) float64 {
+	hi := cfg.Granularity
+	if cfg.RawContacts || hi <= 5 {
+		hi = 120
+	}
+	return r.Uniform(5, hi)
+}
+
+// seatedDuration draws a sitting-together duration: a heavy-tailed spell
+// of at least two scan periods, up to DurMax.
+func seatedDuration(cfg Config, r *rng.Source) float64 {
+	lo := 2 * cfg.Granularity
+	if cfg.RawContacts || cfg.Granularity <= 5 {
+		lo = 240
+	}
+	if lo >= cfg.DurMax {
+		return cfg.DurMax
+	}
+	return r.ParetoTrunc(cfg.DurAlpha, lo, cfg.DurMax)
+}
+
+// sampleDuration draws a renewal/external contact duration: mostly
+// passing contacts, occasionally a long spell (a chance encounter that
+// turns into a conversation).
+func sampleDuration(cfg Config, r *rng.Source) float64 {
+	if r.Bool(cfg.DurShortFrac) {
+		return shortDuration(cfg, r)
+	}
+	return seatedDuration(cfg, r)
+}
+
+// emitContact applies the Bluetooth scanning sampler and appends the
+// observed contact, if any. Scan instants for a pair sit at a random
+// per-contact phase of the granularity grid; a true contact is observed
+// only if a scan falls inside it, from the first covering scan until one
+// period after the last (the device is presumed in range until it fails
+// a scan) — this is what turns most sub-period meetings into single-slot
+// observations and misses many of them, the sampling effect of §5.1.
+func emitContact(tr *trace.Trace, cfg Config, r *rng.Source, a, b trace.NodeID, beg, end float64) {
+	if end <= beg {
+		return
+	}
+	if cfg.RawContacts {
+		tr.Contacts = append(tr.Contacts, trace.Contact{A: a, B: b, Beg: beg, End: end})
+		return
+	}
+	g := cfg.Granularity
+	phase := r.Uniform(0, g)
+	first := phase + g*math.Ceil((beg-phase)/g)
+	if first > end {
+		return // fell between scans: missed
+	}
+	last := phase + g*math.Floor((end-phase)/g)
+	obsEnd := math.Min(last+g, tr.End)
+	obsBeg := math.Max(first, 0)
+	if obsEnd <= obsBeg {
+		return
+	}
+	tr.Contacts = append(tr.Contacts, trace.Contact{A: a, B: b, Beg: obsBeg, End: obsEnd})
+}

@@ -1,0 +1,332 @@
+package tracegen
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/trace"
+)
+
+func TestProfileWarpUnwarpInverse(t *testing.T) {
+	for _, p := range []*Profile{FlatProfile(), ConferenceProfile(), CampusProfile(), CityProfile()} {
+		for _, tt := range []float64{0, 1800, 3600 * 5, 86400 * 2.3, 86400 * 9} {
+			s := p.Warp(tt)
+			back := p.Unwarp(s)
+			// Unwarp returns the earliest time with that activity; warping
+			// again must give the same activity value.
+			if math.Abs(p.Warp(back)-s) > 1e-6 {
+				t.Fatalf("Warp(Unwarp(%v)) = %v, want %v", tt, p.Warp(back), s)
+			}
+			if back > tt+1e-6 {
+				t.Fatalf("Unwarp(%v) = %v later than original %v", s, back, tt)
+			}
+		}
+	}
+}
+
+func TestProfileWarpMonotone(t *testing.T) {
+	p := ConferenceProfile()
+	prev := -1.0
+	for tt := 0.0; tt < 86400*8; tt += 977 {
+		s := p.Warp(tt)
+		if s < prev {
+			t.Fatalf("Warp not monotone at %v", tt)
+		}
+		prev = s
+	}
+}
+
+func TestProfileFlatIsIdentity(t *testing.T) {
+	p := FlatProfile()
+	for _, tt := range []float64{0, 100, 86400, 604800 * 2.5} {
+		if math.Abs(p.Warp(tt)-tt) > 1e-6 {
+			t.Fatalf("flat Warp(%v) = %v", tt, p.Warp(tt))
+		}
+	}
+	if p.MeanActivity() != 1 {
+		t.Fatalf("flat MeanActivity = %v", p.MeanActivity())
+	}
+}
+
+func TestProfileNightIsQuiet(t *testing.T) {
+	p := ConferenceProfile()
+	// Activity gained between 02:00 and 05:00 must be tiny compared to
+	// 09:00–12:00.
+	night := p.Warp(5*3600) - p.Warp(2*3600)
+	morning := p.Warp(12*3600) - p.Warp(9*3600)
+	if night > morning/20 {
+		t.Fatalf("night activity %v too high vs morning %v", night, morning)
+	}
+}
+
+func TestParetoTruncMeanUnit(t *testing.T) {
+	// Check against direct numeric integration.
+	for _, alpha := range []float64{0.7, 1.0, 1.5} {
+		ratio := 100.0
+		analytic := paretoTruncMeanUnit(alpha, ratio)
+		// Numeric: E = ∫ x f(x) dx on [1, ratio].
+		c := 1 - math.Pow(ratio, -alpha)
+		num := 0.0
+		const steps = 200000
+		for i := 0; i < steps; i++ {
+			x := 1 + (ratio-1)*(float64(i)+0.5)/steps
+			f := alpha * math.Pow(x, -alpha-1) / c
+			num += x * f * (ratio - 1) / steps
+		}
+		if math.Abs(analytic-num)/num > 0.01 {
+			t.Fatalf("alpha=%v: analytic mean %v, numeric %v", alpha, analytic, num)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Infocom05Config()
+	cfg.TargetContacts = 2000 // keep the test fast
+	cfg.ExternalDevices, cfg.ExternalContacts = 10, 30
+	a, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatalf("non-deterministic contact count: %d vs %d", len(a.Contacts), len(b.Contacts))
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatalf("contact %d differs", i)
+		}
+	}
+	c, err := Generate(cfg, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Contacts) == len(a.Contacts) {
+		same := true
+		for i := range c.Contacts {
+			if c.Contacts[i] != a.Contacts[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateHitsTargetCount(t *testing.T) {
+	cfg := Infocom05Config()
+	cfg.ExternalDevices, cfg.ExternalContacts = 0, 0
+	tr, err := Generate(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(tr.Contacts))
+	want := float64(cfg.TargetContacts)
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("generated %v contacts, want within 25%% of %v", got, want)
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := HongKongConfig()
+	tr, err := Generate(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumInternal() != 37 || tr.NumNodes() != 37+868 {
+		t.Fatalf("device counts: internal %d, total %d", tr.NumInternal(), tr.NumNodes())
+	}
+	// No external-external contacts (the experiment cannot see them).
+	for _, c := range tr.Contacts {
+		if tr.Kinds[c.A] == trace.External && tr.Kinds[c.B] == trace.External {
+			t.Fatal("generated an external-external contact")
+		}
+	}
+	// All observed times on the scan grid length: durations are
+	// multiples of granularity (sampling effect) except window clips.
+	offGrid := 0
+	for _, c := range tr.Contacts {
+		d := c.Duration()
+		if math.Abs(d-tr.Granularity*math.Round(d/tr.Granularity)) > 1e-6 && c.End != tr.End {
+			offGrid++
+		}
+	}
+	if offGrid > 0 {
+		t.Fatalf("%d observed durations off the scan grid", offGrid)
+	}
+}
+
+func TestGenerateSingleSlotFraction(t *testing.T) {
+	// §5.1: about 75% of Infocom06 contacts last one slot. The generator
+	// must land in that regime (60–90%).
+	cfg := Infocom06Config()
+	cfg.TargetContacts = 20000 // scaled for test speed
+	cfg.ExternalDevices, cfg.ExternalContacts = 0, 0
+	tr, err := Generate(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := 0
+	for _, c := range tr.Contacts {
+		if c.Duration() <= tr.Granularity+1e-9 {
+			single++
+		}
+	}
+	frac := float64(single) / float64(len(tr.Contacts))
+	if frac < 0.6 || frac > 0.92 {
+		t.Fatalf("single-slot fraction %v, want ~0.75", frac)
+	}
+	// And a small but non-zero fraction of contacts longer than an hour
+	// (Figure 7 reports ~0.4%).
+	long := 0
+	for _, c := range tr.Contacts {
+		if c.Duration() > 3600 {
+			long++
+		}
+	}
+	lfrac := float64(long) / float64(len(tr.Contacts))
+	if lfrac <= 0 || lfrac > 0.05 {
+		t.Fatalf("hour-long fraction %v, want small but positive", lfrac)
+	}
+}
+
+func TestGenerateDiurnalConcentration(t *testing.T) {
+	cfg := Infocom05Config()
+	cfg.TargetContacts = 5000
+	cfg.ExternalDevices, cfg.ExternalContacts = 0, 0
+	tr, err := Generate(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count contacts by hour of day (trace starts 08:00).
+	night, day := 0, 0
+	for _, c := range tr.Contacts {
+		h := math.Mod(8+c.Beg/3600, 24)
+		if h >= 1 && h < 6 {
+			night++
+		}
+		if h >= 9 && h < 18 {
+			day++
+		}
+	}
+	if night*20 > day {
+		t.Fatalf("night contacts %d vs day %d: diurnal profile not applied", night, day)
+	}
+}
+
+func TestGenerateCommunityStructure(t *testing.T) {
+	cfg := RealityMiningScaled(20)
+	cfg.TargetContacts = 8000
+	tr, err := Generate(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an in-group boost of 10, the distribution of per-pair contact
+	// counts must be strongly uneven: the busiest 10% of pairs carry
+	// more than half the contacts.
+	counts := map[[2]trace.NodeID]int{}
+	for _, c := range tr.Contacts {
+		k := [2]trace.NodeID{c.A, c.B}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		counts[k]++
+	}
+	var all []int
+	total := 0
+	for _, v := range counts {
+		all = append(all, v)
+		total += v
+	}
+	// Sort descending.
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j] > all[i] {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	top := 0
+	nPairs := cfg.Devices * (cfg.Devices - 1) / 2
+	cut := nPairs / 10
+	for i := 0; i < cut && i < len(all); i++ {
+		top += all[i]
+	}
+	if float64(top) < 0.42*float64(total) {
+		t.Fatalf("top decile of pairs carries only %d/%d contacts: heterogeneity too weak", top, total)
+	}
+}
+
+func TestGenerateRawContacts(t *testing.T) {
+	cfg := Infocom05Config()
+	cfg.TargetContacts = 1000
+	cfg.ExternalDevices, cfg.ExternalContacts = 0, 0
+	cfg.RawContacts = true
+	tr, err := Generate(cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw contacts are not snapped: most durations off the grid.
+	off := 0
+	for _, c := range tr.Contacts {
+		d := c.Duration()
+		if math.Abs(d-120*math.Round(d/120)) > 1e-6 {
+			off++
+		}
+	}
+	if off < len(tr.Contacts)/2 {
+		t.Fatalf("raw mode still snapped: %d/%d off grid", off, len(tr.Contacts))
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	bad := []Config{
+		{},
+		{Devices: 1, DurationDays: 1, Granularity: 60, Groups: 1, InGroupBoost: 1, GapAlpha: 1, GapMaxFactor: 10, DurAlpha: 1, DurMax: 100},
+		func() Config { c := Infocom05Config(); c.GapAlpha = 0; return c }(),
+		func() Config { c := Infocom05Config(); c.InGroupBoost = 0.5; return c }(),
+		func() Config { c := Infocom05Config(); c.DurShortFrac = 2; return c }(),
+		func() Config { c := Infocom05Config(); c.Granularity = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, 1); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDatasetConfigsMatchTable1(t *testing.T) {
+	cases := []struct {
+		cfg     Config
+		devices int
+		days    float64
+		gran    float64
+	}{
+		{Infocom05Config(), 41, 3, 120},
+		{Infocom06Config(), 78, 4, 120},
+		{HongKongConfig(), 37, 7, 120},
+		{RealityMiningConfig(), 97, 246, 300},
+	}
+	for _, c := range cases {
+		if c.cfg.Devices != c.devices || c.cfg.DurationDays != c.days || c.cfg.Granularity != c.gran {
+			t.Errorf("%s config deviates from Table 1: %+v", c.cfg.Name, c.cfg)
+		}
+	}
+}
+
+func TestRealityMiningScaled(t *testing.T) {
+	cfg := RealityMiningScaled(24.6)
+	if math.Abs(cfg.DurationDays-24.6) > 1e-9 {
+		t.Fatalf("days = %v", cfg.DurationDays)
+	}
+	if cfg.TargetContacts != 11466 {
+		t.Fatalf("scaled target = %d, want 11466", cfg.TargetContacts)
+	}
+}

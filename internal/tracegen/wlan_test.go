@@ -1,0 +1,161 @@
+package tracegen
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/trace"
+)
+
+func TestGenerateWLANBasics(t *testing.T) {
+	cfg := CampusWLANConfig()
+	cfg.Devices = 40
+	cfg.DurationDays = 3
+	tr, err := GenerateWLAN(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 40 || tr.NumInternal() != 40 {
+		t.Fatalf("device counts wrong: %d", tr.NumNodes())
+	}
+	if len(tr.Contacts) == 0 {
+		t.Fatal("no co-association contacts generated")
+	}
+	for _, c := range tr.Contacts {
+		if c.End <= c.Beg {
+			t.Fatalf("empty contact %+v", c)
+		}
+		if c.Beg < 0 || c.End > tr.End {
+			t.Fatalf("contact outside window %+v", c)
+		}
+	}
+}
+
+func TestGenerateWLANDeterministic(t *testing.T) {
+	cfg := CampusWLANConfig()
+	cfg.Devices, cfg.DurationDays = 30, 2
+	a, _ := GenerateWLAN(cfg, 9)
+	b, _ := GenerateWLAN(cfg, 9)
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatal("non-deterministic")
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatal("contacts differ across identical runs")
+		}
+	}
+}
+
+func TestGenerateWLANTransitivity(t *testing.T) {
+	// Co-association contacts are transitive at any instant: if A-B and
+	// B-C overlap at time t at the same AP... transitivity only holds
+	// within one AP, so check the weaker clique property: pick a random
+	// instant and verify that among contacts active then, whenever A-B
+	// and B-C are both active through the same AP-driven overlap, A-C
+	// overlaps too is not directly checkable post-merge. Instead verify
+	// the high triangle density relative to a degree-matched random
+	// graph: count triangles in the contact graph of a busy hour.
+	cfg := CampusWLANConfig()
+	cfg.Devices, cfg.DurationDays = 60, 2
+	tr, err := GenerateWLAN(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static graph of a midday hour.
+	win := tr.TimeWindow(10*3600, 11*3600)
+	adj := map[[2]trace.NodeID]bool{}
+	deg := map[trace.NodeID]int{}
+	for _, c := range win.Contacts {
+		k := [2]trace.NodeID{c.A, c.B}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if !adj[k] {
+			adj[k] = true
+			deg[c.A]++
+			deg[c.B]++
+		}
+	}
+	if len(adj) < 10 {
+		t.Skip("hour too quiet in this draw")
+	}
+	triangles := 0
+	for k := range adj {
+		for v := trace.NodeID(0); v < 60; v++ {
+			a := [2]trace.NodeID{k[0], v}
+			b := [2]trace.NodeID{k[1], v}
+			if a[0] > a[1] {
+				a[0], a[1] = a[1], a[0]
+			}
+			if b[0] > b[1] {
+				b[0], b[1] = b[1], b[0]
+			}
+			if adj[a] && adj[b] {
+				triangles++
+			}
+		}
+	}
+	triangles /= 3
+	// Degree-matched ER expectation: C(n,3) p^3 with p = 2m/(n(n-1)).
+	n, m := 60.0, float64(len(adj))
+	p := 2 * m / (n * (n - 1))
+	expER := n * (n - 1) * (n - 2) / 6 * p * p * p
+	if float64(triangles) < 3*expER {
+		t.Fatalf("triangle count %d not clearly above ER expectation %.1f — co-association should produce cliques", triangles, expER)
+	}
+}
+
+func TestGenerateWLANDiurnal(t *testing.T) {
+	cfg := CampusWLANConfig()
+	cfg.Devices, cfg.DurationDays = 50, 3
+	tr, err := GenerateWLAN(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	night, day := 0, 0
+	for _, c := range tr.Contacts {
+		h := math.Mod(c.Beg/3600, 24)
+		if h >= 1 && h < 6 {
+			night++
+		}
+		if h >= 9 && h < 18 {
+			day++
+		}
+	}
+	if night*5 > day {
+		t.Fatalf("night %d vs day %d: campus profile not applied", night, day)
+	}
+}
+
+func TestGenerateWLANValidation(t *testing.T) {
+	bad := []WLANConfig{
+		{},
+		{Devices: 1, APs: 1, DurationDays: 1, SessionsPerDay: 1, DwellMean: 1},
+		{Devices: 5, APs: 0, DurationDays: 1, SessionsPerDay: 1, DwellMean: 1},
+		{Devices: 5, APs: 1, DurationDays: 0, SessionsPerDay: 1, DwellMean: 1},
+		{Devices: 5, APs: 1, DurationDays: 1, SessionsPerDay: 0, DwellMean: 1},
+		{Devices: 5, APs: 1, DurationDays: 1, SessionsPerDay: 1, DwellMean: 1, HomeBias: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateWLAN(cfg, 1); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateWLANNoSelfContacts(t *testing.T) {
+	cfg := CampusWLANConfig()
+	cfg.Devices, cfg.DurationDays, cfg.SessionsPerDay = 20, 2, 20 // overlapping sessions likely
+	tr, err := GenerateWLAN(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tr.Contacts {
+		if c.A == c.B {
+			t.Fatal("self contact from overlapping sessions of one device")
+		}
+	}
+}

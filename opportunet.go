@@ -1,0 +1,209 @@
+// Package opportunet is a library for analyzing opportunistic mobile
+// networks, implementing "The Diameter of Opportunistic Mobile Networks"
+// (Chaintreau, Mtibaa, Massoulié, Diot — CoNEXT 2007) in full: the
+// temporal-network path calculus, the exhaustive delay-optimal path
+// algorithm, the (1−ε)-diameter, the random temporal network theory and
+// its phase transition, synthetic equivalents of the paper's four
+// mobility data sets, and forwarding-algorithm evaluation.
+//
+// This package is the stable facade over the implementation packages in
+// internal/; it re-exports the types a downstream user needs and offers
+// one-call helpers for the common workflows:
+//
+//	tr, _ := opportunet.LoadTrace("infocom05.trace")
+//	rep, _ := opportunet.Analyze(tr, opportunet.DefaultAnalysis())
+//	fmt.Println(rep.Diameter99, rep.SuccessWithin(10*time.Minute))
+//
+// For fine-grained control use the re-exported constructors (Compute,
+// NewStudy, generators) directly; their full APIs live in the respective
+// packages.
+package opportunet
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"opportunet/internal/analysis"
+	"opportunet/internal/core"
+	"opportunet/internal/stats"
+	"opportunet/internal/trace"
+	"opportunet/internal/tracegen"
+)
+
+// Re-exported core types. See the internal packages for full method
+// documentation.
+type (
+	// Trace is a contact trace: a static device set plus timed contacts.
+	Trace = trace.Trace
+	// Contact is one contact interval between two devices.
+	Contact = trace.Contact
+	// NodeID identifies a device.
+	NodeID = trace.NodeID
+	// Kind distinguishes internal (experimental) from external devices.
+	Kind = trace.Kind
+	// ComputeOptions configures the optimal-path engine.
+	ComputeOptions = core.Options
+	// PathResult holds all Pareto-optimal path summaries of a trace.
+	PathResult = core.Result
+	// Frontier is the delivery-function representation of one pair.
+	Frontier = core.Frontier
+	// Path is a reconstructed optimal relay sequence.
+	Path = core.Path
+	// Study aggregates path results over all pairs and starting times.
+	Study = analysis.Study
+	// DatasetConfig parameterizes the synthetic data set generators.
+	DatasetConfig = tracegen.Config
+)
+
+// Device kinds.
+const (
+	Internal = trace.Internal
+	External = trace.External
+)
+
+// Compute runs the exhaustive delay-optimal path computation (§4 of the
+// paper) over the trace.
+func Compute(tr *Trace, opt ComputeOptions) (*PathResult, error) {
+	return core.Compute(tr, opt)
+}
+
+// ReconstructPath exhibits one delay-optimal relay sequence.
+func ReconstructPath(tr *Trace, src, dst NodeID, t0 float64, maxHops int, opt ComputeOptions) (*Path, error) {
+	return core.ReconstructPath(tr, src, dst, t0, maxHops, opt)
+}
+
+// NewStudy prepares whole-trace aggregation (delay CDFs, diameters).
+func NewStudy(tr *Trace, opt ComputeOptions) (*Study, error) {
+	return analysis.NewStudy(tr, opt)
+}
+
+// LoadTrace reads a trace file in the text format of cmd/tracegen.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+// ReadTrace parses a trace from a reader.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// Synthetic data set generators calibrated to the paper's Table 1.
+var (
+	Infocom05Config     = tracegen.Infocom05Config
+	Infocom06Config     = tracegen.Infocom06Config
+	HongKongConfig      = tracegen.HongKongConfig
+	RealityMiningConfig = tracegen.RealityMiningConfig
+)
+
+// GenerateDataset produces a synthetic data set from a configuration and
+// seed, deterministically.
+func GenerateDataset(cfg DatasetConfig, seed uint64) (*Trace, error) {
+	return tracegen.Generate(cfg, seed)
+}
+
+// AnalysisOptions configures Analyze.
+type AnalysisOptions struct {
+	// Epsilon is the diameter confidence parameter (default 0.01, the
+	// paper's 99%).
+	Epsilon float64
+	// GridPoints is the delay-grid resolution (default 40).
+	GridPoints int
+	// MinBudget and MaxBudget bound the delay grid; defaults are 2
+	// minutes and the trace duration (capped at one week).
+	MinBudget, MaxBudget float64
+	// HopBounds are the per-hop-bound CDF curves to compute (default
+	// 1..6).
+	HopBounds []int
+	// Engine passes through engine options (hop cap, directed contacts,
+	// per-hop transmission delay).
+	Engine ComputeOptions
+}
+
+// DefaultAnalysis returns the options the paper's evaluation uses.
+func DefaultAnalysis() AnalysisOptions {
+	return AnalysisOptions{Epsilon: 0.01, GridPoints: 40, HopBounds: []int{1, 2, 3, 4, 5, 6}}
+}
+
+// Report is the outcome of Analyze: the paper's headline quantities for
+// one trace.
+type Report struct {
+	// Study gives access to the underlying aggregation for custom
+	// queries.
+	Study *Study
+	// Grid is the delay-budget grid used, in seconds.
+	Grid []float64
+	// Success[k] is the delay CDF for HopBounds[k]; Unbounded is the
+	// flooding reference.
+	Success   map[int][]float64
+	Unbounded []float64
+	// Diameter99 is the (1−ε)-diameter at the configured ε;
+	// Diameter95 uses 5ε for context.
+	Diameter99, Diameter95 int
+	// MaxUsefulHops is the engine fixpoint: no optimal path in the trace
+	// uses more hops.
+	MaxUsefulHops int
+}
+
+// Analyze runs the full §4–§5 pipeline on a trace: exhaustive optimal
+// paths, aggregated delay CDFs, and the network diameter.
+func Analyze(tr *Trace, opt AnalysisOptions) (*Report, error) {
+	if opt.Epsilon <= 0 {
+		opt.Epsilon = 0.01
+	}
+	if opt.GridPoints < 2 {
+		opt.GridPoints = 40
+	}
+	if len(opt.HopBounds) == 0 {
+		opt.HopBounds = []int{1, 2, 3, 4, 5, 6}
+	}
+	st, err := analysis.NewStudy(tr, opt.Engine)
+	if err != nil {
+		return nil, err
+	}
+	lo := opt.MinBudget
+	if lo <= 0 {
+		lo = 120
+	}
+	hi := opt.MaxBudget
+	if hi <= 0 {
+		hi = math.Min(tr.Duration(), 7*86400)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("opportunet: delay grid [%v, %v] is empty", lo, hi)
+	}
+	rep := &Report{
+		Study:         st,
+		Grid:          stats.LogSpace(lo, hi, opt.GridPoints),
+		Success:       make(map[int][]float64),
+		MaxUsefulHops: st.Result.Hops,
+	}
+	bounds := append(append([]int(nil), opt.HopBounds...), analysis.Unbounded)
+	for _, cdf := range st.DelayCDFs(bounds, rep.Grid) {
+		if cdf.HopBound == analysis.Unbounded {
+			rep.Unbounded = cdf.Success
+		} else {
+			rep.Success[cdf.HopBound] = cdf.Success
+		}
+	}
+	rep.Diameter99, _ = st.Diameter(opt.Epsilon, rep.Grid)
+	rep.Diameter95, _ = st.Diameter(5*opt.Epsilon, rep.Grid)
+	return rep, nil
+}
+
+// SuccessWithin returns the flooding success probability within the
+// given delay budget (uniform pair and starting time).
+func (r *Report) SuccessWithin(d time.Duration) float64 {
+	return r.Study.SuccessProbability(d.Seconds(), analysis.Unbounded)
+}
+
+// SuccessWithinHops is SuccessWithin restricted to paths of at most
+// maxHops contacts.
+func (r *Report) SuccessWithinHops(d time.Duration, maxHops int) float64 {
+	return r.Study.SuccessProbability(d.Seconds(), maxHops)
+}

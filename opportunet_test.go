@@ -1,0 +1,163 @@
+package opportunet
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// facadeTrace builds a small trace through the facade types.
+func facadeTrace() *Trace {
+	return &Trace{
+		Name:  "facade",
+		Start: 0,
+		End:   7200,
+		Kinds: []Kind{Internal, Internal, Internal},
+		Contacts: []Contact{
+			{A: 0, B: 1, Beg: 0, End: 600},
+			{A: 1, B: 2, Beg: 1200, End: 1800},
+			{A: 0, B: 2, Beg: 5000, End: 5600},
+		},
+	}
+}
+
+func TestFacadeComputeAndReconstruct(t *testing.T) {
+	tr := facadeTrace()
+	res, err := Compute(tr, ComputeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Frontier(0, 2, 0)
+	if f.Del(0) != 1200 {
+		t.Fatalf("Del(0) = %v, want 1200", f.Del(0))
+	}
+	p, err := ReconstructPath(tr, 0, 2, 0, 0, ComputeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hops) != 2 || p.Delivered != 1200 {
+		t.Fatalf("path %+v", p)
+	}
+}
+
+func TestFacadeAnalyze(t *testing.T) {
+	rep, err := Analyze(facadeTrace(), DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diameter99 < 1 || rep.Diameter99 > 2 {
+		t.Fatalf("diameter = %d", rep.Diameter99)
+	}
+	if rep.MaxUsefulHops < 2 {
+		t.Fatalf("MaxUsefulHops = %d", rep.MaxUsefulHops)
+	}
+	if len(rep.Unbounded) != len(rep.Grid) {
+		t.Fatal("unbounded CDF missing")
+	}
+	if _, ok := rep.Success[1]; !ok {
+		t.Fatal("hop-1 CDF missing")
+	}
+	// Success within 2 hours must exceed success within 2 minutes.
+	if rep.SuccessWithin(2*time.Hour) <= rep.SuccessWithin(2*time.Minute) {
+		t.Fatal("success not increasing in the budget")
+	}
+	if rep.SuccessWithinHops(time.Hour, 1) > rep.SuccessWithin(time.Hour)+1e-12 {
+		t.Fatal("hop-bounded success exceeds flooding")
+	}
+}
+
+func TestFacadeAnalyzeDefaultsApplied(t *testing.T) {
+	// Zero-valued options must be filled with defaults rather than fail.
+	rep, err := Analyze(facadeTrace(), AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grid) != 40 {
+		t.Fatalf("default grid size = %d", len(rep.Grid))
+	}
+}
+
+func TestFacadeAnalyzeRejectsEmptyGrid(t *testing.T) {
+	tr := facadeTrace()
+	opt := DefaultAnalysis()
+	opt.MinBudget, opt.MaxBudget = 100, 50
+	if _, err := Analyze(tr, opt); err == nil {
+		t.Fatal("inverted grid accepted")
+	}
+}
+
+func TestFacadeGenerateDataset(t *testing.T) {
+	cfg := Infocom05Config()
+	cfg.TargetContacts = 800
+	cfg.Devices = 12
+	cfg.ExternalDevices, cfg.ExternalContacts = 0, 0
+	tr, err := GenerateDataset(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumInternal() != 12 || len(tr.Contacts) == 0 {
+		t.Fatalf("generated trace wrong: %d devices, %d contacts", tr.NumInternal(), len(tr.Contacts))
+	}
+}
+
+func TestFacadeTraceIO(t *testing.T) {
+	tr := facadeTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != tr.NumNodes() || len(back.Contacts) != len(tr.Contacts) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := LoadTrace("/nonexistent/path.trace"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFacadeReportConsistency(t *testing.T) {
+	// The report's grid values must match direct Study queries.
+	rep, err := Analyze(facadeTrace(), DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range rep.Grid {
+		direct := rep.Study.SuccessProbability(d, 0)
+		if math.Abs(direct-rep.Unbounded[i]) > 1e-12 {
+			t.Fatalf("grid %d: report %v vs study %v", i, rep.Unbounded[i], direct)
+		}
+	}
+}
+
+func TestFacadeEndToEndHongKong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	// Full pipeline on a realistic data set: generate, analyze, verify
+	// against the independent flooding oracle.
+	tr, err := GenerateDataset(HongKongConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(tr, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diameter99 < 3 || rep.Diameter99 > 9 {
+		t.Fatalf("Hong-Kong diameter %d outside the expected band", rep.Diameter99)
+	}
+	if err := rep.Study.SelfCheck(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Success grows with the budget and the week-scale value is
+	// substantial (the paper's Figure 9c shape).
+	week := rep.SuccessWithin(7 * 24 * time.Hour)
+	hour := rep.SuccessWithin(time.Hour)
+	if !(week > hour && week > 0.3) {
+		t.Fatalf("success shape wrong: hour=%v week=%v", hour, week)
+	}
+}
