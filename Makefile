@@ -1,0 +1,39 @@
+# Standard gates for this repository. `make check` is the bar every PR
+# must pass: build, vet, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-json quick-equivalence
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Scaling probes only (engine + Figure 9-style aggregation at 1 and 4
+# workers).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineCompute$$|BenchmarkDelayCDFAggregation$$' -cpu 1,4 -benchtime 3x .
+
+# Full benchmark record (BENCH_<N>.json) for the perf trajectory.
+bench-json:
+	scripts/bench.sh
+
+# End-to-end determinism check: the quick experiment suite must emit
+# byte-identical output at every worker count.
+quick-equivalence:
+	$(GO) run ./cmd/experiments -quick -workers 1 all > /tmp/opportunet_w1.txt
+	$(GO) run ./cmd/experiments -quick -workers 2 all > /tmp/opportunet_w2.txt
+	$(GO) run ./cmd/experiments -quick -workers 8 all > /tmp/opportunet_w8.txt
+	cmp /tmp/opportunet_w1.txt /tmp/opportunet_w2.txt
+	cmp /tmp/opportunet_w1.txt /tmp/opportunet_w8.txt
+	@echo "quick suite byte-identical at workers 1, 2, 8"

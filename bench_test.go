@@ -86,6 +86,32 @@ func BenchmarkEngineCompute(b *testing.B) {
 	}
 }
 
+// BenchmarkDelayCDFAggregation measures the Figure 9-style aggregation
+// pipeline alone: per-pair frontier construction plus the exact
+// SuccessWithin integration over a log delay grid for every hop-bound
+// class. The study (trace generation + path engine) is built outside the
+// timer; each iteration drops the memo caches so the aggregation work is
+// actually redone. Run with -cpu 1,4 to measure the worker fan-out — the
+// aggregation inherits GOMAXPROCS through core.Options.Workers == 0.
+func BenchmarkDelayCDFAggregation(b *testing.B) {
+	tr := benchTrace(b)
+	st, err := analysis.NewStudy(tr, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := stats.LogSpace(120, tr.Duration(), 40)
+	bounds := []int{1, 2, 3, 4, 5, 6, analysis.Unbounded}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.ClearCaches()
+		_ = st.DelayCDFs(bounds, grid)
+		if _, d := st.Diameter(0.01, grid); d < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
 // BenchmarkAblationPruning/pareto vs /naive: insert an identical
 // candidate stream into the engine's pruned frontier and into a naive
 // list that re-scans for dominance, the structure a direct

@@ -31,6 +31,7 @@ func main() {
 	hops := flag.String("hops", "1,2,3,4,5,6", "comma-separated hop bounds to tabulate (0 = unbounded is always included)")
 	points := flag.Int("points", 30, "delay-grid resolution")
 	verify := flag.Int("verify", 0, "spot-check N random (source, time) points against an independent flooding simulation")
+	workers := flag.Int("workers", 0, "worker goroutines for the path engine and aggregation (0 = all cores); results are identical at every count")
 	flag.Parse()
 
 	in := os.Stdin
@@ -50,7 +51,7 @@ func main() {
 		tr.Name, tr.NumNodes(), tr.NumInternal(), len(tr.Contacts),
 		export.FormatDuration(tr.Duration()))
 
-	st, err := analysis.NewStudy(tr, core.Options{})
+	st, err := analysis.NewStudy(tr, core.Options{Workers: *workers})
 	if err != nil {
 		fail(err)
 	}

@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed for every generator in the run")
 	quick := flag.Bool("quick", false, "scale data sets down for a fast run")
 	eps := flag.Float64("eps", 0.01, "diameter confidence parameter (paper: 0.01)")
+	workers := flag.Int("workers", 0, "worker goroutines for the engine, aggregation and experiment fan-out (0 = all cores); output is identical at every count")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	outDir := flag.String("o", "", "write each experiment's output to <dir>/<name>.txt instead of stdout")
 	flag.Parse()
@@ -46,7 +47,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	cfg := &experiments.Config{Out: os.Stdout, Seed: *seed, Quick: *quick, Eps: *eps}
+	cfg := &experiments.Config{Out: os.Stdout, Seed: *seed, Quick: *quick, Eps: *eps, Workers: *workers}
 	runOne := func(e experiments.Experiment) error {
 		if *outDir == "" {
 			return e.Run(cfg)

@@ -27,6 +27,7 @@ func main() {
 	t0 := flag.Float64("t", 0, "message creation time (seconds)")
 	maxHops := flag.Int("maxhops", 0, "hop bound (0 = unbounded)")
 	delta := flag.Float64("delta", 0, "per-hop transmission delay (seconds)")
+	workers := flag.Int("workers", 0, "worker goroutines for the path engine (0 = all cores)")
 	flag.Parse()
 
 	in := os.Stdin
@@ -43,7 +44,7 @@ func main() {
 		fail(err)
 	}
 
-	opt := core.Options{TransmitDelay: *delta, Sources: []trace.NodeID{trace.NodeID(*src)}}
+	opt := core.Options{TransmitDelay: *delta, Sources: []trace.NodeID{trace.NodeID(*src)}, Workers: *workers}
 	res, err := core.Compute(tr, opt)
 	if err != nil {
 		fail(err)

@@ -26,9 +26,10 @@ func main() {
 	n := flag.Int("n", 1000, "network size for predictions")
 	lambda := flag.Float64("lambda", 0.5, "contact rate for predictions")
 	seed := flag.Uint64("seed", 1, "seed for the Figure 3 Monte Carlo points")
+	workers := flag.Int("workers", 0, "worker goroutines for the Monte Carlo and engine stages (0 = all cores)")
 	flag.Parse()
 
-	cfg := &experiments.Config{Out: os.Stdout, Seed: *seed}
+	cfg := &experiments.Config{Out: os.Stdout, Seed: *seed, Workers: *workers}
 	switch {
 	case *predict:
 		lnN := math.Log(float64(*n))

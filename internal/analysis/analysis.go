@@ -10,14 +10,24 @@
 // the denominator. The integration over starting times is exact — the
 // delivery functions are piecewise, so no per-second enumeration is
 // needed.
+//
+// The per-pair loops behind every aggregate fan out across the worker
+// count carried by core.Options. Parallel results are byte-identical to
+// a serial run: each pair's contribution is computed into its own slot
+// and the floating-point reductions always run in pair order. A Study's
+// methods are safe for concurrent use; the frontier memo and the
+// success-curve cache are guarded internally.
 package analysis
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
+	"sync"
 
 	"opportunet/internal/core"
 	"opportunet/internal/flood"
+	"opportunet/internal/par"
 	"opportunet/internal/rng"
 	"opportunet/internal/trace"
 )
@@ -35,12 +45,17 @@ type Study struct {
 	// as relays inside paths.
 	Pairs [][2]trace.NodeID
 
+	workers int
+
+	mu        sync.Mutex
 	frontiers map[int][]core.Frontier // hop bound -> frontier per pair
+	curves    map[curveKey][]float64  // (hop bound, grid, window) -> summed SuccessWithin
 }
 
 // NewStudy computes optimal paths for all internal sources of the trace
 // and prepares aggregation over all ordered internal pairs. opt.Sources
-// is overridden with the internal device set.
+// is overridden with the internal device set; opt.Workers parallelizes
+// both the path computation and this study's aggregation loops.
 func NewStudy(tr *trace.Trace, opt core.Options) (*Study, error) {
 	internal := tr.InternalNodes()
 	if len(internal) < 2 {
@@ -51,7 +66,13 @@ func NewStudy(tr *trace.Trace, opt core.Options) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Study{Trace: tr, Result: res, frontiers: make(map[int][]core.Frontier)}
+	s := &Study{
+		Trace:     tr,
+		Result:    res,
+		workers:   opt.Workers,
+		frontiers: make(map[int][]core.Frontier),
+		curves:    make(map[curveKey][]float64),
+	}
 	for _, a := range internal {
 		for _, b := range internal {
 			if a != b {
@@ -63,17 +84,116 @@ func NewStudy(tr *trace.Trace, opt core.Options) (*Study, error) {
 }
 
 // frontiersFor returns (building and caching on first use) the frontier
-// of every analyzed pair under the given hop bound.
+// of every analyzed pair under the given hop bound. It is safe for
+// concurrent use; when two goroutines race on an uncached bound, both
+// build the same deterministic value and one copy wins.
 func (s *Study) frontiersFor(hopBound int) []core.Frontier {
+	s.mu.Lock()
 	if fs, ok := s.frontiers[hopBound]; ok {
+		s.mu.Unlock()
 		return fs
 	}
+	s.mu.Unlock()
 	fs := make([]core.Frontier, len(s.Pairs))
-	for i, p := range s.Pairs {
+	par.Do(len(s.Pairs), s.workers, func(i int) {
+		p := s.Pairs[i]
 		fs[i] = s.Result.Frontier(p[0], p[1], hopBound)
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.frontiers[hopBound]; ok {
+		return prev
 	}
 	s.frontiers[hopBound] = fs
 	return fs
+}
+
+// ClearCaches drops the memoized frontiers and success curves. Results
+// are unaffected — the caches rebuild on demand. Exposed for releasing
+// memory after a study has been mined, and for benchmarks that need to
+// time the aggregation work itself.
+func (s *Study) ClearCaches() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frontiers = make(map[int][]core.Frontier)
+	s.curves = make(map[curveKey][]float64)
+}
+
+// curveKey identifies one cached success curve: the hop bound, the
+// starting-time window, and a fingerprint of the delay grid values.
+type curveKey struct {
+	hopBound int
+	a, b     float64
+	gridLen  int
+	gridHash uint64
+}
+
+func makeCurveKey(hopBound int, grid []float64, a, b float64) curveKey {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, g := range grid {
+		bits := math.Float64bits(g)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return curveKey{hopBound: hopBound, a: a, b: b, gridLen: len(grid), gridHash: h.Sum64()}
+}
+
+// successCurve returns, for each budget in grid, the sum over all pairs
+// of the SuccessWithin measure on window [a, b] — the unnormalized
+// success curve every diameter and CDF computation integrates. Curves
+// are cached per (hop bound, grid, window), so Diameter, DiameterAtDelay,
+// DiameterVsEpsilon and DelayCDFs share one integration per hop bound
+// instead of each redoing the O(pairs · grid) work. The per-pair
+// integrations fan out across workers; the reduction runs in pair order,
+// so the curve is byte-identical at every worker count. Callers must not
+// modify the returned slice.
+func (s *Study) successCurve(hopBound int, grid []float64, a, b float64) []float64 {
+	key := makeCurveKey(hopBound, grid, a, b)
+	s.mu.Lock()
+	if c, ok := s.curves[key]; ok {
+		s.mu.Unlock()
+		return c
+	}
+	s.mu.Unlock()
+
+	fs := s.frontiersFor(hopBound)
+	vals := make([][]float64, len(fs))
+	par.Do(len(fs), s.workers, func(i int) {
+		row := make([]float64, len(grid))
+		for gi, d := range grid {
+			row[gi] = fs[i].SuccessWithin(d, a, b)
+		}
+		vals[i] = row
+	})
+	sum := make([]float64, len(grid))
+	for _, row := range vals {
+		for gi, v := range row {
+			sum[gi] += v
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.curves[key]; ok {
+		return prev
+	}
+	s.curves[key] = sum
+	return sum
+}
+
+// successProbs returns the normalized success curve: successCurve
+// divided by pairs · window. The returned slice is freshly allocated.
+func (s *Study) successProbs(hopBound int, grid []float64, a, b float64) []float64 {
+	sum := s.successCurve(hopBound, grid, a, b)
+	out := make([]float64, len(sum))
+	norm := float64(len(s.Pairs)) * (b - a)
+	for i, v := range sum {
+		out[i] = v / norm
+	}
+	return out
 }
 
 // SuccessProbability returns P[a message between a uniform ordered
@@ -85,9 +205,13 @@ func (s *Study) SuccessProbability(d float64, hopBound int) float64 {
 		return 0
 	}
 	fs := s.frontiersFor(hopBound)
+	vals := make([]float64, len(fs))
+	par.Do(len(fs), s.workers, func(i int) {
+		vals[i] = fs[i].SuccessWithin(d, a, b)
+	})
 	sum := 0.0
-	for _, f := range fs {
-		sum += f.SuccessWithin(d, a, b)
+	for _, v := range vals {
+		sum += v
 	}
 	return sum / (float64(len(fs)) * (b - a))
 }
@@ -113,18 +237,7 @@ func (s *Study) DelayCDFs(hopBounds []int, grid []float64) []DelayCDF {
 func (s *Study) DelayCDFsWindow(hopBounds []int, grid []float64, a, b float64) []DelayCDF {
 	out := make([]DelayCDF, len(hopBounds))
 	for i, k := range hopBounds {
-		cdf := DelayCDF{HopBound: k, Grid: grid, Success: make([]float64, len(grid))}
-		fs := s.frontiersFor(k)
-		for _, f := range fs {
-			for gi, d := range grid {
-				cdf.Success[gi] += f.SuccessWithin(d, a, b)
-			}
-		}
-		norm := float64(len(fs)) * (b - a)
-		for gi := range cdf.Success {
-			cdf.Success[gi] /= norm
-		}
-		out[i] = cdf
+		out[i] = DelayCDF{HopBound: k, Grid: grid, Success: s.successProbs(k, grid, a, b)}
 	}
 	return out
 }
@@ -135,10 +248,11 @@ func (s *Study) DelayCDFsWindow(hopBounds []int, grid []float64, a, b float64) [
 // the unbounded success probability. The second return value reports the
 // per-budget worst ratio of the returned k (diagnostics).
 func (s *Study) Diameter(eps float64, grid []float64) (int, float64) {
-	ref := s.DelayCDFs([]int{Unbounded}, grid)[0].Success
+	a, b := s.Trace.Start, s.Trace.End
+	ref := s.successProbs(Unbounded, grid, a, b)
 	maxK := s.Result.Hops
 	for k := 1; k <= maxK; k++ {
-		cur := s.DelayCDFs([]int{k}, grid)[0].Success
+		cur := s.successProbs(k, grid, a, b)
 		worst := 1.0
 		ok := true
 		for i := range grid {
@@ -167,14 +281,15 @@ func (s *Study) Diameter(eps float64, grid []float64) (int, float64) {
 // how much of the headline number rides on the strictness of the 99%
 // criterion.
 func (s *Study) DiameterVsEpsilon(eps []float64, grid []float64) []int {
-	ref := s.DelayCDFs([]int{Unbounded}, grid)[0].Success
+	a, b := s.Trace.Start, s.Trace.End
+	ref := s.successProbs(Unbounded, grid, a, b)
 	out := make([]int, len(eps))
 	for i := range out {
 		out[i] = -1
 	}
 	remaining := len(eps)
 	for k := 1; k <= s.Result.Hops && remaining > 0; k++ {
-		cur := s.DelayCDFs([]int{k}, grid)[0].Success
+		cur := s.successProbs(k, grid, a, b)
 		worst := 1.0
 		for gi := range grid {
 			if ref[gi] <= 0 {
@@ -203,7 +318,8 @@ func (s *Study) DiameterVsEpsilon(eps []float64, grid []float64) []int {
 // hop bound achieving (1−ε) of the unbounded success at that single
 // budget — the curve of Figure 12.
 func (s *Study) DiameterAtDelay(eps float64, grid []float64) []int {
-	ref := s.DelayCDFs([]int{Unbounded}, grid)[0].Success
+	a, b := s.Trace.Start, s.Trace.End
+	ref := s.successProbs(Unbounded, grid, a, b)
 	out := make([]int, len(grid))
 	remaining := len(grid)
 	for i := range out {
@@ -214,7 +330,7 @@ func (s *Study) DiameterAtDelay(eps float64, grid []float64) []int {
 		}
 	}
 	for k := 1; k <= s.Result.Hops && remaining > 0; k++ {
-		cur := s.DelayCDFs([]int{k}, grid)[0].Success
+		cur := s.successProbs(k, grid, a, b)
 		for i := range grid {
 			if out[i] < 0 && cur[i]+1e-12 >= (1-eps)*ref[i] {
 				out[i] = k
@@ -237,9 +353,9 @@ func (s *Study) MinDelayDist(hopBound int) []float64 {
 	a, b := s.Trace.Start, s.Trace.End
 	fs := s.frontiersFor(hopBound)
 	out := make([]float64, len(fs))
-	for i, f := range fs {
-		out[i] = f.MinDelay(a, b)
-	}
+	par.Do(len(fs), s.workers, func(i int) {
+		out[i] = fs[i].MinDelay(a, b)
+	})
 	return out
 }
 
@@ -311,22 +427,35 @@ func AverageCDFs(runs [][]DelayCDF) ([]DelayCDF, error) {
 // independently with probability p, analyze, and average over reps
 // repetitions. It returns the averaged CDFs and the per-repetition
 // diameters.
+//
+// The repetitions fan out across opt.Workers. Each repetition's RNG
+// stream is split from the seed in repetition order before the fan-out,
+// so the removals — and therefore the averaged curves and diameters —
+// are byte-identical to a serial run at any worker count.
 func RandomRemovalStudy(tr *trace.Trace, p float64, reps int, seed uint64, opt core.Options, hopBounds []int, grid []float64, eps float64) ([]DelayCDF, []int, error) {
 	if reps < 1 {
 		return nil, nil, fmt.Errorf("analysis: need at least one repetition")
 	}
 	r := rng.New(seed)
-	var runs [][]DelayCDF
-	var diameters []int
-	for rep := 0; rep < reps; rep++ {
-		cut := tr.RemoveRandom(p, r.Split())
+	streams := make([]*rng.Source, reps)
+	for rep := range streams {
+		streams[rep] = r.Split()
+	}
+	runs := make([][]DelayCDF, reps)
+	diameters := make([]int, reps)
+	err := par.DoErr(reps, opt.Workers, func(rep int) error {
+		cut := tr.RemoveRandom(p, streams[rep])
 		st, err := NewStudy(cut, opt)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		runs = append(runs, st.DelayCDFs(hopBounds, grid))
+		runs[rep] = st.DelayCDFs(hopBounds, grid)
 		d, _ := st.Diameter(eps, grid)
-		diameters = append(diameters, d)
+		diameters[rep] = d
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	avg, err := AverageCDFs(runs)
 	return avg, diameters, err
@@ -350,26 +479,35 @@ func DurationThresholdStudy(tr *trace.Trace, threshold float64, opt core.Options
 // time) points, covering every destination each time. It returns an
 // error describing the first disagreement — which would indicate a bug,
 // never expected in normal operation. Exposed so tools can offer
-// first-party verification on user traces.
+// first-party verification on user traces. The per-destination checks of
+// each probe fan out across workers; the probe points themselves are
+// drawn serially from the seed, so the probe sequence (and any reported
+// disagreement) is identical at every worker count.
 func (s *Study) SelfCheck(probes int, seed uint64) error {
 	fl := flood.New(s.Trace, flood.Options{})
 	r := rng.New(seed)
 	internal := s.Trace.InternalNodes()
+	errs := make([]error, len(internal))
 	for i := 0; i < probes; i++ {
 		src := internal[r.Intn(len(internal))]
 		t0 := s.Trace.Start + r.Uniform(0, s.Trace.Duration())
 		arr := fl.EarliestDelivery(src, t0)
-		for _, dst := range internal {
+		par.Do(len(internal), s.workers, func(j int) {
+			dst := internal[j]
+			errs[j] = nil
 			if dst == src {
-				continue
+				return
 			}
 			got := s.Result.Frontier(src, dst, Unbounded).Del(t0)
 			want := arr[dst]
 			if math.IsInf(got, 1) != math.IsInf(want, 1) ||
 				(!math.IsInf(got, 1) && math.Abs(got-want) > 1e-6) {
-				return fmt.Errorf("analysis: self-check failed: pair (%d, %d) at t=%v: engine %v, flooding %v",
+				errs[j] = fmt.Errorf("analysis: self-check failed: pair (%d, %d) at t=%v: engine %v, flooding %v",
 					src, dst, t0, got, want)
 			}
+		})
+		if err := par.First(errs); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"opportunet/internal/par"
 	"opportunet/internal/trace"
 )
 
@@ -28,6 +29,12 @@ type Options struct {
 	// uses external devices as relays without paying for their N²
 	// source profiles.
 	Sources []trace.NodeID
+	// Workers is the number of goroutines sharding the computation by
+	// source row (and, downstream, the aggregation loops that receive
+	// these Options). 0 or negative selects GOMAXPROCS; 1 runs serially.
+	// Results are byte-identical at every worker count: each source
+	// row's frontiers are disjoint state, so rows never interact.
+	Workers int
 }
 
 // Result holds the archives of Pareto-optimal path summaries for every
@@ -62,6 +69,13 @@ type dirContact struct {
 // trace and returns the per-pair summary archives. The trace is not
 // modified. It returns an error if the trace fails validation or if a
 // requested source is out of range.
+//
+// The computation is sharded by source row across Options.Workers
+// goroutines. A row's frontiers (indexed srcRow*n + dst) are touched by
+// no other row, and the contact adjacency is shared read-only, so the
+// shards are fully independent: each runs its own hop iteration to its
+// own fixpoint, and the archives are identical to a serial run entry
+// for entry regardless of the worker count.
 func Compute(tr *trace.Trace, opt Options) (*Result, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -108,62 +122,97 @@ func Compute(tr *trace.Trace, opt Options) (*Result, error) {
 		sort.Slice(es, func(i, j int) bool { return es[i].beg < es[j].beg })
 	}
 
-	eng := &engine{res: res, opt: opt, n: n, adj: adj}
-	eng.run()
+	rows := len(res.sources)
+	if rows == 0 {
+		res.Hops = 1
+		res.Fixpoint = true
+		return res, nil
+	}
+	engines := make([]rowEngine, rows)
+	par.Do(rows, opt.Workers, func(row int) {
+		g := &engines[row]
+		g.init(res, opt, n, adj, row)
+		g.run()
+	})
+	// Global stop state: the serial engine stops at the last hop any row
+	// still progressed on, and is at a fixpoint iff every row is.
+	res.Hops = 1
+	res.Fixpoint = true
+	for row := range engines {
+		if engines[row].hops > res.Hops {
+			res.Hops = engines[row].hops
+		}
+		res.Fixpoint = res.Fixpoint && engines[row].fixpoint
+	}
 	return res, nil
 }
 
-// engine holds the mutable state of one Compute run. Frontiers are
-// indexed by [srcRow*n + dst]. cur is the frozen frontier of the previous
-// iteration; pending collects this iteration's insertions (copy-on-write
-// from cur) so that every candidate generated during iteration k extends
-// only summaries available with at most k−1 hops — the property that
-// makes each archive entry's Hop the minimal hop count of its summary.
-type engine struct {
+// rowEngine holds the mutable state of one source row of a Compute run:
+// the frontiers toward every destination, indexed by dst. cur is the
+// frozen frontier of the previous iteration; pending collects this
+// iteration's insertions (copy-on-write from cur) so that every
+// candidate generated during iteration k extends only summaries
+// available with at most k−1 hops — the property that makes each archive
+// entry's Hop the minimal hop count of its summary. The only shared
+// structures are the read-only adjacency and this row's segment of the
+// result archives, so rows run concurrently without synchronization.
+type rowEngine struct {
 	res *Result
 	opt Options
 	n   int
 	adj [][]dirContact
 
+	src  trace.NodeID
+	base int // row * n: offset of this row's archive segment
+
 	cur         []frontier2D
 	cur3        []frontier3D
-	pendingFlag []bool       // pair index touched this iteration
-	pendingList []int32      // touched pair indexes, for commit
+	pendingFlag []bool       // destination touched this iteration
+	pendingList []int32      // touched destinations, for commit
 	next        []frontier2D // copy-on-write overlays of cur
 	next3       []frontier3D
 
-	changed     []bool // pair (srcRow, node) frontiers that changed last iteration
+	changed     []bool // destinations whose frontier changed last iteration
 	changedNext []bool
+
+	pivots []Entry // extend3D scratch: the hop-(k−1) bucket of one frontier
+
+	hops     int  // hop count at which this row stopped
+	fixpoint bool // whether hops is a true fixpoint for this row
 }
 
-func (g *engine) run() {
-	rows := len(g.res.sources)
-	size := rows * g.n
+func (g *rowEngine) init(res *Result, opt Options, n int, adj [][]dirContact, row int) {
+	g.res = res
+	g.opt = opt
+	g.n = n
+	g.adj = adj
+	g.src = res.sources[row]
+	g.base = row * n
+}
+
+func (g *rowEngine) run() {
 	use3D := g.opt.TransmitDelay > 0
 	if use3D {
-		g.cur3 = make([]frontier3D, size)
-		g.next3 = make([]frontier3D, size)
+		g.cur3 = make([]frontier3D, g.n)
+		g.next3 = make([]frontier3D, g.n)
 	} else {
-		g.cur = make([]frontier2D, size)
-		g.next = make([]frontier2D, size)
+		g.cur = make([]frontier2D, g.n)
+		g.next = make([]frontier2D, g.n)
 	}
-	g.pendingFlag = make([]bool, size)
-	g.changed = make([]bool, size)
-	g.changedNext = make([]bool, size)
+	g.pendingFlag = make([]bool, g.n)
+	g.changed = make([]bool, g.n)
+	g.changedNext = make([]bool, g.n)
 
-	// Hop 1: every usable contact leaving a tracked source is a
-	// one-contact sequence with LD = t_end, EA = t_beg.
-	for row, src := range g.res.sources {
-		for _, e := range g.adj[src] {
-			if e.to == src {
-				continue
-			}
-			idx := int32(row*g.n + int(e.to))
-			g.insert(idx, Entry{LD: e.end, EA: e.beg, Hop: 1})
+	// Hop 1: every usable contact leaving the source is a one-contact
+	// sequence with LD = t_end, EA = t_beg.
+	for _, e := range g.adj[g.src] {
+		if e.to == g.src {
+			continue
 		}
+		g.insert(int32(e.to), Entry{LD: e.end, EA: e.beg, Hop: 1})
 	}
 	g.commit()
-	g.res.Hops = 1
+	g.hops = 1
 
 	maxHops := g.opt.MaxHops
 	// Safety valve: with Delta == 0 the reachable (LD, EA) grid is finite
@@ -174,32 +223,28 @@ func (g *engine) run() {
 		if hop > hardCap {
 			break
 		}
-		for row := range g.res.sources {
-			base := row * g.n
-			for u := 0; u < g.n; u++ {
-				pairIdx := base + u
-				if !g.changed[pairIdx] {
-					continue
-				}
-				if use3D {
-					g.extend3D(int32(base), trace.NodeID(u), g.cur3[pairIdx], int32(hop))
-				} else {
-					g.extend2D(int32(base), trace.NodeID(u), g.cur[pairIdx], int32(hop))
-				}
+		for u := 0; u < g.n; u++ {
+			if !g.changed[u] {
+				continue
+			}
+			if use3D {
+				g.extend3D(trace.NodeID(u), g.cur3[u], int32(hop))
+			} else {
+				g.extend2D(trace.NodeID(u), g.cur[u], int32(hop))
 			}
 		}
 		progressed := anyTrue(g.changedNext)
 		g.commit()
 		if !progressed {
-			g.res.Hops = hop - 1
-			g.res.Fixpoint = true
+			g.hops = hop - 1
+			g.fixpoint = true
 			return
 		}
-		g.res.Hops = hop
+		g.hops = hop
 	}
 	// Stopped by MaxHops; check whether it happens to be a fixpoint
 	// already (no changes pending means the previous pass stabilized).
-	g.res.Fixpoint = !anyTrue(g.changed)
+	g.fixpoint = !anyTrue(g.changed)
 }
 
 func anyTrue(bs []bool) bool {
@@ -211,43 +256,43 @@ func anyTrue(bs []bool) bool {
 	return false
 }
 
-// insert routes a candidate into the copy-on-write overlay for pair idx
-// and archives it if it survives dominance.
-func (g *engine) insert(idx int32, e Entry) {
+// insert routes a candidate into the copy-on-write overlay for
+// destination dst and archives it if it survives dominance.
+func (g *rowEngine) insert(dst int32, e Entry) {
 	if g.cur3 != nil {
-		if !g.pendingFlag[idx] {
-			g.next3[idx] = append(frontier3D(nil), g.cur3[idx]...)
-			g.pendingFlag[idx] = true
-			g.pendingList = append(g.pendingList, idx)
+		if !g.pendingFlag[dst] {
+			g.next3[dst] = append(frontier3D(nil), g.cur3[dst]...)
+			g.pendingFlag[dst] = true
+			g.pendingList = append(g.pendingList, dst)
 		}
-		if g.next3[idx].add(e) {
-			g.res.arch[idx] = append(g.res.arch[idx], e)
-			g.changedNext[idx] = true
+		if g.next3[dst].add(e) {
+			g.res.arch[g.base+int(dst)] = append(g.res.arch[g.base+int(dst)], e)
+			g.changedNext[dst] = true
 		}
 		return
 	}
-	if !g.pendingFlag[idx] {
-		g.next[idx] = append(frontier2D(nil), g.cur[idx]...)
-		g.pendingFlag[idx] = true
-		g.pendingList = append(g.pendingList, idx)
+	if !g.pendingFlag[dst] {
+		g.next[dst] = append(frontier2D(nil), g.cur[dst]...)
+		g.pendingFlag[dst] = true
+		g.pendingList = append(g.pendingList, dst)
 	}
-	if g.next[idx].add(e) {
-		g.res.arch[idx] = append(g.res.arch[idx], e)
-		g.changedNext[idx] = true
+	if g.next[dst].add(e) {
+		g.res.arch[g.base+int(dst)] = append(g.res.arch[g.base+int(dst)], e)
+		g.changedNext[dst] = true
 	}
 }
 
 // commit publishes this iteration's overlays as the new frozen frontiers
 // and rolls the change flags.
-func (g *engine) commit() {
-	for _, idx := range g.pendingList {
-		g.pendingFlag[idx] = false
+func (g *rowEngine) commit() {
+	for _, dst := range g.pendingList {
+		g.pendingFlag[dst] = false
 		if g.cur3 != nil {
-			g.cur3[idx] = g.next3[idx]
-			g.next3[idx] = nil
+			g.cur3[dst] = g.next3[dst]
+			g.next3[dst] = nil
 		} else {
-			g.cur[idx] = g.next[idx]
-			g.next[idx] = nil
+			g.cur[dst] = g.next[dst]
+			g.next[dst] = nil
 		}
 	}
 	g.pendingList = g.pendingList[:0]
@@ -275,11 +320,10 @@ func (g *engine) commit() {
 // are new. Candidates pivoting on older summaries were already attempted
 // — or were dominated by candidates attempted — in the iteration where
 // their pivot entered, so they are skipped.
-func (g *engine) extend2D(base int32, u trace.NodeID, f frontier2D, hop int32) {
+func (g *rowEngine) extend2D(u trace.NodeID, f frontier2D, hop int32) {
 	if len(f) == 0 {
 		return
 	}
-	src := g.res.sources[base/int32(g.n)]
 	newHop := hop - 1
 	// First summary with EA > tb; contacts are sorted by tb so the
 	// boundary only moves forward.
@@ -288,13 +332,13 @@ func (g *engine) extend2D(base int32, u trace.NodeID, f frontier2D, hop int32) {
 		for i < len(f) && f[i].EA <= e.beg {
 			i++
 		}
-		if e.to == src || e.to == u {
+		if e.to == g.src || e.to == u {
 			continue
 		}
-		idx := base + int32(e.to)
+		dst := int32(e.to)
 		if i > 0 {
 			if p := f[i-1]; p.Hop == newHop {
-				g.insert(idx, Entry{LD: math.Min(p.LD, e.end), EA: e.beg, Hop: p.Hop + 1})
+				g.insert(dst, Entry{LD: math.Min(p.LD, e.end), EA: e.beg, Hop: p.Hop + 1})
 			}
 		}
 		for j := i; j < len(f); j++ {
@@ -304,12 +348,12 @@ func (g *engine) extend2D(base int32, u trace.NodeID, f frontier2D, hop int32) {
 			}
 			if p.LD >= e.end {
 				if p.Hop == newHop {
-					g.insert(idx, Entry{LD: e.end, EA: p.EA, Hop: p.Hop + 1})
+					g.insert(dst, Entry{LD: e.end, EA: p.EA, Hop: p.Hop + 1})
 				}
 				break
 			}
 			if p.Hop == newHop {
-				g.insert(idx, Entry{LD: p.LD, EA: p.EA, Hop: p.Hop + 1})
+				g.insert(dst, Entry{LD: p.LD, EA: p.EA, Hop: p.Hop + 1})
 			}
 		}
 	}
@@ -320,23 +364,37 @@ func (g *engine) extend2D(base int32, u trace.NodeID, f frontier2D, hop int32) {
 // EA + delta at the soonest, so the contact must still be open then; the
 // compound last departure shrinks by h*delta because the chain needs h
 // inter-hop gaps before the appended contact.
-func (g *engine) extend3D(base int32, u trace.NodeID, f frontier3D, hop int32) {
+//
+// Only entries with Hop == hop−1 can pivot (older ones were attempted
+// when they entered), so the frontier is filtered into that bucket once
+// and each contact visits just the new entries — mirroring the early-exit
+// structure extend2D gets from its sorted sweep — instead of rescanning
+// the whole frontier per contact.
+func (g *rowEngine) extend3D(u trace.NodeID, f frontier3D, hop int32) {
 	if len(f) == 0 {
 		return
 	}
 	delta := g.opt.TransmitDelay
-	src := g.res.sources[base/int32(g.n)]
 	newHop := hop - 1
+	g.pivots = g.pivots[:0]
+	for _, p := range f {
+		if p.Hop == newHop {
+			g.pivots = append(g.pivots, p)
+		}
+	}
+	if len(g.pivots) == 0 {
+		return
+	}
 	for _, e := range g.adj[u] {
-		if e.to == src || e.to == u {
+		if e.to == g.src || e.to == u {
 			continue
 		}
-		idx := base + int32(e.to)
-		for _, p := range f {
-			if p.Hop != newHop || p.EA+delta > e.end {
+		dst := int32(e.to)
+		for _, p := range g.pivots {
+			if p.EA+delta > e.end {
 				continue
 			}
-			g.insert(idx, Entry{
+			g.insert(dst, Entry{
 				LD:  math.Min(p.LD, e.end-float64(p.Hop)*delta),
 				EA:  math.Max(p.EA+delta, e.beg),
 				Hop: p.Hop + 1,
@@ -349,7 +407,8 @@ func (g *engine) extend3D(base int32, u trace.NodeID, f frontier3D, hop int32) {
 // (src, dst) within the class of paths using at most maxHop contacts.
 // maxHop <= 0 means unbounded. It panics if src was not among the
 // computed sources or either ID is out of range — a programming error,
-// not a data error.
+// not a data error. It is safe for concurrent use: a Result is immutable
+// once Compute returns, and the returned Frontier is freshly built.
 func (r *Result) Frontier(src, dst trace.NodeID, maxHop int) Frontier {
 	if int(src) < 0 || int(src) >= r.NumNodes || int(dst) < 0 || int(dst) >= r.NumNodes {
 		panic(fmt.Sprintf("core: Frontier(%d, %d) out of range (nodes=%d)", src, dst, r.NumNodes))

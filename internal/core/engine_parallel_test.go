@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+// equivTrace builds a random interval trace for the determinism tests.
+func equivTrace(seed uint64, nodes, contacts int) *trace.Trace {
+	r := rng.New(seed)
+	tr := &trace.Trace{Name: "equiv", Start: 0, End: 5000, Kinds: make([]trace.Kind, nodes)}
+	for i := 0; i < contacts; i++ {
+		a := trace.NodeID(r.Intn(nodes))
+		b := trace.NodeID(r.Intn(nodes))
+		if a == b {
+			continue
+		}
+		beg := r.Uniform(0, 4800)
+		tr.Contacts = append(tr.Contacts, trace.Contact{A: a, B: b, Beg: beg, End: beg + r.Uniform(1, 200)})
+	}
+	return tr
+}
+
+// archivesEqual compares two results entry for entry: same stop state
+// and identical archives (values and order) for every pair.
+func archivesEqual(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	if want.Hops != got.Hops || want.Fixpoint != got.Fixpoint {
+		t.Fatalf("%s: stop state (hops=%d fixpoint=%v), want (hops=%d fixpoint=%v)",
+			label, got.Hops, got.Fixpoint, want.Hops, want.Fixpoint)
+	}
+	if len(want.arch) != len(got.arch) {
+		t.Fatalf("%s: archive count %d, want %d", label, len(got.arch), len(want.arch))
+	}
+	for i := range want.arch {
+		if !reflect.DeepEqual(want.arch[i], got.arch[i]) {
+			t.Fatalf("%s: archive %d differs:\n got %v\nwant %v", label, i, got.arch[i], want.arch[i])
+		}
+	}
+}
+
+// TestComputeWorkerEquivalence is the determinism contract of the
+// row-sharded engine: at every worker count, for both the Delta == 0 and
+// Delta > 0 engines, the archives are byte-identical to the serial run.
+func TestComputeWorkerEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		for _, delta := range []float64{0, 25} {
+			// The hop-aware Delta > 0 engine explores a much larger
+			// summary space, so it gets a smaller instance to keep the
+			// test fast under -race.
+			tr := equivTrace(seed, 40, 3000)
+			if delta > 0 {
+				tr = equivTrace(seed, 20, 700)
+			}
+			serial, err := Compute(tr, Options{TransmitDelay: delta, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 8} {
+				par, err := Compute(tr, Options{TransmitDelay: delta, Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				archivesEqual(t, serial, par,
+					fmt.Sprintf("seed=%d delta=%v workers=%d", seed, delta, w))
+			}
+		}
+	}
+}
+
+// TestComputeWorkerEquivalenceBounded covers the MaxHops stop path and a
+// restricted source set, where per-row stop states must still aggregate
+// to the serial Hops/Fixpoint.
+func TestComputeWorkerEquivalenceBounded(t *testing.T) {
+	tr := equivTrace(3, 30, 2000)
+	sources := []trace.NodeID{0, 3, 7, 11, 29}
+	for _, maxHops := range []int{1, 2, 5} {
+		opt := Options{MaxHops: maxHops, Sources: sources}
+		opt.Workers = 1
+		serial, err := Compute(tr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 8} {
+			opt.Workers = w
+			par, err := Compute(tr, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			archivesEqual(t, serial, par, "bounded")
+		}
+	}
+}
+
+// TestComputeWorkersDefault checks that Workers == 0 (GOMAXPROCS) is
+// accepted and agrees with the serial run.
+func TestComputeWorkersDefault(t *testing.T) {
+	tr := equivTrace(9, 25, 1500)
+	serial, err := Compute(tr, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Compute(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	archivesEqual(t, serial, auto, "workers=0")
+}
+
+// TestComputeEmptySources keeps the degenerate no-rows case stable.
+func TestComputeEmptySources(t *testing.T) {
+	tr := equivTrace(5, 10, 100)
+	res, err := Compute(tr, Options{Sources: []trace.NodeID{}, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 1 || !res.Fixpoint {
+		t.Fatalf("empty sources: hops=%d fixpoint=%v", res.Hops, res.Fixpoint)
+	}
+}

@@ -1,6 +1,11 @@
 package experiments
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+
+	"opportunet/internal/par"
+)
 
 // Experiment pairs a name with its runner, for dispatch by
 // cmd/experiments.
@@ -49,16 +54,39 @@ func Find(name string) (Experiment, error) {
 }
 
 // RunAll executes every experiment against the same Config (sharing the
-// dataset cache), separating sections with blank lines.
+// dataset cache), separating sections with blank lines. Independent
+// experiments fan out across c.Workers goroutines; each writes to a
+// private buffer and the buffers are emitted in paper order, so the
+// output is byte-identical to a serial run. On failure, the output of
+// every experiment preceding the first failing one (in paper order) is
+// still written, matching the serial fail-fast behavior.
 func RunAll(c *Config) error {
-	for i, e := range All() {
+	return runExperiments(c, All())
+}
+
+// runExperiments is RunAll over an explicit experiment list.
+func runExperiments(c *Config, exps []Experiment) error {
+	bufs := make([]*bytes.Buffer, len(exps))
+	cfgs := make([]*Config, len(exps))
+	for i := range exps {
+		bufs[i] = &bytes.Buffer{}
+		cfgs[i] = c.WithOutput(bufs[i])
+	}
+	errs := make([]error, len(exps))
+	par.Do(len(exps), c.Workers, func(i int) {
+		errs[i] = exps[i].Run(cfgs[i])
+	})
+	for i, e := range exps {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", e.Name, errs[i])
+		}
 		if i > 0 {
 			fmt.Fprintln(c.Out)
 			fmt.Fprintln(c.Out, "================================================================")
 			fmt.Fprintln(c.Out)
 		}
-		if err := e.Run(c); err != nil {
-			return fmt.Errorf("%s: %w", e.Name, err)
+		if _, err := c.Out.Write(bufs[i].Bytes()); err != nil {
+			return err
 		}
 	}
 	return nil

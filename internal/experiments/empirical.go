@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"opportunet/internal/analysis"
-	"opportunet/internal/core"
 	"opportunet/internal/export"
 	"opportunet/internal/forward"
 	"opportunet/internal/rng"
@@ -251,7 +250,7 @@ func Figure10(c *Config) error {
 			d, _ := st.Diameter(eps, grid)
 			diams = []int{d}
 		} else {
-			cdfs, diams, err = analysis.RandomRemovalStudy(tr, p, reps, c.Seed+uint64(p*100), core.Options{}, figure10Bounds, grid, eps)
+			cdfs, diams, err = analysis.RandomRemovalStudy(tr, p, reps, c.Seed+uint64(p*100), c.coreOptions(), figure10Bounds, grid, eps)
 			if err != nil {
 				return err
 			}
@@ -286,7 +285,7 @@ func Figure11(c *Config) error {
 	grid := stats.LogSpace(120, tr.Duration(), 30)
 	eps := c.Epsilon()
 	for _, thr := range []float64{121, 601, 1801} {
-		st, removed, err := analysis.DurationThresholdStudy(tr, thr, core.Options{})
+		st, removed, err := analysis.DurationThresholdStudy(tr, thr, c.coreOptions())
 		if err != nil {
 			return err
 		}
@@ -332,7 +331,7 @@ func Figure12(c *Config) error {
 		study *analysis.Study
 	}{{"infocom06", base}}
 	for _, thr := range []float64{601, 1801} {
-		st, _, err := analysis.DurationThresholdStudy(tr, thr, core.Options{})
+		st, _, err := analysis.DurationThresholdStudy(tr, thr, c.coreOptions())
 		if err != nil {
 			return err
 		}

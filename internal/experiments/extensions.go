@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"opportunet/internal/analysis"
-	"opportunet/internal/core"
 	"opportunet/internal/export"
 	"opportunet/internal/randtemp"
 	"opportunet/internal/rng"
@@ -298,7 +297,7 @@ func WLAN(c *Config) error {
 	if err != nil {
 		return err
 	}
-	st, err := analysis.NewStudy(tr, core.Options{})
+	st, err := analysis.NewStudy(tr, c.coreOptions())
 	if err != nil {
 		return err
 	}

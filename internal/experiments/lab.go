@@ -6,14 +6,19 @@
 // and bench_test.go uses them as benchmark bodies.
 //
 // Results are deterministic for a fixed Config (seeded generators, exact
-// path computation). Quick mode scales the data sets down so the whole
-// suite runs in CI time; the default reproduces the paper-scale setup.
+// path computation) at every worker count: each experiment draws from
+// its own seed-derived RNG streams and writes to its own output, so
+// neither the engine fan-out nor the experiment fan-out of RunAll can
+// reorder anything observable. Quick mode scales the data sets down so
+// the whole suite runs in CI time; the default reproduces the
+// paper-scale setup.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"opportunet/internal/analysis"
 	"opportunet/internal/core"
@@ -33,17 +38,59 @@ type Config struct {
 	Quick bool
 	// Eps is the diameter confidence parameter; 0 means the paper's 0.01.
 	Eps float64
+	// Workers parallelizes the path engine and aggregation loops inside
+	// each experiment, and fans independent experiments out in RunAll.
+	// 0 selects GOMAXPROCS; output is identical at every worker count.
+	Workers int
 
-	lab map[string]*labEntry
+	lab *lab
+}
+
+// lab is the shared dataset/study cache behind a Config and all its
+// WithOutput copies. Entries are created under the lock and built inside
+// per-entry sync.Once gates, so experiments running concurrently get one
+// generation per dataset and one path computation per study.
+type lab struct {
+	mu      sync.Mutex
+	entries map[string]*labEntry
+}
+
+func (l *lab) entry(key string) *labEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[key]
+	if !ok {
+		e = &labEntry{}
+		l.entries[key] = e
+	}
+	return e
+}
+
+// labEntry caches a generated trace and its (lazily computed) study.
+type labEntry struct {
+	traceOnce sync.Once
+	trace     *trace.Trace
+	traceErr  error
+
+	studyOnce sync.Once
+	study     *analysis.Study
+	studyErr  error
+}
+
+// ensureLab lazily creates the shared cache. Callers that fan out must
+// ensure the lab exists before spawning (WithOutput and RunAll do).
+func (c *Config) ensureLab() *lab {
+	if c.lab == nil {
+		c.lab = &lab{entries: make(map[string]*labEntry)}
+	}
+	return c.lab
 }
 
 // WithOutput returns a copy of the Config writing to w while sharing the
 // generated-dataset cache, so per-experiment output files do not pay for
 // regeneration.
 func (c *Config) WithOutput(w io.Writer) *Config {
-	if c.lab == nil {
-		c.lab = make(map[string]*labEntry)
-	}
+	c.ensureLab()
 	cp := *c
 	cp.Out = w
 	return &cp
@@ -57,10 +104,10 @@ func (c *Config) Epsilon() float64 {
 	return c.Eps
 }
 
-// labEntry caches a generated trace and its (lazily computed) study.
-type labEntry struct {
-	trace *trace.Trace
-	study *analysis.Study
+// coreOptions returns the engine options every experiment computation
+// should start from: the run's worker count, everything else default.
+func (c *Config) coreOptions() core.Options {
+	return core.Options{Workers: c.Workers}
 }
 
 // Dataset names used throughout.
@@ -103,54 +150,46 @@ func (c *Config) datasetConfig(name string) (tracegen.Config, error) {
 
 // Trace returns the (cached) generated trace for a dataset.
 func (c *Config) Trace(name string) (*trace.Trace, error) {
-	if c.lab == nil {
-		c.lab = make(map[string]*labEntry)
-	}
-	if e, ok := c.lab[name]; ok {
-		return e.trace, nil
-	}
-	cfg, err := c.datasetConfig(name)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := tracegen.Generate(cfg, c.Seed)
-	if err != nil {
-		return nil, err
-	}
-	switch name {
-	case Infocom05, Infocom06:
-		// §5.1: "by default we are presenting here results for internal
-		// contacts only" for the conference data sets.
-		tr = tr.InternalOnly()
-	case Infocom06Day2:
-		// §6 uses the second day of Infocom06.
-		tr = tr.InternalOnly().TimeWindow(86400, 2*86400)
-	}
-	c.lab[name] = &labEntry{trace: tr}
-	return tr, nil
+	e := c.ensureLab().entry(name)
+	e.traceOnce.Do(func() {
+		cfg, err := c.datasetConfig(name)
+		if err != nil {
+			e.traceErr = err
+			return
+		}
+		tr, err := tracegen.Generate(cfg, c.Seed)
+		if err != nil {
+			e.traceErr = err
+			return
+		}
+		switch name {
+		case Infocom05, Infocom06:
+			// §5.1: "by default we are presenting here results for internal
+			// contacts only" for the conference data sets.
+			tr = tr.InternalOnly()
+		case Infocom06Day2:
+			// §6 uses the second day of Infocom06.
+			tr = tr.InternalOnly().TimeWindow(86400, 2*86400)
+		}
+		e.trace = tr
+	})
+	return e.trace, e.traceErr
 }
 
 // RawTrace returns the dataset as generated — including external devices
 // and the full window — bypassing the per-figure filtering of Trace.
 // Used by Table 1, which reports internal and external populations.
 func (c *Config) RawTrace(name string) (*trace.Trace, error) {
-	if c.lab == nil {
-		c.lab = make(map[string]*labEntry)
-	}
-	key := name + "/raw"
-	if e, ok := c.lab[key]; ok {
-		return e.trace, nil
-	}
-	cfg, err := c.datasetConfig(name)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := tracegen.Generate(cfg, c.Seed)
-	if err != nil {
-		return nil, err
-	}
-	c.lab[key] = &labEntry{trace: tr}
-	return tr, nil
+	e := c.ensureLab().entry(name + "/raw")
+	e.traceOnce.Do(func() {
+		cfg, err := c.datasetConfig(name)
+		if err != nil {
+			e.traceErr = err
+			return
+		}
+		e.trace, e.traceErr = tracegen.Generate(cfg, c.Seed)
+	})
+	return e.trace, e.traceErr
 }
 
 // Study returns the (cached) full path computation for a dataset.
@@ -159,15 +198,11 @@ func (c *Config) Study(name string) (*analysis.Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := c.lab[name]
-	if e.study == nil {
-		st, err := analysis.NewStudy(tr, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		e.study = st
-	}
-	return e.study, nil
+	e := c.lab.entry(name)
+	e.studyOnce.Do(func() {
+		e.study, e.studyErr = analysis.NewStudy(tr, c.coreOptions())
+	})
+	return e.study, e.studyErr
 }
 
 // delayGrid returns the paper's presentation grid [2 min, 1 week],

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// runNamed runs the named experiments through the RunAll pipeline with
+// the given worker count and returns the combined output.
+func runNamed(t *testing.T, names []string, workers int) []byte {
+	t.Helper()
+	exps := make([]Experiment, len(names))
+	for i, name := range names {
+		e, err := Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps[i] = e
+	}
+	var buf bytes.Buffer
+	c := &Config{Out: &buf, Seed: 1, Quick: true, Workers: workers}
+	if err := runExperiments(c, exps); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunExperimentsParallelByteIdentical is the determinism contract of
+// the experiment fan-out: the combined output must be byte-identical at
+// every worker count, including experiments that share cached data sets
+// and studies through the lab.
+func TestRunExperimentsParallelByteIdentical(t *testing.T) {
+	names := []string{"fig1", "fig2", "phasecheck", "table1", "fig7"}
+	serial := runNamed(t, names, 1)
+	if len(serial) == 0 {
+		t.Fatal("no output")
+	}
+	for _, w := range []int{2, 8} {
+		if got := runNamed(t, names, w); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d: output differs from serial (%d vs %d bytes)", w, len(got), len(serial))
+		}
+	}
+}
+
+// TestSharedLabConcurrent runs two experiments that need the same data
+// sets concurrently; under -race this proves the lab cache's
+// synchronization, and the cache must still deduplicate generation.
+func TestSharedLabConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	c := &Config{Out: &buf, Seed: 1, Quick: true, Workers: 4}
+	e1, err := Find("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Find("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runExperiments(c, []Experiment{e1, e2}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Trace(Infocom05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Trace(Infocom05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("lab cache returned different traces for the same dataset")
+	}
+}

@@ -1,0 +1,96 @@
+// Package par is the repository's shared worker-pool substrate. Every
+// parallel stage — the row-sharded path engine, the per-pair aggregation
+// loops of analysis, the repetition fan-out of the removal studies, and
+// the experiment harness — schedules its work through this package, so
+// worker accounting is plumbed once and behaves identically everywhere.
+//
+// The contract is deterministic data parallelism: Do(n, w, fn) runs
+// fn(i) exactly once for every i in [0, n), and as long as each fn(i)
+// writes only state owned by index i (its slot in a result slice, its
+// own RNG stream), the observable result is byte-identical for every
+// worker count, including the serial w == 1 case. Scheduling order is
+// the only thing that varies.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Workers option to an effective worker count: values
+// below 1 select GOMAXPROCS (use every core the runtime may schedule
+// on), anything else is taken as-is. Centralizing the rule keeps
+// core.Options, analysis, and the experiment harness in agreement about
+// what Workers == 0 means.
+func Resolve(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Do runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). Indexes are handed out from a
+// shared counter, so uneven item costs balance automatically. Do returns
+// once every call has finished. With one worker (or one item) it runs
+// inline with no goroutine or atomic traffic.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoErr runs fn(i) for every i in [0, n) like Do and returns the error
+// of the lowest failing index (nil if every call succeeded). All calls
+// run regardless of failures, so side effects per index are the same at
+// every worker count and the returned error does not depend on
+// scheduling.
+func DoErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	Do(n, workers, func(i int) {
+		errs[i] = fn(i)
+	})
+	return First(errs)
+}
+
+// First returns the first non-nil error in order, or nil. It is the
+// deterministic reduction matching serial fail-fast semantics: whatever
+// error a serial loop would have hit first is the one reported.
+func First(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

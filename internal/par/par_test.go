@@ -1,0 +1,87 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Fatalf("Resolve(5) = %d", got)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 1000
+		counts := make([]atomic.Int32, n)
+		Do(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoEmptyAndSingle(t *testing.T) {
+	Do(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	ran := false
+	Do(1, 8, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("fn(0) not called for n=1")
+	}
+}
+
+func TestDoErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := DoErr(100, workers, func(i int) error {
+			if i == 90 || i == 17 || i == 55 {
+				return fmt.Errorf("fail %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail 17" {
+			t.Fatalf("workers=%d: err = %v, want fail 17", workers, err)
+		}
+	}
+	if err := DoErr(10, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestFirst(t *testing.T) {
+	if First(nil) != nil {
+		t.Fatal("First(nil) != nil")
+	}
+	e := errors.New("x")
+	if First([]error{nil, e, errors.New("y")}) != e {
+		t.Fatal("First did not return the first non-nil error")
+	}
+}
+
+// TestDoDeterministicSlots checks the package contract: slot-owned
+// writes produce identical results at every worker count.
+func TestDoDeterministicSlots(t *testing.T) {
+	n := 500
+	ref := make([]int, n)
+	Do(n, 1, func(i int) { ref[i] = i * i })
+	for _, workers := range []int{2, 8, 32} {
+		got := make([]int, n)
+		Do(n, workers, func(i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench.sh — record the repo's performance trajectory.
+#
+# Runs the core engine and aggregation benchmarks at -cpu 1 and 4 (the
+# multicore scaling probes) plus one benchmark per paper exhibit, and
+# emits a machine-readable BENCH_<N>.json with ns/op per benchmark so
+# successive PRs can be compared.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_1.json}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== engine + aggregation, -cpu 1,4 =="
+go test -run '^$' -bench 'BenchmarkEngineCompute$|BenchmarkDelayCDFAggregation$' \
+    -cpu 1,4 -benchtime 3x . | tee "$TMP/scaling.txt"
+
+echo "== per-exhibit benchmarks (quick mode) =="
+go test -run '^$' -bench 'Benchmark(Table1|Figure[0-9]+|PhaseCheck|Forwarding)$' \
+    -benchtime 1x . | tee "$TMP/exhibits.txt"
+
+# Benchmark output lines look like:
+#   BenchmarkEngineCompute-4   3   123456789 ns/op   ...
+# The -N suffix is GOMAXPROCS (absent when it equals the default 1-run).
+awk -v host="$(go env GOOS)/$(go env GOARCH)" -v cores="$(nproc)" -v gover="$(go env GOVERSION)" '
+BEGIN {
+    printf "{\n  \"host\": \"%s\",\n  \"physical_cores\": %s,\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", host, cores, gover
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    nsop = ""
+    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") nsop = $i
+    if (nsop == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s}", name, nsop
+}
+END { printf "\n  ]\n}\n" }
+' "$TMP/scaling.txt" "$TMP/exhibits.txt" > "$OUT"
+
+echo "wrote $OUT"
