@@ -36,7 +36,7 @@ func main() {
 
 	report := func(label string, st *analysis.Study) {
 		d, _ := st.Diameter(0.01, grid)
-		fmt.Printf("%-28s %7d contacts  diameter %d  ", label, len(st.Trace.Contacts), d)
+		fmt.Printf("%-28s %7d contacts  diameter %d  ", label, st.View.NumContacts(), d)
 		for _, b := range budgets {
 			fmt.Printf(" P(<=%s)=%5.1f%%", export.FormatDuration(b), 100*st.SuccessProbability(b, analysis.Unbounded))
 		}

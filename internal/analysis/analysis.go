@@ -29,16 +29,22 @@ import (
 	"opportunet/internal/flood"
 	"opportunet/internal/par"
 	"opportunet/internal/rng"
+	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
 )
 
 // Unbounded selects the no-hop-limit class in hop-bound lists.
 const Unbounded = 0
 
-// Study wraps one trace with its exhaustive path computation and caches
-// per-hop-bound frontiers for the pair set under analysis.
+// Study wraps one timeline view with its exhaustive path computation and
+// caches per-hop-bound frontiers for the pair set under analysis.
 type Study struct {
-	Trace  *trace.Trace
+	// Trace is the materialized trace the study was built from; it is nil
+	// when the study was built directly over a derived timeline view
+	// (NewStudyView), so metadata reads go through View.
+	Trace *trace.Trace
+	// View is the timeline view the paths were computed over; always set.
+	View   *timeline.View
 	Result *core.Result
 	// Pairs are the ordered (source, destination) pairs aggregated over:
 	// all ordered pairs of internal devices. External devices still act
@@ -57,17 +63,33 @@ type Study struct {
 // is overridden with the internal device set; opt.Workers parallelizes
 // both the path computation and this study's aggregation loops.
 func NewStudy(tr *trace.Trace, opt core.Options) (*Study, error) {
-	internal := tr.InternalNodes()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewStudyView(timeline.New(tr).All(), opt)
+	if err != nil {
+		return nil, err
+	}
+	s.Trace = tr
+	return s, nil
+}
+
+// NewStudyView is NewStudy over a timeline view: removal studies derive
+// many views of one shared base index and analyze each without
+// re-sorting or copying the trace. The view is assumed to come from a
+// validated trace.
+func NewStudyView(v *timeline.View, opt core.Options) (*Study, error) {
+	internal := v.InternalNodes()
 	if len(internal) < 2 {
-		return nil, fmt.Errorf("analysis: trace %q has %d internal devices, need at least 2", tr.Name, len(internal))
+		return nil, fmt.Errorf("analysis: trace %q has %d internal devices, need at least 2", v.Name(), len(internal))
 	}
 	opt.Sources = internal
-	res, err := core.Compute(tr, opt)
+	res, err := core.ComputeView(v, opt)
 	if err != nil {
 		return nil, err
 	}
 	s := &Study{
-		Trace:     tr,
+		View:      v,
 		Result:    res,
 		workers:   opt.Workers,
 		frontiers: make(map[int][]core.Frontier),
@@ -200,7 +222,7 @@ func (s *Study) successProbs(hopBound int, grid []float64, a, b float64) []float
 // internal pair, created at a uniform time in the window, is delivered
 // within delay d using at most hopBound hops] (hopBound 0 = unbounded).
 func (s *Study) SuccessProbability(d float64, hopBound int) float64 {
-	a, b := s.Trace.Start, s.Trace.End
+	a, b := s.View.Start(), s.View.End()
 	if b <= a {
 		return 0
 	}
@@ -227,7 +249,7 @@ type DelayCDF struct {
 // DelayCDFs evaluates the success probability on the grid for each hop
 // bound (Figures 9–11). Bounds are evaluated in the order given.
 func (s *Study) DelayCDFs(hopBounds []int, grid []float64) []DelayCDF {
-	return s.DelayCDFsWindow(hopBounds, grid, s.Trace.Start, s.Trace.End)
+	return s.DelayCDFsWindow(hopBounds, grid, s.View.Start(), s.View.End())
 }
 
 // DelayCDFsWindow restricts the starting times to [a, b] — e.g. daytime
@@ -248,7 +270,7 @@ func (s *Study) DelayCDFsWindow(hopBounds []int, grid []float64, a, b float64) [
 // the unbounded success probability. The second return value reports the
 // per-budget worst ratio of the returned k (diagnostics).
 func (s *Study) Diameter(eps float64, grid []float64) (int, float64) {
-	a, b := s.Trace.Start, s.Trace.End
+	a, b := s.View.Start(), s.View.End()
 	ref := s.successProbs(Unbounded, grid, a, b)
 	maxK := s.Result.Hops
 	for k := 1; k <= maxK; k++ {
@@ -281,7 +303,7 @@ func (s *Study) Diameter(eps float64, grid []float64) (int, float64) {
 // how much of the headline number rides on the strictness of the 99%
 // criterion.
 func (s *Study) DiameterVsEpsilon(eps []float64, grid []float64) []int {
-	a, b := s.Trace.Start, s.Trace.End
+	a, b := s.View.Start(), s.View.End()
 	ref := s.successProbs(Unbounded, grid, a, b)
 	out := make([]int, len(eps))
 	for i := range out {
@@ -318,7 +340,7 @@ func (s *Study) DiameterVsEpsilon(eps []float64, grid []float64) []int {
 // hop bound achieving (1−ε) of the unbounded success at that single
 // budget — the curve of Figure 12.
 func (s *Study) DiameterAtDelay(eps float64, grid []float64) []int {
-	a, b := s.Trace.Start, s.Trace.End
+	a, b := s.View.Start(), s.View.End()
 	ref := s.successProbs(Unbounded, grid, a, b)
 	out := make([]int, len(grid))
 	remaining := len(grid)
@@ -350,7 +372,7 @@ func (s *Study) DiameterAtDelay(eps float64, grid []float64) []int {
 // within the window for the given hop bound (+Inf when a pair is never
 // connected) — a compact connectivity summary.
 func (s *Study) MinDelayDist(hopBound int) []float64 {
-	a, b := s.Trace.Start, s.Trace.End
+	a, b := s.View.Start(), s.View.End()
 	fs := s.frontiersFor(hopBound)
 	out := make([]float64, len(fs))
 	par.Do(len(fs), s.workers, func(i int) {
@@ -433,6 +455,17 @@ func AverageCDFs(runs [][]DelayCDF) ([]DelayCDF, error) {
 // so the removals — and therefore the averaged curves and diameters —
 // are byte-identical to a serial run at any worker count.
 func RandomRemovalStudy(tr *trace.Trace, p float64, reps int, seed uint64, opt core.Options, hopBounds []int, grid []float64, eps float64) ([]DelayCDF, []int, error) {
+	return RandomRemovalStudyView(timeline.New(tr).All(), p, reps, seed, opt, hopBounds, grid, eps)
+}
+
+// RandomRemovalStudyView is RandomRemovalStudy over a timeline view:
+// every repetition derives a keep-mask view of the same base index, so
+// the per-rep work filters pre-sorted arrays instead of re-sorting and
+// re-indexing a trace copy. Each repetition consumes one Bernoulli draw
+// per kept contact in trace order — exactly the stream consumption of
+// trace.RemoveRandom — so results are bit-identical to the trace-based
+// path.
+func RandomRemovalStudyView(v *timeline.View, p float64, reps int, seed uint64, opt core.Options, hopBounds []int, grid []float64, eps float64) ([]DelayCDF, []int, error) {
 	if reps < 1 {
 		return nil, nil, fmt.Errorf("analysis: need at least one repetition")
 	}
@@ -441,11 +474,17 @@ func RandomRemovalStudy(tr *trace.Trace, p float64, reps int, seed uint64, opt c
 	for rep := range streams {
 		streams[rep] = r.Split()
 	}
+	// Derive the per-rep views serially: each RemoveRandom consumes its
+	// own pre-split stream, keeping the removals independent of both the
+	// worker count and the fan-out order.
+	cuts := make([]*timeline.View, reps)
+	for rep := range cuts {
+		cuts[rep] = v.RemoveRandom(p, streams[rep])
+	}
 	runs := make([][]DelayCDF, reps)
 	diameters := make([]int, reps)
 	err := par.DoErr(reps, opt.Workers, func(rep int) error {
-		cut := tr.RemoveRandom(p, streams[rep])
-		st, err := NewStudy(cut, opt)
+		st, err := NewStudyView(cuts[rep], opt)
 		if err != nil {
 			return err
 		}
@@ -465,9 +504,16 @@ func RandomRemovalStudy(tr *trace.Trace, p float64, reps int, seed uint64, opt c
 // shorter than the threshold, then analyze. It returns the study over
 // the filtered trace and the fraction of contacts removed.
 func DurationThresholdStudy(tr *trace.Trace, threshold float64, opt core.Options) (*Study, float64, error) {
-	cut := tr.MinDuration(threshold)
-	removed := 1 - float64(len(cut.Contacts))/math.Max(1, float64(len(tr.Contacts)))
-	st, err := NewStudy(cut, opt)
+	return DurationThresholdStudyView(timeline.New(tr).All(), threshold, opt)
+}
+
+// DurationThresholdStudyView is DurationThresholdStudy over a timeline
+// view, deriving the thresholded view from the shared base index. The
+// removed fraction is relative to the input view's contact count.
+func DurationThresholdStudyView(v *timeline.View, threshold float64, opt core.Options) (*Study, float64, error) {
+	cut := v.MinDuration(threshold)
+	removed := 1 - float64(cut.NumContacts())/math.Max(1, float64(v.NumContacts()))
+	st, err := NewStudyView(cut, opt)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -484,13 +530,13 @@ func DurationThresholdStudy(tr *trace.Trace, threshold float64, opt core.Options
 // drawn serially from the seed, so the probe sequence (and any reported
 // disagreement) is identical at every worker count.
 func (s *Study) SelfCheck(probes int, seed uint64) error {
-	fl := flood.New(s.Trace, flood.Options{})
+	fl := flood.NewView(s.View, flood.Options{})
 	r := rng.New(seed)
-	internal := s.Trace.InternalNodes()
+	internal := s.View.InternalNodes()
 	errs := make([]error, len(internal))
 	for i := 0; i < probes; i++ {
 		src := internal[r.Intn(len(internal))]
-		t0 := s.Trace.Start + r.Uniform(0, s.Trace.Duration())
+		t0 := s.View.Start() + r.Uniform(0, s.View.Duration())
 		arr := fl.EarliestDelivery(src, t0)
 		par.Do(len(internal), s.workers, func(j int) {
 			dst := internal[j]

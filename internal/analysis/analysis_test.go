@@ -266,15 +266,15 @@ func TestDurationThresholdStudy(t *testing.T) {
 	if removed != 0 {
 		t.Fatalf("removed = %v, want 0 (all contacts last 10)", removed)
 	}
-	if len(st.Trace.Contacts) != 3 {
+	if st.View.NumContacts() != 3 {
 		t.Fatal("contacts lost unexpectedly")
 	}
 	st2, removed2, err := DurationThresholdStudy(tr, 11, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if removed2 != 1 || len(st2.Trace.Contacts) != 0 {
-		t.Fatalf("removed = %v with %d left", removed2, len(st2.Trace.Contacts))
+	if removed2 != 1 || st2.View.NumContacts() != 0 {
+		t.Fatalf("removed = %v with %d left", removed2, st2.View.NumContacts())
 	}
 }
 

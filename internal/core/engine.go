@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"opportunet/internal/par"
+	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
 )
 
@@ -59,16 +59,25 @@ type Result struct {
 	arch     [][]Entry // [srcRow*NumNodes + dst] append-only summaries
 }
 
-// dirContact is one usable direction of a trace contact.
-type dirContact struct {
-	to       trace.NodeID
-	beg, end float64
-}
-
 // Compute runs the exhaustive optimal-path computation of §4.4 on the
 // trace and returns the per-pair summary archives. The trace is not
 // modified. It returns an error if the trace fails validation or if a
 // requested source is out of range.
+//
+// Compute validates the trace and indexes it from scratch; callers that
+// already hold a timeline view (a removal study deriving many views of
+// one base index) use ComputeView to share the index across runs.
+func Compute(tr *trace.Trace, opt Options) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return ComputeView(timeline.New(tr).All(), opt)
+}
+
+// ComputeView is Compute over a timeline view: the engine reads its
+// adjacency straight from the view's per-node index (built at most once,
+// shared read-only across row engines and across calls). The view is
+// assumed to come from a validated trace.
 //
 // The computation is sharded by source row across Options.Workers
 // goroutines. A row's frontiers (indexed srcRow*n + dst) are touched by
@@ -76,11 +85,8 @@ type dirContact struct {
 // shards are fully independent: each runs its own hop iteration to its
 // own fixpoint, and the archives are identical to a serial run entry
 // for entry regardless of the worker count.
-func Compute(tr *trace.Trace, opt Options) (*Result, error) {
-	if err := tr.Validate(); err != nil {
-		return nil, err
-	}
-	n := tr.NumNodes()
+func ComputeView(v *timeline.View, opt Options) (*Result, error) {
+	n := v.NumNodes()
 	res := &Result{
 		NumNodes: n,
 		Delta:    opt.TransmitDelay,
@@ -108,20 +114,6 @@ func Compute(tr *trace.Trace, opt Options) (*Result, error) {
 	}
 	res.arch = make([][]Entry, len(res.sources)*n)
 
-	// Group usable contact directions by their departure node, sorted by
-	// begin time: extend2D sweeps a frontier pointer monotonically across
-	// them instead of binary-searching per contact.
-	adj := make([][]dirContact, n)
-	for _, c := range tr.Contacts {
-		adj[c.A] = append(adj[c.A], dirContact{to: c.B, beg: c.Beg, end: c.End})
-		if !opt.Directed {
-			adj[c.B] = append(adj[c.B], dirContact{to: c.A, beg: c.Beg, end: c.End})
-		}
-	}
-	for _, es := range adj {
-		sort.Slice(es, func(i, j int) bool { return es[i].beg < es[j].beg })
-	}
-
 	rows := len(res.sources)
 	if rows == 0 {
 		res.Hops = 1
@@ -131,7 +123,7 @@ func Compute(tr *trace.Trace, opt Options) (*Result, error) {
 	engines := make([]rowEngine, rows)
 	par.Do(rows, opt.Workers, func(row int) {
 		g := &engines[row]
-		g.init(res, opt, n, adj, row)
+		g.init(res, opt, n, v, row)
 		g.run()
 	})
 	// Global stop state: the serial engine stops at the last hop any row
@@ -154,13 +146,13 @@ func Compute(tr *trace.Trace, opt Options) (*Result, error) {
 // candidate generated during iteration k extends only summaries
 // available with at most k−1 hops — the property that makes each archive
 // entry's Hop the minimal hop count of its summary. The only shared
-// structures are the read-only adjacency and this row's segment of the
-// result archives, so rows run concurrently without synchronization.
+// structures are the read-only timeline view and this row's segment of
+// the result archives, so rows run concurrently without synchronization.
 type rowEngine struct {
 	res *Result
 	opt Options
 	n   int
-	adj [][]dirContact
+	v   *timeline.View
 
 	src  trace.NodeID
 	base int // row * n: offset of this row's archive segment
@@ -181,11 +173,11 @@ type rowEngine struct {
 	fixpoint bool // whether hops is a true fixpoint for this row
 }
 
-func (g *rowEngine) init(res *Result, opt Options, n int, adj [][]dirContact, row int) {
+func (g *rowEngine) init(res *Result, opt Options, n int, v *timeline.View, row int) {
 	g.res = res
 	g.opt = opt
 	g.n = n
-	g.adj = adj
+	g.v = v
 	g.src = res.sources[row]
 	g.base = row * n
 }
@@ -205,11 +197,14 @@ func (g *rowEngine) run() {
 
 	// Hop 1: every usable contact leaving the source is a one-contact
 	// sequence with LD = t_end, EA = t_beg.
-	for _, e := range g.adj[g.src] {
-		if e.to == g.src {
+	for _, e := range g.v.OutgoingByBeg(g.src) {
+		if g.opt.Directed && !e.Fwd {
 			continue
 		}
-		g.insert(int32(e.to), Entry{LD: e.end, EA: e.beg, Hop: 1})
+		if e.To == g.src {
+			continue
+		}
+		g.insert(int32(e.To), Entry{LD: e.End, EA: e.Beg, Hop: 1})
 	}
 	g.commit()
 	g.hops = 1
@@ -328,27 +323,30 @@ func (g *rowEngine) extend2D(u trace.NodeID, f frontier2D, hop int32) {
 	// First summary with EA > tb; contacts are sorted by tb so the
 	// boundary only moves forward.
 	i := 0
-	for _, e := range g.adj[u] {
-		for i < len(f) && f[i].EA <= e.beg {
-			i++
-		}
-		if e.to == g.src || e.to == u {
+	for _, e := range g.v.OutgoingByBeg(u) {
+		if g.opt.Directed && !e.Fwd {
 			continue
 		}
-		dst := int32(e.to)
+		for i < len(f) && f[i].EA <= e.Beg {
+			i++
+		}
+		if e.To == g.src || e.To == u {
+			continue
+		}
+		dst := int32(e.To)
 		if i > 0 {
 			if p := f[i-1]; p.Hop == newHop {
-				g.insert(dst, Entry{LD: math.Min(p.LD, e.end), EA: e.beg, Hop: p.Hop + 1})
+				g.insert(dst, Entry{LD: math.Min(p.LD, e.End), EA: e.Beg, Hop: p.Hop + 1})
 			}
 		}
 		for j := i; j < len(f); j++ {
 			p := f[j]
-			if p.EA > e.end {
+			if p.EA > e.End {
 				break
 			}
-			if p.LD >= e.end {
+			if p.LD >= e.End {
 				if p.Hop == newHop {
-					g.insert(dst, Entry{LD: e.end, EA: p.EA, Hop: p.Hop + 1})
+					g.insert(dst, Entry{LD: e.End, EA: p.EA, Hop: p.Hop + 1})
 				}
 				break
 			}
@@ -385,18 +383,21 @@ func (g *rowEngine) extend3D(u trace.NodeID, f frontier3D, hop int32) {
 	if len(g.pivots) == 0 {
 		return
 	}
-	for _, e := range g.adj[u] {
-		if e.to == g.src || e.to == u {
+	for _, e := range g.v.OutgoingByBeg(u) {
+		if g.opt.Directed && !e.Fwd {
 			continue
 		}
-		dst := int32(e.to)
+		if e.To == g.src || e.To == u {
+			continue
+		}
+		dst := int32(e.To)
 		for _, p := range g.pivots {
-			if p.EA+delta > e.end {
+			if p.EA+delta > e.End {
 				continue
 			}
 			g.insert(dst, Entry{
-				LD:  math.Min(p.LD, e.end-float64(p.Hop)*delta),
-				EA:  math.Max(p.EA+delta, e.beg),
+				LD:  math.Min(p.LD, e.End-float64(p.Hop)*delta),
+				EA:  math.Max(p.EA+delta, e.Beg),
 				Hop: p.Hop + 1,
 			})
 		}

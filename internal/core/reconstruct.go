@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
 )
 
@@ -41,7 +42,14 @@ func ReconstructPath(tr *trace.Trace, src, dst trace.NodeID, t0 float64, maxHops
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	n := trace.NodeID(tr.NumNodes())
+	return ReconstructPathView(timeline.New(tr).All(), src, dst, t0, maxHops, opt)
+}
+
+// ReconstructPathView is ReconstructPath over a timeline view, sharing
+// the view's adjacency index instead of building one per call. The view
+// is assumed to come from a validated trace.
+func ReconstructPathView(v *timeline.View, src, dst trace.NodeID, t0 float64, maxHops int, opt Options) (*Path, error) {
+	n := trace.NodeID(v.NumNodes())
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return nil, fmt.Errorf("core: pair (%d, %d) out of range (nodes=%d)", src, dst, n)
 	}
@@ -52,22 +60,13 @@ func ReconstructPath(tr *trace.Trace, src, dst trace.NodeID, t0 float64, maxHops
 	if cap <= 0 {
 		// No delay-optimal path needs to revisit a device under the
 		// paper's model, so the device count bounds the useful hops.
-		cap = tr.NumNodes()
+		cap = int(n)
 	}
 	delta := opt.TransmitDelay
 
-	// adjacency with contact identity for backtracking.
-	type edge struct {
-		to       trace.NodeID
-		beg, end float64
-	}
-	adj := make([][]edge, n)
-	for _, c := range tr.Contacts {
-		adj[c.A] = append(adj[c.A], edge{c.B, c.Beg, c.End})
-		if !opt.Directed {
-			adj[c.B] = append(adj[c.B], edge{c.A, c.Beg, c.End})
-		}
-	}
+	// usable reports whether the engine may schedule a transfer along a
+	// contact direction (Directed restricts to the recorded orientation).
+	usable := func(e timeline.DirContact) bool { return !opt.Directed || e.Fwd }
 
 	// Bellman-Ford over hop count: arr[k][v] = earliest delivery at v
 	// using at most k hops.
@@ -81,21 +80,24 @@ func ReconstructPath(tr *trace.Trace, src, dst trace.NodeID, t0 float64, maxHops
 	for k := 1; k <= cap; k++ {
 		prev := arr[k-1]
 		next := append([]float64(nil), prev...)
-		for v := trace.NodeID(0); v < n; v++ {
-			if math.IsInf(prev[v], 1) {
+		for u := trace.NodeID(0); u < n; u++ {
+			if math.IsInf(prev[u], 1) {
 				continue
 			}
-			for _, e := range adj[v] {
-				// prev[v] is the delivery time at v; the next
+			for _, e := range v.OutgoingByBeg(u) {
+				if !usable(e) {
+					continue
+				}
+				// prev[u] is the delivery time at u; the next
 				// transmission starts at max(prev, beg), must fit in the
 				// contact, and delivers TransmitDelay later (immediately
 				// in the paper's base model).
-				start := math.Max(prev[v], e.beg)
-				if start > e.end {
+				start := math.Max(prev[u], e.Beg)
+				if start > e.End {
 					continue
 				}
-				if at := start + delta; at < next[e.to] {
-					next[e.to] = at
+				if at := start + delta; at < next[e.To] {
+					next[e.To] = at
 				}
 			}
 		}
@@ -140,16 +142,16 @@ func ReconstructPath(tr *trace.Trace, src, dst trace.NodeID, t0 float64, maxHops
 			if math.IsInf(tu, 1) {
 				continue
 			}
-			for _, e := range adj[u] {
-				if e.to != cur || e.end < tu {
+			for _, e := range v.OutgoingByBeg(u) {
+				if !usable(e) || e.To != cur || e.End < tu {
 					continue
 				}
-				start := math.Max(tu, e.beg)
-				if delta > 0 && start > e.end {
+				start := math.Max(tu, e.Beg)
+				if delta > 0 && start > e.End {
 					continue
 				}
 				if start+delta == target {
-					path.Hops = append(path.Hops, Hop{From: u, To: cur, Beg: e.beg, End: e.end, At: start})
+					path.Hops = append(path.Hops, Hop{From: u, To: cur, Beg: e.Beg, End: e.End, At: start})
 					cur = u
 					found = true
 					break

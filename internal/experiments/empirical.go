@@ -55,15 +55,16 @@ func Figure6(c *Config) error {
 	}{{HongKong, 2}, {RealityMining, 2}, {Infocom05, 2}}
 	node := 1
 	for _, s := range sets {
-		tr, err := c.Trace(s.name)
+		tl, err := c.Timeline(s.name)
 		if err != nil {
 			return err
 		}
-		internal := tr.InternalNodes()
+		v := tl.All()
+		internal := v.InternalNodes()
 		for i := 0; i < s.count; i++ {
 			// Spread the picks across the device range for variety.
 			dev := internal[(i*7+3)%len(internal)]
-			pts := tr.NextContactSeries(dev)
+			pts := v.NextContactSeries(dev)
 			// Summarize: total in-contact time, longest disconnection.
 			inContact, longestGap := 0.0, 0.0
 			for _, p := range pts {
@@ -75,7 +76,7 @@ func Figure6(c *Config) error {
 			}
 			fmt.Fprintf(c.Out, "node %d (%s, device %d): %d steps, in contact %s of %s, longest disconnection %s\n",
 				node, s.name, dev, len(pts),
-				export.FormatDuration(inContact), export.FormatDuration(tr.Duration()),
+				export.FormatDuration(inContact), export.FormatDuration(v.Duration()),
 				export.FormatDuration(longestGap))
 			// Emit a compact sample of the step function (up to 12 rows).
 			stride := len(pts)/12 + 1
@@ -197,7 +198,7 @@ func Figure9(c *Config) error {
 // printDelayCDFs renders one dataset's Figure-9-style panel: the delay
 // CDFs per hop bound and the diameter at ε and at 5ε.
 func printDelayCDFs(c *Config, name string, st *analysis.Study) error {
-	grid := delayGrid(st.Trace, 40)
+	grid := delayGrid(st.View.Duration(), 40)
 	cdfs := st.DelayCDFs(figure9Bounds, grid)
 	cols := make([]export.Column, len(cdfs))
 	for i, cdf := range cdfs {
@@ -208,7 +209,7 @@ func printDelayCDFs(c *Config, name string, st *analysis.Study) error {
 		cols[i] = export.Column{Name: label, Ys: cdf.Success}
 	}
 	fmt.Fprintf(c.Out, "\n%s (window %s, %d internal devices, %d contacts)\n",
-		name, export.FormatDuration(st.Trace.Duration()), st.Trace.NumInternal(), len(st.Trace.Contacts))
+		name, export.FormatDuration(st.View.Duration()), st.View.NumInternal(), st.View.NumContacts())
 	if err := export.Series(c.Out, "delay", grid, cols); err != nil {
 		return err
 	}
@@ -228,11 +229,11 @@ var figure10Bounds = []int{1, 2, 3, 5, analysis.Unbounded}
 // (averaged over 5 independent removals) and diameters.
 func Figure10(c *Config) error {
 	fmt.Fprintln(c.Out, "Figure 10 — random contact removal, Infocom06 day 2")
-	tr, err := c.Trace(Infocom06Day2)
+	tl, err := c.Timeline(Infocom06Day2)
 	if err != nil {
 		return err
 	}
-	grid := stats.LogSpace(120, tr.Duration(), 30)
+	grid := stats.LogSpace(120, tl.All().Duration(), 30)
 	reps := 5
 	if c.Quick {
 		reps = 3
@@ -250,7 +251,7 @@ func Figure10(c *Config) error {
 			d, _ := st.Diameter(eps, grid)
 			diams = []int{d}
 		} else {
-			cdfs, diams, err = analysis.RandomRemovalStudy(tr, p, reps, c.Seed+uint64(p*100), c.coreOptions(), figure10Bounds, grid, eps)
+			cdfs, diams, err = analysis.RandomRemovalStudyView(tl.All(), p, reps, c.Seed+uint64(p*100), c.coreOptions(), figure10Bounds, grid, eps)
 			if err != nil {
 				return err
 			}
@@ -278,14 +279,14 @@ func Figure10(c *Config) error {
 // the diameter even while long contacts preserve small-delay paths.
 func Figure11(c *Config) error {
 	fmt.Fprintln(c.Out, "Figure 11 — removal of short contacts, Infocom06 day 2")
-	tr, err := c.Trace(Infocom06Day2)
+	tl, err := c.Timeline(Infocom06Day2)
 	if err != nil {
 		return err
 	}
-	grid := stats.LogSpace(120, tr.Duration(), 30)
+	grid := stats.LogSpace(120, tl.All().Duration(), 30)
 	eps := c.Epsilon()
 	for _, thr := range []float64{121, 601, 1801} {
-		st, removed, err := analysis.DurationThresholdStudy(tr, thr, c.coreOptions())
+		st, removed, err := analysis.DurationThresholdStudyView(tl.All(), thr, c.coreOptions())
 		if err != nil {
 			return err
 		}
@@ -315,11 +316,11 @@ func Figure11(c *Config) error {
 // (the paper's Figure 12).
 func Figure12(c *Config) error {
 	fmt.Fprintln(c.Out, "Figure 12 — diameter as a function of delay, Infocom06 day 2")
-	tr, err := c.Trace(Infocom06Day2)
+	tl, err := c.Timeline(Infocom06Day2)
 	if err != nil {
 		return err
 	}
-	grid := stats.LogSpace(120, math.Min(12*3600, tr.Duration()), 16)
+	grid := stats.LogSpace(120, math.Min(12*3600, tl.All().Duration()), 16)
 	eps := c.Epsilon()
 	cols := []export.Column{}
 	base, err := c.Study(Infocom06Day2)
@@ -331,7 +332,7 @@ func Figure12(c *Config) error {
 		study *analysis.Study
 	}{{"infocom06", base}}
 	for _, thr := range []float64{601, 1801} {
-		st, _, err := analysis.DurationThresholdStudy(tr, thr, c.coreOptions())
+		st, _, err := analysis.DurationThresholdStudyView(tl.All(), thr, c.coreOptions())
 		if err != nil {
 			return err
 		}

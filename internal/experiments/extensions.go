@@ -166,13 +166,13 @@ func InterContact(c *Config) error {
 	}
 	var tails []tail
 	for _, name := range fourDatasets {
-		tr, err := c.Trace(name)
+		tl, err := c.Timeline(name)
 		if err != nil {
 			return err
 		}
 		var d stats.Dist
 		var gaps []float64
-		for _, gap := range tr.InterContactTimes() {
+		for _, gap := range tl.All().InterContactTimes() {
 			if gap > 0 {
 				d.Add(gap)
 				gaps = append(gaps, gap)
@@ -212,8 +212,7 @@ func DayNight(c *Config) error {
 	if err != nil {
 		return err
 	}
-	tr := st.Trace
-	grid := stats.LogSpace(120, math.Min(86400, tr.Duration()), 16)
+	grid := stats.LogSpace(120, math.Min(86400, st.View.Duration()), 16)
 	// The trace opens at 08:00; day one's working hours are [1h, 10h]
 	// into the trace (09:00-18:00), night is [14h, 23h] (22:00-07:00).
 	day := [2]float64{3600, 10 * 3600}
@@ -322,7 +321,7 @@ func EpsSweep(c *Config) error {
 		if err != nil {
 			return err
 		}
-		grid := delayGrid(st.Trace, 40)
+		grid := delayGrid(st.View.Duration(), 40)
 		ds := st.DiameterVsEpsilon(epsGrid, grid)
 		row := []string{name}
 		for _, d := range ds {

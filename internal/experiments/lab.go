@@ -23,6 +23,7 @@ import (
 	"opportunet/internal/analysis"
 	"opportunet/internal/core"
 	"opportunet/internal/stats"
+	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
 	"opportunet/internal/tracegen"
 )
@@ -66,11 +67,15 @@ func (l *lab) entry(key string) *labEntry {
 	return e
 }
 
-// labEntry caches a generated trace and its (lazily computed) study.
+// labEntry caches a generated trace, its timeline index, and its (lazily
+// computed) study.
 type labEntry struct {
 	traceOnce sync.Once
 	trace     *trace.Trace
 	traceErr  error
+
+	tlOnce sync.Once
+	tl     *timeline.Timeline
 
 	studyOnce sync.Once
 	study     *analysis.Study
@@ -192,25 +197,45 @@ func (c *Config) RawTrace(name string) (*trace.Trace, error) {
 	return e.trace, e.traceErr
 }
 
-// Study returns the (cached) full path computation for a dataset.
-func (c *Config) Study(name string) (*analysis.Study, error) {
+// Timeline returns the (cached) contact-timeline index over the dataset's
+// filtered trace. Figures that need several computations over one dataset
+// (a study plus removal or threshold cuts) derive views from this shared
+// index instead of re-indexing the trace.
+func (c *Config) Timeline(name string) (*timeline.Timeline, error) {
 	tr, err := c.Trace(name)
 	if err != nil {
 		return nil, err
 	}
 	e := c.lab.entry(name)
+	e.tlOnce.Do(func() {
+		e.tl = timeline.New(tr)
+	})
+	return e.tl, nil
+}
+
+// Study returns the (cached) full path computation for a dataset.
+func (c *Config) Study(name string) (*analysis.Study, error) {
+	tl, err := c.Timeline(name)
+	if err != nil {
+		return nil, err
+	}
+	e := c.lab.entry(name)
 	e.studyOnce.Do(func() {
-		e.study, e.studyErr = analysis.NewStudy(tr, c.coreOptions())
+		st, err := analysis.NewStudyView(tl.All(), c.coreOptions())
+		if err == nil {
+			st.Trace = tl.Trace()
+		}
+		e.study, e.studyErr = st, err
 	})
 	return e.study, e.studyErr
 }
 
 // delayGrid returns the paper's presentation grid [2 min, 1 week],
-// clipped to the trace window, with n points.
-func delayGrid(tr *trace.Trace, n int) []float64 {
-	hi := math.Min(7*86400, tr.Duration())
+// clipped to the trace window (duration seconds long), with n points.
+func delayGrid(duration float64, n int) []float64 {
+	hi := math.Min(7*86400, duration)
 	if hi <= 120 {
-		hi = tr.Duration()
+		hi = duration
 	}
 	return stats.LogSpace(120, hi, n)
 }

@@ -15,8 +15,8 @@ package flood
 import (
 	"container/heap"
 	"math"
-	"sort"
 
+	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
 )
 
@@ -32,35 +32,24 @@ type Options struct {
 	TransmitDelay float64
 }
 
-// Flooder computes earliest-delivery times over one trace. It is
+// Flooder computes earliest-delivery times over one timeline view. It is
 // read-only after construction and safe for concurrent use.
 type Flooder struct {
 	n   int
 	opt Options
-	adj [][]edge // outgoing usable contact directions, sorted by End desc
+	v   *timeline.View
 }
 
-type edge struct {
-	to       trace.NodeID
-	beg, end float64
-}
-
-// New builds a Flooder for the trace.
+// New builds a Flooder for the trace, indexing it from scratch. Callers
+// that already hold a timeline view use NewView to share the index.
 func New(tr *trace.Trace, opt Options) *Flooder {
-	f := &Flooder{n: tr.NumNodes(), opt: opt}
-	f.adj = make([][]edge, f.n)
-	for _, c := range tr.Contacts {
-		f.adj[c.A] = append(f.adj[c.A], edge{to: c.B, beg: c.Beg, end: c.End})
-		if !opt.Directed {
-			f.adj[c.B] = append(f.adj[c.B], edge{to: c.A, beg: c.Beg, end: c.End})
-		}
-	}
-	// Sorting by descending End lets the relaxation loop stop as soon as
-	// contacts end before the current arrival time.
-	for _, es := range f.adj {
-		sort.Slice(es, func(i, j int) bool { return es[i].end > es[j].end })
-	}
-	return f
+	return NewView(timeline.New(tr).All(), opt)
+}
+
+// NewView builds a Flooder over a timeline view, reusing the view's
+// end-sorted adjacency index.
+func NewView(v *timeline.View, opt Options) *Flooder {
+	return &Flooder{n: v.NumNodes(), opt: opt, v: v}
 }
 
 // NumNodes returns the device count of the underlying trace.
@@ -117,17 +106,24 @@ func (f *Flooder) EarliestDelivery(src trace.NodeID, t0 float64) []float64 {
 }
 
 // relax visits every contact leaving v that is still usable at delivery
-// time t and reports the delivery time it achieves at the neighbor.
+// time t and reports the delivery time it achieves at the neighbor. The
+// view's adjacency is end-sorted ascending, so the walk runs backwards
+// and stops as soon as contacts end before the current arrival time.
 func (f *Flooder) relax(v trace.NodeID, t float64, visit func(trace.NodeID, float64)) {
 	delta := f.opt.TransmitDelay
-	for _, e := range f.adj[v] {
-		if e.end < t {
-			break // sorted by End descending: nothing further is usable
+	es := f.v.OutgoingByEnd(v)
+	for i := len(es) - 1; i >= 0; i-- {
+		e := es[i]
+		if e.End < t {
+			break // everything earlier in the slice ends sooner
+		}
+		if f.opt.Directed && !e.Fwd {
+			continue
 		}
 		// Transmission starts at max(t, beg) ≤ end (guaranteed by the
 		// check above for t; beg ≤ end by trace validation).
-		dep := math.Max(t, e.beg)
-		visit(e.to, dep+delta)
+		dep := math.Max(t, e.Beg)
+		visit(e.To, dep+delta)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"opportunet/internal/flood"
 	"opportunet/internal/rng"
+	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
 )
 
@@ -40,85 +41,31 @@ type Outcome struct {
 	Copies int
 }
 
-// Evaluator precomputes per-pair contact indexes over one trace so the
-// restricted algorithms can answer "earliest transfer between u and v at
-// or after t" in logarithmic time. It is safe for concurrent use after
-// construction.
+// Evaluator answers "earliest transfer between u and v at or after t" in
+// logarithmic time through the timeline's per-pair meeting index, and
+// runs the restricted forwarding algorithms on top of it. It is safe for
+// concurrent use.
 type Evaluator struct {
-	tr *trace.Trace
+	v  *timeline.View
 	fl *flood.Flooder
-	// pairIdx[u] lists, for each partner of u, the contact index.
-	pairs map[uint64]*pairContacts
-	// partners[u] lists devices u ever contacts.
-	partners [][]trace.NodeID
 }
 
-// pairContacts stores one unordered pair's contacts sorted by end time,
-// with a suffix minimum of begin times: the earliest transfer at or
-// after t uses the first contact with End >= t but may start as early as
-// the smallest Beg among all later-ending contacts.
-type pairContacts struct {
-	ends      []float64
-	sufMinBeg []float64
-}
-
-func pairKey(a, b trace.NodeID) uint64 {
-	if a > b {
-		a, b = b, a
-	}
-	return uint64(uint32(a))<<32 | uint64(uint32(b))
-}
-
-// NewEvaluator indexes the trace.
+// NewEvaluator indexes the trace from scratch. Callers that already hold
+// a timeline view use NewEvaluatorView to share the index.
 func NewEvaluator(tr *trace.Trace) *Evaluator {
-	e := &Evaluator{
-		tr:       tr,
-		fl:       flood.New(tr, flood.Options{}),
-		pairs:    make(map[uint64]*pairContacts),
-		partners: make([][]trace.NodeID, tr.NumNodes()),
-	}
-	type raw struct{ beg, end float64 }
-	byPair := make(map[uint64][]raw)
-	seen := make(map[uint64]bool)
-	for _, c := range tr.Contacts {
-		k := pairKey(c.A, c.B)
-		byPair[k] = append(byPair[k], raw{c.Beg, c.End})
-		if !seen[k] {
-			seen[k] = true
-			e.partners[c.A] = append(e.partners[c.A], c.B)
-			e.partners[c.B] = append(e.partners[c.B], c.A)
-		}
-	}
-	for k, rs := range byPair {
-		sort.Slice(rs, func(i, j int) bool { return rs[i].end < rs[j].end })
-		pc := &pairContacts{ends: make([]float64, len(rs)), sufMinBeg: make([]float64, len(rs))}
-		for i, r := range rs {
-			pc.ends[i] = r.end
-		}
-		minBeg := math.Inf(1)
-		for i := len(rs) - 1; i >= 0; i-- {
-			if rs[i].beg < minBeg {
-				minBeg = rs[i].beg
-			}
-			pc.sufMinBeg[i] = minBeg
-		}
-		e.pairs[k] = pc
-	}
-	return e
+	return NewEvaluatorView(timeline.New(tr).All())
+}
+
+// NewEvaluatorView builds an Evaluator over a timeline view, reusing the
+// view's pair and partner indexes.
+func NewEvaluatorView(v *timeline.View) *Evaluator {
+	return &Evaluator{v: v, fl: flood.NewView(v, flood.Options{})}
 }
 
 // Meet returns the earliest time at or after t at which devices u and v
 // share a contact (i.e. a transfer between them can happen), or +Inf.
 func (e *Evaluator) Meet(u, v trace.NodeID, t float64) float64 {
-	pc, ok := e.pairs[pairKey(u, v)]
-	if !ok {
-		return math.Inf(1)
-	}
-	i := sort.SearchFloat64s(pc.ends, t)
-	if i == len(pc.ends) {
-		return math.Inf(1)
-	}
-	return math.Max(t, pc.sufMinBeg[i])
+	return e.v.Meet(u, v, t)
 }
 
 // Direct evaluates direct transmission: the source waits for a contact
@@ -139,7 +86,7 @@ func (e *Evaluator) TwoHop(m Message) Outcome {
 	best := e.Meet(m.Src, m.Dst, m.T0)
 	type relay struct{ got float64 }
 	var relays []relay
-	for _, r := range e.partners[m.Src] {
+	for _, r := range e.v.Partners(m.Src) {
 		if r == m.Dst {
 			continue
 		}
@@ -179,7 +126,7 @@ func (e *Evaluator) SourceSpray(m Message, copies int) Outcome {
 		got float64
 	}
 	var cands []relay
-	for _, r := range e.partners[m.Src] {
+	for _, r := range e.v.Partners(m.Src) {
 		if r == m.Dst {
 			continue
 		}
@@ -221,7 +168,7 @@ func (e *Evaluator) FirstContact(m Message) Outcome {
 	t := m.T0
 	// A generous cap on transfers prevents pathological same-instant
 	// cycles from hanging the evaluation.
-	maxSteps := 4 * e.tr.NumNodes()
+	maxSteps := 4 * e.v.NumNodes()
 	for step := 0; step < maxSteps; step++ {
 		// Deliver directly whenever possible.
 		if d := e.Meet(holder, m.Dst, t); d <= deadline {
@@ -229,7 +176,7 @@ func (e *Evaluator) FirstContact(m Message) Outcome {
 			// contact hands to whoever comes first, but meeting the
 			// destination always delivers.
 			bestOther, bestTo := math.Inf(1), trace.NodeID(-1)
-			for _, v := range e.partners[holder] {
+			for _, v := range e.v.Partners(holder) {
 				if v == m.Dst || v == prev {
 					continue
 				}
@@ -247,7 +194,7 @@ func (e *Evaluator) FirstContact(m Message) Outcome {
 		// Destination unreachable in time from here: hand to the first
 		// contact anyway and keep trying.
 		bestOther, bestTo := math.Inf(1), trace.NodeID(-1)
-		for _, v := range e.partners[holder] {
+		for _, v := range e.v.Partners(holder) {
 			if v == prev {
 				continue
 			}
@@ -275,7 +222,7 @@ func (e *Evaluator) Epidemic(m Message, maxHops int) Outcome {
 		// No optimal path repeats a device, and hop counts beyond the
 		// engine's practical range contribute nothing measurable; the
 		// node count is a safe bound.
-		cap = e.tr.NumNodes()
+		cap = e.v.NumNodes()
 		if cap > 64 {
 			cap = 64
 		}
@@ -345,11 +292,11 @@ type Stats struct {
 // source ≠ destination, creation time uniform over the window minus the
 // TTL so every message has a full budget).
 func Evaluate(e *Evaluator, algos []Algorithm, n int, ttl float64, r *rng.Source) ([]Stats, error) {
-	internal := e.tr.InternalNodes()
+	internal := e.v.InternalNodes()
 	if len(internal) < 2 {
 		return nil, fmt.Errorf("forward: need at least two internal devices")
 	}
-	window := e.tr.End - e.tr.Start - ttl
+	window := e.v.Duration() - ttl
 	if window <= 0 {
 		return nil, fmt.Errorf("forward: TTL %v exceeds the trace window", ttl)
 	}
@@ -360,7 +307,7 @@ func Evaluate(e *Evaluator, algos []Algorithm, n int, ttl float64, r *rng.Source
 		for dst == src {
 			dst = internal[r.Intn(len(internal))]
 		}
-		msgs[i] = Message{Src: src, Dst: dst, T0: e.tr.Start + r.Uniform(0, window), TTL: ttl}
+		msgs[i] = Message{Src: src, Dst: dst, T0: e.v.Start() + r.Uniform(0, window), TTL: ttl}
 	}
 	out := make([]Stats, len(algos))
 	for ai, algo := range algos {

@@ -1,0 +1,93 @@
+package timeline_test
+
+import (
+	"testing"
+
+	"opportunet/internal/core"
+	"opportunet/internal/rng"
+	"opportunet/internal/timeline"
+	"opportunet/internal/trace"
+)
+
+// benchTrace builds the benchmark fixture: 60 devices, ~20k contacts —
+// the same scale as the core engine benchmarks.
+func benchTrace() *trace.Trace {
+	return randomTrace(60, 20000, rng.New(1))
+}
+
+// BenchmarkIndexBuild measures one full index materialization (adjacency
+// both orders, pair intervals, partner lists) from a cold timeline.
+func BenchmarkIndexBuild(b *testing.B) {
+	tr := benchTrace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := timeline.New(tr).All()
+		v.OutgoingByBeg(0)
+		v.Meet(0, 1, 0)
+		v.Partners(0)
+	}
+}
+
+// BenchmarkMeet measures the O(log n) pair query on a warm index.
+func BenchmarkMeet(b *testing.B) {
+	tr := benchTrace()
+	v := timeline.New(tr).All()
+	v.Meet(0, 1, 0)
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := trace.NodeID(r.Intn(60))
+		w := u
+		for w == u {
+			w = trace.NodeID(r.Intn(60))
+		}
+		v.Meet(u, w, r.Uniform(0, 1000))
+	}
+}
+
+// BenchmarkDeriveRemovalView measures deriving one random-removal view
+// and materializing its indexes from a warm base — the per-repetition
+// cost of a removal study, which used to be a full re-sort.
+func BenchmarkDeriveRemovalView(b *testing.B) {
+	tr := benchTrace()
+	tl := timeline.New(tr)
+	tl.All().OutgoingByBeg(0)
+	tl.All().Meet(0, 1, 0)
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := tl.All().RemoveRandom(0.9, r)
+		v.OutgoingByBeg(0)
+		v.Meet(0, 1, 0)
+	}
+}
+
+// BenchmarkComputeSetupShared measures the engine over a view of a warm
+// shared index; BenchmarkComputeSetupCold the same computation indexing
+// the materialized trace from scratch. Their gap is the setup saving the
+// shared layer buys every repetition of a study.
+func BenchmarkComputeSetupShared(b *testing.B) {
+	tr := randomTrace(40, 4000, rng.New(4))
+	tl := timeline.New(tr)
+	v := tl.All().RemoveRandom(0.5, rng.New(5))
+	v.OutgoingByBeg(0)
+	opt := core.Options{Workers: 1, MaxHops: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ComputeView(v, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeSetupCold(b *testing.B) {
+	tr := randomTrace(40, 4000, rng.New(4))
+	mt := timeline.New(tr).All().RemoveRandom(0.5, rng.New(5)).Materialize()
+	opt := core.Options{Workers: 1, MaxHops: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compute(mt, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

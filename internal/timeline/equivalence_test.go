@@ -1,0 +1,121 @@
+package timeline_test
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/core"
+	"opportunet/internal/flood"
+	"opportunet/internal/rng"
+	"opportunet/internal/timeline"
+	"opportunet/internal/trace"
+)
+
+// The consumers refactored onto the timeline (core engine, flooder) must
+// produce the same answers whether they index a materialized trace from
+// scratch or share a derived view — with and without a per-hop
+// transmission delay, directed and undirected.
+
+func TestComputeViewMatchesMaterialized(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, opt := range []core.Options{
+			{},
+			{TransmitDelay: 3},
+			{Directed: true},
+			{Directed: true, TransmitDelay: 3},
+		} {
+			r := rng.New(seed)
+			tr := randomTrace(9, 250, r)
+			v := timeline.New(tr).All().TimeWindow(100, 900).MinDuration(2)
+			fromView, err := core.ComputeView(v, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mt := v.Materialize()
+			fromTrace, err := core.Compute(mt, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := trace.NodeID(tr.NumNodes())
+			for src := trace.NodeID(0); src < n; src++ {
+				for dst := trace.NodeID(0); dst < n; dst++ {
+					if src == dst {
+						continue
+					}
+					fv := fromView.Frontier(src, dst, 0)
+					ft := fromTrace.Frontier(src, dst, 0)
+					if len(fv.Entries) != len(ft.Entries) {
+						t.Fatalf("seed %d opt %+v pair (%d,%d): %d vs %d entries",
+							seed, opt, src, dst, len(fv.Entries), len(ft.Entries))
+					}
+					for i := range fv.Entries {
+						if fv.Entries[i] != ft.Entries[i] {
+							t.Fatalf("seed %d opt %+v pair (%d,%d) entry %d: %+v vs %+v",
+								seed, opt, src, dst, i, fv.Entries[i], ft.Entries[i])
+						}
+					}
+					if mv, mt := fromView.MinHops(src, dst), fromTrace.MinHops(src, dst); mv != mt {
+						t.Fatalf("seed %d opt %+v pair (%d,%d): MinHops %d vs %d", seed, opt, src, dst, mv, mt)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFloodViewMatchesMaterialized(t *testing.T) {
+	for _, seed := range []uint64{4, 5} {
+		for _, opt := range []flood.Options{
+			{},
+			{TransmitDelay: 2},
+			{Directed: true, MaxHops: 3},
+		} {
+			r := rng.New(seed)
+			tr := randomTrace(10, 300, r)
+			v := timeline.New(tr).All().RemoveRandom(0.4, rng.New(seed+50))
+			fv := flood.NewView(v, opt)
+			ft := flood.New(v.Materialize(), opt)
+			for q := 0; q < 60; q++ {
+				src := trace.NodeID(r.Intn(10))
+				t0 := r.Uniform(0, 1000)
+				av, at := fv.EarliestDelivery(src, t0), ft.EarliestDelivery(src, t0)
+				for i := range av {
+					if av[i] != at[i] && !(math.IsInf(av[i], 1) && math.IsInf(at[i], 1)) {
+						t.Fatalf("seed %d opt %+v src %d t0 %v dst %d: %v vs %v",
+							seed, opt, src, t0, i, av[i], at[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Flooding from the source at the creation time is the independent oracle
+// for the engine's frontiers: Del(t) must equal the flood arrival for
+// every start time, on views too.
+func TestEngineAgreesWithFloodOnViews(t *testing.T) {
+	r := rng.New(6)
+	tr := randomTrace(8, 200, r)
+	v := timeline.New(tr).All().TimeWindow(50, 950)
+	for _, delta := range []float64{0, 4} {
+		res, err := core.ComputeView(v, core.Options{TransmitDelay: delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := flood.NewView(v, flood.Options{TransmitDelay: delta})
+		for q := 0; q < 40; q++ {
+			src := trace.NodeID(r.Intn(8))
+			t0 := r.Uniform(0, 1000)
+			arr := fl.EarliestDelivery(src, t0)
+			for dst := trace.NodeID(0); dst < 8; dst++ {
+				if dst == src {
+					continue
+				}
+				got := res.Frontier(src, dst, 0).Del(t0)
+				if got != arr[dst] && !(math.IsInf(got, 1) && math.IsInf(arr[dst], 1)) {
+					t.Fatalf("delta %v src %d dst %d t0 %v: engine %v, flood %v", delta, src, dst, t0, got, arr[dst])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package timeline_test
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/timeline"
+	"opportunet/internal/trace"
+)
+
+// tiny mirrors the trace package's test fixture.
+func tiny() *trace.Trace {
+	return &trace.Trace{
+		Name:        "tiny",
+		Granularity: 10,
+		Start:       0,
+		End:         1000,
+		Kinds:       []trace.Kind{trace.Internal, trace.Internal, trace.Internal, trace.External},
+		Contacts: []trace.Contact{
+			{A: 0, B: 1, Beg: 100, End: 200},
+			{A: 1, B: 2, Beg: 150, End: 160},
+			{A: 0, B: 2, Beg: 500, End: 800},
+			{A: 2, B: 3, Beg: 900, End: 950},
+		},
+	}
+}
+
+func TestNormalizePairs(t *testing.T) {
+	tr := &trace.Trace{
+		Start: 0, End: 100, Kinds: make([]trace.Kind, 3),
+		Contacts: []trace.Contact{
+			{A: 0, B: 1, Beg: 0, End: 10},
+			{A: 1, B: 0, Beg: 5, End: 20},  // overlaps, reversed order
+			{A: 0, B: 1, Beg: 20, End: 30}, // touches
+			{A: 0, B: 1, Beg: 50, End: 60}, // separate
+			{A: 0, B: 2, Beg: 0, End: 1},
+		},
+	}
+	got := timeline.NormalizePairs(tr)
+	if len(got.Contacts) != 3 {
+		t.Fatalf("NormalizePairs left %d contacts, want 3", len(got.Contacts))
+	}
+	// Find the merged (0,1) contact covering [0,30].
+	found := false
+	for _, c := range got.Contacts {
+		if c.A == 0 && c.B == 1 && c.Beg == 0 && c.End == 30 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("merged contact [0,30] missing: %+v", got.Contacts)
+	}
+}
+
+func TestInterContactTimes(t *testing.T) {
+	tr := &trace.Trace{
+		Start: 0, End: 1000, Kinds: make([]trace.Kind, 2),
+		Contacts: []trace.Contact{
+			{A: 0, B: 1, Beg: 0, End: 10},
+			{A: 0, B: 1, Beg: 110, End: 120},
+			{A: 0, B: 1, Beg: 400, End: 410},
+		},
+	}
+	got := timeline.New(tr).All().InterContactTimes()
+	if len(got) != 2 {
+		t.Fatalf("got %d inter-contact times, want 2", len(got))
+	}
+	sum := got[0] + got[1]
+	if sum != 100+280 {
+		t.Fatalf("inter-contact times %v, want {100, 280}", got)
+	}
+}
+
+func TestNextContactSeries(t *testing.T) {
+	tr := tiny()
+	pts := timeline.New(tr).All().NextContactSeries(0)
+	// Device 0 contacts: [100,200], [500,800]. Expected steps:
+	// [0,100)→100, [100,200) diagonal, [200,500)→500, [500,800) diagonal,
+	// [800,1000)→Inf.
+	if len(pts) != 5 {
+		t.Fatalf("got %d steps: %+v", len(pts), pts)
+	}
+	if pts[0].From != 0 || pts[0].To != 100 || pts[0].At != 100 {
+		t.Fatalf("step 0 = %+v", pts[0])
+	}
+	if pts[2].From != 200 || pts[2].At != 500 {
+		t.Fatalf("step 2 = %+v", pts[2])
+	}
+	last := pts[len(pts)-1]
+	if !math.IsInf(last.At, 1) || last.From != 800 || last.To != tr.End {
+		t.Fatalf("last step = %+v", last)
+	}
+}
+
+func TestNextContactSeriesNoContacts(t *testing.T) {
+	tr := &trace.Trace{Start: 0, End: 100, Kinds: make([]trace.Kind, 2)}
+	pts := timeline.New(tr).All().NextContactSeries(0)
+	if len(pts) != 1 || !math.IsInf(pts[0].At, 1) {
+		t.Fatalf("expected single infinite step, got %+v", pts)
+	}
+}
+
+func TestDegreeOverWindow(t *testing.T) {
+	got := timeline.New(tiny()).All().DegreeOverWindow()
+	want := []int{2, 2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DegreeOverWindow = %v, want %v", got, want)
+		}
+	}
+	// Repeated contacts between the same pair count once.
+	tr := &trace.Trace{Start: 0, End: 10, Kinds: make([]trace.Kind, 2), Contacts: []trace.Contact{
+		{A: 0, B: 1, Beg: 0, End: 1}, {A: 1, B: 0, Beg: 2, End: 3},
+	}}
+	got = timeline.New(tr).All().DegreeOverWindow()
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("repeat pair degree = %v, want [1 1]", got)
+	}
+}
+
+func TestNormalizePairsOnView(t *testing.T) {
+	tr := tiny()
+	// Normalizing a windowed view must equal normalizing the materialized
+	// windowed trace.
+	v := timeline.New(tr).All().TimeWindow(120, 600)
+	got := v.NormalizePairs()
+	want := timeline.NormalizePairs(tr.TimeWindow(120, 600))
+	if len(got.Contacts) != len(want.Contacts) {
+		t.Fatalf("view normalize kept %d, trace %d", len(got.Contacts), len(want.Contacts))
+	}
+	for i := range want.Contacts {
+		if got.Contacts[i] != want.Contacts[i] {
+			t.Fatalf("contact %d = %+v, want %+v", i, got.Contacts[i], want.Contacts[i])
+		}
+	}
+	if got.Start != want.Start || got.End != want.End {
+		t.Fatalf("window [%v, %v], want [%v, %v]", got.Start, got.End, want.Start, want.End)
+	}
+}

@@ -1,0 +1,291 @@
+// Package timeline is the shared contact-index layer of the repository:
+// one immutable, build-once index over a trace.Trace that every temporal
+// consumer (the core path engine, the flooding oracle, the forwarding
+// evaluator and the trace statistics) queries instead of re-deriving its
+// own private structures from the flat contact slice.
+//
+// A Timeline owns the base arrays; all access goes through a View. The
+// identity view (Timeline.All) exposes the whole trace; derived views
+// (TimeWindow, MinDuration, RemoveRandom, InternalOnly) share the base
+// arrays and the pair-ID space, carrying only a keep-mask and an optional
+// clipping window. Because every base array is sorted once and filtering
+// preserves order, deriving a view never re-sorts: a contact-removal
+// study with hundreds of repetitions pays one sort total.
+//
+// Indexes are built lazily, each guarded by its own sync.Once, so a view
+// is safe for concurrent use by any number of goroutines and a consumer
+// that only needs the pair index never pays for adjacency.
+//
+// The structures:
+//
+//   - per-node outgoing contact directions in CSR layout, sorted by begin
+//     time (the path engine's sweep order) and by end time with a suffix
+//     minimum of begin times (NextContact in O(log n));
+//   - per-pair meeting intervals in CSR layout, sorted by end time with a
+//     suffix minimum of begin times (Meet in O(log n)) and by begin time
+//     (interval merging for the statistics);
+//   - per-node partner lists in first-seen trace order (the order the
+//     forwarding algorithms tie-break on).
+package timeline
+
+import (
+	"sort"
+	"sync"
+
+	"opportunet/internal/trace"
+)
+
+// PairKey packs an unordered device pair into one comparable key. It is
+// the single definition shared by every package that buckets state by
+// pair (previously duplicated in trace and forward).
+func PairKey(a, b trace.NodeID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// DirContact is one usable direction of a trace contact, as stored in the
+// per-node adjacency: the owning device can transfer to To during
+// [Beg, End]. Fwd reports whether this direction is the contact's recorded
+// A→B orientation (the only usable one under Options.Directed). CIdx is
+// the index of the source contact in the underlying trace's Contacts.
+type DirContact struct {
+	To       trace.NodeID
+	Beg, End float64
+	CIdx     int32
+	Fwd      bool
+}
+
+// Interval is one meeting interval of a device pair, as stored in the
+// per-pair index. CIdx is the index of the source contact.
+type Interval struct {
+	Beg, End float64
+	CIdx     int32
+}
+
+// Timeline is the immutable index over one trace. Construction is cheap;
+// the actual arrays are built lazily by the views. A Timeline never
+// mutates its trace and assumes the trace is not mutated after New —
+// callers needing validation run trace.Validate themselves (core.Compute
+// does).
+type Timeline struct {
+	tr *trace.Trace
+
+	// Pair-ID space, shared by every view: pair IDs are assigned in
+	// canonical lexicographic (a, b) order with a < b, so iterating IDs
+	// yields a deterministic pair order independent of contact order.
+	pairOnce sync.Once
+	pairID   map[uint64]int32
+	pairA    []trace.NodeID
+	pairB    []trace.NodeID
+
+	all *View
+}
+
+// New builds a Timeline over the trace. The trace must outlive the
+// timeline and must not be mutated afterwards.
+func New(tr *trace.Trace) *Timeline {
+	tl := &Timeline{tr: tr}
+	tl.all = &View{
+		tl:    tl,
+		nKept: len(tr.Contacts),
+		winA:  tr.Start,
+		winB:  tr.End,
+	}
+	return tl
+}
+
+// Trace returns the underlying trace (read-only by convention).
+func (tl *Timeline) Trace() *trace.Trace { return tl.tr }
+
+// All returns the identity view exposing the whole trace.
+func (tl *Timeline) All() *View { return tl.all }
+
+// NumPairs returns the number of distinct unordered device pairs with at
+// least one contact anywhere in the trace (views share this ID space even
+// when a filter empties a pair's interval list).
+func (tl *Timeline) NumPairs() int {
+	tl.ensurePairs()
+	return len(tl.pairA)
+}
+
+// ensurePairs assigns canonical pair IDs: distinct unordered pairs sorted
+// lexicographically by (min, max) endpoint. Packed keys order exactly
+// that way, so sorting the keys suffices.
+func (tl *Timeline) ensurePairs() {
+	tl.pairOnce.Do(func() {
+		set := make(map[uint64]struct{})
+		for _, c := range tl.tr.Contacts {
+			set[PairKey(c.A, c.B)] = struct{}{}
+		}
+		keys := make([]uint64, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		tl.pairID = make(map[uint64]int32, len(keys))
+		tl.pairA = make([]trace.NodeID, len(keys))
+		tl.pairB = make([]trace.NodeID, len(keys))
+		for id, k := range keys {
+			tl.pairID[k] = int32(id)
+			tl.pairA[id] = trace.NodeID(k >> 32)
+			tl.pairB[id] = trace.NodeID(uint32(k))
+		}
+	})
+}
+
+// buildBaseAdj fills the identity view's adjacency arrays straight from
+// the trace: both directions of every contact, grouped per node in CSR
+// layout, sorted canonically within each node segment.
+func (v *View) buildBaseAdj() {
+	tr := v.tl.tr
+	n := tr.NumNodes()
+	off := make([]int32, n+1)
+	for _, c := range tr.Contacts {
+		off[c.A+1]++
+		off[c.B+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	flat := make([]DirContact, 2*len(tr.Contacts))
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	for i, c := range tr.Contacts {
+		flat[cur[c.A]] = DirContact{To: c.B, Beg: c.Beg, End: c.End, CIdx: int32(i), Fwd: true}
+		cur[c.A]++
+		flat[cur[c.B]] = DirContact{To: c.A, Beg: c.Beg, End: c.End, CIdx: int32(i), Fwd: false}
+		cur[c.B]++
+	}
+	byEnd := make([]DirContact, len(flat))
+	copy(byEnd, flat)
+	for u := 0; u < n; u++ {
+		seg := flat[off[u]:off[u+1]]
+		sort.Slice(seg, func(i, j int) bool { return lessByBeg(seg[i], seg[j]) })
+		seg = byEnd[off[u]:off[u+1]]
+		sort.Slice(seg, func(i, j int) bool { return lessByEnd(seg[i], seg[j]) })
+	}
+	v.adjOff = off
+	v.adjByBeg = flat
+	v.adjByEnd = byEnd
+	v.adjSufMinBeg = sufMinBegAdj(off, byEnd)
+}
+
+// lessByBeg is the canonical adjacency order: (Beg, End, To, CIdx).
+func lessByBeg(a, b DirContact) bool {
+	if a.Beg != b.Beg {
+		return a.Beg < b.Beg
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.CIdx < b.CIdx
+}
+
+// lessByEnd orders by (End, Beg, To, CIdx), the layout the suffix-min
+// query structures use.
+func lessByEnd(a, b DirContact) bool {
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.Beg != b.Beg {
+		return a.Beg < b.Beg
+	}
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.CIdx < b.CIdx
+}
+
+// sufMinBegAdj computes, per CSR segment of an end-sorted adjacency, the
+// suffix minimum of begin times: entry i holds the smallest Beg among
+// entries i.. of its segment.
+func sufMinBegAdj(off []int32, byEnd []DirContact) []float64 {
+	suf := make([]float64, len(byEnd))
+	for s := 0; s+1 < len(off); s++ {
+		lo, hi := off[s], off[s+1]
+		min := inf
+		for i := hi - 1; i >= lo; i-- {
+			if byEnd[i].Beg < min {
+				min = byEnd[i].Beg
+			}
+			suf[i] = min
+		}
+	}
+	return suf
+}
+
+// buildBasePairs fills the identity view's per-pair interval arrays in
+// CSR layout over the canonical pair IDs.
+func (v *View) buildBasePairs() {
+	tl := v.tl
+	tl.ensurePairs()
+	tr := tl.tr
+	np := len(tl.pairA)
+	off := make([]int32, np+1)
+	for _, c := range tr.Contacts {
+		off[tl.pairID[PairKey(c.A, c.B)]+1]++
+	}
+	for i := 0; i < np; i++ {
+		off[i+1] += off[i]
+	}
+	byBeg := make([]Interval, len(tr.Contacts))
+	cur := make([]int32, np)
+	copy(cur, off[:np])
+	for i, c := range tr.Contacts {
+		id := tl.pairID[PairKey(c.A, c.B)]
+		byBeg[cur[id]] = Interval{Beg: c.Beg, End: c.End, CIdx: int32(i)}
+		cur[id]++
+	}
+	byEnd := make([]Interval, len(byBeg))
+	copy(byEnd, byBeg)
+	for p := 0; p < np; p++ {
+		seg := byBeg[off[p]:off[p+1]]
+		sort.Slice(seg, func(i, j int) bool { return lessIvBeg(seg[i], seg[j]) })
+		seg = byEnd[off[p]:off[p+1]]
+		sort.Slice(seg, func(i, j int) bool { return lessIvEnd(seg[i], seg[j]) })
+	}
+	v.pairOff = off
+	v.pairByBeg = byBeg
+	v.pairByEnd = byEnd
+	v.pairSufMinBeg = sufMinBegPairs(off, byEnd)
+}
+
+func lessIvBeg(a, b Interval) bool {
+	if a.Beg != b.Beg {
+		return a.Beg < b.Beg
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	return a.CIdx < b.CIdx
+}
+
+func lessIvEnd(a, b Interval) bool {
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.Beg != b.Beg {
+		return a.Beg < b.Beg
+	}
+	return a.CIdx < b.CIdx
+}
+
+func sufMinBegPairs(off []int32, byEnd []Interval) []float64 {
+	suf := make([]float64, len(byEnd))
+	for s := 0; s+1 < len(off); s++ {
+		lo, hi := off[s], off[s+1]
+		min := inf
+		for i := hi - 1; i >= lo; i-- {
+			if byEnd[i].Beg < min {
+				min = byEnd[i].Beg
+			}
+			suf[i] = min
+		}
+	}
+	return suf
+}

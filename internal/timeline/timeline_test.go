@@ -1,0 +1,302 @@
+package timeline_test
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/timeline"
+	"opportunet/internal/trace"
+)
+
+// randomTrace builds a validated random trace mixing interval and
+// instantaneous contacts, with one external device to exercise
+// InternalOnly.
+func randomTrace(n, m int, r *rng.Source) *trace.Trace {
+	kinds := make([]trace.Kind, n)
+	for i := range kinds {
+		kinds[i] = trace.Internal
+	}
+	kinds[n-1] = trace.External
+	tr := &trace.Trace{
+		Name:        "random",
+		Granularity: 1,
+		Start:       0,
+		End:         1000,
+		Kinds:       kinds,
+	}
+	for i := 0; i < m; i++ {
+		a := trace.NodeID(r.Intn(n))
+		b := a
+		for b == a {
+			b = trace.NodeID(r.Intn(n))
+		}
+		beg := r.Uniform(0, 1000)
+		dur := 0.0
+		if r.Bool(0.8) {
+			dur = r.Uniform(0, 100)
+		}
+		end := math.Min(beg+dur, 1000)
+		tr.Contacts = append(tr.Contacts, trace.Contact{A: a, B: b, Beg: beg, End: end})
+	}
+	if err := tr.Validate(); err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// bruteMeet is the reference implementation of View.Meet: scan every
+// contact of the view.
+func bruteMeet(cts []trace.Contact, u, w trace.NodeID, t float64) float64 {
+	best := math.Inf(1)
+	for _, c := range cts {
+		if !(c.A == u && c.B == w) && !(c.A == w && c.B == u) {
+			continue
+		}
+		if c.End < t {
+			continue
+		}
+		if at := math.Max(t, c.Beg); at < best {
+			best = at
+		}
+	}
+	return best
+}
+
+// bruteNext is the reference implementation of View.NextContact.
+func bruteNext(cts []trace.Contact, u trace.NodeID, t float64) float64 {
+	best := math.Inf(1)
+	for _, c := range cts {
+		if c.A != u && c.B != u {
+			continue
+		}
+		if c.End < t {
+			continue
+		}
+		if at := math.Max(t, c.Beg); at < best {
+			best = at
+		}
+	}
+	return best
+}
+
+func TestMeetAndNextContactAgainstBruteForce(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		r := rng.New(seed)
+		tr := randomTrace(12, 300, r)
+		v := timeline.New(tr).All()
+		for q := 0; q < 500; q++ {
+			u := trace.NodeID(r.Intn(12))
+			w := u
+			for w == u {
+				w = trace.NodeID(r.Intn(12))
+			}
+			at := r.Uniform(-10, 1100)
+			if got, want := v.Meet(u, w, at), bruteMeet(tr.Contacts, u, w, at); got != want {
+				t.Fatalf("seed %d: Meet(%d, %d, %v) = %v, want %v", seed, u, w, at, got, want)
+			}
+			if got, want := v.NextContact(u, at), bruteNext(tr.Contacts, u, at); got != want {
+				t.Fatalf("seed %d: NextContact(%d, %v) = %v, want %v", seed, u, at, got, want)
+			}
+		}
+	}
+}
+
+// deriveBoth applies the same filter chain to a view and to a
+// materialized trace, so tests can compare the two representations.
+func deriveBoth(tr *trace.Trace, seed uint64) (*timeline.View, *trace.Trace) {
+	v := timeline.New(tr).All().
+		InternalOnly().
+		TimeWindow(100, 900).
+		MinDuration(5).
+		RemoveRandom(0.3, rng.New(seed))
+	mt := tr.InternalOnly().
+		TimeWindow(100, 900).
+		MinDuration(5).
+		RemoveRandom(0.3, rng.New(seed))
+	return v, mt
+}
+
+func TestDerivedViewMatchesMaterializedTrace(t *testing.T) {
+	for _, seed := range []uint64{7, 8, 9} {
+		r := rng.New(seed)
+		tr := randomTrace(10, 400, r)
+		v, mt := deriveBoth(tr, seed+100)
+		if v.NumContacts() != len(mt.Contacts) {
+			t.Fatalf("seed %d: view keeps %d contacts, trace %d", seed, v.NumContacts(), len(mt.Contacts))
+		}
+		got := v.Contacts()
+		for i, c := range mt.Contacts {
+			if got[i] != c {
+				t.Fatalf("seed %d: contact %d = %+v, want %+v", seed, i, got[i], c)
+			}
+		}
+		if v.Start() != mt.Start || v.End() != mt.End {
+			t.Fatalf("seed %d: window [%v, %v], want [%v, %v]", seed, v.Start(), v.End(), mt.Start, mt.End)
+		}
+		// Queries on the filtered view must agree with brute force over
+		// the materialized contacts.
+		for q := 0; q < 300; q++ {
+			u := trace.NodeID(r.Intn(10))
+			w := u
+			for w == u {
+				w = trace.NodeID(r.Intn(10))
+			}
+			at := r.Uniform(0, 1000)
+			if got, want := v.Meet(u, w, at), bruteMeet(mt.Contacts, u, w, at); got != want {
+				t.Fatalf("seed %d: filtered Meet(%d, %d, %v) = %v, want %v", seed, u, w, at, got, want)
+			}
+			if got, want := v.NextContact(u, at), bruteNext(mt.Contacts, u, at); got != want {
+				t.Fatalf("seed %d: filtered NextContact(%d, %v) = %v, want %v", seed, u, at, got, want)
+			}
+		}
+	}
+}
+
+func TestNestedTimeWindowsIntersect(t *testing.T) {
+	tr := &trace.Trace{
+		Start: 0, End: 100, Kinds: make([]trace.Kind, 2),
+		Contacts: []trace.Contact{{A: 0, B: 1, Beg: 10, End: 90}},
+	}
+	v := timeline.New(tr).All().TimeWindow(20, 80).TimeWindow(0, 100)
+	// The second window is wider, but clipping accumulates: the contact
+	// must stay clamped to [20, 80].
+	cts := v.Contacts()
+	if len(cts) != 1 || cts[0].Beg != 20 || cts[0].End != 80 {
+		t.Fatalf("nested windows: %+v", cts)
+	}
+	if v.Start() != 0 || v.End() != 100 {
+		t.Fatalf("window [%v, %v], want [0, 100]", v.Start(), v.End())
+	}
+	mt := tr.TimeWindow(20, 80).TimeWindow(0, 100)
+	if cts[0] != mt.Contacts[0] {
+		t.Fatalf("view %+v, trace %+v", cts[0], mt.Contacts[0])
+	}
+}
+
+func TestPartnersFirstSeenOrder(t *testing.T) {
+	tr := &trace.Trace{
+		Start: 0, End: 100, Kinds: make([]trace.Kind, 4),
+		Contacts: []trace.Contact{
+			{A: 0, B: 2, Beg: 5, End: 6},
+			{A: 1, B: 0, Beg: 1, End: 2}, // earlier in time, later in trace
+			{A: 0, B: 2, Beg: 8, End: 9}, // repeat pair
+			{A: 3, B: 0, Beg: 3, End: 4},
+		},
+	}
+	v := timeline.New(tr).All()
+	got := v.Partners(0)
+	want := []trace.NodeID{2, 1, 3} // first-seen trace order, repeats collapsed
+	if len(got) != len(want) {
+		t.Fatalf("Partners(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Partners(0) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPairIndexCanonicalOrder(t *testing.T) {
+	tr := &trace.Trace{
+		Start: 0, End: 100, Kinds: make([]trace.Kind, 4),
+		Contacts: []trace.Contact{
+			{A: 3, B: 2, Beg: 0, End: 1},
+			{A: 1, B: 0, Beg: 0, End: 1},
+			{A: 2, B: 0, Beg: 0, End: 1},
+		},
+	}
+	tl := timeline.New(tr)
+	if tl.NumPairs() != 3 {
+		t.Fatalf("NumPairs = %d", tl.NumPairs())
+	}
+	v := tl.All()
+	wantPairs := [][2]trace.NodeID{{0, 1}, {0, 2}, {2, 3}}
+	for p, w := range wantPairs {
+		a, b := v.PairEndpoints(p)
+		if a != w[0] || b != w[1] {
+			t.Fatalf("pair %d = (%d, %d), want %v", p, a, b, w)
+		}
+		if len(v.PairIntervals(p)) != 1 {
+			t.Fatalf("pair %d has %d intervals", p, len(v.PairIntervals(p)))
+		}
+	}
+}
+
+func TestOutgoingSortedAndDirected(t *testing.T) {
+	r := rng.New(42)
+	tr := randomTrace(8, 200, r)
+	v := timeline.New(tr).All()
+	for u := trace.NodeID(0); u < 8; u++ {
+		byBeg := v.OutgoingByBeg(u)
+		for i := 1; i < len(byBeg); i++ {
+			if byBeg[i].Beg < byBeg[i-1].Beg {
+				t.Fatalf("OutgoingByBeg(%d) not sorted", u)
+			}
+		}
+		byEnd := v.OutgoingByEnd(u)
+		if len(byEnd) != len(byBeg) {
+			t.Fatalf("index size mismatch for %d", u)
+		}
+		for i := 1; i < len(byEnd); i++ {
+			if byEnd[i].End < byEnd[i-1].End {
+				t.Fatalf("OutgoingByEnd(%d) not sorted", u)
+			}
+		}
+		for _, e := range byBeg {
+			c := tr.Contacts[e.CIdx]
+			wantFwd := c.A == u
+			if e.Fwd != wantFwd {
+				t.Fatalf("direction flag wrong for contact %+v seen from %d", c, u)
+			}
+		}
+	}
+}
+
+func TestConcurrentSharedTimeline(t *testing.T) {
+	r := rng.New(11)
+	tr := randomTrace(10, 500, r)
+	tl := timeline.New(tr)
+	views := []*timeline.View{
+		tl.All(),
+		tl.All().TimeWindow(100, 900),
+		tl.All().MinDuration(10),
+		tl.All().RemoveRandom(0.5, rng.New(3)),
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			rr := rng.New(uint64(g) + 100)
+			for q := 0; q < 200; q++ {
+				v := views[q%len(views)]
+				u := trace.NodeID(rr.Intn(10))
+				w := u
+				for w == u {
+					w = trace.NodeID(rr.Intn(10))
+				}
+				at := rr.Uniform(0, 1000)
+				v.Meet(u, w, at)
+				v.NextContact(u, at)
+				v.Partners(u)
+				v.OutgoingByBeg(u)
+				v.Contacts()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	// Results after the concurrent phase must still match brute force.
+	for q := 0; q < 100; q++ {
+		u := trace.NodeID(r.Intn(10))
+		w := u
+		for w == u {
+			w = trace.NodeID(r.Intn(10))
+		}
+		at := r.Uniform(0, 1000)
+		if got, want := tl.All().Meet(u, w, at), bruteMeet(tr.Contacts, u, w, at); got != want {
+			t.Fatalf("post-race Meet(%d, %d, %v) = %v, want %v", u, w, at, got, want)
+		}
+	}
+}

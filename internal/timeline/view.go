@@ -1,0 +1,460 @@
+package timeline
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+var inf = math.Inf(1)
+
+// View is a (possibly filtered) read-only window onto a Timeline. The
+// identity view exposes the whole trace; derived views add a keep-mask
+// over the trace's contact slice and, for time windows, a clipping range.
+// All index arrays are materialized lazily and at most once, so a View is
+// safe for concurrent use by any number of goroutines.
+//
+// Filtering preserves the base sort order (clamping times to a window is
+// monotone), so deriving a view is a linear scan — never a re-sort.
+type View struct {
+	tl *Timeline
+	// keep masks the trace's contact slice; nil keeps everything. For
+	// windowed views the mask already encodes the window's keep rule, so
+	// consumers only ever combine the mask with clamping.
+	keep  []bool
+	nKept int
+	// winA/winB is the observation window the view reports (Start/End).
+	winA, winB float64
+	// clip, when set, clamps contact times to [clipLo, clipHi] — the
+	// intersection of every window applied along the derivation chain.
+	clip           bool
+	clipLo, clipHi float64
+
+	adjOnce      sync.Once
+	adjOff       []int32
+	adjByBeg     []DirContact
+	adjByEnd     []DirContact
+	adjSufMinBeg []float64
+
+	pairOnce      sync.Once
+	pairOff       []int32
+	pairByBeg     []Interval
+	pairByEnd     []Interval
+	pairSufMinBeg []float64
+
+	partnerOnce sync.Once
+	partnerOff  []int32
+	partnerIDs  []trace.NodeID
+
+	contactsOnce sync.Once
+	contactList  []trace.Contact
+}
+
+func (v *View) isBase() bool { return v == v.tl.all }
+
+func (v *View) kept(i int) bool { return v.keep == nil || v.keep[i] }
+
+// clamp returns the contact interval as this view observes it.
+func (v *View) clamp(beg, end float64) (float64, float64) {
+	if !v.clip {
+		return beg, end
+	}
+	if beg < v.clipLo {
+		beg = v.clipLo
+	}
+	if end > v.clipHi {
+		end = v.clipHi
+	}
+	return beg, end
+}
+
+// Timeline returns the owning timeline.
+func (v *View) Timeline() *Timeline { return v.tl }
+
+// --- metadata -------------------------------------------------------------
+
+// Name returns the underlying trace's data-set name.
+func (v *View) Name() string { return v.tl.tr.Name }
+
+// Granularity returns the underlying trace's scan period.
+func (v *View) Granularity() float64 { return v.tl.tr.Granularity }
+
+// Start returns the beginning of the view's observation window.
+func (v *View) Start() float64 { return v.winA }
+
+// End returns the end of the view's observation window.
+func (v *View) End() float64 { return v.winB }
+
+// Duration returns the length of the view's observation window.
+func (v *View) Duration() float64 { return v.winB - v.winA }
+
+// NumNodes returns the device count (views never renumber devices).
+func (v *View) NumNodes() int { return v.tl.tr.NumNodes() }
+
+// NumInternal returns the number of internal devices.
+func (v *View) NumInternal() int { return v.tl.tr.NumInternal() }
+
+// InternalNodes returns the IDs of all internal devices in increasing
+// order.
+func (v *View) InternalNodes() []trace.NodeID { return v.tl.tr.InternalNodes() }
+
+// Kinds returns the device-kind table, shared with the underlying trace;
+// callers must not modify it.
+func (v *View) Kinds() []trace.Kind { return v.tl.tr.Kinds }
+
+// NumContacts returns the number of contacts the view keeps.
+func (v *View) NumContacts() int { return v.nKept }
+
+// Contacts returns the view's contact list, clipped to its window. The
+// identity view shares the underlying trace's slice; callers must not
+// modify the result.
+func (v *View) Contacts() []trace.Contact {
+	v.contactsOnce.Do(func() {
+		if v.isBase() {
+			v.contactList = v.tl.tr.Contacts
+			return
+		}
+		out := make([]trace.Contact, 0, v.nKept)
+		for i, c := range v.tl.tr.Contacts {
+			if !v.kept(i) {
+				continue
+			}
+			c.Beg, c.End = v.clamp(c.Beg, c.End)
+			out = append(out, c)
+		}
+		v.contactList = out
+	})
+	return v.contactList
+}
+
+// Materialize copies the view out into a standalone trace with the view's
+// window as the observation window. Mostly useful for tests and for
+// interoperating with code that still wants a *trace.Trace.
+func (v *View) Materialize() *trace.Trace {
+	tr := v.tl.tr
+	return &trace.Trace{
+		Name:        tr.Name,
+		Granularity: tr.Granularity,
+		Start:       v.winA,
+		End:         v.winB,
+		Kinds:       append([]trace.Kind(nil), tr.Kinds...),
+		Contacts:    append([]trace.Contact(nil), v.Contacts()...),
+	}
+}
+
+// --- derived views --------------------------------------------------------
+
+// derive starts a child view inheriting the window and clip range.
+func (v *View) derive() *View {
+	return &View{
+		tl:     v.tl,
+		winA:   v.winA,
+		winB:   v.winB,
+		clip:   v.clip,
+		clipLo: v.clipLo,
+		clipHi: v.clipHi,
+	}
+}
+
+// InternalOnly returns a view keeping only contacts between internal
+// devices (the default restriction of §5 for the conference data sets).
+func (v *View) InternalOnly() *View {
+	tr := v.tl.tr
+	nv := v.derive()
+	nv.keep = make([]bool, len(tr.Contacts))
+	for i, c := range tr.Contacts {
+		if v.kept(i) && tr.Kinds[c.A] == trace.Internal && tr.Kinds[c.B] == trace.Internal {
+			nv.keep[i] = true
+			nv.nKept++
+		}
+	}
+	return nv
+}
+
+// MinDuration returns a view keeping only contacts lasting at least d
+// seconds in this view's clipping (the duration-threshold removal of
+// §6.2).
+func (v *View) MinDuration(d float64) *View {
+	tr := v.tl.tr
+	nv := v.derive()
+	nv.keep = make([]bool, len(tr.Contacts))
+	for i, c := range tr.Contacts {
+		if !v.kept(i) {
+			continue
+		}
+		if b, e := v.clamp(c.Beg, c.End); e-b >= d {
+			nv.keep[i] = true
+			nv.nKept++
+		}
+	}
+	return nv
+}
+
+// RemoveRandom returns a view in which each kept contact was removed
+// independently with probability p (the random contact removal of §6.1).
+// Exactly one Bernoulli draw is consumed per currently-kept contact, in
+// trace order — the same stream consumption as trace.RemoveRandom on the
+// materialized view, so seeded studies reproduce bit for bit.
+func (v *View) RemoveRandom(p float64, r *rng.Source) *View {
+	tr := v.tl.tr
+	nv := v.derive()
+	nv.keep = make([]bool, len(tr.Contacts))
+	for i := range tr.Contacts {
+		if !v.kept(i) {
+			continue
+		}
+		if !r.Bool(p) {
+			nv.keep[i] = true
+			nv.nKept++
+		}
+	}
+	return nv
+}
+
+// TimeWindow returns a view restricted to [a, b]: contact times are
+// clipped to the window and the view's observation window becomes [a, b].
+// A contact is kept iff it overlaps the window for a positive duration,
+// or it is instantaneous and lies inside the closed window — the same
+// boundary semantics as trace.TimeWindow.
+func (v *View) TimeWindow(a, b float64) *View {
+	tr := v.tl.tr
+	nv := v.derive()
+	nv.winA, nv.winB = a, b
+	nv.clipLo, nv.clipHi = a, b
+	if v.clip {
+		if v.clipLo > nv.clipLo {
+			nv.clipLo = v.clipLo
+		}
+		if v.clipHi < nv.clipHi {
+			nv.clipHi = v.clipHi
+		}
+	}
+	nv.clip = true
+	nv.keep = make([]bool, len(tr.Contacts))
+	for i, c := range tr.Contacts {
+		if !v.kept(i) {
+			continue
+		}
+		if cb, ce := v.clamp(c.Beg, c.End); windowKeeps(cb, ce, a, b) {
+			nv.keep[i] = true
+			nv.nKept++
+		}
+	}
+	return nv
+}
+
+// windowKeeps reports whether a contact [beg, end] survives restriction
+// to the window [a, b]: positive-length contacts must overlap the window
+// for a positive duration (merely touching a boundary leaves nothing
+// usable after clipping), instantaneous contacts must lie within the
+// closed window.
+func windowKeeps(beg, end, a, b float64) bool {
+	if beg == end {
+		return beg >= a && beg <= b
+	}
+	lo, hi := beg, end
+	if lo < a {
+		lo = a
+	}
+	if hi > b {
+		hi = b
+	}
+	return hi > lo
+}
+
+// --- index materialization ------------------------------------------------
+
+func (v *View) ensureAdj() {
+	v.adjOnce.Do(func() {
+		if v.isBase() {
+			v.buildBaseAdj()
+			return
+		}
+		base := v.tl.all
+		base.ensureAdj()
+		n := len(base.adjOff) - 1
+		off := make([]int32, n+1)
+		for u := 0; u < n; u++ {
+			cnt := int32(0)
+			for _, e := range base.adjByBeg[base.adjOff[u]:base.adjOff[u+1]] {
+				if v.kept(int(e.CIdx)) {
+					cnt++
+				}
+			}
+			off[u+1] = off[u] + cnt
+		}
+		total := off[n]
+		byBeg := make([]DirContact, 0, total)
+		byEnd := make([]DirContact, 0, total)
+		for u := 0; u < n; u++ {
+			for _, e := range base.adjByBeg[base.adjOff[u]:base.adjOff[u+1]] {
+				if v.kept(int(e.CIdx)) {
+					e.Beg, e.End = v.clamp(e.Beg, e.End)
+					byBeg = append(byBeg, e)
+				}
+			}
+			for _, e := range base.adjByEnd[base.adjOff[u]:base.adjOff[u+1]] {
+				if v.kept(int(e.CIdx)) {
+					e.Beg, e.End = v.clamp(e.Beg, e.End)
+					byEnd = append(byEnd, e)
+				}
+			}
+		}
+		v.adjOff = off
+		v.adjByBeg = byBeg
+		v.adjByEnd = byEnd
+		v.adjSufMinBeg = sufMinBegAdj(off, byEnd)
+	})
+}
+
+func (v *View) ensurePairIndex() {
+	v.pairOnce.Do(func() {
+		if v.isBase() {
+			v.buildBasePairs()
+			return
+		}
+		base := v.tl.all
+		base.ensurePairIndex()
+		np := len(base.pairOff) - 1
+		off := make([]int32, np+1)
+		for p := 0; p < np; p++ {
+			cnt := int32(0)
+			for _, iv := range base.pairByBeg[base.pairOff[p]:base.pairOff[p+1]] {
+				if v.kept(int(iv.CIdx)) {
+					cnt++
+				}
+			}
+			off[p+1] = off[p] + cnt
+		}
+		total := off[np]
+		byBeg := make([]Interval, 0, total)
+		byEnd := make([]Interval, 0, total)
+		for p := 0; p < np; p++ {
+			for _, iv := range base.pairByBeg[base.pairOff[p]:base.pairOff[p+1]] {
+				if v.kept(int(iv.CIdx)) {
+					iv.Beg, iv.End = v.clamp(iv.Beg, iv.End)
+					byBeg = append(byBeg, iv)
+				}
+			}
+			for _, iv := range base.pairByEnd[base.pairOff[p]:base.pairOff[p+1]] {
+				if v.kept(int(iv.CIdx)) {
+					iv.Beg, iv.End = v.clamp(iv.Beg, iv.End)
+					byEnd = append(byEnd, iv)
+				}
+			}
+		}
+		v.pairOff = off
+		v.pairByBeg = byBeg
+		v.pairByEnd = byEnd
+		v.pairSufMinBeg = sufMinBegPairs(off, byEnd)
+	})
+}
+
+func (v *View) ensurePartners() {
+	v.partnerOnce.Do(func() {
+		tl := v.tl
+		tl.ensurePairs()
+		tr := tl.tr
+		n := tr.NumNodes()
+		seen := make([]bool, len(tl.pairA))
+		lists := make([][]trace.NodeID, n)
+		for i, c := range tr.Contacts {
+			if !v.kept(i) {
+				continue
+			}
+			id := tl.pairID[PairKey(c.A, c.B)]
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			lists[c.A] = append(lists[c.A], c.B)
+			lists[c.B] = append(lists[c.B], c.A)
+		}
+		off := make([]int32, n+1)
+		for u := 0; u < n; u++ {
+			off[u+1] = off[u] + int32(len(lists[u]))
+		}
+		flat := make([]trace.NodeID, 0, off[n])
+		for u := 0; u < n; u++ {
+			flat = append(flat, lists[u]...)
+		}
+		v.partnerOff = off
+		v.partnerIDs = flat
+	})
+}
+
+// --- queries --------------------------------------------------------------
+
+// OutgoingByBeg returns the usable contact directions leaving u, sorted
+// by non-decreasing begin time (canonical (Beg, End, To) order on the
+// identity view). The slice is shared; callers must not modify it.
+func (v *View) OutgoingByBeg(u trace.NodeID) []DirContact {
+	v.ensureAdj()
+	return v.adjByBeg[v.adjOff[u]:v.adjOff[u+1]]
+}
+
+// OutgoingByEnd returns the usable contact directions leaving u, sorted
+// by non-decreasing end time. The slice is shared; callers must not
+// modify it.
+func (v *View) OutgoingByEnd(u trace.NodeID) []DirContact {
+	v.ensureAdj()
+	return v.adjByEnd[v.adjOff[u]:v.adjOff[u+1]]
+}
+
+// Partners returns the devices u ever shares a contact with, ordered by
+// the first contact of each pair in trace order (the tie-break order the
+// forwarding algorithms rely on). The slice is shared; callers must not
+// modify it.
+func (v *View) Partners(u trace.NodeID) []trace.NodeID {
+	v.ensurePartners()
+	return v.partnerIDs[v.partnerOff[u]:v.partnerOff[u+1]]
+}
+
+// Meet returns the earliest time at or after t at which devices u and w
+// share a contact (i.e. a transfer between them can happen), or +Inf:
+// binary search for the first interval ending at or after t, whose
+// suffix-min begin bounds how early the meeting can start.
+func (v *View) Meet(u, w trace.NodeID, t float64) float64 {
+	v.ensurePairIndex()
+	id, ok := v.tl.pairID[PairKey(u, w)]
+	if !ok {
+		return inf
+	}
+	lo, hi := int(v.pairOff[id]), int(v.pairOff[id+1])
+	seg := v.pairByEnd[lo:hi]
+	i := sort.Search(len(seg), func(i int) bool { return seg[i].End >= t })
+	if i == len(seg) {
+		return inf
+	}
+	return math.Max(t, v.pairSufMinBeg[lo+i])
+}
+
+// NextContact returns the earliest time at or after t at which device u
+// is in contact with any other device, or +Inf.
+func (v *View) NextContact(u trace.NodeID, t float64) float64 {
+	v.ensureAdj()
+	lo, hi := int(v.adjOff[u]), int(v.adjOff[u+1])
+	seg := v.adjByEnd[lo:hi]
+	i := sort.Search(len(seg), func(i int) bool { return seg[i].End >= t })
+	if i == len(seg) {
+		return inf
+	}
+	return math.Max(t, v.adjSufMinBeg[lo+i])
+}
+
+// PairIntervals returns pair p's meeting intervals sorted by begin time,
+// where p is a canonical pair ID in [0, Timeline.NumPairs()). The slice
+// is shared; callers must not modify it.
+func (v *View) PairIntervals(p int) []Interval {
+	v.ensurePairIndex()
+	return v.pairByBeg[v.pairOff[p]:v.pairOff[p+1]]
+}
+
+// PairEndpoints returns the canonical endpoints (a < b) of pair ID p.
+func (v *View) PairEndpoints(p int) (a, b trace.NodeID) {
+	v.tl.ensurePairs()
+	return v.tl.pairA[p], v.tl.pairB[p]
+}

@@ -4,10 +4,12 @@
 // §4.2 of the paper ("an edge from device u to device v, with label
 // [t_beg; t_end], represents a contact").
 //
-// The package also provides the trace-level statistics the paper reports:
-// contact durations (Figure 7), inter-contact times, rate of contact
-// (Table 1) and the next-contact step function (Figure 6), plus the
-// contact-removal operations of §6.
+// The package also provides the simple trace-level statistics the paper
+// reports — contact durations (Figure 7) and rate of contact (Table 1) —
+// plus the contact-removal operations of §6. Statistics that need the
+// per-pair meeting index (inter-contact times, the next-contact step
+// function of Figure 6, pair normalization) live in package timeline,
+// which indexes a trace once and shares the index across all consumers.
 package trace
 
 import (
@@ -163,16 +165,27 @@ func (t *Trace) InternalOnly() *Trace {
 	})
 }
 
-// TimeWindow returns a copy restricted to contacts intersecting [a, b];
-// contacts are clipped to the window and the trace window is set to
-// [a, b]. Used e.g. to extract the second day of Infocom06 for §6.
+// TimeWindow returns a copy restricted to [a, b]; contacts are clipped to
+// the window and the trace window is set to [a, b]. Used e.g. to extract
+// the second day of Infocom06 for §6.
+//
+// Boundary semantics: a positive-length contact is kept iff it overlaps
+// the window for a positive duration — a contact merely touching a
+// boundary (End == a or Beg == b) is dropped, because clipping would
+// leave a zero-length artifact that the rest of the system would
+// misread as an instantaneous contact. Genuinely instantaneous contacts
+// (Beg == End) are kept whenever they lie inside the closed window.
 func (t *Trace) TimeWindow(a, b float64) *Trace {
 	cp := *t
 	cp.Kinds = append([]Kind(nil), t.Kinds...)
 	cp.Start, cp.End = a, b
 	cp.Contacts = nil
 	for _, c := range t.Contacts {
-		if c.End < a || c.Beg > b {
+		if c.Beg == c.End {
+			if c.Beg < a || c.Beg > b {
+				continue
+			}
+		} else if math.Min(c.End, b) <= math.Max(c.Beg, a) {
 			continue
 		}
 		if c.Beg < a {
@@ -196,49 +209,6 @@ func (t *Trace) MinDuration(d float64) *Trace {
 // independently with probability p: the random contact removal of §6.1.
 func (t *Trace) RemoveRandom(p float64, r *rng.Source) *Trace {
 	return t.filter(func(Contact) bool { return !r.Bool(p) })
-}
-
-// pairKey packs an unordered device pair into one comparable key.
-func pairKey(a, b NodeID) uint64 {
-	if a > b {
-		a, b = b, a
-	}
-	return uint64(uint32(a))<<32 | uint64(uint32(b))
-}
-
-// NormalizePairs merges overlapping or touching contacts of the same
-// unordered pair into single contacts, returning a new trace. Periodic
-// scanning can report a long meeting as several abutting intervals; path
-// properties are unchanged by merging, but statistics (durations,
-// inter-contact times) become meaningful.
-func (t *Trace) NormalizePairs() *Trace {
-	byPair := make(map[uint64][]Contact)
-	for _, c := range t.Contacts {
-		if c.A > c.B {
-			c.A, c.B = c.B, c.A
-		}
-		byPair[pairKey(c.A, c.B)] = append(byPair[pairKey(c.A, c.B)], c)
-	}
-	cp := *t
-	cp.Kinds = append([]Kind(nil), t.Kinds...)
-	cp.Contacts = nil
-	for _, cs := range byPair {
-		sort.Slice(cs, func(i, j int) bool { return cs[i].Beg < cs[j].Beg })
-		cur := cs[0]
-		for _, c := range cs[1:] {
-			if c.Beg <= cur.End {
-				if c.End > cur.End {
-					cur.End = c.End
-				}
-				continue
-			}
-			cp.Contacts = append(cp.Contacts, cur)
-			cur = c
-		}
-		cp.Contacts = append(cp.Contacts, cur)
-	}
-	cp.SortByBeg()
-	return &cp
 }
 
 // Durations returns the duration of every contact, in seconds.
@@ -281,81 +251,6 @@ func (t *Trace) RateOfContact() float64 {
 		}
 	}
 	return float64(events) / float64(ni) / days
-}
-
-// InterContactTimes returns, for every unordered pair with at least two
-// contacts, the gaps between the end of one contact and the beginning of
-// the next (after merging overlaps), i.e. the inter-contact times studied
-// by prior work the paper builds on.
-func (t *Trace) InterContactTimes() []float64 {
-	norm := t.NormalizePairs()
-	byPair := make(map[uint64][]Contact)
-	for _, c := range norm.Contacts {
-		byPair[pairKey(c.A, c.B)] = append(byPair[pairKey(c.A, c.B)], c)
-	}
-	var out []float64
-	for _, cs := range byPair {
-		sort.Slice(cs, func(i, j int) bool { return cs[i].Beg < cs[j].Beg })
-		for i := 1; i < len(cs); i++ {
-			out = append(out, cs[i].Beg-cs[i-1].End)
-		}
-	}
-	return out
-}
-
-// StepPoint is one step of the next-contact function of Figure 6: at any
-// time t in [From, To), the next moment the device is in contact with any
-// other device is At (+Inf if never again within the trace).
-type StepPoint struct {
-	From, To float64
-	At       float64
-}
-
-// NextContactSeries returns the step function "next time device u is in
-// range of another device, as a function of time" over the trace window
-// (Figure 6). During a contact the function equals t itself, rendered as
-// the diagonal in the paper's plot; such spans are reported with At equal
-// to the span start.
-func (t *Trace) NextContactSeries(u NodeID) []StepPoint {
-	// Merge the union of all of u's contact intervals.
-	var iv []Contact
-	for _, c := range t.Contacts {
-		if c.A == u || c.B == u {
-			iv = append(iv, c)
-		}
-	}
-	sort.Slice(iv, func(i, j int) bool { return iv[i].Beg < iv[j].Beg })
-	type span struct{ b, e float64 }
-	var merged []span
-	for _, c := range iv {
-		if len(merged) > 0 && c.Beg <= merged[len(merged)-1].e {
-			if c.End > merged[len(merged)-1].e {
-				merged[len(merged)-1].e = c.End
-			}
-			continue
-		}
-		merged = append(merged, span{c.Beg, c.End})
-	}
-	var out []StepPoint
-	cursor := t.Start
-	for _, s := range merged {
-		if s.b > cursor {
-			// Gap: next contact is at s.b throughout.
-			out = append(out, StepPoint{From: cursor, To: s.b, At: s.b})
-		}
-		b := math.Max(s.b, cursor)
-		if s.e > b {
-			// In contact: the function follows the diagonal.
-			out = append(out, StepPoint{From: b, To: s.e, At: b})
-		}
-		if s.e > cursor {
-			cursor = s.e
-		}
-	}
-	if cursor < t.End {
-		out = append(out, StepPoint{From: cursor, To: t.End, At: math.Inf(1)})
-	}
-	return out
 }
 
 // Compact renumbers devices densely, dropping devices that take part in
@@ -450,22 +345,4 @@ func medianOf(xs []float64) float64 {
 		return cp[n/2]
 	}
 	return (cp[n/2-1] + cp[n/2]) / 2
-}
-
-// DegreeOverWindow returns, per device, the number of distinct devices it
-// had at least one contact with. This is the static contact graph degree,
-// useful to sanity-check generator heterogeneity.
-func (t *Trace) DegreeOverWindow() []int {
-	seen := make(map[uint64]struct{})
-	deg := make([]int, t.NumNodes())
-	for _, c := range t.Contacts {
-		k := pairKey(c.A, c.B)
-		if _, ok := seen[k]; ok {
-			continue
-		}
-		seen[k] = struct{}{}
-		deg[c.A]++
-		deg[c.B]++
-	}
-	return deg
 }

@@ -107,6 +107,45 @@ func TestTimeWindowClips(t *testing.T) {
 	}
 }
 
+func TestTimeWindowBoundaries(t *testing.T) {
+	tr := &Trace{
+		Start: 0, End: 1000, Kinds: make([]Kind, 2),
+		Contacts: []Contact{
+			{A: 0, B: 1, Beg: 0, End: 100},    // ends exactly at window start
+			{A: 0, B: 1, Beg: 100, End: 100},  // instantaneous at window start
+			{A: 0, B: 1, Beg: 150, End: 150},  // instantaneous inside
+			{A: 0, B: 1, Beg: 300, End: 300},  // instantaneous at window end
+			{A: 0, B: 1, Beg: 300, End: 400},  // begins exactly at window end
+			{A: 0, B: 1, Beg: 500, End: 500},  // instantaneous outside
+			{A: 0, B: 1, Beg: 90, End: 110},   // straddles window start
+		},
+	}
+	got := tr.TimeWindow(100, 300)
+	// A positive-length contact survives only with positive overlap, so
+	// the two contacts merely touching the boundary are dropped; the
+	// instantaneous contacts at 100, 150 and 300 are all inside the
+	// closed window and survive unclipped.
+	want := []Contact{
+		{A: 0, B: 1, Beg: 100, End: 100},
+		{A: 0, B: 1, Beg: 150, End: 150},
+		{A: 0, B: 1, Beg: 300, End: 300},
+		{A: 0, B: 1, Beg: 100, End: 110}, // straddler, clipped
+	}
+	if len(got.Contacts) != len(want) {
+		t.Fatalf("kept %d contacts, want %d: %+v", len(got.Contacts), len(want), got.Contacts)
+	}
+	for i, w := range want {
+		if got.Contacts[i] != w {
+			t.Fatalf("contact %d = %+v, want %+v", i, got.Contacts[i], w)
+		}
+	}
+	// A window touching only instantaneous contacts keeps exactly them.
+	pt := tr.TimeWindow(150, 150)
+	if len(pt.Contacts) != 1 || pt.Contacts[0].Beg != 150 {
+		t.Fatalf("degenerate window kept %+v", pt.Contacts)
+	}
+}
+
 func TestMinDuration(t *testing.T) {
 	got := tiny().MinDuration(50)
 	// Durations are 100, 10, 300, 50; threshold >= 50 keeps three.
@@ -135,33 +174,6 @@ func TestRemoveRandomFraction(t *testing.T) {
 	frac := float64(len(got.Contacts)) / 10000
 	if math.Abs(frac-0.1) > 0.02 {
 		t.Fatalf("RemoveRandom(0.9) kept fraction %v, want ~0.1", frac)
-	}
-}
-
-func TestNormalizePairs(t *testing.T) {
-	tr := &Trace{
-		Start: 0, End: 100, Kinds: make([]Kind, 3),
-		Contacts: []Contact{
-			{A: 0, B: 1, Beg: 0, End: 10},
-			{A: 1, B: 0, Beg: 5, End: 20},  // overlaps, reversed order
-			{A: 0, B: 1, Beg: 20, End: 30}, // touches
-			{A: 0, B: 1, Beg: 50, End: 60}, // separate
-			{A: 0, B: 2, Beg: 0, End: 1},
-		},
-	}
-	got := tr.NormalizePairs()
-	if len(got.Contacts) != 3 {
-		t.Fatalf("NormalizePairs left %d contacts, want 3", len(got.Contacts))
-	}
-	// Find the merged (0,1) contact covering [0,30].
-	found := false
-	for _, c := range got.Contacts {
-		if c.A == 0 && c.B == 1 && c.Beg == 0 && c.End == 30 {
-			found = true
-		}
-	}
-	if !found {
-		t.Fatalf("merged contact [0,30] missing: %+v", got.Contacts)
 	}
 }
 
@@ -198,72 +210,6 @@ func TestContactsPerNode(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("ContactsPerNode = %v, want %v", got, want)
 		}
-	}
-}
-
-func TestInterContactTimes(t *testing.T) {
-	tr := &Trace{
-		Start: 0, End: 1000, Kinds: make([]Kind, 2),
-		Contacts: []Contact{
-			{A: 0, B: 1, Beg: 0, End: 10},
-			{A: 0, B: 1, Beg: 110, End: 120},
-			{A: 0, B: 1, Beg: 400, End: 410},
-		},
-	}
-	got := tr.InterContactTimes()
-	if len(got) != 2 {
-		t.Fatalf("got %d inter-contact times, want 2", len(got))
-	}
-	sum := got[0] + got[1]
-	if sum != 100+280 {
-		t.Fatalf("inter-contact times %v, want {100, 280}", got)
-	}
-}
-
-func TestNextContactSeries(t *testing.T) {
-	tr := tiny()
-	pts := tiny().NextContactSeries(0)
-	// Device 0 contacts: [100,200], [500,800]. Expected steps:
-	// [0,100)→100, [100,200) diagonal, [200,500)→500, [500,800) diagonal,
-	// [800,1000)→Inf.
-	if len(pts) != 5 {
-		t.Fatalf("got %d steps: %+v", len(pts), pts)
-	}
-	if pts[0].From != 0 || pts[0].To != 100 || pts[0].At != 100 {
-		t.Fatalf("step 0 = %+v", pts[0])
-	}
-	if pts[2].From != 200 || pts[2].At != 500 {
-		t.Fatalf("step 2 = %+v", pts[2])
-	}
-	last := pts[len(pts)-1]
-	if !math.IsInf(last.At, 1) || last.From != 800 || last.To != tr.End {
-		t.Fatalf("last step = %+v", last)
-	}
-}
-
-func TestNextContactSeriesNoContacts(t *testing.T) {
-	tr := &Trace{Start: 0, End: 100, Kinds: make([]Kind, 2)}
-	pts := tr.NextContactSeries(0)
-	if len(pts) != 1 || !math.IsInf(pts[0].At, 1) {
-		t.Fatalf("expected single infinite step, got %+v", pts)
-	}
-}
-
-func TestDegreeOverWindow(t *testing.T) {
-	got := tiny().DegreeOverWindow()
-	want := []int{2, 2, 3, 1}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("DegreeOverWindow = %v, want %v", got, want)
-		}
-	}
-	// Repeated contacts between the same pair count once.
-	tr := &Trace{Start: 0, End: 10, Kinds: make([]Kind, 2), Contacts: []Contact{
-		{A: 0, B: 1, Beg: 0, End: 1}, {A: 1, B: 0, Beg: 2, End: 3},
-	}}
-	got = tr.DegreeOverWindow()
-	if got[0] != 1 || got[1] != 1 {
-		t.Fatalf("repeat pair degree = %v, want [1 1]", got)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"opportunet/internal/rng"
+	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
 )
 
@@ -154,7 +155,7 @@ func GenerateWLAN(cfg WLANConfig, seed uint64) (*trace.Trace, error) {
 	}
 	// Merge duplicate overlaps of the same pair (several shared sessions
 	// may chain).
-	tr = tr.NormalizePairs()
+	tr = timeline.NormalizePairs(tr)
 	tr.Name = cfg.Name
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("tracegen: wlan generated invalid trace: %w", err)

@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_1.json}
+OUT=${1:-BENCH_2.json}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -21,6 +21,10 @@ go test -run '^$' -bench 'BenchmarkEngineCompute$|BenchmarkDelayCDFAggregation$'
 echo "== per-exhibit benchmarks (quick mode) =="
 go test -run '^$' -bench 'Benchmark(Table1|Figure[0-9]+|PhaseCheck|Forwarding)$' \
     -benchtime 1x . | tee "$TMP/exhibits.txt"
+
+echo "== timeline index: build, queries, shared-vs-cold engine setup =="
+go test -run '^$' -bench 'Benchmark(IndexBuild|Meet|DeriveRemovalView|ComputeSetupShared|ComputeSetupCold)$' \
+    -benchtime 10x ./internal/timeline | tee "$TMP/timeline.txt"
 
 # Benchmark output lines look like:
 #   BenchmarkEngineCompute-4   3   123456789 ns/op   ...
@@ -39,6 +43,6 @@ BEGIN {
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s}", name, nsop
 }
 END { printf "\n  ]\n}\n" }
-' "$TMP/scaling.txt" "$TMP/exhibits.txt" > "$OUT"
+' "$TMP/scaling.txt" "$TMP/exhibits.txt" "$TMP/timeline.txt" > "$OUT"
 
 echo "wrote $OUT"
