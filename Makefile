@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json quick-equivalence
+.PHONY: check build vet test race bench bench-json quick-equivalence fuzz-smoke checkpoint-idempotence
 
 check: build vet race
 
@@ -37,3 +37,19 @@ quick-equivalence:
 	cmp /tmp/opportunet_w1.txt /tmp/opportunet_w2.txt
 	cmp /tmp/opportunet_w1.txt /tmp/opportunet_w8.txt
 	@echo "quick suite byte-identical at workers 1, 2, 8"
+
+# Short fuzz run over the trace parser: never panics, rejects
+# non-finite times, and accepted traces round-trip.
+fuzz-smoke:
+	$(GO) test ./internal/trace -run FuzzReadTrace -fuzz FuzzReadTrace -fuzztime 10s
+
+# Resumability gate: a second run against the same -checkpoint
+# directory must skip every experiment and still emit byte-identical
+# output.
+checkpoint-idempotence:
+	rm -rf /tmp/opportunet_ckpt
+	$(GO) run ./cmd/experiments -quick -checkpoint /tmp/opportunet_ckpt all > /tmp/opportunet_ck1.txt
+	$(GO) run ./cmd/experiments -quick -checkpoint /tmp/opportunet_ckpt all > /tmp/opportunet_ck2.txt 2> /tmp/opportunet_ck2.log
+	cmp /tmp/opportunet_ck1.txt /tmp/opportunet_ck2.txt
+	grep -q "22/22 experiments already complete, skipped" /tmp/opportunet_ck2.log
+	@echo "checkpointed rerun skipped all experiments, output byte-identical"

@@ -9,6 +9,9 @@
 //	tracegen -dataset hongkong | diameter
 //
 // The trace is read in the text format produced by cmd/tracegen.
+// SIGINT/SIGTERM or an exceeded -timeout cancel the computation; exit
+// codes are 2 for usage errors, 1 for runtime errors, 130 when
+// interrupted.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"strings"
 
 	"opportunet/internal/analysis"
+	"opportunet/internal/cli"
 	"opportunet/internal/core"
 	"opportunet/internal/export"
 	"opportunet/internal/stats"
@@ -32,7 +36,10 @@ func main() {
 	points := flag.Int("points", 30, "delay-grid resolution")
 	verify := flag.Int("verify", 0, "spot-check N random (source, time) points against an independent flooding simulation")
 	workers := flag.Int("workers", 0, "worker goroutines for the path engine and aggregation (0 = all cores); results are identical at every count")
+	timeout := flag.Duration("timeout", 0, "cancel the computation after this long (0 = no limit)")
 	flag.Parse()
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	in := os.Stdin
 	if *path != "" {
@@ -51,7 +58,7 @@ func main() {
 		tr.Name, tr.NumNodes(), tr.NumInternal(), len(tr.Contacts),
 		export.FormatDuration(tr.Duration()))
 
-	st, err := analysis.NewStudy(tr, core.Options{Workers: *workers})
+	st, err := analysis.NewStudy(tr, core.Options{Workers: *workers, Ctx: ctx})
 	if err != nil {
 		fail(err)
 	}
@@ -65,7 +72,7 @@ func main() {
 		}
 		k, err := strconv.Atoi(part)
 		if err != nil || k < 0 {
-			fail(fmt.Errorf("bad hop bound %q", part))
+			cli.Usage("diameter", fmt.Sprintf("bad hop bound %q", part))
 		}
 		bounds = append(bounds, k)
 	}
@@ -83,6 +90,11 @@ func main() {
 	}
 	grid := stats.LogSpace(lo, hi, *points)
 	cdfs := st.DelayCDFs(bounds, grid)
+	// Aggregations cut short by cancellation are incomplete; stop before
+	// printing them.
+	if err := st.Err(); err != nil {
+		fail(err)
+	}
 	cols := make([]export.Column, len(cdfs))
 	for i, c := range cdfs {
 		name := fmt.Sprintf("<=%d hops", c.HopBound)
@@ -96,6 +108,9 @@ func main() {
 	}
 
 	d, worst := st.Diameter(*eps, grid)
+	if err := st.Err(); err != nil {
+		fail(err)
+	}
 	fmt.Printf("\n(1-eps)-diameter at eps=%g: %d hops (worst ratio %.4f)\n", *eps, d, worst)
 
 	if *verify > 0 {
@@ -105,6 +120,9 @@ func main() {
 		fmt.Printf("self-check passed: %d random (source, time) points agree with flooding\n", *verify)
 	}
 	ks := st.DiameterAtDelay(*eps, grid)
+	if err := st.Err(); err != nil {
+		fail(err)
+	}
 	fmt.Println("\ndiameter per delay budget:")
 	for i := 0; i < len(grid); i += 3 {
 		fmt.Printf("  %-8s -> %d hops\n", export.FormatDuration(grid[i]), ks[i])
@@ -112,6 +130,5 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "diameter: %v\n", err)
-	os.Exit(1)
+	cli.Fail("diameter", err)
 }

@@ -4,11 +4,19 @@
 //
 //	experiments [-seed N] [-quick] [-eps E] all
 //	experiments [-seed N] [-quick] [-eps E] table1 fig9 fig12 ...
+//	experiments -timeout 30m -checkpoint runs/ all
 //	experiments -list
 //
 // Each experiment writes plot-ready text (aligned series and tables) to
 // stdout. -quick scales the synthetic data sets down so the whole suite
 // finishes in about a minute; the default runs at paper scale.
+//
+// A run is interruptible and resumable: SIGINT/SIGTERM (or an exceeded
+// -timeout) cancels the computation but still flushes every experiment
+// that completed, and with -checkpoint those completed experiments are
+// stored so a rerun replays them instead of recomputing — the final
+// output is byte-identical to an uninterrupted run. Exit codes: 2 for
+// usage errors, 1 for runtime errors, 130 when interrupted.
 package main
 
 import (
@@ -18,6 +26,8 @@ import (
 	"path/filepath"
 	"time"
 
+	"opportunet/internal/checkpoint"
+	"opportunet/internal/cli"
 	"opportunet/internal/experiments"
 )
 
@@ -26,6 +36,8 @@ func main() {
 	quick := flag.Bool("quick", false, "scale data sets down for a fast run")
 	eps := flag.Float64("eps", 0.01, "diameter confidence parameter (paper: 0.01)")
 	workers := flag.Int("workers", 0, "worker goroutines for the engine, aggregation and experiment fan-out (0 = all cores); output is identical at every count")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit); completed experiments still flush")
+	ckptDir := flag.String("checkpoint", "", "store completed experiments in this directory and replay them on rerun")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	outDir := flag.String("o", "", "write each experiment's output to <dir>/<name>.txt instead of stdout")
 	flag.Parse()
@@ -38,26 +50,36 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "experiments: name one or more experiments, or 'all' (-list to enumerate)")
-		os.Exit(2)
+		cli.Usage("experiments", "name one or more experiments, or 'all' (-list to enumerate)")
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			cli.Fail("experiments", err)
 		}
 	}
-	cfg := &experiments.Config{Out: os.Stdout, Seed: *seed, Quick: *quick, Eps: *eps, Workers: *workers}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	var store *checkpoint.Store
+	if *ckptDir != "" {
+		var err error
+		if store, err = checkpoint.Open(*ckptDir); err != nil {
+			cli.Fail("experiments", err)
+		}
+	}
+	cfg := &experiments.Config{
+		Out: os.Stdout, Seed: *seed, Quick: *quick, Eps: *eps, Workers: *workers,
+		Ctx: ctx, Checkpoint: store, Log: os.Stderr,
+	}
 	runOne := func(e experiments.Experiment) error {
 		if *outDir == "" {
-			return e.Run(cfg)
+			return experiments.RunOne(cfg, e)
 		}
 		f, err := os.Create(filepath.Join(*outDir, e.Name+".txt"))
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		return e.Run(cfg.WithOutput(f))
+		return experiments.RunOne(cfg.WithOutput(f), e)
 	}
 	run := func(name string) error {
 		if name == "all" {
@@ -83,8 +105,7 @@ func main() {
 		}
 		start := time.Now()
 		if err := run(name); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			cli.Fail("experiments", err)
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}

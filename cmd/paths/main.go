@@ -7,6 +7,10 @@
 //	tracegen -dataset hongkong -o hk.trace
 //	paths -trace hk.trace -src 0 -dst 5 -t 3600
 //	paths -trace hk.trace -src 0 -dst 5 -t 3600 -maxhops 3
+//
+// SIGINT/SIGTERM or an exceeded -timeout cancel the computation; exit
+// codes are 2 for usage errors, 1 for runtime errors, 130 when
+// interrupted.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"math"
 	"os"
 
+	"opportunet/internal/cli"
 	"opportunet/internal/core"
 	"opportunet/internal/export"
 	"opportunet/internal/trace"
@@ -28,7 +33,10 @@ func main() {
 	maxHops := flag.Int("maxhops", 0, "hop bound (0 = unbounded)")
 	delta := flag.Float64("delta", 0, "per-hop transmission delay (seconds)")
 	workers := flag.Int("workers", 0, "worker goroutines for the path engine (0 = all cores)")
+	timeout := flag.Duration("timeout", 0, "cancel the computation after this long (0 = no limit)")
 	flag.Parse()
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	in := os.Stdin
 	if *path != "" {
@@ -44,7 +52,7 @@ func main() {
 		fail(err)
 	}
 
-	opt := core.Options{TransmitDelay: *delta, Sources: []trace.NodeID{trace.NodeID(*src)}, Workers: *workers}
+	opt := core.Options{TransmitDelay: *delta, Sources: []trace.NodeID{trace.NodeID(*src)}, Workers: *workers, Ctx: ctx}
 	res, err := core.Compute(tr, opt)
 	if err != nil {
 		fail(err)
@@ -85,6 +93,5 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "paths: %v\n", err)
-	os.Exit(1)
+	cli.Fail("paths", err)
 }

@@ -17,9 +17,18 @@
 // and the floating-point reductions always run in pair order. A Study's
 // methods are safe for concurrent use; the frontier memo and the
 // success-curve cache are guarded internally.
+//
+// Cancellation: a Study inherits core.Options.Ctx. Once that context is
+// done, the aggregation loops stop handing out pairs, nothing further is
+// cached, and methods without an error return yield incomplete values —
+// callers that share a cancellable context must check Study.Err() (or
+// the context) before using results. Constructors and the removal
+// studies return ctx.Err() directly, the same error at every worker
+// count.
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -52,6 +61,7 @@ type Study struct {
 	Pairs [][2]trace.NodeID
 
 	workers int
+	ctx     context.Context
 
 	mu        sync.Mutex
 	frontiers map[int][]core.Frontier // hop bound -> frontier per pair
@@ -92,6 +102,7 @@ func NewStudyView(v *timeline.View, opt core.Options) (*Study, error) {
 		View:      v,
 		Result:    res,
 		workers:   opt.Workers,
+		ctx:       opt.Ctx,
 		frontiers: make(map[int][]core.Frontier),
 		curves:    make(map[curveKey][]float64),
 	}
@@ -105,10 +116,23 @@ func NewStudyView(v *timeline.View, opt core.Options) (*Study, error) {
 	return s, nil
 }
 
+// Err reports the study's cancellation state: the context error when
+// the context carried by core.Options is done, nil otherwise. After any
+// aggregation call, a non-nil Err means that call's results are
+// incomplete and must be discarded.
+func (s *Study) Err() error {
+	if s.ctx != nil {
+		return s.ctx.Err()
+	}
+	return nil
+}
+
 // frontiersFor returns (building and caching on first use) the frontier
 // of every analyzed pair under the given hop bound. It is safe for
 // concurrent use; when two goroutines race on an uncached bound, both
-// build the same deterministic value and one copy wins.
+// build the same deterministic value and one copy wins. When the
+// study's context is cancelled mid-build, the incomplete slice is
+// returned uncached — Err() tells callers to discard it.
 func (s *Study) frontiersFor(hopBound int) []core.Frontier {
 	s.mu.Lock()
 	if fs, ok := s.frontiers[hopBound]; ok {
@@ -117,10 +141,12 @@ func (s *Study) frontiersFor(hopBound int) []core.Frontier {
 	}
 	s.mu.Unlock()
 	fs := make([]core.Frontier, len(s.Pairs))
-	par.Do(len(s.Pairs), s.workers, func(i int) {
+	if err := par.DoCtx(s.ctx, len(s.Pairs), s.workers, func(i int) {
 		p := s.Pairs[i]
 		fs[i] = s.Result.Frontier(p[0], p[1], hopBound)
-	})
+	}); err != nil {
+		return fs
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if prev, ok := s.frontiers[hopBound]; ok {
@@ -183,18 +209,23 @@ func (s *Study) successCurve(hopBound int, grid []float64, a, b float64) []float
 
 	fs := s.frontiersFor(hopBound)
 	vals := make([][]float64, len(fs))
-	par.Do(len(fs), s.workers, func(i int) {
+	cancelled := par.DoCtx(s.ctx, len(fs), s.workers, func(i int) {
 		row := make([]float64, len(grid))
 		for gi, d := range grid {
 			row[gi] = fs[i].SuccessWithin(d, a, b)
 		}
 		vals[i] = row
-	})
+	}) != nil
 	sum := make([]float64, len(grid))
 	for _, row := range vals {
 		for gi, v := range row {
 			sum[gi] += v
 		}
+	}
+	if cancelled {
+		// Incomplete integration: hand it back uncached so a later
+		// (uncancelled) caller rebuilds the true curve.
+		return sum
 	}
 
 	s.mu.Lock()
@@ -228,7 +259,7 @@ func (s *Study) SuccessProbability(d float64, hopBound int) float64 {
 	}
 	fs := s.frontiersFor(hopBound)
 	vals := make([]float64, len(fs))
-	par.Do(len(fs), s.workers, func(i int) {
+	par.DoCtx(s.ctx, len(fs), s.workers, func(i int) {
 		vals[i] = fs[i].SuccessWithin(d, a, b)
 	})
 	sum := 0.0
@@ -273,7 +304,7 @@ func (s *Study) Diameter(eps float64, grid []float64) (int, float64) {
 	a, b := s.View.Start(), s.View.End()
 	ref := s.successProbs(Unbounded, grid, a, b)
 	maxK := s.Result.Hops
-	for k := 1; k <= maxK; k++ {
+	for k := 1; k <= maxK && s.Err() == nil; k++ {
 		cur := s.successProbs(k, grid, a, b)
 		worst := 1.0
 		ok := true
@@ -310,7 +341,7 @@ func (s *Study) DiameterVsEpsilon(eps []float64, grid []float64) []int {
 		out[i] = -1
 	}
 	remaining := len(eps)
-	for k := 1; k <= s.Result.Hops && remaining > 0; k++ {
+	for k := 1; k <= s.Result.Hops && remaining > 0 && s.Err() == nil; k++ {
 		cur := s.successProbs(k, grid, a, b)
 		worst := 1.0
 		for gi := range grid {
@@ -351,7 +382,7 @@ func (s *Study) DiameterAtDelay(eps float64, grid []float64) []int {
 			remaining--
 		}
 	}
-	for k := 1; k <= s.Result.Hops && remaining > 0; k++ {
+	for k := 1; k <= s.Result.Hops && remaining > 0 && s.Err() == nil; k++ {
 		cur := s.successProbs(k, grid, a, b)
 		for i := range grid {
 			if out[i] < 0 && cur[i]+1e-12 >= (1-eps)*ref[i] {
@@ -375,7 +406,7 @@ func (s *Study) MinDelayDist(hopBound int) []float64 {
 	a, b := s.View.Start(), s.View.End()
 	fs := s.frontiersFor(hopBound)
 	out := make([]float64, len(fs))
-	par.Do(len(fs), s.workers, func(i int) {
+	par.DoCtx(s.ctx, len(fs), s.workers, func(i int) {
 		out[i] = fs[i].MinDelay(a, b)
 	})
 	return out
@@ -483,7 +514,7 @@ func RandomRemovalStudyView(v *timeline.View, p float64, reps int, seed uint64, 
 	}
 	runs := make([][]DelayCDF, reps)
 	diameters := make([]int, reps)
-	err := par.DoErr(reps, opt.Workers, func(rep int) error {
+	err := par.DoErrCtx(opt.Ctx, reps, opt.Workers, func(rep int) error {
 		st, err := NewStudyView(cuts[rep], opt)
 		if err != nil {
 			return err
@@ -491,7 +522,10 @@ func RandomRemovalStudyView(v *timeline.View, p float64, reps int, seed uint64, 
 		runs[rep] = st.DelayCDFs(hopBounds, grid)
 		d, _ := st.Diameter(eps, grid)
 		diameters[rep] = d
-		return nil
+		// A cancellation mid-aggregation leaves this rep's curves
+		// incomplete; surface it so the averaged study is never built
+		// from partial integrations.
+		return st.Err()
 	})
 	if err != nil {
 		return nil, nil, err
@@ -535,10 +569,13 @@ func (s *Study) SelfCheck(probes int, seed uint64) error {
 	internal := s.View.InternalNodes()
 	errs := make([]error, len(internal))
 	for i := 0; i < probes; i++ {
+		if err := s.Err(); err != nil {
+			return err
+		}
 		src := internal[r.Intn(len(internal))]
 		t0 := s.View.Start() + r.Uniform(0, s.View.Duration())
 		arr := fl.EarliestDelivery(src, t0)
-		par.Do(len(internal), s.workers, func(j int) {
+		if err := par.DoCtx(s.ctx, len(internal), s.workers, func(j int) {
 			dst := internal[j]
 			errs[j] = nil
 			if dst == src {
@@ -551,7 +588,9 @@ func (s *Study) SelfCheck(probes int, seed uint64) error {
 				errs[j] = fmt.Errorf("analysis: self-check failed: pair (%d, %d) at t=%v: engine %v, flooding %v",
 					src, dst, t0, got, want)
 			}
-		})
+		}); err != nil {
+			return err
+		}
 		if err := par.First(errs); err != nil {
 			return err
 		}

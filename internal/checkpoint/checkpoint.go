@@ -1,0 +1,155 @@
+// Package checkpoint is a content-addressed store for the completed
+// units of a long experiment run, making a killed run resumable with
+// byte-identical final output.
+//
+// A unit (one experiment of cmd/experiments) is keyed by a fingerprint
+// of everything that determines its output — seed, quick mode, ε, the
+// experiment name, and a format version. The store is a directory
+// holding one <fingerprint>.txt file per completed unit plus a MANIFEST
+// with one completion marker per line. A unit counts as complete only
+// when its marker is in the manifest AND its data file exists, so a
+// crash at any point between the two writes errs toward recomputation,
+// never toward emitting truncated output. Because the key covers the
+// full input configuration, reruns with different parameters share a
+// directory safely, and a stale directory can never satisfy a run it
+// does not match.
+package checkpoint
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// manifestName is the completion-marker file inside a store directory.
+const manifestName = "MANIFEST"
+
+// Fingerprint derives the content address of one unit from the parts
+// that determine its output. Parts are length-prefixed before hashing,
+// so ("ab", "c") and ("a", "bc") cannot collide.
+func Fingerprint(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:%s", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Store manages one checkpoint directory. It is safe for concurrent
+// use: the experiment fan-out commits units from worker goroutines.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	done map[string]bool // fingerprints marked complete in the manifest
+}
+
+// Open creates (if needed) the checkpoint directory and loads its
+// manifest. Markers whose data file has gone missing are dropped, so a
+// manually pruned directory degrades to recomputation rather than an
+// error.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	s := &Store{dir: dir, done: make(map[string]bool)}
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fp := strings.TrimSpace(sc.Text())
+		if fp == "" {
+			continue
+		}
+		if _, err := os.Stat(s.dataPath(fp)); err == nil {
+			s.done[fp] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading manifest: %w", err)
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) dataPath(fp string) string {
+	return filepath.Join(s.dir, fp+".txt")
+}
+
+// Completed reports whether the unit with this fingerprint has been
+// committed.
+func (s *Store) Completed(fp string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done[fp]
+}
+
+// Load returns the stored output of a completed unit. It returns
+// ok == false when the unit is not complete or its data file cannot be
+// read back — the caller then recomputes, which is always safe.
+func (s *Store) Load(fp string) ([]byte, bool) {
+	if !s.Completed(fp) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.dataPath(fp))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Commit durably stores a completed unit's output and marks it
+// complete: the data file is written to a temporary name and renamed
+// into place, and only then is the marker appended to the manifest.
+// Committing an already-complete fingerprint is a no-op, so resumed
+// runs may race recomputation against a concurrent commit harmlessly.
+func (s *Store) Commit(fp string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done[fp] {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, fp+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), s.dataPath(fp))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	mf, err := os.OpenFile(filepath.Join(s.dir, manifestName), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	_, werr := fmt.Fprintln(mf, fp)
+	if cerr := mf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("checkpoint: marking %s complete: %w", fp, werr)
+	}
+	s.done[fp] = true
+	return nil
+}

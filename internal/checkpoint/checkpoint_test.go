@@ -1,0 +1,130 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFingerprintStableAndDistinct(t *testing.T) {
+	a := Fingerprint("seed=1", "quick=true", "fig9")
+	if a != Fingerprint("seed=1", "quick=true", "fig9") {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	if len(a) != 16 {
+		t.Fatalf("fingerprint length %d, want 16", len(a))
+	}
+	distinct := map[string]bool{a: true}
+	for _, parts := range [][]string{
+		{"seed=2", "quick=true", "fig9"},
+		{"seed=1", "quick=false", "fig9"},
+		{"seed=1", "quick=true", "fig10"},
+		// Length prefixing: concatenation-equal splits must differ.
+		{"seed=1quick=true", "", "fig9"},
+	} {
+		fp := Fingerprint(parts...)
+		if distinct[fp] {
+			t.Fatalf("fingerprint collision for %v", parts)
+		}
+		distinct[fp] = true
+	}
+}
+
+func TestCommitLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint("unit1")
+	if s.Completed(fp) {
+		t.Fatal("fresh store claims completion")
+	}
+	if _, ok := s.Load(fp); ok {
+		t.Fatal("Load succeeded before Commit")
+	}
+	data := []byte("experiment output\nwith two lines\n")
+	if err := s.Commit(fp, data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load(fp)
+	if !ok || string(got) != string(data) {
+		t.Fatalf("Load = %q, %v; want original data", got, ok)
+	}
+
+	// A fresh Open over the same directory sees the completion.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Load(fp); !ok || string(got) != string(data) {
+		t.Fatal("completion not durable across Open")
+	}
+
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestMissingDataFileDropsMarker(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint("unit")
+	if err := s.Commit(fp, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, fp+".txt")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Completed(fp) {
+		t.Fatal("marker without data file must not count as complete")
+	}
+}
+
+func TestConcurrentCommits(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fp := Fingerprint(fmt.Sprintf("unit%d", i%8))
+			if err := s.Commit(fp, []byte(fmt.Sprintf("out%d", i%8))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		fp := Fingerprint(fmt.Sprintf("unit%d", i))
+		if got, ok := s2.Load(fp); !ok || string(got) != fmt.Sprintf("out%d", i) {
+			t.Fatalf("unit%d: Load = %q, %v", i, got, ok)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package cli centralizes the process-level robustness conventions of
+// the opportunet commands: a run context cancelled by SIGINT/SIGTERM
+// and an optional -timeout, and the unified exit codes
+//
+//	2   usage error
+//	1   runtime error (including an exceeded -timeout)
+//	130 interrupted by signal
+//
+// Commands create their context once, thread it through core.Options or
+// experiments.Config, and route every fatal error through Fail so the
+// exit code always reflects what actually stopped the run.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Exit codes shared by every command.
+const (
+	ExitUsage       = 2
+	ExitError       = 1
+	ExitInterrupted = 130
+)
+
+// Context returns a context that is cancelled on SIGINT or SIGTERM and,
+// when timeout > 0, after the timeout elapses. Callers must call stop
+// to release the signal handler (a second signal then kills the process
+// the default way, so a wedged run can still be terminated).
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	sctx, unregister := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return sctx, unregister
+	}
+	tctx, cancel := context.WithTimeout(sctx, timeout)
+	return tctx, func() { cancel(); unregister() }
+}
+
+// ExitCode maps the error that ended a run to the process exit code: a
+// signal interrupt yields 130, everything else (including an exceeded
+// deadline, which is a configured limit rather than a user interrupt)
+// yields 1.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled):
+		return ExitInterrupted
+	default:
+		return ExitError
+	}
+}
+
+// Fail reports a fatal error as "prog: err" on stderr and exits with
+// ExitCode(err).
+func Fail(prog string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	os.Exit(ExitCode(err))
+}
+
+// Usage reports a usage error on stderr and exits with ExitUsage.
+func Usage(prog, msg string) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, msg)
+	os.Exit(ExitUsage)
+}

@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestExitCode(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{context.Canceled, ExitInterrupted},
+		{fmt.Errorf("run: %w", context.Canceled), ExitInterrupted},
+		{context.DeadlineExceeded, ExitError},
+		{errors.New("boom"), ExitError},
+	} {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	ctx, stop := Context(10 * time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout context never expired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+func TestContextSignal(t *testing.T) {
+	ctx, stop := Context(0)
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the context")
+	}
+	if got := ExitCode(ctx.Err()); got != ExitInterrupted {
+		t.Fatalf("exit code after signal = %d, want %d", got, ExitInterrupted)
+	}
+}

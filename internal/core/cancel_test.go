@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countdownCtx is a context whose Err() flips to context.Canceled after
+// a fixed number of polls. Only Err() is consulted by the engine and the
+// pool (Done() stays nil), so the flip lands mid-computation
+// deterministically enough to exercise every internal check without
+// depending on wall-clock timing.
+type countdownCtx struct {
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(polls int64) *countdownCtx {
+	c := &countdownCtx{}
+	c.remaining.Store(polls)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return nil }
+func (c *countdownCtx) Value(any) any               { return nil }
+
+// TestComputeCancelledUpFront: a context cancelled before the call
+// yields (nil, context.Canceled) at every worker count.
+func TestComputeCancelledUpFront(t *testing.T) {
+	tr := equivTrace(1, 30, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 8} {
+		res, err := Compute(tr, Options{Workers: w, Ctx: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: got a partial Result on cancellation", w)
+		}
+	}
+}
+
+// TestComputeCancelMidRun is the cancellation-determinism contract of
+// the engine: whichever rows happen to run before the context flips,
+// the observable outcome is the same at workers 1 and 8 — no Result and
+// exactly context.Canceled.
+func TestComputeCancelMidRun(t *testing.T) {
+	tr := equivTrace(7, 40, 3000)
+	// Sweep the flip point from "immediately" to "deep into the run" so
+	// the cancellation lands inside different engine stages.
+	// (A full serial run on this instance needs several hundred polls,
+	// so every budget here lands mid-computation.)
+	for _, polls := range []int64{1, 3, 10, 30, 100} {
+		for _, w := range []int{1, 8} {
+			res, err := Compute(tr, Options{Workers: w, Ctx: newCountdownCtx(polls)})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("polls=%d workers=%d: err = %v, want context.Canceled", polls, w, err)
+			}
+			if res != nil {
+				t.Fatalf("polls=%d workers=%d: got a partial Result", polls, w)
+			}
+		}
+	}
+}
+
+// TestComputeNilContext: the zero Options never cancel; a run with a
+// background context matches one with no context at all.
+func TestComputeNilContext(t *testing.T) {
+	tr := equivTrace(3, 25, 1500)
+	plain, err := Compute(tr, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := Compute(tr, Options{Workers: 4, Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	archivesEqual(t, plain, bg, "background ctx")
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,6 +36,12 @@ type Options struct {
 	// Results are byte-identical at every worker count: each source
 	// row's frontiers are disjoint state, so rows never interact.
 	Workers int
+	// Ctx, when non-nil, cancels the computation: row engines poll it
+	// periodically and Compute returns ctx.Err() — the same error at
+	// every worker count — with no partial Result. Downstream consumers
+	// of these Options (analysis studies, experiments) inherit the same
+	// context for their aggregation loops. nil means never cancelled.
+	Ctx context.Context
 }
 
 // Result holds the archives of Pareto-optimal path summaries for every
@@ -121,11 +128,13 @@ func ComputeView(v *timeline.View, opt Options) (*Result, error) {
 		return res, nil
 	}
 	engines := make([]rowEngine, rows)
-	par.Do(rows, opt.Workers, func(row int) {
+	if err := par.DoErrCtx(opt.Ctx, rows, opt.Workers, func(row int) error {
 		g := &engines[row]
 		g.init(res, opt, n, v, row)
-		g.run()
-	})
+		return g.run(opt.Ctx)
+	}); err != nil {
+		return nil, err
+	}
 	// Global stop state: the serial engine stops at the last hop any row
 	// still progressed on, and is at a fixpoint iff every row is.
 	res.Hops = 1
@@ -182,7 +191,11 @@ func (g *rowEngine) init(res *Result, opt Options, n int, v *timeline.View, row 
 	g.base = row * n
 }
 
-func (g *rowEngine) run() {
+// run grows this row's frontiers to the fixpoint (or MaxHops). ctx is
+// polled at every hop iteration and every few hundred extended
+// destinations; once it is done, run aborts with ctx.Err() and the
+// surrounding Compute discards the partial result.
+func (g *rowEngine) run(ctx context.Context) error {
 	use3D := g.opt.TransmitDelay > 0
 	if use3D {
 		g.cur3 = make([]frontier3D, g.n)
@@ -214,13 +227,23 @@ func (g *rowEngine) run() {
 	// so the fixpoint always terminates, but guard against pathological
 	// inputs anyway.
 	hardCap := 100000
+	extended := 0
 	for hop := 2; maxHops == 0 || hop <= maxHops; hop++ {
 		if hop > hardCap {
 			break
 		}
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		for u := 0; u < g.n; u++ {
 			if !g.changed[u] {
 				continue
+			}
+			// Poll cancellation every few hundred extended frontiers, so
+			// a runaway hop iteration stays responsive without putting a
+			// select on every destination.
+			if extended++; extended&255 == 0 && ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
 			}
 			if use3D {
 				g.extend3D(trace.NodeID(u), g.cur3[u], int32(hop))
@@ -233,13 +256,14 @@ func (g *rowEngine) run() {
 		if !progressed {
 			g.hops = hop - 1
 			g.fixpoint = true
-			return
+			return nil
 		}
 		g.hops = hop
 	}
 	// Stopped by MaxHops; check whether it happens to be a fixpoint
 	// already (no changes pending means the previous pass stabilized).
 	g.fixpoint = !anyTrue(g.changed)
+	return nil
 }
 
 func anyTrue(bs []bool) bool {

@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
+	"sync"
 
 	"opportunet/internal/par"
 )
@@ -56,38 +59,129 @@ func Find(name string) (Experiment, error) {
 // RunAll executes every experiment against the same Config (sharing the
 // dataset cache), separating sections with blank lines. Independent
 // experiments fan out across c.Workers goroutines; each writes to a
-// private buffer and the buffers are emitted in paper order, so the
-// output is byte-identical to a serial run. On failure, the output of
+// private buffer and the buffers are emitted in paper order, as each
+// becomes available — so the output is byte-identical to a serial run,
+// and a cancelled run has already flushed every experiment that
+// completed before the first incomplete one. On failure, the output of
 // every experiment preceding the first failing one (in paper order) is
-// still written, matching the serial fail-fast behavior.
+// still written, matching the serial fail-fast behavior; a cancelled
+// run returns ctx.Err() regardless of worker count.
+//
+// With c.Checkpoint set, each experiment's buffer is committed to the
+// store as it finishes (even past a failing experiment), and a rerun
+// replays committed output instead of recomputing, so an interrupted
+// `all` run resumes to a byte-identical final stream.
 func RunAll(c *Config) error {
 	return runExperiments(c, All())
 }
 
+// RunOne executes a single experiment with the same checkpoint
+// semantics as RunAll: replay if committed, otherwise run, commit, and
+// emit. Without a checkpoint store it just runs against c.Out.
+func RunOne(c *Config, e Experiment) error {
+	if c.Checkpoint == nil {
+		return e.Run(c)
+	}
+	fp := c.fingerprint(e.Name)
+	if data, ok := c.Checkpoint.Load(fp); ok {
+		c.logf("[%s: replayed from checkpoint %s]", e.Name, fp)
+		_, err := c.Out.Write(data)
+		return err
+	}
+	var buf bytes.Buffer
+	if err := e.Run(c.WithOutput(&buf)); err != nil {
+		return err
+	}
+	if err := c.Checkpoint.Commit(fp, buf.Bytes()); err != nil {
+		return err
+	}
+	_, err := c.Out.Write(buf.Bytes())
+	return err
+}
+
+// sectionSeparator writes the blank-line/rule/blank-line divider that
+// precedes every experiment after the first in a combined stream.
+func sectionSeparator(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "\n================================================================\n\n")
+	return err
+}
+
 // runExperiments is RunAll over an explicit experiment list.
 func runExperiments(c *Config, exps []Experiment) error {
-	bufs := make([]*bytes.Buffer, len(exps))
-	cfgs := make([]*Config, len(exps))
-	for i := range exps {
+	n := len(exps)
+	bufs := make([]*bytes.Buffer, n)
+	cfgs := make([]*Config, n)
+	fps := make([]string, n)
+	outs := make([][]byte, n) // completed output, from this run or the checkpoint
+	errs := make([]error, n)
+	skipped := 0
+	for i, e := range exps {
 		bufs[i] = &bytes.Buffer{}
 		cfgs[i] = c.WithOutput(bufs[i])
+		if c.Checkpoint != nil {
+			fps[i] = c.fingerprint(e.Name)
+			if data, ok := c.Checkpoint.Load(fps[i]); ok {
+				outs[i] = data
+				skipped++
+			}
+		}
 	}
-	errs := make([]error, len(exps))
-	par.Do(len(exps), c.Workers, func(i int) {
-		errs[i] = exps[i].Run(cfgs[i])
+	if skipped > 0 {
+		c.logf("[checkpoint: %d/%d experiments already complete, skipped]", skipped, n)
+	}
+
+	// Completed buffers are flushed to c.Out in paper order as they
+	// become available: index i is emitted once every index before it
+	// has been emitted. A failing or unfinished experiment therefore
+	// cuts the stream exactly where a serial fail-fast run would.
+	var mu sync.Mutex
+	flushed := 0
+	var writeErr error
+	flush := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for flushed < n && outs[flushed] != nil && writeErr == nil {
+			if flushed > 0 {
+				writeErr = sectionSeparator(c.Out)
+			}
+			if writeErr == nil {
+				_, writeErr = c.Out.Write(outs[flushed])
+			}
+			flushed++
+		}
+	}
+	flush() // replayed prefix, if any
+
+	err := par.DoErrCtx(c.Ctx, n, c.Workers, func(i int) error {
+		if outs[i] != nil { // replayed from the checkpoint
+			return nil
+		}
+		if err := exps[i].Run(cfgs[i]); err != nil {
+			errs[i] = fmt.Errorf("%s: %w", exps[i].Name, err)
+			return errs[i]
+		}
+		b := bufs[i].Bytes()
+		if c.Checkpoint != nil {
+			if err := c.Checkpoint.Commit(fps[i], b); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", exps[i].Name, err)
+				return errs[i]
+			}
+		}
+		mu.Lock()
+		outs[i] = b
+		mu.Unlock()
+		flush()
+		return nil
 	})
-	for i, e := range exps {
-		if errs[i] != nil {
-			return fmt.Errorf("%s: %w", e.Name, errs[i])
+	flush()
+	if err != nil {
+		// A panic recovered by the pool carries its index; attribute it
+		// to the experiment like any other failure.
+		var pe *par.PanicError
+		if errors.As(err, &pe) {
+			return fmt.Errorf("%s: %w", exps[pe.Index].Name, err)
 		}
-		if i > 0 {
-			fmt.Fprintln(c.Out)
-			fmt.Fprintln(c.Out, "================================================================")
-			fmt.Fprintln(c.Out)
-		}
-		if _, err := c.Out.Write(bufs[i].Bytes()); err != nil {
-			return err
-		}
+		return err
 	}
-	return nil
+	return writeErr
 }

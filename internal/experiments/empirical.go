@@ -19,6 +19,9 @@ func Table1(c *Config) error {
 	fmt.Fprintln(c.Out, "Table 1 — characteristics of the four experimental data sets")
 	rows := [][]string{}
 	for _, name := range fourDatasets {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		// Summaries are computed on the full generated trace (with
 		// externals), not the internal-only view the figures use.
 		tr, err := c.RawTrace(name)
@@ -55,6 +58,9 @@ func Figure6(c *Config) error {
 	}{{HongKong, 2}, {RealityMining, 2}, {Infocom05, 2}}
 	node := 1
 	for _, s := range sets {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		tl, err := c.Timeline(s.name)
 		if err != nil {
 			return err
@@ -97,6 +103,9 @@ func Figure7(c *Config) error {
 	grid := stats.LogSpace(60, 12*3600, 30)
 	cols := make([]export.Column, 0, len(fourDatasets))
 	for _, name := range fourDatasets {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		tr, err := c.Trace(name)
 		if err != nil {
 			return err
@@ -153,6 +162,10 @@ func Figure8(c *Config) error {
 		}
 	}
 	if ex == nil {
+		// A cancelled search looks like "no pair"; report the real cause.
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		return fmt.Errorf("experiments: no multi-hop-only pair found in %s", HongKong)
 	}
 	fmt.Fprintf(c.Out, "Figure 8 — delivery function for pair (%d -> %d) in Hong-Kong\n", ex.Src, ex.Dst)
@@ -184,6 +197,9 @@ var figure9Bounds = []int{1, 2, 3, 4, 5, 6, analysis.Unbounded}
 func Figure9(c *Config) error {
 	fmt.Fprintln(c.Out, "Figure 9 — CDF of the optimal transmission delay, all source-destination pairs")
 	for _, name := range []string{Infocom05, RealityMining, HongKong} {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		st, err := c.Study(name)
 		if err != nil {
 			return err
@@ -216,6 +232,11 @@ func printDelayCDFs(c *Config, name string, st *analysis.Study) error {
 	eps := c.Epsilon()
 	d1, worst := st.Diameter(eps, grid)
 	d5, _ := st.Diameter(5*eps, grid)
+	// Aggregations cut short by cancellation yield incomplete values;
+	// fail the experiment instead of printing them.
+	if err := st.Err(); err != nil {
+		return err
+	}
 	fmt.Fprintf(c.Out, "diameter at %.0f%%: %d hops (worst hop-%d ratio %.4f); at %.0f%%: %d hops\n",
 		100*(1-eps), d1, d1, worst, 100*(1-5*eps), d5)
 	return nil
@@ -240,6 +261,9 @@ func Figure10(c *Config) error {
 	}
 	eps := c.Epsilon()
 	for _, p := range []float64{0, 0.9, 0.99} {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		var cdfs []analysis.DelayCDF
 		var diams []int
 		if p == 0 {
@@ -249,6 +273,9 @@ func Figure10(c *Config) error {
 			}
 			cdfs = st.DelayCDFs(figure10Bounds, grid)
 			d, _ := st.Diameter(eps, grid)
+			if err := st.Err(); err != nil {
+				return err
+			}
 			diams = []int{d}
 		} else {
 			cdfs, diams, err = analysis.RandomRemovalStudyView(tl.All(), p, reps, c.Seed+uint64(p*100), c.coreOptions(), figure10Bounds, grid, eps)
@@ -286,6 +313,9 @@ func Figure11(c *Config) error {
 	grid := stats.LogSpace(120, tl.All().Duration(), 30)
 	eps := c.Epsilon()
 	for _, thr := range []float64{121, 601, 1801} {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		st, removed, err := analysis.DurationThresholdStudyView(tl.All(), thr, c.coreOptions())
 		if err != nil {
 			return err
@@ -305,6 +335,9 @@ func Figure11(c *Config) error {
 			return err
 		}
 		d, _ := st.Diameter(eps, grid)
+		if err := st.Err(); err != nil {
+			return err
+		}
 		fmt.Fprintf(c.Out, "diameter at %.0f%%: %d hops\n", 100*(1-eps), d)
 	}
 	return nil
@@ -343,6 +376,9 @@ func Figure12(c *Config) error {
 	}
 	for _, v := range variants {
 		ks := v.study.DiameterAtDelay(eps, grid)
+		if err := v.study.Err(); err != nil {
+			return err
+		}
 		ys := make([]float64, len(ks))
 		for i, k := range ks {
 			ys[i] = float64(k)
@@ -376,6 +412,9 @@ func TTLSweep(c *Config) error {
 	}
 	r := rng.New(c.Seed + 99)
 	for ti, ttl := range ttls {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		res, err := forward.Evaluate(ev, algos, msgs, ttl, r.Split())
 		if err != nil {
 			return err
@@ -399,6 +438,9 @@ func Forwarding(c *Config) error {
 	}
 	r := rng.New(c.Seed + 7)
 	for _, name := range fourDatasets {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		tr, err := c.Trace(name)
 		if err != nil {
 			return err

@@ -35,6 +35,9 @@ func SizeScaling(c *Config) error {
 	r := rng.New(c.Seed)
 	rows := [][]string{}
 	for _, n := range sizes {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		lnN := math.Log(float64(n))
 		sumH, sumD := 0.0, 0.0
 		cnt := 0
@@ -82,6 +85,9 @@ func Renewal(c *Config) error {
 		randtemp.ParetoICT{Alpha: 1.5, Cut: 200},
 		randtemp.ParetoICT{Alpha: 0.9, Cut: 2000},
 	} {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		sumH, sumD := 0.0, 0.0
 		cnt := 0
 		for i := 0; i < reps; i++ {
@@ -125,6 +131,9 @@ func Heterogeneity(c *Config) error {
 	r := rng.New(c.Seed)
 	rows := [][]string{}
 	for _, h := range []float64{0.75, 0.9, 0.97, 0.995} {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		sumH, sumD := 0.0, 0.0
 		cnt := 0
 		for i := 0; i < reps; i++ {
@@ -166,6 +175,9 @@ func InterContact(c *Config) error {
 	}
 	var tails []tail
 	for _, name := range fourDatasets {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		tl, err := c.Timeline(name)
 		if err != nil {
 			return err
@@ -222,7 +234,13 @@ func DayNight(c *Config) error {
 		label string
 		win   [2]float64
 	}{{"day (09:00-18:00)", day}, {"night (22:00-07:00)", night}} {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		cdfs := st.DelayCDFsWindow(bounds, grid, w.win[0], w.win[1])
+		if err := st.Err(); err != nil {
+			return err
+		}
 		cols := make([]export.Column, len(cdfs))
 		for i, cdf := range cdfs {
 			label := fmt.Sprintf("<=%d hops", cdf.HopBound)
@@ -258,6 +276,9 @@ func Snapshots(c *Config) error {
 	r := rng.New(c.Seed + 13)
 	rows := [][]string{}
 	for _, name := range fourDatasets {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		tr, err := c.Trace(name)
 		if err != nil {
 			return err
@@ -317,12 +338,18 @@ func EpsSweep(c *Config) error {
 	}
 	rows := [][]string{}
 	for _, name := range []string{Infocom05, RealityMining, HongKong} {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		st, err := c.Study(name)
 		if err != nil {
 			return err
 		}
 		grid := delayGrid(st.View.Duration(), 40)
 		ds := st.DiameterVsEpsilon(epsGrid, grid)
+		if err := st.Err(); err != nil {
+			return err
+		}
 		row := []string{name}
 		for _, d := range ds {
 			row = append(row, fmt.Sprintf("%d", d))

@@ -15,12 +15,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sync"
 
 	"opportunet/internal/analysis"
+	"opportunet/internal/checkpoint"
 	"opportunet/internal/core"
 	"opportunet/internal/stats"
 	"opportunet/internal/timeline"
@@ -43,8 +45,55 @@ type Config struct {
 	// each experiment, and fans independent experiments out in RunAll.
 	// 0 selects GOMAXPROCS; output is identical at every worker count.
 	Workers int
+	// Ctx, when non-nil, cancels the run: experiments poll it between
+	// stages, the engine and aggregation loops poll it internally, and
+	// the first experiment to observe cancellation returns ctx.Err().
+	// Output already emitted for completed experiments stays valid.
+	Ctx context.Context
+	// Checkpoint, when non-nil, stores each experiment's output keyed by
+	// (seed, quick, eps, experiment name) as it completes, and replays
+	// stored output instead of recomputing on a rerun — the final
+	// concatenated stream is byte-identical to an uninterrupted run.
+	Checkpoint *checkpoint.Store
+	// Log, when non-nil, receives progress notices (checkpoint skips);
+	// it is never part of the experiment output itself.
+	Log io.Writer
 
 	lab *lab
+}
+
+// interrupted returns the run's cancellation error, if any. Experiments
+// call it between stages so a cancelled run stops before the next
+// expensive computation — and before writing output derived from an
+// aggregation a cancelled context cut short.
+func (c *Config) interrupted() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
+
+// logf writes a progress notice to Log, if configured.
+func (c *Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// fingerprintVersion salts checkpoint keys; bump it when the output
+// format of any experiment changes so stale stores are never replayed.
+const fingerprintVersion = "v1"
+
+// fingerprint is the checkpoint key of one experiment under this
+// Config: every input that determines its output bytes.
+func (c *Config) fingerprint(experiment string) string {
+	return checkpoint.Fingerprint(
+		fingerprintVersion,
+		fmt.Sprintf("seed=%d", c.Seed),
+		fmt.Sprintf("quick=%t", c.Quick),
+		fmt.Sprintf("eps=%g", c.Epsilon()),
+		experiment,
+	)
 }
 
 // lab is the shared dataset/study cache behind a Config and all its
@@ -110,9 +159,10 @@ func (c *Config) Epsilon() float64 {
 }
 
 // coreOptions returns the engine options every experiment computation
-// should start from: the run's worker count, everything else default.
+// should start from: the run's worker count and cancellation context,
+// everything else default.
 func (c *Config) coreOptions() core.Options {
-	return core.Options{Workers: c.Workers}
+	return core.Options{Workers: c.Workers, Ctx: c.Ctx}
 }
 
 // Dataset names used throughout.

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opportunet/internal/checkpoint"
+	"opportunet/internal/par"
+)
+
+// fixedExperiment returns an experiment that writes a fixed line and
+// ignores cancellation, so its output is deterministic even mid-cancel.
+func fixedExperiment(i int) Experiment {
+	return Experiment{
+		Name: fmt.Sprintf("fixed%d", i),
+		Run: func(c *Config) error {
+			fmt.Fprintf(c.Out, "output of experiment %d\n", i)
+			return nil
+		},
+	}
+}
+
+// TestRunExperimentsCancelDeterministic cancels RunAll from inside the
+// LAST experiment of the list. Indexes are handed out monotonically, so
+// every earlier experiment is already running or done when the
+// cancellation lands; because those experiments ignore ctx, they all
+// complete and flush. The result must be identical at every worker
+// count: the full prefix emitted, and exactly ctx.Err() returned.
+func TestRunExperimentsCancelDeterministic(t *testing.T) {
+	const prefix = 6
+	var want bytes.Buffer
+	for i := 0; i < prefix; i++ {
+		if i > 0 {
+			if err := sectionSeparator(&want); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fmt.Fprintf(&want, "output of experiment %d\n", i)
+	}
+	for _, workers := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		exps := make([]Experiment, 0, prefix+1)
+		for i := 0; i < prefix; i++ {
+			exps = append(exps, fixedExperiment(i))
+		}
+		exps = append(exps, Experiment{
+			Name: "canceller",
+			Run: func(c *Config) error {
+				cancel()
+				return c.interrupted()
+			},
+		})
+		var buf bytes.Buffer
+		c := &Config{Out: &buf, Seed: 1, Quick: true, Workers: workers, Ctx: ctx}
+		err := runExperiments(c, exps)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+			t.Fatalf("workers=%d: flushed prefix differs:\ngot:\n%s\nwant:\n%s",
+				workers, buf.Bytes(), want.Bytes())
+		}
+	}
+}
+
+// TestRunExperimentsCancelledUpFront: with a context cancelled before
+// the call, nothing runs and nothing is written.
+func TestRunExperimentsCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	c := &Config{Out: &buf, Seed: 1, Quick: true, Workers: 4, Ctx: ctx}
+	err := runExperiments(c, []Experiment{fixedExperiment(0), fixedExperiment(1)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("wrote %q with an already-cancelled context", buf.Bytes())
+	}
+}
+
+// TestRunExperimentsPanicAttributed: a panicking experiment surfaces as
+// an error naming the experiment and carrying the panic, while the
+// experiments before it still flush their output.
+func TestRunExperimentsPanicAttributed(t *testing.T) {
+	exps := []Experiment{
+		fixedExperiment(0),
+		{Name: "exploder", Run: func(c *Config) error { panic("kaboom") }},
+	}
+	var buf bytes.Buffer
+	c := &Config{Out: &buf, Seed: 1, Quick: true, Workers: 2}
+	err := runExperiments(c, exps)
+	if err == nil {
+		t.Fatal("panicking experiment returned nil error")
+	}
+	var pe *par.PanicError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("err = %v, want wrapped PanicError for index 1", err)
+	}
+	for _, frag := range []string{"exploder", "kaboom"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
+		}
+	}
+	if got := buf.String(); got != "output of experiment 0\n" {
+		t.Fatalf("preceding output not flushed, got %q", got)
+	}
+}
+
+// TestRunExperimentsCheckpointResume is the tentpole's resumability
+// contract: a run killed partway (simulated by the failing experiment)
+// leaves its completed units in the store, and the rerun replays them —
+// producing a final stream byte-identical to an uninterrupted run —
+// without recomputing.
+func TestRunExperimentsCheckpointResume(t *testing.T) {
+	names := []string{"fig1", "fig2", "phasecheck"}
+	uninterrupted := runNamed(t, names, 2)
+
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := make([]Experiment, len(names))
+	for i, name := range names {
+		if exps[i], err = Find(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First attempt: the last experiment fails, everything before it
+	// commits to the store.
+	broken := append([]Experiment{}, exps...)
+	broken[len(broken)-1] = Experiment{
+		Name: exps[len(exps)-1].Name, // same name, so the same fingerprint
+		Run:  func(c *Config) error { return errors.New("injected crash") },
+	}
+	var first bytes.Buffer
+	c := &Config{Out: &first, Seed: 1, Quick: true, Workers: 2, Checkpoint: store}
+	if err := runExperiments(c, broken); err == nil {
+		t.Fatal("broken run reported success")
+	}
+
+	// Resume with a fresh store handle over the same directory: the
+	// completed prefix must replay, the rest compute, and the combined
+	// stream must match the uninterrupted run exactly.
+	store2, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second, log bytes.Buffer
+	ran := make(map[string]bool)
+	wrapped := make([]Experiment, len(exps))
+	for i, e := range exps {
+		run := e.Run
+		name := e.Name
+		wrapped[i] = Experiment{Name: name, Run: func(c *Config) error {
+			ran[name] = true
+			return run(c)
+		}}
+	}
+	c2 := &Config{Out: &second, Seed: 1, Quick: true, Workers: 1, Checkpoint: store2, Log: &log}
+	if err := runExperiments(c2, wrapped); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(second.Bytes(), uninterrupted) {
+		t.Fatalf("resumed output differs from uninterrupted run (%d vs %d bytes)",
+			second.Len(), len(uninterrupted))
+	}
+	for _, name := range names[:len(names)-1] {
+		if ran[name] {
+			t.Fatalf("experiment %s recomputed despite checkpoint", name)
+		}
+	}
+	if !ran[names[len(names)-1]] {
+		t.Fatal("failed experiment was not recomputed on resume")
+	}
+	if !strings.Contains(log.String(), "2/3 experiments already complete") {
+		t.Fatalf("log missing skip notice, got %q", log.String())
+	}
+
+	// A third run replays everything: byte-identical again, no work.
+	store3, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range ran {
+		delete(ran, name)
+	}
+	var third bytes.Buffer
+	c3 := &Config{Out: &third, Seed: 1, Quick: true, Workers: 4, Checkpoint: store3, Log: &log}
+	if err := runExperiments(c3, wrapped); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(third.Bytes(), uninterrupted) {
+		t.Fatal("fully-replayed output differs from uninterrupted run")
+	}
+	if len(ran) != 0 {
+		t.Fatalf("experiments recomputed on full replay: %v", ran)
+	}
+}
+
+// TestRunOneCheckpoint: the single-experiment path commits on first run
+// and replays on the second, byte-identically.
+func TestRunOneCheckpoint(t *testing.T) {
+	e, err := Find("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	c := &Config{Out: &first, Seed: 1, Quick: true, Workers: 2, Checkpoint: store}
+	if err := RunOne(c, e); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	c2 := &Config{Out: &second, Seed: 1, Quick: true, Workers: 2, Checkpoint: store2}
+	c2Run := Experiment{Name: e.Name, Run: func(*Config) error {
+		t.Fatal("recomputed despite checkpoint")
+		return nil
+	}}
+	if err := RunOne(c2, c2Run); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("replayed output differs")
+	}
+}
+
+// TestFingerprintCoversConfig: checkpoints must never replay across a
+// change of seed, scale, ε, or experiment.
+func TestFingerprintCoversConfig(t *testing.T) {
+	base := &Config{Seed: 1, Quick: true, Eps: 0.01}
+	fps := map[string]string{base.fingerprint("fig1"): "base"}
+	for label, c := range map[string]*Config{
+		"seed":  {Seed: 2, Quick: true, Eps: 0.01},
+		"quick": {Seed: 1, Quick: false, Eps: 0.01},
+		"eps":   {Seed: 1, Quick: true, Eps: 0.05},
+	} {
+		if prev, dup := fps[c.fingerprint("fig1")]; dup {
+			t.Fatalf("%s change collides with %s", label, prev)
+		}
+		fps[c.fingerprint("fig1")] = label
+	}
+	if _, dup := fps[base.fingerprint("fig2")]; dup {
+		t.Fatal("experiment name not covered by fingerprint")
+	}
+	// Default ε spelled two ways is the same configuration.
+	zero := &Config{Seed: 1, Quick: true}
+	if zero.fingerprint("fig1") != base.fingerprint("fig1") {
+		t.Fatal("Eps=0 and Eps=0.01 must share a fingerprint")
+	}
+	// The store files land where cmd/experiments -checkpoint points.
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := base.fingerprint("fig1")
+	if err := store.Commit(fp, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, fp+".txt")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -97,6 +97,9 @@ func Figure3(c *Config) error {
 	fmt.Fprintf(c.Out, "\nMonte Carlo (discrete model, N=%d, %d source-destination samples per point):\n", n, reps)
 	rows := [][]string{}
 	for _, l := range []float64{0.1, 0.3, 1.0, 3.0} {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		for _, long := range []bool{false, true} {
 			sumH, sumD, cnt := 0.0, 0.0, 0
 			maxSlots := int(40*lnN/math.Max(l, 0.05)) + 50
@@ -148,6 +151,9 @@ func PhaseCheck(c *Config) error {
 	r := rng.New(c.Seed)
 	rows := [][]string{}
 	for _, f := range []float64{0.3, 0.6, 0.9, 1.2, 1.8, 3.0} {
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 		tau := tauC * f
 		exp := randtemp.ExponentShort(tau, gamma, lambda)
 		p := randtemp.ExistenceProbability(n, tau, gamma, lambda, false, samples, r)

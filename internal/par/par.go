@@ -10,10 +10,30 @@
 // own RNG stream), the observable result is byte-identical for every
 // worker count, including the serial w == 1 case. Scheduling order is
 // the only thing that varies.
+//
+// Robustness contract:
+//
+//   - A panic inside fn(i) never escapes on a worker goroutine (which
+//     would kill the process with an unattributable stack). It is
+//     recovered into a *PanicError carrying the index, the panic value
+//     and the goroutine stack. DoErr/DoErrCtx surface it through the
+//     same lowest-index-wins reduction as ordinary errors, so the
+//     reported failure does not depend on the worker count; Do/DoCtx
+//     re-panic it on the caller's goroutine.
+//   - The *Ctx variants stop handing out new indexes once the context
+//     is done. Indexes already handed out run to completion (fn is
+//     never killed mid-flight), and the call then returns ctx.Err().
+//     Because which indexes ran before cancellation depends on
+//     scheduling, ctx.Err() deterministically wins over any per-index
+//     error once the context is done — the returned error is the same
+//     at every worker count.
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -30,24 +50,61 @@ func Resolve(workers int) int {
 	return workers
 }
 
-// Do runs fn(i) for every i in [0, n) on up to workers goroutines
-// (workers <= 0 selects GOMAXPROCS). Indexes are handed out from a
-// shared counter, so uneven item costs balance automatically. Do returns
-// once every call has finished. With one worker (or one item) it runs
-// inline with no goroutine or atomic traffic.
-func Do(n, workers int, fn func(i int)) {
+// PanicError is a panic in fn(i) recovered by the pool, attributed to
+// the index that panicked and carrying the stack of the panicking
+// goroutine.
+type PanicError struct {
+	// Index is the work index whose fn call panicked.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("index %d: panic: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// safely runs fn(i), converting a panic into a *PanicError.
+func safely(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// canceled reports whether the (possibly nil) context is done.
+func canceled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
+// exec is the scheduling core shared by every entry point: it runs
+// fn(i) for i in [0, n) on up to workers goroutines, recording each
+// call's (panic-contained) error in errs[i]. A nil ctx never cancels;
+// otherwise no new index is handed out once ctx is done. With one
+// effective worker — including n == 1 at any requested worker count —
+// it runs inline on the caller's goroutine, with no goroutine or
+// atomic traffic.
+func exec(ctx context.Context, n, workers int, fn func(i int) error) []error {
 	if n <= 0 {
-		return
+		return nil
 	}
+	errs := make([]error, n)
 	w := Resolve(workers)
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if canceled(ctx) {
+				return errs
+			}
+			errs[i] = safely(i, fn)
 		}
-		return
+		return errs
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -56,30 +113,81 @@ func Do(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if canceled(ctx) {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				errs[i] = safely(i, fn)
 			}
 		}()
 	}
 	wg.Wait()
+	return errs
+}
+
+// Do runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). Indexes are handed out from a
+// shared counter, so uneven item costs balance automatically. Do returns
+// once every call has finished. With one worker or one item it runs
+// inline with no goroutine or atomic traffic.
+//
+// If any fn(i) panics, every call still runs (side effects per index
+// are worker-count independent) and Do then re-panics on the caller's
+// goroutine with the *PanicError of the lowest panicking index.
+func Do(n, workers int, fn func(i int)) {
+	errs := exec(nil, n, workers, func(i int) error {
+		fn(i)
+		return nil
+	})
+	if err := First(errs); err != nil {
+		panic(err)
+	}
+}
+
+// DoCtx is Do with cancellation: it stops handing out indexes once ctx
+// is done (already-started calls run to completion) and then returns
+// ctx.Err(), so the caller knows its per-index results are incomplete.
+// A nil ctx never cancels. Panics in fn are re-panicked exactly as in
+// Do — but only when the context is not done, so the outcome stays
+// deterministic under cancellation.
+func DoCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	errs := exec(ctx, n, workers, func(i int) error {
+		fn(i)
+		return nil
+	})
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if err := First(errs); err != nil {
+		panic(err)
+	}
+	return nil
 }
 
 // DoErr runs fn(i) for every i in [0, n) like Do and returns the error
 // of the lowest failing index (nil if every call succeeded). All calls
 // run regardless of failures, so side effects per index are the same at
 // every worker count and the returned error does not depend on
-// scheduling.
+// scheduling. A recovered panic counts as that index's error (as a
+// *PanicError), so it takes part in the same lowest-index reduction.
 func DoErr(n, workers int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
+	return First(exec(nil, n, workers, fn))
+}
+
+// DoErrCtx is DoErr with cancellation: it stops handing out indexes
+// once ctx is done and then returns ctx.Err() — deterministically, even
+// if some completed index also failed, because which indexes ran before
+// cancellation depends on scheduling. With the context still live at
+// the end, it returns the lowest-index error (recovered panics
+// included), like DoErr. A nil ctx never cancels.
+func DoErrCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	errs := exec(ctx, n, workers, fn)
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
 	}
-	errs := make([]error, n)
-	Do(n, workers, func(i int) {
-		errs[i] = fn(i)
-	})
 	return First(errs)
 }
 

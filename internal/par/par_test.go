@@ -1,9 +1,12 @@
 package par
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -66,6 +69,161 @@ func TestFirst(t *testing.T) {
 	e := errors.New("x")
 	if First([]error{nil, e, errors.New("y")}) != e {
 		t.Fatal("First did not return the first non-nil error")
+	}
+}
+
+// goroutineID parses the current goroutine's id from its stack header,
+// to assert that a call ran inline on the caller's goroutine.
+func goroutineID() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	// "goroutine 7 [running]: ..."
+	fields := bytes.Fields(buf)
+	if len(fields) < 2 {
+		return ""
+	}
+	return string(fields[1])
+}
+
+// TestDoInlineSingleItem: one item must run inline on the caller's
+// goroutine regardless of the requested worker count — no pool spin-up
+// for n == 1.
+func TestDoInlineSingleItem(t *testing.T) {
+	caller := goroutineID()
+	for _, workers := range []int{0, 1, 8, -3} {
+		ran := ""
+		Do(1, workers, func(i int) { ran = goroutineID() })
+		if ran != caller {
+			t.Fatalf("workers=%d: fn ran on goroutine %s, caller is %s (not inline)", workers, ran, caller)
+		}
+	}
+	if err := DoErr(1, 8, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoErrIncludesRecoveredPanics: a panic inside fn becomes that
+// index's error and takes part in the lowest-index-wins reduction
+// alongside ordinary errors, at every worker count.
+func TestDoErrIncludesRecoveredPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := DoErr(100, workers, func(i int) error {
+			switch i {
+			case 17:
+				panic("boom 17")
+			case 55:
+				return fmt.Errorf("fail 55")
+			case 80:
+				panic("boom 80")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 17 {
+			t.Fatalf("workers=%d: panic attributed to index %d, want lowest index 17", workers, pe.Index)
+		}
+		if !strings.Contains(pe.Error(), "index 17: panic: boom 17") {
+			t.Fatalf("workers=%d: error lacks attribution: %q", workers, pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+// TestDoRepanicsAttributed: Do contains worker-goroutine panics and
+// re-panics the lowest index's *PanicError on the caller's goroutine,
+// after every index has run.
+func TestDoRepanicsAttributed(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var ran atomic.Int32
+		func() {
+			defer func() {
+				v := recover()
+				pe, ok := v.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T (%v), want *PanicError", workers, v, v)
+				}
+				if pe.Index != 30 {
+					t.Fatalf("workers=%d: panic index %d, want 30", workers, pe.Index)
+				}
+			}()
+			Do(100, workers, func(i int) {
+				ran.Add(1)
+				if i == 30 || i == 60 {
+					panic(fmt.Sprintf("boom %d", i))
+				}
+			})
+			t.Fatalf("workers=%d: Do did not re-panic", workers)
+		}()
+		if ran.Load() != 100 {
+			t.Fatalf("workers=%d: %d indexes ran, want all 100 despite panics", workers, ran.Load())
+		}
+	}
+}
+
+// TestDoErrCtxCancelledUpFront: a context that is already done hands
+// out no indexes and returns ctx.Err(), identically at every worker
+// count.
+func TestDoErrCtxCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		var ran atomic.Int32
+		err := DoErrCtx(ctx, 50, workers, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d indexes ran after cancellation", workers, ran.Load())
+		}
+	}
+}
+
+// TestDoErrCtxCancelMidRun: cancelling from inside fn stops the handout
+// and the call reports ctx.Err() — even though other indexes already
+// failed — so the surfaced error is worker-count independent.
+func TestDoErrCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 100
+		var ran atomic.Int32
+		err := DoErrCtx(ctx, n, workers, func(i int) error {
+			ran.Add(1)
+			if i == 10 {
+				cancel()
+				return ctx.Err()
+			}
+			if i == 5 {
+				return fmt.Errorf("fail 5")
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got < 11 || got > int32(n) {
+			t.Fatalf("workers=%d: implausible run count %d", workers, got)
+		}
+	}
+}
+
+// TestDoCtxNilContextNeverCancels: nil ctx runs everything and returns
+// nil, so non-cancellable call sites need no special case.
+func TestDoCtxNilContextNeverCancels(t *testing.T) {
+	var ran atomic.Int32
+	if err := DoCtx(nil, 20, 4, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("%d indexes ran, want 20", ran.Load())
 	}
 }
 

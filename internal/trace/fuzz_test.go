@@ -6,16 +6,24 @@ import (
 	"testing"
 )
 
-// FuzzRead feeds arbitrary text to the trace parser: it must never
-// panic, and whatever it accepts must survive a write/read round trip
+// FuzzReadTrace feeds arbitrary text to the trace parser: it must never
+// panic, must reject non-finite and reversed contact times, and
+// whatever it accepts must survive a Validate → Write → Read round trip
 // unchanged.
-func FuzzRead(f *testing.F) {
+func FuzzReadTrace(f *testing.F) {
 	f.Add("# trace x\n# nodes 3\n0 1 0 5\n1 2 3 9\n")
 	f.Add("0 1 0 5\n")
 	f.Add("# external 1\n# nodes 2\n0 1 1e3 2e3\n")
 	f.Add("# granularity 120\n# window 0 100\n")
 	f.Add("garbage\n\n# nodes\n")
 	f.Add("0 1 5 4\n")
+	// Mutated headers and bodies around the hardened edges.
+	f.Add("# nodes 2\n0 1 NaN 5\n")
+	f.Add("# nodes 2\n0 1 0 Inf\n")
+	f.Add("# window -Inf NaN\n0 1 0 5\n")
+	f.Add("# granularity NaN\n")
+	f.Add("# nodes 2\n0 1 9 5\n")
+	f.Add("# trace\n# external -1\n0 1 1e308 1e309\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := Read(strings.NewReader(input))
 		if err != nil {
@@ -24,6 +32,11 @@ func FuzzRead(f *testing.F) {
 		// Accepted traces must be valid and round-trippable.
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("Read accepted an invalid trace: %v", err)
+		}
+		for i, c := range tr.Contacts {
+			if !finite(c.Beg) || !finite(c.End) || c.End < c.Beg {
+				t.Fatalf("Read accepted bad contact %d: %+v", i, c)
+			}
 		}
 		var buf bytes.Buffer
 		if err := tr.Write(&buf); err != nil {

@@ -2,11 +2,20 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// finite reports whether a parsed time value is an ordinary number.
+// NaN and ±Inf parse successfully but would poison every downstream
+// comparison, so Read rejects them at the line that carries them.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
 
 // The on-disk format is a line-oriented text format close to the one used
 // for published iMote trace releases:
@@ -75,8 +84,8 @@ func Read(r io.Reader) (*Trace, error) {
 					return nil, fmt.Errorf("trace: line %d: malformed granularity header", line)
 				}
 				g, err := strconv.ParseFloat(fields[1], 64)
-				if err != nil {
-					return nil, fmt.Errorf("trace: line %d: %v", line, err)
+				if err != nil || !finite(g) {
+					return nil, fmt.Errorf("trace: line %d: bad granularity %q", line, fields[1])
 				}
 				t.Granularity = g
 			case "window":
@@ -85,7 +94,7 @@ func Read(r io.Reader) (*Trace, error) {
 				}
 				a, err1 := strconv.ParseFloat(fields[1], 64)
 				b, err2 := strconv.ParseFloat(fields[2], 64)
-				if err1 != nil || err2 != nil {
+				if err1 != nil || err2 != nil || !finite(a) || !finite(b) {
 					return nil, fmt.Errorf("trace: line %d: malformed window values", line)
 				}
 				t.Start, t.End = a, b
@@ -120,9 +129,20 @@ func Read(r io.Reader) (*Trace, error) {
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return nil, fmt.Errorf("trace: line %d: malformed contact %q", line, text)
 		}
+		if !finite(beg) || !finite(end) {
+			return nil, fmt.Errorf("trace: line %d: non-finite contact time in %q", line, text)
+		}
+		if end < beg {
+			return nil, fmt.Errorf("trace: line %d: contact ends before it begins (%g < %g)", line, end, beg)
+		}
 		t.Contacts = append(t.Contacts, Contact{A: NodeID(a), B: NodeID(b), Beg: beg, End: end})
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stops before delivering the oversized line, so
+			// the failure is on the line after the last one scanned.
+			return nil, fmt.Errorf("trace: line %d: %w", line+1, err)
+		}
 		return nil, fmt.Errorf("trace: read: %w", err)
 	}
 	if nodes < 0 {

@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -119,10 +121,52 @@ func TestReadErrors(t *testing.T) {
 		"# window 1\n",              // malformed window
 		"# nodes 2\n0 1 5 1\n",      // negative duration caught by Validate
 		"# nodes 1\n0 0 1 2\n",      // self contact
+		"# nodes 2\n0 1 NaN 5\n",    // non-finite begin
+		"# nodes 2\n0 1 0 +Inf\n",   // non-finite end
+		"# nodes 2\n0 1 -Inf 5\n",   // non-finite begin
+		"# window NaN 100\n",        // non-finite window
+		"# window 0 Inf\n",          // non-finite window
+		"# granularity NaN\n",       // non-finite granularity
 	}
 	for _, in := range cases {
 		if _, err := Read(strings.NewReader(in)); err == nil {
 			t.Errorf("Read accepted malformed input %q", in)
 		}
+	}
+}
+
+// TestReadErrorsCarryLineNumbers: corrupt input is diagnosed at the
+// line that carries it, so a bad row in a million-line trace file can
+// actually be found.
+func TestReadErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"# nodes 3\n0 1 0 5\n0 2 NaN 7\n", "line 3: non-finite contact time"},
+		{"# nodes 3\n0 1 9 5\n", "line 2: contact ends before it begins (5 < 9)"},
+		{"0 1 0 5\n\n0 2 Inf Inf\n", "line 3: non-finite contact time"},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Read(%q) = %v, want error containing %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+// TestReadLineTooLong: a line past the scanner's 1 MiB cap fails with a
+// trace error naming the offending line, not a bare bufio.ErrTooLong.
+func TestReadLineTooLong(t *testing.T) {
+	in := "# nodes 2\n0 1 0 5\n# " + strings.Repeat("x", 2<<20) + "\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("Read accepted an oversized line")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want wrapped bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "trace: line 3:") {
+		t.Fatalf("err %q does not name the offending line", err)
 	}
 }
