@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json quick-equivalence fuzz-smoke checkpoint-idempotence
+.PHONY: check build vet test race bench bench-json bench-smoke profile quick-equivalence fuzz-smoke checkpoint-idempotence
 
 check: build vet race
 
@@ -27,6 +27,20 @@ bench:
 # Full benchmark record (BENCH_<N>.json) for the perf trajectory.
 bench-json:
 	scripts/bench.sh
+
+# One iteration of every benchmark in the repo: catches benchmarks that
+# no longer compile or crash without paying for stable timings. CI runs
+# this on every push.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# CPU + heap profile of the quick experiment suite, with a top-10
+# summary of each. Inspect interactively with
+#   go tool pprof cpu.pprof
+profile:
+	$(GO) run ./cmd/experiments -quick -cpuprofile cpu.pprof -memprofile mem.pprof all > /dev/null
+	$(GO) tool pprof -top -nodecount 10 cpu.pprof
+	$(GO) tool pprof -top -nodecount 10 mem.pprof
 
 # End-to-end determinism check: the quick experiment suite must emit
 # byte-identical output at every worker count.

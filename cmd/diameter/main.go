@@ -37,9 +37,18 @@ func main() {
 	verify := flag.Int("verify", 0, "spot-check N random (source, time) points against an independent flooding simulation")
 	workers := flag.Int("workers", 0, "worker goroutines for the path engine and aggregation (0 = all cores); results are identical at every count")
 	timeout := flag.Duration("timeout", 0, "cancel the computation after this long (0 = no limit)")
+	prof := cli.AddProfileFlags()
 	flag.Parse()
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fail(err)
+		}
+	}()
 
 	in := os.Stdin
 	if *path != "" {

@@ -5,6 +5,7 @@
 //	experiments [-seed N] [-quick] [-eps E] all
 //	experiments [-seed N] [-quick] [-eps E] table1 fig9 fig12 ...
 //	experiments -timeout 30m -checkpoint runs/ all
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof -quick all
 //	experiments -list
 //
 // Each experiment writes plot-ready text (aligned series and tables) to
@@ -40,6 +41,7 @@ func main() {
 	ckptDir := flag.String("checkpoint", "", "store completed experiments in this directory and replay them on rerun")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	outDir := flag.String("o", "", "write each experiment's output to <dir>/<name>.txt instead of stdout")
+	prof := cli.AddProfileFlags()
 	flag.Parse()
 
 	if *list {
@@ -59,6 +61,14 @@ func main() {
 	}
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	if err := prof.Start(); err != nil {
+		cli.Fail("experiments", err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			cli.Fail("experiments", err)
+		}
+	}()
 	var store *checkpoint.Store
 	if *ckptDir != "" {
 		var err error

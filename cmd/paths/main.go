@@ -34,9 +34,18 @@ func main() {
 	delta := flag.Float64("delta", 0, "per-hop transmission delay (seconds)")
 	workers := flag.Int("workers", 0, "worker goroutines for the path engine (0 = all cores)")
 	timeout := flag.Duration("timeout", 0, "cancel the computation after this long (0 = no limit)")
+	prof := cli.AddProfileFlags()
 	flag.Parse()
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fail(err)
+		}
+	}()
 
 	in := os.Stdin
 	if *path != "" {

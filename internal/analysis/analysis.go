@@ -30,7 +30,6 @@ package analysis
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sync"
 
@@ -177,16 +176,38 @@ type curveKey struct {
 }
 
 func makeCurveKey(hopBound int, grid []float64, a, b float64) curveKey {
-	h := fnv.New64a()
-	var buf [8]byte
+	// Inline FNV-1a over the grid's float bits: hashing a few dozen
+	// floats should not allocate a hasher per (cached!) curve lookup.
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
 	for _, g := range grid {
 		bits := math.Float64bits(g)
 		for i := 0; i < 8; i++ {
-			buf[i] = byte(bits >> (8 * i))
+			h ^= uint64(byte(bits >> (8 * i)))
+			h *= prime64
 		}
-		h.Write(buf[:])
 	}
-	return curveKey{hopBound: hopBound, a: a, b: b, gridLen: len(grid), gridHash: h.Sum64()}
+	return curveKey{hopBound: hopBound, a: a, b: b, gridLen: len(grid), gridHash: h}
+}
+
+// curveBufPool recycles the per-pair integration buffer of successCurve
+// across hop bounds, windows, and — because the pool is package-level —
+// across the studies of a removal study's repetitions. The buffer is a
+// single flat pairs × grid array: one allocation (amortized zero when
+// pooled) instead of one row slice per pair per integration.
+var curveBufPool sync.Pool
+
+func getCurveBuf(need int) []float64 {
+	if p, _ := curveBufPool.Get().(*[]float64); p != nil && cap(*p) >= need {
+		buf := (*p)[:need]
+		clear(buf) // cancelled integrations must read zeros, as a fresh make would
+		return buf
+	}
+	return make([]float64, need)
+}
+
+func putCurveBuf(buf []float64) {
+	curveBufPool.Put(&buf)
 }
 
 // successCurve returns, for each budget in grid, the sum over all pairs
@@ -208,20 +229,22 @@ func (s *Study) successCurve(hopBound int, grid []float64, a, b float64) []float
 	s.mu.Unlock()
 
 	fs := s.frontiersFor(hopBound)
-	vals := make([][]float64, len(fs))
+	ng := len(grid)
+	flat := getCurveBuf(len(fs) * ng)
 	cancelled := par.DoCtx(s.ctx, len(fs), s.workers, func(i int) {
-		row := make([]float64, len(grid))
+		row := flat[i*ng : (i+1)*ng]
 		for gi, d := range grid {
 			row[gi] = fs[i].SuccessWithin(d, a, b)
 		}
-		vals[i] = row
 	}) != nil
-	sum := make([]float64, len(grid))
-	for _, row := range vals {
+	sum := make([]float64, ng)
+	for i := 0; i < len(fs); i++ {
+		row := flat[i*ng : (i+1)*ng]
 		for gi, v := range row {
 			sum[gi] += v
 		}
 	}
+	putCurveBuf(flat)
 	if cancelled {
 		// Incomplete integration: hand it back uncached so a later
 		// (uncancelled) caller rebuilds the true curve.

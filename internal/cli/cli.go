@@ -9,14 +9,22 @@
 // Commands create their context once, thread it through core.Options or
 // experiments.Config, and route every fatal error through Fail so the
 // exit code always reflects what actually stopped the run.
+//
+// It also centralizes the profiling conventions: AddProfileFlags gives
+// every command -cpuprofile and -memprofile flags emitting standard
+// pprof files, so performance investigations start from evidence
+// gathered with the same tooling everywhere.
 package cli
 
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 )
@@ -67,4 +75,66 @@ func Fail(prog string, err error) {
 func Usage(prog, msg string) {
 	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, msg)
 	os.Exit(ExitUsage)
+}
+
+// Profiler drives the shared -cpuprofile/-memprofile flags: every
+// command that calls AddProfileFlags can emit pprof evidence for
+// performance work (`make profile` wraps the common invocation).
+type Profiler struct {
+	cpuPath *string
+	memPath *string
+	cpuFile *os.File
+}
+
+// AddProfileFlags registers -cpuprofile and -memprofile on the default
+// flag set and returns the Profiler driving them. Call it before
+// flag.Parse, then Start after parsing and defer Stop; both are no-ops
+// when the flags are unset.
+func AddProfileFlags() *Profiler {
+	return &Profiler{
+		cpuPath: flag.String("cpuprofile", "", "write a CPU profile (pprof format) to this file"),
+		memPath: flag.String("memprofile", "", "write a heap profile (pprof format) to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling if -cpuprofile was given.
+func (p *Profiler) Start() error {
+	if *p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop flushes the CPU profile and, if -memprofile was given, writes a
+// heap profile after a final GC (so the profile shows live steady-state
+// memory, not collectable garbage). It runs on the normal exit path;
+// a run that dies through Fail forfeits its profiles.
+func (p *Profiler) Stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := p.cpuFile.Close()
+		p.cpuFile = nil
+		if err != nil {
+			return err
+		}
+	}
+	if *p.memPath == "" {
+		return nil
+	}
+	f, err := os.Create(*p.memPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"syscall"
 	"testing"
 	"time"
@@ -36,6 +38,48 @@ func TestContextTimeout(t *testing.T) {
 	}
 	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
 		t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+// TestProfilerWritesPprofFiles drives the Profiler directly (flag
+// registration is exercised by the commands): Start/Stop must produce
+// non-empty gzip-framed pprof files at both paths, and the zero
+// configuration must be a no-op.
+func TestProfilerWritesPprofFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	p := &Profiler{cpuPath: &cpu, memPath: &mem}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// pprof files are gzip-compressed protobufs; check the magic.
+		if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+			t.Fatalf("%s: not a gzip-framed pprof file (%d bytes, % x...)", path, len(b), b[:min(4, len(b))])
+		}
+	}
+
+	empty := ""
+	q := &Profiler{cpuPath: &empty, memPath: &empty}
+	if err := q.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Stop(); err != nil {
+		t.Fatal(err)
 	}
 }
 

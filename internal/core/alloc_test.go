@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/trace"
+)
+
+// The allocation discipline of the hot path (DESIGN.md "Memory layout &
+// allocation discipline"): once its buffers are warm, the engine's inner
+// loop must not allocate. These tests pin the steady-state budgets with
+// testing.AllocsPerRun so a regression shows up as a test failure, not
+// as a silent benchmark drift.
+
+// allocStream builds a reproducible candidate stream with plenty of
+// dominance churn: accepted entries, dominated rejects, and removals.
+func allocStream(n int) []Entry {
+	r := rng.New(11)
+	es := make([]Entry, n)
+	for i := range es {
+		ld := r.Uniform(0, 1000)
+		es[i] = Entry{LD: ld, EA: ld - r.Uniform(0, 500), Hop: int32(1 + r.Intn(6))}
+	}
+	return es
+}
+
+// TestWarmFrontier2DInsertAllocs: inserting into a 2D frontier whose
+// backing array is already grown is allocation-free — the staircase
+// insert shifts within capacity and dominated removals compact in
+// place. Budget: 0 allocs.
+func TestWarmFrontier2DInsertAllocs(t *testing.T) {
+	stream := allocStream(600)
+	f := make(frontier2D, 0, 2048)
+	run := func() {
+		f = f[:0]
+		for _, e := range stream {
+			f.add(e)
+		}
+	}
+	run() // warm the backing array
+	if len(f) == 0 || len(f) == len(stream) {
+		t.Fatalf("degenerate stream: %d of %d entries kept", len(f), len(stream))
+	}
+	if allocs := testing.AllocsPerRun(50, run); allocs > 0 {
+		t.Fatalf("warm frontier2D insert: %.1f allocs/run, budget 0", allocs)
+	}
+}
+
+// TestWarmFrontier3DInsertAllocs: same contract for the hop-aware
+// frontier — the linear dominance filter compacts in place. Budget: 0.
+func TestWarmFrontier3DInsertAllocs(t *testing.T) {
+	stream := allocStream(300)
+	f := make(frontier3D, 0, 2048)
+	run := func() {
+		f = f[:0]
+		for _, e := range stream {
+			f.add(e)
+		}
+	}
+	run()
+	if len(f) == 0 {
+		t.Fatal("degenerate stream: nothing kept")
+	}
+	if allocs := testing.AllocsPerRun(50, run); allocs > 0 {
+		t.Fatalf("warm frontier3D insert: %.1f allocs/run, budget 0", allocs)
+	}
+}
+
+// TestWarmEngineInsertAllocs drives the row engine's insert/commit cycle
+// itself — overlay append, dominance checks against the frozen
+// staircase, archive log append, and the in-place commit merge — on warm
+// buffers. Budget: 0 allocs once every buffer has reached steady-state
+// capacity.
+func TestWarmEngineInsertAllocs(t *testing.T) {
+	stream := allocStream(400)
+	g := &rowEngine{n: 8}
+	g.cur = growEntrySlices(g.cur, g.n)
+	g.pending = growEntrySlices(g.pending, g.n)
+	g.changedAt = growInt32(g.changedAt, g.n)
+	g.cnt = growInt32(g.cnt, g.n)
+	run := func() {
+		for i := range g.cur {
+			g.cur[i] = g.cur[i][:0]
+		}
+		g.logEntries = g.logEntries[:0]
+		g.logDst = g.logDst[:0]
+		clear(g.cnt)
+		g.epoch = 1
+		for i, e := range stream {
+			g.insert(int32(i&7), e)
+			if i&31 == 31 { // several commits per run: merge path included
+				g.commit()
+				g.epoch++
+			}
+		}
+		g.commit()
+	}
+	run() // warm: frontiers, overlays, merge scratch, archive log
+	if len(g.logEntries) == 0 {
+		t.Fatal("degenerate stream: nothing archived")
+	}
+	if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
+		t.Fatalf("warm engine insert/commit: %.1f allocs/run, budget 0", allocs)
+	}
+}
+
+// TestFrontierBuildAllocs: building a delivery function from a warm
+// archive is a bounded handful of allocations — the kept slice growing
+// under append, sort.Slice internals, and the output slice — independent
+// of archive size revisits. Budget: 16 allocs (measured 13 on go1.24).
+func TestFrontierBuildAllocs(t *testing.T) {
+	tr := equivTrace(5, 30, 2500)
+	res, err := Compute(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := pickConnectedPair(t, res, tr.NumNodes())
+	const budget = 16
+	allocs := testing.AllocsPerRun(100, func() {
+		f := res.Frontier(src, dst, 4)
+		if f.Empty() {
+			t.Fatal("pair became empty")
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("Frontier build from warm archive: %.1f allocs/run, budget %d", allocs, budget)
+	}
+}
+
+func pickConnectedPair(t *testing.T, res *Result, n int) (src, dst trace.NodeID) {
+	t.Helper()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d && res.MinHops(trace.NodeID(s), trace.NodeID(d)) >= 1 {
+				return trace.NodeID(s), trace.NodeID(d)
+			}
+		}
+	}
+	t.Fatal("no connected pair in alloc-test trace")
+	return 0, 0
+}

@@ -56,6 +56,23 @@ func BenchmarkDel(b *testing.B) {
 		b.Fatal(err)
 	}
 	f := res.Frontier(0, 1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Del(float64(i % 10000))
+	}
+}
+
+// BenchmarkDelDelta exercises the Delta > 0 evaluation path, where the
+// precomputed per-hop suffix-min index replaces a scan of every entry.
+func BenchmarkDelDelta(b *testing.B) {
+	tr := coreBenchTrace(b)
+	res, err := Compute(tr, Options{TransmitDelay: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := res.Frontier(0, 1, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = f.Del(float64(i % 10000))
@@ -69,6 +86,7 @@ func BenchmarkSuccessWithin(b *testing.B) {
 		b.Fatal(err)
 	}
 	f := res.Frontier(0, 1, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = f.SuccessWithin(600, 0, 10000)

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"opportunet/internal/rng"
+)
+
+// randomDeltaFrontier builds an LD-sorted entry list shaped like a real
+// Delta > 0 frontier: mixed hop counts, EA <= LD, duplicate LD keys and
+// entire hop groups that sit below/above the probed time range.
+func randomDeltaFrontier(r *rng.Source, n int) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		ld := r.Uniform(0, 1000)
+		if i > 0 && r.Intn(8) == 0 {
+			ld = es[i-1].LD // duplicate LD key across hop groups
+		}
+		es[i] = Entry{LD: ld, EA: ld - r.Uniform(0, 300), Hop: int32(1 + r.Intn(7))}
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].LD < es[j].LD })
+	return es
+}
+
+// TestDelIndexMatchesBruteForce: the per-hop suffix-min index must
+// return bit-identical delivery times to the brute-force scan over every
+// entry, for randomized frontiers and probe times (including t beyond
+// every LD, where both must return +Inf).
+func TestDelIndexMatchesBruteForce(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(60)
+		delta := r.Uniform(0.1, 30)
+		entries := randomDeltaFrontier(r, n)
+		brute := Frontier{Entries: entries, Delta: delta}
+		indexed := brute.Indexed()
+		if indexed.didx == nil {
+			t.Fatal("Indexed did not build an index for a Delta > 0 frontier")
+		}
+		for probe := 0; probe < 50; probe++ {
+			tt := r.Uniform(-50, 1100)
+			if probe < len(entries) {
+				tt = entries[probe].LD // boundary: exactly at an LD key
+			}
+			got, want := indexed.Del(tt), brute.delDeltaBrute(tt)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("trial %d: Del(%v) with delta=%v: indexed %v, brute %v",
+					trial, tt, delta, got, want)
+			}
+		}
+	}
+}
+
+// TestDelIndexHopZeroEntry: a hand-built frontier containing a Hop 0
+// entry (never produced by the engine, but allowed by the public struct)
+// must index without corrupting group boundaries.
+func TestDelIndexHopZeroEntry(t *testing.T) {
+	entries := []Entry{
+		{LD: 5, EA: 5, Hop: 0},
+		{LD: 10, EA: 4, Hop: 2},
+		{LD: 20, EA: 12, Hop: 1},
+	}
+	brute := Frontier{Entries: entries, Delta: 1.5}
+	indexed := brute.Indexed()
+	for _, tt := range []float64{-1, 0, 4, 5, 5.5, 10, 15, 20, 21} {
+		got, want := indexed.Del(tt), brute.delDeltaBrute(tt)
+		if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("Del(%v): indexed %v, brute %v", tt, got, want)
+		}
+	}
+}
+
+// delDeltaBrute is the reference evaluation: scan every entry. It
+// mirrors delDelta's fallback arm exactly so the equivalence test pins
+// the index against the original expression, not against itself.
+func (f Frontier) delDeltaBrute(t float64) float64 {
+	best := Inf
+	for _, e := range f.Entries {
+		if e.LD < t {
+			continue
+		}
+		arr := math.Max(e.EA, t+float64(e.Hop-1)*f.Delta) + f.Delta
+		if arr < best {
+			best = arr
+		}
+	}
+	return best
+}

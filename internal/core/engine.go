@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"opportunet/internal/par"
 	"opportunet/internal/timeline"
@@ -62,8 +64,25 @@ type Result struct {
 	Delta float64
 
 	sources  []trace.NodeID
-	srcIndex []int32   // node -> row in arch, or -1
-	arch     [][]Entry // [srcRow*NumNodes + dst] append-only summaries
+	srcIndex []int32 // node -> row in rows, or -1
+	rows     []rowArchive
+}
+
+// rowArchive is one source row's archive arena: every accepted summary
+// toward every destination of that row in a single contiguous backing
+// array, grouped by destination through the offset table. Compared to a
+// per-pair slice-of-slices it is cache-contiguous, costs two allocations
+// per row instead of N growing slices, and lets Frontier slice its pair
+// straight out of one backing array.
+type rowArchive struct {
+	entries []Entry
+	off     []int32 // len NumNodes+1; destination d owns entries[off[d]:off[d+1]]
+}
+
+// pairEntries returns the append-ordered archive of (row, dst).
+func (r *Result) pairEntries(row int32, dst int) []Entry {
+	ra := &r.rows[row]
+	return ra.entries[ra.off[dst]:ra.off[dst+1]]
 }
 
 // Compute runs the exhaustive optimal-path computation of §4.4 on the
@@ -87,11 +106,13 @@ func Compute(tr *trace.Trace, opt Options) (*Result, error) {
 // assumed to come from a validated trace.
 //
 // The computation is sharded by source row across Options.Workers
-// goroutines. A row's frontiers (indexed srcRow*n + dst) are touched by
-// no other row, and the contact adjacency is shared read-only, so the
-// shards are fully independent: each runs its own hop iteration to its
-// own fixpoint, and the archives are identical to a serial run entry
-// for entry regardless of the worker count.
+// goroutines. A row's frontiers are touched by no other row, and the
+// contact adjacency is shared read-only, so the shards are fully
+// independent: each runs its own hop iteration to its own fixpoint, and
+// the archives are identical to a serial run entry for entry regardless
+// of the worker count. Row engines draw their mutable scratch from a
+// shared pool, so repeated computations (a removal study's per-rep runs)
+// reuse warm buffers instead of re-allocating them.
 func ComputeView(v *timeline.View, opt Options) (*Result, error) {
 	n := v.NumNodes()
 	res := &Result{
@@ -119,7 +140,7 @@ func ComputeView(v *timeline.View, opt Options) (*Result, error) {
 		}
 		res.srcIndex[s] = int32(row)
 	}
-	res.arch = make([][]Entry, len(res.sources)*n)
+	res.rows = make([]rowArchive, len(res.sources))
 
 	rows := len(res.sources)
 	if rows == 0 {
@@ -127,11 +148,26 @@ func ComputeView(v *timeline.View, opt Options) (*Result, error) {
 		res.Fixpoint = true
 		return res, nil
 	}
-	engines := make([]rowEngine, rows)
+	// Per-row stop state, collected before each engine returns to the
+	// pool.
+	type rowStop struct {
+		hops     int
+		fixpoint bool
+	}
+	stops := make([]rowStop, rows)
 	if err := par.DoErrCtx(opt.Ctx, rows, opt.Workers, func(row int) error {
-		g := &engines[row]
-		g.init(res, opt, n, v, row)
-		return g.run(opt.Ctx)
+		g := enginePool.Get().(*rowEngine)
+		defer func() {
+			g.release()
+			enginePool.Put(g)
+		}()
+		g.reset(res, opt, n, v, row)
+		if err := g.run(opt.Ctx); err != nil {
+			return err
+		}
+		g.finalize()
+		stops[row] = rowStop{g.hops, g.fixpoint}
+		return nil
 	}); err != nil {
 		return nil, err
 	}
@@ -139,56 +175,125 @@ func ComputeView(v *timeline.View, opt Options) (*Result, error) {
 	// still progressed on, and is at a fixpoint iff every row is.
 	res.Hops = 1
 	res.Fixpoint = true
-	for row := range engines {
-		if engines[row].hops > res.Hops {
-			res.Hops = engines[row].hops
+	for _, st := range stops {
+		if st.hops > res.Hops {
+			res.Hops = st.hops
 		}
-		res.Fixpoint = res.Fixpoint && engines[row].fixpoint
+		res.Fixpoint = res.Fixpoint && st.fixpoint
 	}
 	return res, nil
 }
 
+// enginePool recycles rowEngine scratch — frontiers, epoch stamps, the
+// pivot/merge buffers, and the archive log — across rows and across
+// Compute runs. A removal study's R × Compute repetitions therefore pay
+// the cold-allocation cost once per worker, not once per row per rep.
+var enginePool = sync.Pool{New: func() any { return new(rowEngine) }}
+
 // rowEngine holds the mutable state of one source row of a Compute run:
-// the frontiers toward every destination, indexed by dst. cur is the
-// frozen frontier of the previous iteration; pending collects this
-// iteration's insertions (copy-on-write from cur) so that every
-// candidate generated during iteration k extends only summaries
-// available with at most k−1 hops — the property that makes each archive
-// entry's Hop the minimal hop count of its summary. The only shared
-// structures are the read-only timeline view and this row's segment of
-// the result archives, so rows run concurrently without synchronization.
+// the frontier toward every destination, indexed by dst. cur[dst] is the
+// frontier frozen at the end of the previous iteration; insertions of
+// iteration k collect in the pending[dst] overlay and merge into cur
+// only at commit, so every candidate generated during iteration k
+// extends only summaries available with at most k−1 hops — the property
+// that makes each archive entry's Hop the minimal hop count of its
+// summary. Unlike a copy-on-write clone of the whole frontier per
+// touched destination (O(F) garbage per destination per hop), the
+// overlay holds only the iteration's accepted entries and the commit
+// merge reuses cur's backing array in place.
+//
+// Iteration bookkeeping is epoch-stamped: epoch is the current hop
+// number, and changedAt[dst] records the last hop at which dst accepted
+// an entry, so "changed last iteration" is the comparison
+// changedAt[dst] == epoch−1 with no per-hop flag clearing.
+//
+// The only shared structures are the read-only timeline view and this
+// row's slot of the result archives, so rows run concurrently without
+// synchronization.
 type rowEngine struct {
 	res *Result
 	opt Options
 	n   int
 	v   *timeline.View
 
-	src  trace.NodeID
-	base int // row * n: offset of this row's archive segment
+	src trace.NodeID
+	row int
 
-	cur         []frontier2D
-	cur3        []frontier3D
-	pendingFlag []bool       // destination touched this iteration
-	pendingList []int32      // touched destinations, for commit
-	next        []frontier2D // copy-on-write overlays of cur
-	next3       []frontier3D
+	use3 bool // TransmitDelay > 0: hop-aware 3-way dominance
 
-	changed     []bool // destinations whose frontier changed last iteration
-	changedNext []bool
+	cur         [][]Entry // frozen frontier per destination
+	pending     [][]Entry // this iteration's accepted entries per destination
+	pendingList []int32   // destinations with a non-empty overlay, for commit
+	changedAt   []int32   // last hop at which dst's frontier accepted an entry
+
+	epoch        int32 // current hop number
+	accepted     int   // entries accepted this iteration
+	lastAccepted int   // entries accepted in the last committed iteration
 
 	pivots []Entry // extend3D scratch: the hop-(k−1) bucket of one frontier
+	merge  []Entry // commit scratch: merge2D staging buffer
+
+	// Archive log: accepted entries in acceptance order with their
+	// destination tags, scattered into the row's arena at finalize.
+	logEntries []Entry
+	logDst     []int32
+	cnt        []int32 // per-destination accepted count
 
 	hops     int  // hop count at which this row stopped
 	fixpoint bool // whether hops is a true fixpoint for this row
 }
 
-func (g *rowEngine) init(res *Result, opt Options, n int, v *timeline.View, row int) {
+// growEntrySlices resizes s to n inner slices, truncating every retained
+// inner slice so its warm capacity is reused.
+func growEntrySlices(s [][]Entry, n int) [][]Entry {
+	if cap(s) < n {
+		return make([][]Entry, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+// growInt32 resizes s to n zeroed elements, reusing capacity.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// reset prepares a pooled engine for one row of one Compute run.
+func (g *rowEngine) reset(res *Result, opt Options, n int, v *timeline.View, row int) {
 	g.res = res
 	g.opt = opt
 	g.n = n
 	g.v = v
 	g.src = res.sources[row]
-	g.base = row * n
+	g.row = row
+	g.use3 = opt.TransmitDelay > 0
+	g.cur = growEntrySlices(g.cur, n)
+	g.pending = growEntrySlices(g.pending, n)
+	g.pendingList = g.pendingList[:0]
+	g.changedAt = growInt32(g.changedAt, n)
+	g.cnt = growInt32(g.cnt, n)
+	g.logEntries = g.logEntries[:0]
+	g.logDst = g.logDst[:0]
+	g.epoch = 0
+	g.accepted, g.lastAccepted = 0, 0
+	g.hops, g.fixpoint = 0, false
+}
+
+// release drops the references into the run's result and view before the
+// engine returns to the pool, so pooled scratch never pins a finished
+// computation in memory.
+func (g *rowEngine) release() {
+	g.res = nil
+	g.v = nil
+	g.opt = Options{}
 }
 
 // run grows this row's frontiers to the fixpoint (or MaxHops). ctx is
@@ -196,20 +301,9 @@ func (g *rowEngine) init(res *Result, opt Options, n int, v *timeline.View, row 
 // destinations; once it is done, run aborts with ctx.Err() and the
 // surrounding Compute discards the partial result.
 func (g *rowEngine) run(ctx context.Context) error {
-	use3D := g.opt.TransmitDelay > 0
-	if use3D {
-		g.cur3 = make([]frontier3D, g.n)
-		g.next3 = make([]frontier3D, g.n)
-	} else {
-		g.cur = make([]frontier2D, g.n)
-		g.next = make([]frontier2D, g.n)
-	}
-	g.pendingFlag = make([]bool, g.n)
-	g.changed = make([]bool, g.n)
-	g.changedNext = make([]bool, g.n)
-
 	// Hop 1: every usable contact leaving the source is a one-contact
 	// sequence with LD = t_end, EA = t_beg.
+	g.epoch = 1
 	for _, e := range g.v.OutgoingByBeg(g.src) {
 		if g.opt.Directed && !e.Fwd {
 			continue
@@ -235,8 +329,10 @@ func (g *rowEngine) run(ctx context.Context) error {
 		if ctx != nil && ctx.Err() != nil {
 			return ctx.Err()
 		}
+		g.epoch = int32(hop)
+		prev := int32(hop - 1)
 		for u := 0; u < g.n; u++ {
-			if !g.changed[u] {
+			if g.changedAt[u] != prev {
 				continue
 			}
 			// Poll cancellation every few hundred extended frontiers, so
@@ -245,13 +341,13 @@ func (g *rowEngine) run(ctx context.Context) error {
 			if extended++; extended&255 == 0 && ctx != nil && ctx.Err() != nil {
 				return ctx.Err()
 			}
-			if use3D {
-				g.extend3D(trace.NodeID(u), g.cur3[u], int32(hop))
+			if g.use3 {
+				g.extend3D(trace.NodeID(u), g.cur[u], int32(hop))
 			} else {
 				g.extend2D(trace.NodeID(u), g.cur[u], int32(hop))
 			}
 		}
-		progressed := anyTrue(g.changedNext)
+		progressed := g.accepted > 0
 		g.commit()
 		if !progressed {
 			g.hops = hop - 1
@@ -262,63 +358,174 @@ func (g *rowEngine) run(ctx context.Context) error {
 	}
 	// Stopped by MaxHops; check whether it happens to be a fixpoint
 	// already (no changes pending means the previous pass stabilized).
-	g.fixpoint = !anyTrue(g.changed)
+	g.fixpoint = g.lastAccepted == 0
 	return nil
 }
 
-func anyTrue(bs []bool) bool {
-	for _, b := range bs {
-		if b {
+// insert routes a candidate into the pending overlay of destination dst
+// and archives it if it survives dominance. The dominance decision
+// against the frozen frontier plus the overlay is identical to the
+// decision an evolving copy-on-write frontier would make: dominance is
+// transitive, so an entry displaced mid-iteration always leaves behind a
+// live dominator of everything it dominated.
+func (g *rowEngine) insert(dst int32, e Entry) {
+	cur, pend := g.cur[dst], g.pending[dst]
+	if g.use3 {
+		for _, q := range cur {
+			if dominates3D(q, e) {
+				return
+			}
+		}
+		for _, q := range pend {
+			if dominates3D(q, e) {
+				return
+			}
+		}
+		g.pending[dst] = append(pend, e)
+	} else {
+		// The frozen frontier is an LD-sorted staircase with EA increasing
+		// along it: the entry at the lower bound of LD >= e.LD has the
+		// minimal EA among all entries that could dominate e.
+		if i := sort.Search(len(cur), func(i int) bool { return cur[i].LD >= e.LD }); i < len(cur) && cur[i].EA <= e.EA {
+			return
+		}
+		// The 2D overlay is itself kept as a staircase: add either rejects
+		// e (dominated by a live overlay entry — and, by transitivity, by
+		// anything the overlay has pruned) or splices it in, pruning what
+		// it dominates. Rejection is a binary search instead of a scan,
+		// and commit merges two already-sorted staircases.
+		f := frontier2D(pend)
+		if !f.add(e) {
+			return
+		}
+		g.pending[dst] = f
+	}
+	if len(pend) == 0 {
+		g.pendingList = append(g.pendingList, dst)
+	}
+	g.accepted++
+	g.logEntries = append(g.logEntries, e)
+	g.logDst = append(g.logDst, dst)
+	g.cnt[dst]++
+}
+
+// commit folds every pending overlay into its frozen frontier in place,
+// stamps the changed-at epochs, and rolls the iteration counters. The
+// stamp happens here rather than at insert time so a destination that
+// changed in iteration k−1 AND accepts again during iteration k still
+// reads as changed-at-(k−1) for the whole extension pass of iteration k.
+func (g *rowEngine) commit() {
+	for _, dst := range g.pendingList {
+		pend := g.pending[dst]
+		if g.use3 {
+			g.cur[dst] = merge3D(g.cur[dst], pend)
+		} else {
+			g.cur[dst] = g.merge2D(g.cur[dst], pend)
+		}
+		g.pending[dst] = pend[:0]
+		g.changedAt[dst] = g.epoch
+	}
+	g.pendingList = g.pendingList[:0]
+	g.lastAccepted = g.accepted
+	g.accepted = 0
+}
+
+// merge2D merges the iteration's accepted overlay into the frozen
+// staircase, producing the unique Pareto staircase of the union — the
+// same set, in the same canonical order, that sequential adds onto a
+// copied frontier would have left. Both inputs are LD-sorted staircases
+// (insert maintains the overlay as one), so the union is a linear merge
+// plus the paper's right-to-left sweep; the merged sequence is staged in
+// the engine's scratch buffer and the survivors are written back into
+// cur's backing array.
+func (g *rowEngine) merge2D(cur, pend []Entry) []Entry {
+	// The common overlay is a single entry: splice it into the staircase
+	// directly (the 2D Pareto set of the union is unique, so this yields
+	// exactly the canonical merge result without sweeping).
+	if len(pend) == 1 {
+		f := frontier2D(cur)
+		f.add(pend[0])
+		return f
+	}
+	m := g.merge[:0]
+	i, j := 0, 0
+	for i < len(cur) && j < len(pend) {
+		if cur[i].LD < pend[j].LD || (cur[i].LD == pend[j].LD && cur[i].EA <= pend[j].EA) {
+			m = append(m, cur[i])
+			i++
+		} else {
+			m = append(m, pend[j])
+			j++
+		}
+	}
+	m = append(m, cur[i:]...)
+	m = append(m, pend[j:]...)
+	g.merge = m
+	// Right-to-left sweep keeping entries whose EA is a new strict
+	// minimum; within an equal-LD run only the first (minimal-EA) entry
+	// can survive. This is condition (4) of the paper applied to the
+	// union.
+	out := cur[:0]
+	bestEA := math.Inf(1)
+	for k := len(m) - 1; k >= 0; k-- {
+		if m[k].EA < bestEA && (k == 0 || m[k-1].LD != m[k].LD) {
+			out = append(out, m[k])
+			bestEA = m[k].EA
+		}
+	}
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}
+
+// merge3D replays the iteration's accepted inserts onto the unsorted
+// hop-aware frontier: surviving cur entries keep their order, accepted
+// entries append in acceptance order, and an entry is dropped iff a
+// later-accepted entry 3D-dominates it — exactly the end state (content
+// and order) of sequential adds onto a copied frontier.
+func merge3D(cur, pend []Entry) []Entry {
+	out := cur[:0]
+	for _, q := range cur {
+		if !dominated3DByAny(pend, q) {
+			out = append(out, q)
+		}
+	}
+	for i, p := range pend {
+		if !dominated3DByAny(pend[i+1:], p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func dominated3DByAny(es []Entry, e Entry) bool {
+	for _, q := range es {
+		if dominates3D(q, e) {
 			return true
 		}
 	}
 	return false
 }
 
-// insert routes a candidate into the copy-on-write overlay for
-// destination dst and archives it if it survives dominance.
-func (g *rowEngine) insert(dst int32, e Entry) {
-	if g.cur3 != nil {
-		if !g.pendingFlag[dst] {
-			g.next3[dst] = append(frontier3D(nil), g.cur3[dst]...)
-			g.pendingFlag[dst] = true
-			g.pendingList = append(g.pendingList, dst)
-		}
-		if g.next3[dst].add(e) {
-			g.res.arch[g.base+int(dst)] = append(g.res.arch[g.base+int(dst)], e)
-			g.changedNext[dst] = true
-		}
-		return
+// finalize scatters the row's acceptance-ordered archive log into the
+// arena: one contiguous entry array grouped by destination plus the
+// offset table. The scatter is stable, so each destination's archive is
+// byte-identical to the per-pair append slice it replaces.
+func (g *rowEngine) finalize() {
+	off := make([]int32, g.n+1)
+	for d, c := range g.cnt {
+		off[d+1] = off[d] + c
 	}
-	if !g.pendingFlag[dst] {
-		g.next[dst] = append(frontier2D(nil), g.cur[dst]...)
-		g.pendingFlag[dst] = true
-		g.pendingList = append(g.pendingList, dst)
+	entries := make([]Entry, len(g.logEntries))
+	cursor := g.cnt // reuse the count array as the scatter cursor
+	copy(cursor, off[:g.n])
+	for i, e := range g.logEntries {
+		d := g.logDst[i]
+		entries[cursor[d]] = e
+		cursor[d]++
 	}
-	if g.next[dst].add(e) {
-		g.res.arch[g.base+int(dst)] = append(g.res.arch[g.base+int(dst)], e)
-		g.changedNext[dst] = true
-	}
-}
-
-// commit publishes this iteration's overlays as the new frozen frontiers
-// and rolls the change flags.
-func (g *rowEngine) commit() {
-	for _, dst := range g.pendingList {
-		g.pendingFlag[dst] = false
-		if g.cur3 != nil {
-			g.cur3[dst] = g.next3[dst]
-			g.next3[dst] = nil
-		} else {
-			g.cur[dst] = g.next[dst]
-			g.next[dst] = nil
-		}
-	}
-	g.pendingList = g.pendingList[:0]
-	g.changed, g.changedNext = g.changedNext, g.changed
-	for i := range g.changedNext {
-		g.changedNext[i] = false
-	}
+	g.res.rows[g.row] = rowArchive{entries: entries, off: off}
 }
 
 // extend2D generates the candidates obtained by appending each contact
@@ -339,7 +546,7 @@ func (g *rowEngine) commit() {
 // are new. Candidates pivoting on older summaries were already attempted
 // — or were dominated by candidates attempted — in the iteration where
 // their pivot entered, so they are skipped.
-func (g *rowEngine) extend2D(u trace.NodeID, f frontier2D, hop int32) {
+func (g *rowEngine) extend2D(u trace.NodeID, f []Entry, hop int32) {
 	if len(f) == 0 {
 		return
 	}
@@ -392,7 +599,7 @@ func (g *rowEngine) extend2D(u trace.NodeID, f frontier2D, hop int32) {
 // and each contact visits just the new entries — mirroring the early-exit
 // structure extend2D gets from its sorted sweep — instead of rescanning
 // the whole frontier per contact.
-func (g *rowEngine) extend3D(u trace.NodeID, f frontier3D, hop int32) {
+func (g *rowEngine) extend3D(u trace.NodeID, f []Entry, hop int32) {
 	if len(f) == 0 {
 		return
 	}
@@ -446,9 +653,9 @@ func (r *Result) Frontier(src, dst trace.NodeID, maxHop int) Frontier {
 	if maxHop > 0 {
 		bound = int32(maxHop)
 	}
-	entries := r.arch[int(row)*r.NumNodes+int(dst)]
+	entries := r.pairEntries(row, int(dst))
 	if r.Delta > 0 {
-		return Frontier{Entries: buildFrontier3D(entries, bound), Delta: r.Delta}
+		return Frontier{Entries: buildFrontier3D(entries, bound), Delta: r.Delta}.Indexed()
 	}
 	return Frontier{Entries: buildFrontier2D(entries, bound), Delta: 0}
 }
@@ -465,9 +672,8 @@ func (r *Result) MinHops(src, dst trace.NodeID) int {
 	if row < 0 {
 		panic(fmt.Sprintf("core: source %d was not computed", src))
 	}
-	entries := r.arch[int(row)*r.NumNodes+int(dst)]
 	best := int32(0)
-	for _, e := range entries {
+	for _, e := range r.pairEntries(row, int(dst)) {
 		if best == 0 || e.Hop < best {
 			best = e.Hop
 		}

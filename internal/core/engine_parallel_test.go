@@ -33,12 +33,20 @@ func archivesEqual(t *testing.T, want, got *Result, label string) {
 		t.Fatalf("%s: stop state (hops=%d fixpoint=%v), want (hops=%d fixpoint=%v)",
 			label, got.Hops, got.Fixpoint, want.Hops, want.Fixpoint)
 	}
-	if len(want.arch) != len(got.arch) {
-		t.Fatalf("%s: archive count %d, want %d", label, len(got.arch), len(want.arch))
+	if len(want.rows) != len(got.rows) {
+		t.Fatalf("%s: row count %d, want %d", label, len(got.rows), len(want.rows))
 	}
-	for i := range want.arch {
-		if !reflect.DeepEqual(want.arch[i], got.arch[i]) {
-			t.Fatalf("%s: archive %d differs:\n got %v\nwant %v", label, i, got.arch[i], want.arch[i])
+	for row := range want.rows {
+		if !reflect.DeepEqual(want.rows[row].off, got.rows[row].off) {
+			t.Fatalf("%s: row %d offset table differs:\n got %v\nwant %v",
+				label, row, got.rows[row].off, want.rows[row].off)
+		}
+		for dst := 0; dst < want.NumNodes; dst++ {
+			w := want.pairEntries(int32(row), dst)
+			g := got.pairEntries(int32(row), dst)
+			if !reflect.DeepEqual(w, g) {
+				t.Fatalf("%s: archive (row %d, dst %d) differs:\n got %v\nwant %v", label, row, dst, g, w)
+			}
 		}
 	}
 }

@@ -16,10 +16,110 @@ import (
 type Frontier struct {
 	Entries []Entry
 	Delta   float64
+
+	// didx, when non-nil, is the precomputed per-hop suffix-min index
+	// that makes Delta > 0 delay evaluation sublinear in the frontier
+	// size. Built by Indexed (and automatically by Result.Frontier);
+	// a zero-value Frontier evaluates by brute-force scan instead.
+	didx *delIndex
 }
 
 // Empty reports whether no path exists at all within the class.
 func (f Frontier) Empty() bool { return len(f.Entries) == 0 }
+
+// Indexed returns the frontier with a precomputed evaluation index for
+// the Delta > 0 model. Entries must be sorted by non-decreasing LD (the
+// order every Frontier in this package uses). The index groups entries
+// by hop count and stores, per group, the LD keys and the suffix-minimum
+// of EA, so Del becomes a binary search per hop group instead of a scan
+// over every entry. Results are bit-identical to the unindexed scan.
+// For Delta == 0 frontiers it is a no-op: Del is already a single
+// binary search.
+func (f Frontier) Indexed() Frontier {
+	if f.Delta == 0 || len(f.Entries) == 0 {
+		return f
+	}
+	f.didx = buildDelIndex(f.Entries)
+	return f
+}
+
+// delIndex regroups a Delta > 0 frontier by hop count. For one hop group
+// with per-hop delay already fixed, the delivery-time minimum over the
+// group's applicable entries (LD >= t) collapses to
+// max(t + (h−1)Δ, min EA over the LD suffix) + Δ, because max(·, c) is
+// monotone in EA. The group keeps its entries in LD order with a
+// suffix-min EA array, so each group evaluates with one binary search.
+type delIndex struct {
+	hop   []int32   // distinct hop counts, one per group
+	off   []int32   // group g owns ld[off[g]:off[g+1]]
+	ld    []float64 // LD keys, non-decreasing within each group
+	sufEA []float64 // suffix-min of EA within each group
+}
+
+func buildDelIndex(entries []Entry) *delIndex {
+	// Count entries per hop; hops are small positive ints, so index
+	// groups by value in a dense table.
+	maxHop := int32(0)
+	for _, e := range entries {
+		if e.Hop > maxHop {
+			maxHop = e.Hop
+		}
+	}
+	cnt := make([]int32, maxHop+1)
+	for _, e := range entries {
+		cnt[e.Hop]++
+	}
+	ix := &delIndex{
+		ld:    make([]float64, len(entries)),
+		sufEA: make([]float64, len(entries)),
+	}
+	start := make([]int32, maxHop+1)
+	pos := int32(0)
+	for h := int32(0); h <= maxHop; h++ {
+		if cnt[h] == 0 {
+			continue
+		}
+		ix.hop = append(ix.hop, h)
+		ix.off = append(ix.off, pos)
+		start[h] = pos
+		pos += cnt[h]
+	}
+	ix.off = append(ix.off, pos)
+	// Stable scatter preserves the global LD order within each group.
+	for _, e := range entries {
+		ix.ld[start[e.Hop]] = e.LD
+		ix.sufEA[start[e.Hop]] = e.EA
+		start[e.Hop]++
+	}
+	for g := 0; g < len(ix.hop); g++ {
+		lo, hi := ix.off[g], ix.off[g+1]
+		for i := hi - 2; i >= lo; i-- {
+			if ix.sufEA[i+1] < ix.sufEA[i] {
+				ix.sufEA[i] = ix.sufEA[i+1]
+			}
+		}
+	}
+	return ix
+}
+
+// eval returns min over applicable entries of max(EA, t+(Hop−1)Δ)+Δ,
+// computed group by group.
+func (ix *delIndex) eval(t, delta float64) float64 {
+	best := Inf
+	for g, h := range ix.hop {
+		lo, hi := int(ix.off[g]), int(ix.off[g+1])
+		seg := ix.ld[lo:hi]
+		i := sort.Search(len(seg), func(i int) bool { return seg[i] >= t })
+		if i == len(seg) {
+			continue
+		}
+		arr := math.Max(ix.sufEA[lo+i], t+float64(h-1)*delta) + delta
+		if arr < best {
+			best = arr
+		}
+	}
+	return best
+}
 
 // Del returns the optimal delivery time of a message created at time t
 // (paper eq. 3), or +Inf if no sequence can still carry it.
@@ -40,8 +140,14 @@ func (f Frontier) Del(t float64) float64 {
 // delDelta evaluates the delivery time with per-hop delay Delta: a
 // message created at t and carried by a summary (LD, EA, h) departs at
 // some t_1 ∈ [t, LD], reaches the last contact no earlier than
-// max(EA, t_1 + (h−1)Delta) and is delivered Delta later.
+// max(EA, t_1 + (h−1)Delta) and is delivered Delta later. With a
+// precomputed index (Indexed) the minimum is taken per hop group via
+// binary search; without one it falls back to scanning every entry.
+// Both paths return bit-identical values.
 func (f Frontier) delDelta(t float64) float64 {
+	if f.didx != nil {
+		return f.didx.eval(t, f.Delta)
+	}
 	best := Inf
 	for _, e := range f.Entries {
 		if e.LD < t {

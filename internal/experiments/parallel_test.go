@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"testing"
+
+	"opportunet/internal/checkpoint"
 )
 
 // runNamed runs the named experiments through the RunAll pipeline with
@@ -39,6 +41,58 @@ func TestRunExperimentsParallelByteIdentical(t *testing.T) {
 		if got := runNamed(t, names, w); !bytes.Equal(got, serial) {
 			t.Fatalf("workers=%d: output differs from serial (%d vs %d bytes)", w, len(got), len(serial))
 		}
+	}
+}
+
+// TestFullQuickSuiteByteIdentical is the end-to-end determinism gate in
+// test form: the ENTIRE quick suite — every experiment cmd/experiments
+// runs with `-quick all` — must produce byte-identical combined output
+// at workers 1 and 8. Each run commits into its own checkpoint store, so
+// the per-experiment fingerprinted artifacts double as the comparison
+// vehicle: any pairwise divergence is reported by experiment name
+// instead of as one opaque diff of the combined stream.
+//
+// This is slow (two full quick suites); it is the test twin of
+// `make quick-equivalence`.
+func TestFullQuickSuiteByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite; skipped with -short")
+	}
+	run := func(workers int) ([]byte, *checkpoint.Store, *Config) {
+		store, err := checkpoint.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		c := &Config{Out: &buf, Seed: 1, Quick: true, Workers: workers, Checkpoint: store}
+		if err := RunAll(c); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), store, c
+	}
+	serial, serialStore, c1 := run(1)
+	parallel, parallelStore, _ := run(8)
+
+	// Per-experiment comparison first: pinpoints a divergent experiment.
+	for _, e := range All() {
+		fp := c1.fingerprint(e.Name)
+		a, okA := serialStore.Load(fp)
+		b, okB := parallelStore.Load(fp)
+		if !okA || !okB {
+			t.Fatalf("experiment %s missing from checkpoint store (serial=%v parallel=%v)", e.Name, okA, okB)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("experiment %s: output differs between workers 1 and 8 (%d vs %d bytes)",
+				e.Name, len(a), len(b))
+		}
+	}
+	// And the combined stream, which also covers separators and ordering.
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("combined quick-suite output differs between workers 1 and 8 (%d vs %d bytes)",
+			len(serial), len(parallel))
+	}
+	if len(serial) == 0 {
+		t.Fatal("quick suite produced no output")
 	}
 }
 

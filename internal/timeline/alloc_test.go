@@ -1,0 +1,33 @@
+package timeline_test
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/timeline"
+	"opportunet/internal/trace"
+)
+
+// TestMeetAllocs pins the steady-state allocation budget of the pair
+// query: on a warm index, Meet is a map lookup plus a binary search and
+// must not allocate. A regression here multiplies across the O(n²·hops)
+// extension loop of the path engine.
+func TestMeetAllocs(t *testing.T) {
+	tr := randomTrace(30, 5000, rng.New(9))
+	v := timeline.New(tr).All()
+	v.Meet(0, 1, 0) // warm: build the pair index
+	r := rng.New(10)
+	sink := 0.0
+	allocs := testing.AllocsPerRun(200, func() {
+		u := trace.NodeID(r.Intn(30))
+		w := trace.NodeID((int(u) + 1 + r.Intn(29)) % 30)
+		sink += v.Meet(u, w, r.Uniform(0, 1000))
+	})
+	if math.IsNaN(sink) {
+		t.Fatal("sink went NaN")
+	}
+	if allocs > 0 {
+		t.Fatalf("warm Meet: %.1f allocs/run, budget 0", allocs)
+	}
+}

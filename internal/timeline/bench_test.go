@@ -19,6 +19,7 @@ func benchTrace() *trace.Trace {
 // both orders, pair intervals, partner lists) from a cold timeline.
 func BenchmarkIndexBuild(b *testing.B) {
 	tr := benchTrace()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v := timeline.New(tr).All()
@@ -34,6 +35,7 @@ func BenchmarkMeet(b *testing.B) {
 	v := timeline.New(tr).All()
 	v.Meet(0, 1, 0)
 	r := rng.New(2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u := trace.NodeID(r.Intn(60))
@@ -54,6 +56,7 @@ func BenchmarkDeriveRemovalView(b *testing.B) {
 	tl.All().OutgoingByBeg(0)
 	tl.All().Meet(0, 1, 0)
 	r := rng.New(3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v := tl.All().RemoveRandom(0.9, r)
@@ -72,6 +75,7 @@ func BenchmarkComputeSetupShared(b *testing.B) {
 	v := tl.All().RemoveRandom(0.5, rng.New(5))
 	v.OutgoingByBeg(0)
 	opt := core.Options{Workers: 1, MaxHops: 4}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.ComputeView(v, opt); err != nil {
@@ -84,6 +88,7 @@ func BenchmarkComputeSetupCold(b *testing.B) {
 	tr := randomTrace(40, 4000, rng.New(4))
 	mt := timeline.New(tr).All().RemoveRandom(0.5, rng.New(5)).Materialize()
 	opt := core.Options{Workers: 1, MaxHops: 4}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Compute(mt, opt); err != nil {

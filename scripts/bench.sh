@@ -3,14 +3,15 @@
 #
 # Runs the core engine and aggregation benchmarks at -cpu 1 and 4 (the
 # multicore scaling probes) plus one benchmark per paper exhibit, and
-# emits a machine-readable BENCH_<N>.json with ns/op per benchmark so
-# successive PRs can be compared.
+# emits a machine-readable BENCH_<N>.json with ns/op, bytes/op and
+# allocs/op per benchmark so successive PRs can compare both speed and
+# allocation discipline.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_2.json}
+OUT=${1:-BENCH_3.json}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -27,8 +28,10 @@ go test -run '^$' -bench 'Benchmark(IndexBuild|Meet|DeriveRemovalView|ComputeSet
     -benchtime 10x ./internal/timeline | tee "$TMP/timeline.txt"
 
 # Benchmark output lines look like:
-#   BenchmarkEngineCompute-4   3   123456789 ns/op   ...
+#   BenchmarkEngineCompute-4   3   123456789 ns/op   61700000 B/op   46494 allocs/op
 # The -N suffix is GOMAXPROCS (absent when it equals the default 1-run).
+# B/op and allocs/op appear only for benchmarks that call ReportAllocs;
+# they are emitted as null when missing so the schema stays uniform.
 awk -v host="$(go env GOOS)/$(go env GOARCH)" -v cores="$(nproc)" -v gover="$(go env GOVERSION)" '
 BEGIN {
     printf "{\n  \"host\": \"%s\",\n  \"physical_cores\": %s,\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", host, cores, gover
@@ -36,11 +39,15 @@ BEGIN {
 }
 /^Benchmark/ {
     name = $1
-    nsop = ""
-    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") nsop = $i
+    nsop = ""; bop = "null"; aop = "null"
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") nsop = $i
+        if ($(i+1) == "B/op") bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
+    }
     if (nsop == "") next
     if (n++) printf ",\n"
-    printf "    {\"name\": \"%s\", \"ns_per_op\": %s}", name, nsop
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, bop, aop
 }
 END { printf "\n  ]\n}\n" }
 ' "$TMP/scaling.txt" "$TMP/exhibits.txt" "$TMP/timeline.txt" > "$OUT"
