@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json bench-smoke profile quick-equivalence fuzz-smoke checkpoint-idempotence
+.PHONY: check build vet test race bench bench-json bench-smoke profile quick-equivalence fuzz-smoke checkpoint-idempotence obs-smoke
 
 check: build vet race
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 # Scaling probes only (engine + Figure 9-style aggregation at 1 and 4
 # workers).
@@ -67,3 +67,9 @@ checkpoint-idempotence:
 	cmp /tmp/opportunet_ck1.txt /tmp/opportunet_ck2.txt
 	grep -q "22/22 experiments already complete, skipped" /tmp/opportunet_ck2.log
 	@echo "checkpointed rerun skipped all experiments, output byte-identical"
+
+# Observability gate: quick suite with the obs endpoint live, metric
+# families asserted mid-run, RUN_REPORT.json schema and stage
+# accounting validated. Artifacts land in obs-artifacts/.
+obs-smoke:
+	scripts/obs_smoke.sh obs-artifacts

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"opportunet/internal/analysis"
 	"opportunet/internal/cli"
@@ -38,6 +39,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for the path engine and aggregation (0 = all cores); results are identical at every count")
 	timeout := flag.Duration("timeout", 0, "cancel the computation after this long (0 = no limit)")
 	prof := cli.AddProfileFlags()
+	vb := cli.AddVerbosityFlags()
 	flag.Parse()
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
@@ -59,18 +61,22 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+	t0 := time.Now()
 	tr, err := trace.Read(in)
 	if err != nil {
 		fail(err)
 	}
+	vb.Debugf("[read trace in %v]", time.Since(t0).Round(time.Millisecond))
 	fmt.Printf("trace %q: %d devices (%d internal), %d contacts, window %s\n",
 		tr.Name, tr.NumNodes(), tr.NumInternal(), len(tr.Contacts),
 		export.FormatDuration(tr.Duration()))
 
+	t0 = time.Now()
 	st, err := analysis.NewStudy(tr, core.Options{Workers: *workers, Ctx: ctx})
 	if err != nil {
 		fail(err)
 	}
+	vb.Debugf("[paths computed in %v]", time.Since(t0).Round(time.Millisecond))
 	fmt.Printf("optimal paths computed: fixpoint at %d hops\n\n", st.Result.Hops)
 
 	var bounds []int
@@ -98,7 +104,9 @@ func main() {
 		lo = hi / 100
 	}
 	grid := stats.LogSpace(lo, hi, *points)
+	t0 = time.Now()
 	cdfs := st.DelayCDFs(bounds, grid)
+	vb.Debugf("[aggregated CDFs in %v]", time.Since(t0).Round(time.Millisecond))
 	// Aggregations cut short by cancellation are incomplete; stop before
 	// printing them.
 	if err := st.Err(); err != nil {

@@ -5,6 +5,7 @@
 //	experiments [-seed N] [-quick] [-eps E] all
 //	experiments [-seed N] [-quick] [-eps E] table1 fig9 fig12 ...
 //	experiments -timeout 30m -checkpoint runs/ all
+//	experiments -obsaddr :9188 -report RUN_REPORT.json -quick all
 //	experiments -cpuprofile cpu.pprof -memprofile mem.pprof -quick all
 //	experiments -list
 //
@@ -18,6 +19,23 @@
 // stored so a rerun replays them instead of recomputing — the final
 // output is byte-identical to an uninterrupted run. Exit codes: 2 for
 // usage errors, 1 for runtime errors, 130 when interrupted.
+//
+// Observability (all off by default, and provably free when off —
+// metrics never feed back into the computation, so output is
+// byte-identical either way):
+//
+//	-obsaddr ADDR   serve /metrics (Prometheus text), /debug/vars
+//	                (expvar) and /debug/pprof on ADDR while running;
+//	                :0 picks a free port (logged to stderr)
+//	-obslog FILE    append one JSON line per finished stage span
+//	-report FILE    write a RUN_REPORT.json summary at exit: per-stage
+//	                wall times, span totals, counters and histogram
+//	                quantiles
+//
+// When stderr is a terminal (and -quiet is not given), a single-line
+// live progress reporter shows done/total experiments, the current
+// stage, elapsed time and busy workers; on pipes and CI logs it
+// degrades to the plain per-argument completion lines.
 package main
 
 import (
@@ -25,11 +43,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"opportunet/internal/checkpoint"
 	"opportunet/internal/cli"
 	"opportunet/internal/experiments"
+	"opportunet/internal/obs"
+	"opportunet/internal/par"
 )
 
 func main() {
@@ -41,7 +62,11 @@ func main() {
 	ckptDir := flag.String("checkpoint", "", "store completed experiments in this directory and replay them on rerun")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	outDir := flag.String("o", "", "write each experiment's output to <dir>/<name>.txt instead of stdout")
+	obsAddr := flag.String("obsaddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (:0 picks a free port)")
+	obsLog := flag.String("obslog", "", "append one JSON line per finished stage span to this file")
+	report := flag.String("report", "", "write a RUN_REPORT.json run summary to this file at exit")
 	prof := cli.AddProfileFlags()
+	vb := cli.AddVerbosityFlags()
 	flag.Parse()
 
 	if *list {
@@ -59,6 +84,47 @@ func main() {
 			cli.Fail("experiments", err)
 		}
 	}
+
+	// Observability is active if any obs flag was given or a terminal
+	// wants live progress. Wiring happens once, before any computation
+	// or goroutine starts.
+	progressOn := !vb.Quiet() && obs.IsTerminal(os.Stderr)
+	obsOn := *obsAddr != "" || *obsLog != "" || *report != "" || progressOn
+	var reg *obs.Registry
+	if obsOn {
+		reg = obs.NewRegistry()
+		obs.Wire(reg)
+	}
+	stages := obs.NewStages() // nil-safe when left nil; cheap enough to always keep
+	stages.Enter("setup")
+
+	var spans *obs.SpanLog
+	if *obsLog != "" {
+		f, err := os.Create(*obsLog)
+		if err != nil {
+			cli.Fail("experiments", err)
+		}
+		defer f.Close()
+		spans = obs.NewSpanLog(f)
+	} else if *report != "" {
+		spans = obs.NewSpanLog(nil) // aggregate only
+	}
+
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			cli.Fail("experiments", err)
+		}
+		defer srv.Close()
+		vb.Logf("[obs: serving /metrics, /debug/vars, /debug/pprof on http://%s]", srv.Addr())
+	}
+
+	var progress *obs.Progress
+	if progressOn {
+		progress = obs.StartProgress(os.Stderr, 0,
+			reg.Gauge("par_workers_busy", ""), par.Resolve(*workers))
+	}
+
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 	if err := prof.Start(); err != nil {
@@ -78,7 +144,8 @@ func main() {
 	}
 	cfg := &experiments.Config{
 		Out: os.Stdout, Seed: *seed, Quick: *quick, Eps: *eps, Workers: *workers,
-		Ctx: ctx, Checkpoint: store, Log: os.Stderr,
+		Ctx: ctx, Checkpoint: store, Log: vb.Writer(),
+		Spans: spans, Progress: progress,
 	}
 	runOne := func(e experiments.Experiment) error {
 		if *outDir == "" {
@@ -109,14 +176,41 @@ func main() {
 		}
 		return runOne(e)
 	}
+	stages.Enter("experiments")
+	runSpan := spans.Start("run")
 	for i, name := range args {
 		if i > 0 {
 			fmt.Println()
 		}
 		start := time.Now()
 		if err := run(name); err != nil {
+			progress.Stop()
 			cli.Fail("experiments", err)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		if progress == nil {
+			// The live reporter already shows completions; on pipes and
+			// CI logs, keep the plain per-argument line.
+			vb.Logf("[%s done in %v]", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	runSpan.End()
+	progress.Stop()
+
+	stages.Enter("report")
+	if *report != "" {
+		rep := obs.BuildReport("experiments "+strings.Join(args, " "),
+			*quick, par.Resolve(*workers), stages, spans, reg)
+		f, err := os.Create(*report)
+		if err != nil {
+			cli.Fail("experiments", err)
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			cli.Fail("experiments", werr)
+		}
+		vb.Debugf("[report: wrote %s]", *report)
 	}
 }

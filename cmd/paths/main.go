@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"opportunet/internal/cli"
 	"opportunet/internal/core"
@@ -35,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for the path engine (0 = all cores)")
 	timeout := flag.Duration("timeout", 0, "cancel the computation after this long (0 = no limit)")
 	prof := cli.AddProfileFlags()
+	vb := cli.AddVerbosityFlags()
 	flag.Parse()
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
@@ -62,10 +64,12 @@ func main() {
 	}
 
 	opt := core.Options{TransmitDelay: *delta, Sources: []trace.NodeID{trace.NodeID(*src)}, Workers: *workers, Ctx: ctx}
+	start := time.Now()
 	res, err := core.Compute(tr, opt)
 	if err != nil {
 		fail(err)
 	}
+	vb.Debugf("[paths computed in %v]", time.Since(start).Round(time.Millisecond))
 	f := res.Frontier(trace.NodeID(*src), trace.NodeID(*dst), *maxHops)
 	fmt.Printf("delivery function %d -> %d", *src, *dst)
 	if *maxHops > 0 {

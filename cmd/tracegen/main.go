@@ -8,14 +8,19 @@
 //	tracegen -random -n 200 -lambda 1.5 -slots 100 -o rand.trace
 //
 // The output format is the line-oriented text format of internal/trace
-// (see its documentation), readable back by cmd/diameter.
+// (see its documentation), readable back by cmd/diameter. A summary of
+// what was written goes to stderr; -quiet suppresses it, -v adds the
+// generation time. Exit codes: 2 for usage errors, 1 for runtime
+// errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"opportunet/internal/cli"
 	"opportunet/internal/randtemp"
 	"opportunet/internal/rng"
 	"opportunet/internal/trace"
@@ -23,16 +28,18 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "", "dataset to generate: infocom05, infocom06, hongkong, realitymining")
-	days := flag.Float64("days", 0, "override the dataset duration in days (realitymining only)")
+	dataset := flag.String("dataset", "", "dataset to generate: infocom05, infocom06, hongkong, realitymining, wlan")
+	days := flag.Float64("days", 0, "override the dataset duration in days (realitymining, wlan)")
 	random := flag.Bool("random", false, "generate a discrete-time random temporal network instead")
 	n := flag.Int("n", 100, "random model: number of devices")
 	lambda := flag.Float64("lambda", 1.0, "random model: contact rate per device per slot")
 	slots := flag.Int("slots", 100, "random model: number of time slots")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output file (default stdout)")
+	vb := cli.AddVerbosityFlags()
 	flag.Parse()
 
+	start := time.Now()
 	var tr *trace.Trace
 	var err error
 	switch {
@@ -57,8 +64,7 @@ func main() {
 		case "wlan":
 			// Handled separately: WLAN traces have their own config.
 		default:
-			fmt.Fprintf(os.Stderr, "tracegen: unknown dataset %q\n", *dataset)
-			os.Exit(2)
+			cli.Usage("tracegen", fmt.Sprintf("unknown dataset %q", *dataset))
 		}
 		if *dataset == "wlan" {
 			wcfg := tracegen.CampusWLANConfig()
@@ -70,28 +76,25 @@ func main() {
 			tr, err = tracegen.Generate(cfg, *seed)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "tracegen: pass -dataset NAME or -random")
-		os.Exit(2)
+		cli.Usage("tracegen", "pass -dataset NAME or -random")
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		cli.Fail("tracegen", err)
 	}
+	vb.Debugf("[generated in %v]", time.Since(start).Round(time.Millisecond))
 
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
+			cli.Fail("tracegen", err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := tr.Write(w); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		cli.Fail("tracegen", err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d contacts, %d devices (%d internal)\n",
+	vb.Logf("wrote %d contacts, %d devices (%d internal)",
 		len(tr.Contacts), tr.NumNodes(), tr.NumInternal())
 }

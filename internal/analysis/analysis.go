@@ -136,9 +136,11 @@ func (s *Study) frontiersFor(hopBound int) []core.Frontier {
 	s.mu.Lock()
 	if fs, ok := s.frontiers[hopBound]; ok {
 		s.mu.Unlock()
+		anMetrics.memoHits.Inc()
 		return fs
 	}
 	s.mu.Unlock()
+	anMetrics.memoMisses.Inc()
 	fs := make([]core.Frontier, len(s.Pairs))
 	if err := par.DoCtx(s.ctx, len(s.Pairs), s.workers, func(i int) {
 		p := s.Pairs[i]
@@ -199,6 +201,7 @@ var curveBufPool sync.Pool
 
 func getCurveBuf(need int) []float64 {
 	if p, _ := curveBufPool.Get().(*[]float64); p != nil && cap(*p) >= need {
+		anMetrics.curveBufWarm.Inc()
 		buf := (*p)[:need]
 		clear(buf) // cancelled integrations must read zeros, as a fresh make would
 		return buf
@@ -224,9 +227,11 @@ func (s *Study) successCurve(hopBound int, grid []float64, a, b float64) []float
 	s.mu.Lock()
 	if c, ok := s.curves[key]; ok {
 		s.mu.Unlock()
+		anMetrics.curveHits.Inc()
 		return c
 	}
 	s.mu.Unlock()
+	anMetrics.curveMisses.Inc()
 
 	fs := s.frontiersFor(hopBound)
 	ng := len(grid)

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"testing"
+
+	"opportunet/internal/obs"
+)
+
+// TestObsCounters wires a registry and checks the study-layer caches
+// report their traffic: first use of a hop bound misses the frontier
+// memo and the success-curve cache, repeated use hits.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Wire(reg)
+	defer obs.Wire(nil)
+
+	s := mustStudy(t, line())
+	grid := []float64{10, 20, 50}
+	s.DelayCDFs([]int{1, Unbounded}, grid)
+	misses0 := reg.Counter("analysis_curve_cache_misses_total", "").Value()
+	memoMisses0 := reg.Counter("analysis_frontier_memo_misses_total", "").Value()
+	if misses0 <= 0 || memoMisses0 <= 0 {
+		t.Fatalf("first query: curve misses=%d, memo misses=%d, want both > 0",
+			misses0, memoMisses0)
+	}
+
+	s.DelayCDFs([]int{1, Unbounded}, grid)
+	if got := reg.Counter("analysis_curve_cache_hits_total", "").Value(); got <= 0 {
+		t.Fatalf("analysis_curve_cache_hits_total = %d after repeat query, want > 0", got)
+	}
+	if got := reg.Counter("analysis_curve_cache_misses_total", "").Value(); got != misses0 {
+		t.Fatalf("curve misses grew on a repeat hop bound: %d -> %d", misses0, got)
+	}
+	if got := reg.Counter("analysis_frontier_memo_misses_total", "").Value(); got != memoMisses0 {
+		t.Fatalf("frontier memo misses grew on a repeat hop bound: %d -> %d", memoMisses0, got)
+	}
+}

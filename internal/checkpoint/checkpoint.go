@@ -102,12 +102,16 @@ func (s *Store) Completed(fp string) bool {
 // read back — the caller then recomputes, which is always safe.
 func (s *Store) Load(fp string) ([]byte, bool) {
 	if !s.Completed(fp) {
+		ckptMetrics.misses.Inc()
 		return nil, false
 	}
 	data, err := os.ReadFile(s.dataPath(fp))
 	if err != nil {
+		ckptMetrics.misses.Inc()
 		return nil, false
 	}
+	ckptMetrics.hits.Inc()
+	ckptMetrics.replayed.Add(int64(len(data)))
 	return data, true
 }
 
@@ -150,6 +154,7 @@ func (s *Store) Commit(fp string, data []byte) error {
 	if werr != nil {
 		return fmt.Errorf("checkpoint: marking %s complete: %w", fp, werr)
 	}
+	ckptMetrics.commits.Inc()
 	s.done[fp] = true
 	return nil
 }

@@ -1,0 +1,27 @@
+package checkpoint
+
+import (
+	"opportunet/internal/obs"
+)
+
+// ckptMetrics are the store's observability handles, nil (free
+// no-ops) until a command wires a registry.
+var ckptMetrics struct {
+	hits     *obs.Counter // checkpoint_hits_total
+	misses   *obs.Counter // checkpoint_misses_total
+	commits  *obs.Counter // checkpoint_commits_total
+	replayed *obs.Counter // checkpoint_replayed_bytes_total
+}
+
+func init() {
+	obs.OnInstrument(func(r *obs.Registry) {
+		ckptMetrics.hits = r.Counter("checkpoint_hits_total",
+			"completed units loaded back from the store")
+		ckptMetrics.misses = r.Counter("checkpoint_misses_total",
+			"loads that fell through to recomputation")
+		ckptMetrics.commits = r.Counter("checkpoint_commits_total",
+			"units durably committed to the store")
+		ckptMetrics.replayed = r.Counter("checkpoint_replayed_bytes_total",
+			"bytes of output replayed from the store")
+	})
+}

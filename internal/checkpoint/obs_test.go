@@ -1,0 +1,44 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"opportunet/internal/obs"
+)
+
+// TestObsCounters wires a registry and checks the store's hit/miss/
+// commit/bytes accounting across a miss → commit → hit cycle.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Wire(reg)
+	defer obs.Wire(nil)
+
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint("obs-unit")
+	if _, ok := s.Load(fp); ok {
+		t.Fatal("load hit on empty store")
+	}
+	data := []byte("twelve bytes")
+	if err := s.Commit(fp, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(fp); !ok {
+		t.Fatal("load miss after commit")
+	}
+
+	if got := reg.Counter("checkpoint_misses_total", "").Value(); got != 1 {
+		t.Fatalf("checkpoint_misses_total = %d, want 1", got)
+	}
+	if got := reg.Counter("checkpoint_commits_total", "").Value(); got != 1 {
+		t.Fatalf("checkpoint_commits_total = %d, want 1", got)
+	}
+	if got := reg.Counter("checkpoint_hits_total", "").Value(); got != 1 {
+		t.Fatalf("checkpoint_hits_total = %d, want 1", got)
+	}
+	if got := reg.Counter("checkpoint_replayed_bytes_total", "").Value(); got != int64(len(data)) {
+		t.Fatalf("checkpoint_replayed_bytes_total = %d, want %d", got, len(data))
+	}
+}

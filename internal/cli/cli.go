@@ -14,6 +14,14 @@
 // every command -cpuprofile and -memprofile flags emitting standard
 // pprof files, so performance investigations start from evidence
 // gathered with the same tooling everywhere.
+//
+// And it centralizes the verbosity conventions: AddVerbosityFlags gives
+// every command the same -quiet and -v flags governing stderr chatter.
+// Stdout is always the command's deliverable and is never affected;
+// -quiet silences progress lines, summaries and notices, while -v adds
+// per-stage diagnostics. Commands route stderr messages through
+// Verbosity.Logf (default chatter) and Verbosity.Debugf (only with -v),
+// so every binary interprets the flags identically.
 package cli
 
 import (
@@ -21,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -75,6 +84,55 @@ func Fail(prog string, err error) {
 func Usage(prog, msg string) {
 	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, msg)
 	os.Exit(ExitUsage)
+}
+
+// Verbosity drives the shared -quiet/-v flags. The zero value (no
+// flags registered) behaves like neither flag set.
+type Verbosity struct {
+	quiet   *bool
+	verbose *bool
+}
+
+// AddVerbosityFlags registers -quiet and -v on the default flag set
+// and returns the Verbosity interpreting them. Call before flag.Parse.
+func AddVerbosityFlags() *Verbosity {
+	return &Verbosity{
+		quiet:   flag.Bool("quiet", false, "suppress stderr progress lines, summaries and notices"),
+		verbose: flag.Bool("v", false, "verbose stderr diagnostics (per-stage timings and notices)"),
+	}
+}
+
+// Quiet reports whether -quiet was set.
+func (v *Verbosity) Quiet() bool { return v.quiet != nil && *v.quiet }
+
+// Verbose reports whether -v was set; -quiet wins when both are given.
+func (v *Verbosity) Verbose() bool { return v.verbose != nil && *v.verbose && !v.Quiet() }
+
+// Writer returns the destination for default stderr chatter: stderr,
+// or io.Discard under -quiet.
+func (v *Verbosity) Writer() io.Writer {
+	if v.Quiet() {
+		return io.Discard
+	}
+	return os.Stderr
+}
+
+// Logf writes default stderr chatter (suppressed by -quiet). A final
+// newline is appended.
+func (v *Verbosity) Logf(format string, args ...any) {
+	if v.Quiet() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// Debugf writes diagnostics shown only with -v (and never with
+// -quiet). A final newline is appended.
+func (v *Verbosity) Debugf(format string, args ...any) {
+	if !v.Verbose() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 // Profiler drives the shared -cpuprofile/-memprofile flags: every

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+func vb(quiet, verbose bool) *Verbosity {
+	return &Verbosity{quiet: &quiet, verbose: &verbose}
+}
+
+func TestVerbosityFlagLogic(t *testing.T) {
+	for _, tc := range []struct {
+		quiet, verbose         bool
+		wantQuiet, wantVerbose bool
+		wantDiscard            bool
+	}{
+		{false, false, false, false, false},
+		{true, false, true, false, true},
+		{false, true, false, true, false},
+		// -quiet wins over -v.
+		{true, true, true, false, true},
+	} {
+		v := vb(tc.quiet, tc.verbose)
+		if v.Quiet() != tc.wantQuiet || v.Verbose() != tc.wantVerbose {
+			t.Errorf("quiet=%v verbose=%v: Quiet()=%v Verbose()=%v",
+				tc.quiet, tc.verbose, v.Quiet(), v.Verbose())
+		}
+		w := v.Writer()
+		if tc.wantDiscard && w != io.Discard {
+			t.Errorf("quiet=%v: Writer() is not io.Discard", tc.quiet)
+		}
+		if !tc.wantDiscard && w != os.Stderr {
+			t.Errorf("quiet=%v: Writer() is not stderr", tc.quiet)
+		}
+		// Logf/Debugf must at minimum not panic in any state.
+		v.Logf("x %d", 1)
+		v.Debugf("y %d", 2)
+	}
+}
+
+// The zero value — no flags registered — behaves like neither flag set.
+func TestVerbosityZeroValue(t *testing.T) {
+	var v Verbosity
+	if v.Quiet() || v.Verbose() {
+		t.Fatal("zero Verbosity claims a flag is set")
+	}
+	if v.Writer() != os.Stderr {
+		t.Fatal("zero Verbosity writer is not stderr")
+	}
+	v.Logf("ok")
+	v.Debugf("suppressed")
+}

@@ -114,6 +114,7 @@ func Compute(tr *trace.Trace, opt Options) (*Result, error) {
 // shared pool, so repeated computations (a removal study's per-rep runs)
 // reuse warm buffers instead of re-allocating them.
 func ComputeView(v *timeline.View, opt Options) (*Result, error) {
+	coreMetrics.computes.Inc()
 	n := v.NumNodes()
 	res := &Result{
 		NumNodes: n,
@@ -166,6 +167,7 @@ func ComputeView(v *timeline.View, opt Options) (*Result, error) {
 			return err
 		}
 		g.finalize()
+		g.flushMetrics()
 		stops[row] = rowStop{g.hops, g.fixpoint}
 		return nil
 	}); err != nil {
@@ -229,6 +231,7 @@ type rowEngine struct {
 	epoch        int32 // current hop number
 	accepted     int   // entries accepted this iteration
 	lastAccepted int   // entries accepted in the last committed iteration
+	attempts     int   // insert calls over the whole row (observability)
 
 	pivots []Entry // extend3D scratch: the hop-(k−1) bucket of one frontier
 	merge  []Entry // commit scratch: merge2D staging buffer
@@ -268,6 +271,7 @@ func growInt32(s []int32, n int) []int32 {
 
 // reset prepares a pooled engine for one row of one Compute run.
 func (g *rowEngine) reset(res *Result, opt Options, n int, v *timeline.View, row int) {
+	g.notePoolGet()
 	g.res = res
 	g.opt = opt
 	g.n = n
@@ -283,7 +287,7 @@ func (g *rowEngine) reset(res *Result, opt Options, n int, v *timeline.View, row
 	g.logEntries = g.logEntries[:0]
 	g.logDst = g.logDst[:0]
 	g.epoch = 0
-	g.accepted, g.lastAccepted = 0, 0
+	g.accepted, g.lastAccepted, g.attempts = 0, 0, 0
 	g.hops, g.fixpoint = 0, false
 }
 
@@ -369,6 +373,7 @@ func (g *rowEngine) run(ctx context.Context) error {
 // transitive, so an entry displaced mid-iteration always leaves behind a
 // live dominator of everything it dominated.
 func (g *rowEngine) insert(dst int32, e Entry) {
+	g.attempts++
 	cur, pend := g.cur[dst], g.pending[dst]
 	if g.use3 {
 		for _, q := range cur {

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"opportunet/internal/obs"
+)
+
+// coreMetrics are the path engine's observability handles, nil (free
+// no-ops) until a command wires a registry. The engine never touches
+// an atomic on its hot path: each row engine accumulates plain local
+// counts and flushes them once per row when a registry is live.
+var coreMetrics struct {
+	computes  *obs.Counter   // core_computes_total
+	rows      *obs.Counter   // core_rows_total
+	attempted *obs.Counter   // core_extensions_attempted_total
+	accepted  *obs.Counter   // core_extensions_accepted_total
+	frontier  *obs.Histogram // core_frontier_entries
+	rowHops   *obs.Histogram // core_row_hops
+	poolReuse *obs.Counter   // core_pool_reuse_total
+	poolCold  *obs.Counter   // core_pool_cold_total
+}
+
+func init() {
+	obs.OnInstrument(func(r *obs.Registry) {
+		coreMetrics.computes = r.Counter("core_computes_total",
+			"whole-trace path computations (ComputeView calls)")
+		coreMetrics.rows = r.Counter("core_rows_total",
+			"source rows computed by the path engine")
+		coreMetrics.attempted = r.Counter("core_extensions_attempted_total",
+			"candidate path extensions generated (insert calls)")
+		coreMetrics.accepted = r.Counter("core_extensions_accepted_total",
+			"candidate path extensions that survived dominance")
+		coreMetrics.frontier = r.Histogram("core_frontier_entries",
+			"final frontier size per reachable destination",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024})
+		coreMetrics.rowHops = r.Histogram("core_row_hops",
+			"hop count at which each source row stopped",
+			[]float64{1, 2, 3, 4, 5, 6, 8, 12, 16})
+		coreMetrics.poolReuse = r.Counter("core_pool_reuse_total",
+			"row engines drawn from the pool with warm scratch capacity")
+		coreMetrics.poolCold = r.Counter("core_pool_cold_total",
+			"row engines drawn from the pool cold (fresh allocation)")
+	})
+}
+
+// notePoolGet classifies a pooled engine as warm or cold. Called at
+// reset entry, where the previous run's capacities are still visible.
+func (g *rowEngine) notePoolGet() {
+	if coreMetrics.poolReuse == nil {
+		return
+	}
+	if cap(g.changedAt) > 0 {
+		coreMetrics.poolReuse.Inc()
+	} else {
+		coreMetrics.poolCold.Inc()
+	}
+}
+
+// flushMetrics publishes the row's locally accumulated counts. Called
+// once per row after finalize; with observability off it is a single
+// nil check.
+func (g *rowEngine) flushMetrics() {
+	m := &coreMetrics
+	if m.rows == nil {
+		return
+	}
+	m.rows.Inc()
+	m.attempted.Add(int64(g.attempts))
+	m.accepted.Add(int64(len(g.logEntries)))
+	m.rowHops.Observe(float64(g.hops))
+	for _, f := range g.cur {
+		if len(f) > 0 {
+			m.frontier.Observe(float64(len(f)))
+		}
+	}
+}

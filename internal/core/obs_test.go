@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"opportunet/internal/obs"
+	"opportunet/internal/trace"
+)
+
+// TestObsCounters wires a registry, runs a small computation, and
+// checks the engine's metrics are coherent: rows computed, extension
+// accounting (accepted never exceeds attempted), frontier sizes
+// observed, and pool gets classified as cold or reused.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Wire(reg)
+	defer obs.Wire(nil)
+
+	tr := mk(4,
+		trace.Contact{A: 0, B: 1, Beg: 0, End: 10},
+		trace.Contact{A: 1, B: 2, Beg: 20, End: 30},
+		trace.Contact{A: 2, B: 3, Beg: 40, End: 50},
+		trace.Contact{A: 0, B: 3, Beg: 60, End: 70},
+	)
+	mustCompute(t, tr, Options{})
+
+	if got := reg.Counter("core_computes_total", "").Value(); got != 1 {
+		t.Fatalf("core_computes_total = %d, want 1", got)
+	}
+	rows := reg.Counter("core_rows_total", "").Value()
+	if rows != 4 {
+		t.Fatalf("core_rows_total = %d, want 4 (one per source)", rows)
+	}
+	att := reg.Counter("core_extensions_attempted_total", "").Value()
+	acc := reg.Counter("core_extensions_accepted_total", "").Value()
+	if att <= 0 || acc <= 0 || acc > att {
+		t.Fatalf("extensions attempted=%d accepted=%d: want 0 < accepted <= attempted", att, acc)
+	}
+	if got := reg.Histogram("core_row_hops", "", nil).Count(); got != rows {
+		t.Fatalf("core_row_hops count = %d, want %d (one per row)", got, rows)
+	}
+	if got := reg.Histogram("core_frontier_entries", "", nil).Count(); got <= 0 {
+		t.Fatalf("core_frontier_entries count = %d, want > 0", got)
+	}
+	// Every row's engine get is classified exactly once, as cold or
+	// warm. (Whether any get is warm depends on sync.Pool retention, so
+	// only the sum is deterministic.)
+	mustCompute(t, tr, Options{})
+	rows = reg.Counter("core_rows_total", "").Value()
+	cold := reg.Counter("core_pool_cold_total", "").Value()
+	reuse := reg.Counter("core_pool_reuse_total", "").Value()
+	if cold+reuse != rows {
+		t.Fatalf("pool gets cold=%d reuse=%d, want cold+reuse == rows (%d)", cold, reuse, rows)
+	}
+}

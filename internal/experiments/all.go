@@ -79,23 +79,48 @@ func RunAll(c *Config) error {
 // semantics as RunAll: replay if committed, otherwise run, commit, and
 // emit. Without a checkpoint store it just runs against c.Out.
 func RunOne(c *Config, e Experiment) error {
+	c.Progress.SetTotal(1)
+	c.Progress.SetStage(e.Name)
 	if c.Checkpoint == nil {
-		return e.Run(c)
+		err := runTimed(c, e, c)
+		if err == nil {
+			c.Progress.Step(1)
+		}
+		return err
 	}
 	fp := c.fingerprint(e.Name)
 	if data, ok := c.Checkpoint.Load(fp); ok {
 		c.logf("[%s: replayed from checkpoint %s]", e.Name, fp)
+		expMetrics.replayed.Inc()
+		c.Progress.Step(1)
 		_, err := c.Out.Write(data)
 		return err
 	}
 	var buf bytes.Buffer
-	if err := e.Run(c.WithOutput(&buf)); err != nil {
+	if err := runTimed(c, e, c.WithOutput(&buf)); err != nil {
 		return err
 	}
+	c.Progress.Step(1)
 	if err := c.Checkpoint.Commit(fp, buf.Bytes()); err != nil {
 		return err
 	}
 	_, err := c.Out.Write(buf.Bytes())
+	return err
+}
+
+// runTimed executes one experiment under its span and completion
+// accounting: a span named experiment/<name> on c's span log, plus the
+// completed/failed counters. cfg is the config the experiment actually
+// runs against (it may write to a private buffer).
+func runTimed(c *Config, e Experiment, cfg *Config) error {
+	sp := c.Spans.Start("experiment/" + e.Name)
+	err := e.Run(cfg)
+	sp.End()
+	if err != nil {
+		expMetrics.failed.Inc()
+	} else {
+		expMetrics.completed.Inc()
+	}
 	return err
 }
 
@@ -128,7 +153,10 @@ func runExperiments(c *Config, exps []Experiment) error {
 	}
 	if skipped > 0 {
 		c.logf("[checkpoint: %d/%d experiments already complete, skipped]", skipped, n)
+		expMetrics.replayed.Add(int64(skipped))
 	}
+	c.Progress.SetTotal(n)
+	c.Progress.Step(skipped)
 
 	// Completed buffers are flushed to c.Out in paper order as they
 	// become available: index i is emitted once every index before it
@@ -156,10 +184,12 @@ func runExperiments(c *Config, exps []Experiment) error {
 		if outs[i] != nil { // replayed from the checkpoint
 			return nil
 		}
-		if err := exps[i].Run(cfgs[i]); err != nil {
+		c.Progress.SetStage(exps[i].Name)
+		if err := runTimed(c, exps[i], cfgs[i]); err != nil {
 			errs[i] = fmt.Errorf("%s: %w", exps[i].Name, err)
 			return errs[i]
 		}
+		c.Progress.Step(1)
 		b := bufs[i].Bytes()
 		if c.Checkpoint != nil {
 			if err := c.Checkpoint.Commit(fps[i], b); err != nil {

@@ -24,6 +24,7 @@ import (
 	"opportunet/internal/analysis"
 	"opportunet/internal/checkpoint"
 	"opportunet/internal/core"
+	"opportunet/internal/obs"
 	"opportunet/internal/stats"
 	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
@@ -58,6 +59,13 @@ type Config struct {
 	// Log, when non-nil, receives progress notices (checkpoint skips);
 	// it is never part of the experiment output itself.
 	Log io.Writer
+	// Spans, when non-nil, receives hierarchical stage timings: one span
+	// per experiment plus one per dataset generation, index build and
+	// study computation. nil (the default) records nothing at zero cost.
+	Spans *obs.SpanLog
+	// Progress, when non-nil, receives live completed/total/stage
+	// updates for the stderr progress reporter. nil records nothing.
+	Progress *obs.Progress
 
 	lab *lab
 }
@@ -207,6 +215,7 @@ func (c *Config) datasetConfig(name string) (tracegen.Config, error) {
 func (c *Config) Trace(name string) (*trace.Trace, error) {
 	e := c.ensureLab().entry(name)
 	e.traceOnce.Do(func() {
+		defer c.Spans.Start("dataset/" + name + "/generate").End()
 		cfg, err := c.datasetConfig(name)
 		if err != nil {
 			e.traceErr = err
@@ -237,6 +246,7 @@ func (c *Config) Trace(name string) (*trace.Trace, error) {
 func (c *Config) RawTrace(name string) (*trace.Trace, error) {
 	e := c.ensureLab().entry(name + "/raw")
 	e.traceOnce.Do(func() {
+		defer c.Spans.Start("dataset/" + name + "/generate-raw").End()
 		cfg, err := c.datasetConfig(name)
 		if err != nil {
 			e.traceErr = err
@@ -271,6 +281,7 @@ func (c *Config) Study(name string) (*analysis.Study, error) {
 	}
 	e := c.lab.entry(name)
 	e.studyOnce.Do(func() {
+		defer c.Spans.Start("dataset/" + name + "/study").End()
 		st, err := analysis.NewStudyView(tl.All(), c.coreOptions())
 		if err == nil {
 			st.Trace = tl.Trace()

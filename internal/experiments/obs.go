@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"opportunet/internal/obs"
+)
+
+// expMetrics are the harness's observability handles, nil (free
+// no-ops) until a command wires a registry.
+var expMetrics struct {
+	completed *obs.Counter // experiments_completed_total
+	replayed  *obs.Counter // experiments_replayed_total
+	failed    *obs.Counter // experiments_failed_total
+}
+
+func init() {
+	obs.OnInstrument(func(r *obs.Registry) {
+		expMetrics.completed = r.Counter("experiments_completed_total",
+			"experiments computed to completion this run")
+		expMetrics.replayed = r.Counter("experiments_replayed_total",
+			"experiments replayed from the checkpoint store")
+		expMetrics.failed = r.Counter("experiments_failed_total",
+			"experiments that returned an error")
+	})
+}

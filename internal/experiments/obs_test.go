@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"opportunet/internal/obs"
+)
+
+// runNamedObserved runs the named experiments with full observability
+// attached — wired registry, span log, live progress — and returns the
+// combined output plus the registry for counter assertions.
+func runNamedObserved(t *testing.T, names []string, workers int) ([]byte, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	obs.Wire(reg)
+	defer obs.Wire(nil)
+	exps := make([]Experiment, len(names))
+	for i, name := range names {
+		e, err := Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps[i] = e
+	}
+	var buf bytes.Buffer
+	var spanBuf bytes.Buffer
+	progress := obs.StartProgress(io.Discard, time.Millisecond,
+		reg.Gauge("par_workers_busy", ""), workers)
+	defer progress.Stop()
+	c := &Config{
+		Out: &buf, Seed: 1, Quick: true, Workers: workers,
+		Spans: obs.NewSpanLog(&spanBuf), Progress: progress,
+	}
+	if err := runExperiments(c, exps); err != nil {
+		t.Fatal(err)
+	}
+	progress.Stop()
+	if spanBuf.Len() == 0 {
+		t.Fatal("observed run emitted no span events")
+	}
+	return buf.Bytes(), reg
+}
+
+// TestObsOnOffByteIdentical is the observability side of the
+// determinism contract: the combined experiment output must be
+// byte-identical with metrics, spans and progress attached or not, at
+// worker counts 1 and 8.
+func TestObsOnOffByteIdentical(t *testing.T) {
+	names := []string{"table1", "fig1", "fig7", "fig8"}
+	for _, workers := range []int{1, 8} {
+		plain := runNamed(t, names, workers)
+		if len(plain) == 0 {
+			t.Fatal("no output")
+		}
+		observed, reg := runNamedObserved(t, names, workers)
+		if !bytes.Equal(plain, observed) {
+			t.Fatalf("workers=%d: output differs with observability on (%d vs %d bytes)",
+				workers, len(plain), len(observed))
+		}
+		if got := reg.Counter("experiments_completed_total", "").Value(); got != int64(len(names)) {
+			t.Fatalf("experiments_completed_total = %d, want %d", got, len(names))
+		}
+		if got := reg.Counter("core_rows_total", "").Value(); got <= 0 {
+			t.Fatalf("core_rows_total = %d, want > 0 (engine instrumentation dead?)", got)
+		}
+	}
+}
+
+// TestFullQuickSuiteObsByteIdentical is the end-to-end version over the
+// ENTIRE quick suite, the test twin of the quick-equivalence Make
+// target with observability thrown in. Slow; skipped with -short.
+func TestFullQuickSuiteObsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite; skipped with -short")
+	}
+	if raceDetectorEnabled {
+		// Two more full quick suites on top of
+		// TestFullQuickSuiteByteIdentical blow the package's race-mode
+		// time budget on small machines; the obs-on/off race coverage
+		// comes from TestObsOnOffByteIdentical instead.
+		t.Skip("full quick suite with obs; skipped under -race")
+	}
+	names := make([]string, 0, len(All()))
+	for _, e := range All() {
+		names = append(names, e.Name)
+	}
+	plain := runNamed(t, names, 8)
+	observed, reg := runNamedObserved(t, names, 8)
+	if !bytes.Equal(plain, observed) {
+		t.Fatalf("full quick suite differs with observability on (%d vs %d bytes)",
+			len(plain), len(observed))
+	}
+	if got := reg.Counter("experiments_completed_total", "").Value(); got != int64(len(names)) {
+		t.Fatalf("experiments_completed_total = %d, want %d", got, len(names))
+	}
+}

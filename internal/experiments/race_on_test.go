@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; the heaviest full-suite tests budget themselves around it.
+const raceDetectorEnabled = true

@@ -1,0 +1,52 @@
+package obs
+
+import "testing"
+
+// The free-when-disabled contract, pinned: every hot-path operation on a
+// nil handle must cost zero allocations. These are the operations
+// instrumented packages run per row / per task / per cache probe, so any
+// regression here is a hidden tax on every un-instrumented run.
+func TestDisabledPathAllocFree(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var l *SpanLog
+	var st *Stages
+	var p *Progress
+	ops := map[string]func(){
+		"Counter.Add":       func() { c.Add(1) },
+		"Counter.Inc":       func() { c.Inc() },
+		"Gauge.Set":         func() { g.Set(1) },
+		"Gauge.Add":         func() { g.Add(1) },
+		"Histogram.Observe": func() { h.Observe(1.5) },
+		"SpanLog.Start+End": func() { l.Start("x").End() },
+		"Stages.Enter":      func() { st.Enter("x") },
+		"Progress.Step":     func() { p.Step(1) },
+		"Progress.SetStage": func() { p.SetStage("x") },
+	}
+	for name, fn := range ops {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s on nil handle: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// The enabled path must be alloc-free too for counters, gauges and
+// histograms (spans allocate one struct by design; they run per stage,
+// not per row).
+func TestEnabledPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 10, 100, 1000})
+	ops := map[string]func(){
+		"Counter.Add":       func() { c.Add(1) },
+		"Gauge.Add":         func() { g.Add(1) },
+		"Histogram.Observe": func() { h.Observe(42) },
+	}
+	for name, fn := range ops {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s on live handle: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}

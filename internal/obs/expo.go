@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): HELP and TYPE comments followed by
+// the samples, metrics sorted by name, histograms as cumulative
+// _bucket{le="..."} series plus _sum and _count. A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, m := range r.sorted() {
+		var err error
+		switch m := m.(type) {
+		case *Counter:
+			err = writeHeader(w, m.name, m.help, "counter")
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.Value())
+			}
+		case *Gauge:
+			err = writeHeader(w, m.name, m.help, "gauge")
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.Value())
+			}
+		case *Histogram:
+			err = writeHeader(w, m.name, m.help, "histogram")
+			cum := int64(0)
+			for i := range m.counts {
+				if err != nil {
+					break
+				}
+				cum += m.counts[i].Load()
+				le := "+Inf"
+				if i < len(m.bounds) {
+					le = formatFloat(m.bounds[i])
+				}
+				_, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, le, cum)
+			}
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(m.Sum()))
+			}
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s_count %d\n", m.name, m.Count())
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest representation, no exponent for common magnitudes.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramSnapshot is the report form of one histogram.
+type HistogramSnapshot struct {
+	Count     int64              `json:"count"`
+	Sum       float64            `json:"sum"`
+	Quantiles map[string]float64 `json:"quantiles"`
+}
+
+// Snapshot captures every metric's current value for the run report
+// and the expvar endpoint: counters and gauges as name → int64,
+// histograms as name → {count, sum, quantiles}. Nil-safe.
+func (r *Registry) Snapshot() (counters, gauges map[string]int64, hists map[string]HistogramSnapshot) {
+	counters = map[string]int64{}
+	gauges = map[string]int64{}
+	hists = map[string]HistogramSnapshot{}
+	if r == nil {
+		return
+	}
+	for _, m := range r.sorted() {
+		switch m := m.(type) {
+		case *Counter:
+			counters[m.name] = m.Value()
+		case *Gauge:
+			gauges[m.name] = m.Value()
+		case *Histogram:
+			hists[m.name] = HistogramSnapshot{
+				Count: m.Count(),
+				Sum:   m.Sum(),
+				Quantiles: map[string]float64{
+					"p50": m.Quantile(0.50),
+					"p90": m.Quantile(0.90),
+					"p99": m.Quantile(0.99),
+				},
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact exposition bytes of a small
+// registry: format 0.0.4 with HELP/TYPE headers, cumulative histogram
+// buckets, _sum and _count, everything name-sorted.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests handled")
+	c.Add(42)
+	g := r.Gauge("workers_busy", "")
+	g.Set(3)
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(2.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP latency_seconds request latency
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 3
+latency_seconds_bucket{le="+Inf"} 4
+latency_seconds_sum 3.55
+latency_seconds_count 4
+# HELP requests_total requests handled
+# TYPE requests_total counter
+requests_total 42
+# TYPE workers_busy gauge
+workers_busy 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(7)
+	r.Gauge("g", "").Set(-2)
+	h := r.Histogram("h", "", []float64{10})
+	h.Observe(5)
+	h.Observe(5)
+
+	counters, gauges, hists := r.Snapshot()
+	if counters["c_total"] != 7 {
+		t.Fatalf("counter snapshot = %d, want 7", counters["c_total"])
+	}
+	if gauges["g"] != -2 {
+		t.Fatalf("gauge snapshot = %d, want -2", gauges["g"])
+	}
+	hs, ok := hists["h"]
+	if !ok || hs.Count != 2 || hs.Sum != 10 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	if _, ok := hs.Quantiles["p50"]; !ok {
+		t.Fatal("histogram snapshot missing p50")
+	}
+
+	// Nil registry: empty but non-nil maps, so reports marshal as {}.
+	var nilReg *Registry
+	c2, g2, h2 := nilReg.Snapshot()
+	if c2 == nil || g2 == nil || h2 == nil || len(c2)+len(g2)+len(h2) != 0 {
+		t.Fatal("nil registry snapshot not empty-non-nil")
+	}
+}

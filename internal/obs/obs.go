@@ -1,0 +1,320 @@
+// Package obs is the repository's zero-dependency observability layer:
+// a metrics registry of atomic counters, gauges and fixed-bucket
+// histograms, lightweight spans for hierarchical stage timing, a live
+// stderr progress reporter, an HTTP endpoint (Prometheus text,
+// expvar, pprof) and a machine-readable end-of-run report.
+//
+// The design contract is that observability is free when disabled and
+// never observable in the output when enabled:
+//
+//   - Every handle type is nil-safe: calling Add/Set/Observe/Start/End
+//     on a nil *Counter, *Gauge, *Histogram, *SpanLog, *Span, *Stages
+//     or *Progress is a no-op costing one branch and zero allocations
+//     (pinned by AllocsPerRun regression tests). Instrumented packages
+//     therefore keep plain package-level handle variables that stay nil
+//     until a command wires a registry, and the hot paths never check a
+//     "metrics enabled" flag.
+//   - Metrics only ever read state; they never feed back into any
+//     computation, so experiment output is byte-identical with
+//     observability on or off (pinned by an equivalence test).
+//
+// Wiring: an instrumented package registers a hook at init time with
+// OnInstrument; a command that wants metrics creates a Registry and
+// calls Wire(reg), which replays every hook. Wire(nil) detaches all
+// handles again (used by tests to restore the free disabled state).
+// Wire must be called before concurrent work starts — it swaps plain
+// package variables, deliberately unsynchronized so the per-operation
+// cost stays a nil check.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the metric types in snapshots and exposition.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Counter is a monotonically increasing atomic int64 metric. The zero
+// handle (nil) is a no-op sink.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil handle.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic int64 metric that can go up and down. The zero
+// handle (nil) is a no-op sink.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores v. No-op on a nil handle.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds n (may be negative). No-op on a nil handle.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: counts per upper bound plus a
+// +Inf overflow bucket, a float64 sum and a total count, all updated
+// with atomics (the sum via a CAS loop on the float bits). The zero
+// handle (nil) is a no-op sink. Buckets are fixed at creation; there is
+// no dynamic resizing, so Observe never allocates.
+type Histogram struct {
+	name, help string
+	bounds     []float64      // sorted upper bounds, exclusive of +Inf
+	counts     []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count      atomic.Int64
+	sumBits    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records one value. No-op on a nil handle; never allocates.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Branchless-enough bucket scan: bounds lists are short (≤ ~16), so
+	// a linear scan beats binary search on real sizes.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts
+// by linear interpolation inside the covering bucket. Values in the
+// +Inf bucket are attributed to the largest finite bound. Returns 0
+// with no observations or on a nil handle.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
+// Registry holds the metrics of one run. Metric creation is idempotent
+// by name (the first registration wins and later calls return the same
+// handle), so instrumentation hooks can run against a registry that
+// already holds some of their metrics. All methods are nil-safe: every
+// constructor on a nil *Registry returns a nil handle, giving the
+// disabled no-op path.
+type Registry struct {
+	mu    sync.Mutex
+	names map[string]any
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]any)}
+}
+
+// lookup registers name on first use and returns the stored handle.
+func (r *Registry) lookup(name string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.names[name]; ok {
+		return m
+	}
+	m := mk()
+	r.names[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (the no-op handle) on a nil registry. Panics if the name is
+// already registered as a different metric type — a programming error.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() any { return &Counter{name: name, help: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q registered with conflicting types", name))
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() any { return &Gauge{name: name, help: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q registered with conflicting types", name))
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given bucket upper bounds (sorted ascending; a +Inf overflow
+// bucket is implicit). Returns nil on a nil registry. The buckets of
+// the first registration win.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() any {
+		b := append([]float64(nil), buckets...)
+		sort.Float64s(b)
+		return &Histogram{name: name, help: help, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q registered with conflicting types", name))
+	}
+	return h
+}
+
+// sorted returns the registered metrics sorted by name (exposition
+// order must be deterministic).
+func (r *Registry) sorted() []any {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	out := make([]any, len(names))
+	for i, n := range names {
+		out[i] = r.names[n]
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// --- wiring ----------------------------------------------------------------
+
+var (
+	hookMu sync.Mutex
+	hooks  []func(*Registry)
+)
+
+// OnInstrument registers a package instrumentation hook, called by
+// every subsequent Wire. Instrumented packages call it from init, so
+// any package linked into a binary is wired automatically.
+func OnInstrument(fn func(*Registry)) {
+	hookMu.Lock()
+	hooks = append(hooks, fn)
+	hookMu.Unlock()
+}
+
+// Wire replays every instrumentation hook against r, attaching all
+// package metric handles. Wire(nil) detaches them again (each hook
+// receives the nil registry and stores the resulting nil handles).
+// Call it once at startup before concurrent work begins; the handle
+// variables it swaps are deliberately unsynchronized.
+func Wire(r *Registry) {
+	hookMu.Lock()
+	fns := make([]func(*Registry), len(hooks))
+	copy(fns, hooks)
+	hookMu.Unlock()
+	for _, fn := range fns {
+		fn(r)
+	}
+}

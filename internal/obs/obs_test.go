@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilHandlesAreNoOps is the disabled-path contract: every operation
+// on every nil handle must be safe and inert.
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram has observations")
+	}
+	var l *SpanLog
+	sp := l.Start("x")
+	sp.Child("y").End()
+	sp.End()
+	if l.Totals() != nil {
+		t.Fatal("nil span log has totals")
+	}
+	var st *Stages
+	st.Enter("a")
+	if stages, total := st.Finish(); stages != nil || total != 0 {
+		t.Fatal("nil stages recorded time")
+	}
+	var p *Progress
+	p.SetTotal(10)
+	p.Step(1)
+	p.SetStage("s")
+	p.Stop()
+	var r *Registry
+	if r.Counter("c", "") != nil || r.Gauge("g", "") != nil || r.Histogram("h", "", []float64{1}) != nil {
+		t.Fatal("nil registry returned a live handle")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var srv *Server
+	if srv.Addr() != "" || srv.Close() != nil {
+		t.Fatal("nil server misbehaved")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Add(2)
+	c.Inc()
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("g", "")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	h := r.Histogram("h", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("histogram count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 556.0; got != want {
+		t.Fatalf("histogram sum = %g, want %g", got, want)
+	}
+	// Ranks 1-2 land in (0,1], rank 3 in (1,10], rank 4 in (10,100],
+	// rank 5 overflows and is attributed to the largest finite bound.
+	if q := h.Quantile(0.5); q < 0 || q > 10 {
+		t.Fatalf("p50 = %g, want within (0, 10]", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Fatalf("p100 = %g, want 100 (largest finite bound)", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %g, want 0", q)
+	}
+}
+
+// TestRegistryIdempotent: re-registering a name returns the same handle,
+// so instrumentation hooks can run against a pre-populated registry.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	h1 := r.Histogram("hist", "", []float64{1, 2})
+	h2 := r.Histogram("hist", "", []float64{99})
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histograms")
+	}
+	if len(h2.bounds) != 2 {
+		t.Fatal("second registration's buckets overwrote the first")
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+// TestWireHooks: Wire replays every OnInstrument hook, and Wire(nil)
+// detaches (hooks see the nil registry).
+func TestWireHooks(t *testing.T) {
+	var got *Registry
+	var calls int
+	OnInstrument(func(r *Registry) { got, calls = r, calls+1 })
+	r := NewRegistry()
+	Wire(r)
+	if got != r || calls != 1 {
+		t.Fatalf("Wire(reg): hook saw %p after %d calls", got, calls)
+	}
+	Wire(nil)
+	if got != nil || calls != 2 {
+		t.Fatalf("Wire(nil): hook saw %p after %d calls", got, calls)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from 8 goroutines — reads,
+// writes, re-registrations and expositions all at once. Run under -race
+// (make check does) this is the package's data-race gate.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const ops = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hammer_total", "")
+			g := r.Gauge("hammer_gauge", "")
+			h := r.Histogram("hammer_hist", "", []float64{1, 10, 100})
+			for j := 0; j < ops; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 200))
+				if j%500 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hammer_total", "").Value(); got != goroutines*ops {
+		t.Fatalf("counter = %d, want %d", got, goroutines*ops)
+	}
+	if got := r.Histogram("hammer_hist", "", nil).Count(); got != goroutines*ops {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*ops)
+	}
+	// The CAS-summed float must equal the exact serial sum: each
+	// goroutine contributes sum(j%200 for j<ops).
+	want := 0.0
+	for j := 0; j < ops; j++ {
+		want += float64(j % 200)
+	}
+	want *= goroutines
+	if got := r.Histogram("hammer_hist", "", nil).Sum(); got != want {
+		t.Fatalf("histogram sum = %g, want %g", got, want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{1, "1"},
+		{0.001, "0.001"},
+		{1e6, "1000000"},
+		{2.5, "2.5"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Errorf("formatFloat(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{10})
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	// All mass in (0,10]: the median interpolates to the middle.
+	if q := h.Quantile(0.5); q != 5 {
+		t.Fatalf("p50 = %g, want 5", q)
+	}
+}
+
+// sanity-check the exported name list used by exposition ordering.
+func TestSortedDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "")
+	r.Counter("a_total", "")
+	r.Gauge("m", "")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	za := strings.Index(out, "z_total")
+	aa := strings.Index(out, "a_total")
+	ma := strings.Index(out, "# TYPE m gauge")
+	if !(aa < ma && ma < za) {
+		t.Fatalf("exposition not name-sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// IsTerminal reports whether f is a character device (an interactive
+// terminal rather than a pipe or file). The progress reporter degrades
+// to silence when stderr is redirected, so logs never fill with
+// carriage-return frames.
+func IsTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// Progress renders a single live status line (work completed / total,
+// current stage, elapsed time, busy workers) to a terminal, redrawn at
+// a fixed interval on a background goroutine. Construct it only when
+// the destination is a TTY and the run is not quiet; everywhere else
+// keep the nil handle — every method on a nil *Progress is a free
+// no-op, so the reporting sites are unconditional.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+	start    time.Time
+
+	total atomic.Int64
+	done  atomic.Int64
+	stage atomic.Pointer[string]
+
+	busy    *Gauge // optional: live busy-worker gauge (par_workers_busy)
+	workers int    // worker count shown next to the busy gauge
+
+	mu       sync.Mutex // serializes frames against Stop's final erase
+	stopped  bool
+	stopCh   chan struct{}
+	finished chan struct{}
+}
+
+// StartProgress begins rendering to w every interval (0 selects 200ms).
+// busy, when non-nil, is the gauge holding the live busy-worker count
+// (workers is the configured maximum shown beside it). Stop must be
+// called to erase the line and join the render goroutine.
+func StartProgress(w io.Writer, interval time.Duration, busy *Gauge, workers int) *Progress {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	p := &Progress{
+		w: w, interval: interval, start: time.Now(),
+		busy: busy, workers: workers,
+		stopCh: make(chan struct{}), finished: make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+// SetTotal sets the number of work items of the run. Nil-safe.
+func (p *Progress) SetTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.total.Store(int64(n))
+}
+
+// Step records n completed work items. Nil-safe.
+func (p *Progress) Step(n int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(int64(n))
+}
+
+// SetStage names the work item most recently started. Nil-safe.
+func (p *Progress) SetStage(name string) {
+	if p == nil {
+		return
+	}
+	p.setStage(name)
+}
+
+// setStage is kept out of SetStage (and out of its inliner) so taking
+// name's address — which forces it to escape — happens only on the
+// enabled path; the nil path stays allocation-free.
+//
+//go:noinline
+func (p *Progress) setStage(name string) {
+	p.stage.Store(&name)
+}
+
+// Stop erases the status line and joins the render goroutine. Safe to
+// call more than once; nil-safe.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	already := p.stopped
+	p.stopped = true
+	p.mu.Unlock()
+	if already {
+		return
+	}
+	close(p.stopCh)
+	<-p.finished
+}
+
+func (p *Progress) loop() {
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			p.mu.Lock()
+			fmt.Fprint(p.w, "\r\x1b[K") // erase the live line
+			p.mu.Unlock()
+			close(p.finished)
+			return
+		case <-t.C:
+			p.render()
+		}
+	}
+}
+
+func (p *Progress) render() {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\r\x1b[K[%d/%d]", p.done.Load(), p.total.Load())
+	if s := p.stage.Load(); s != nil && *s != "" {
+		fmt.Fprintf(&b, " %s", *s)
+	}
+	fmt.Fprintf(&b, "  elapsed %s", time.Since(p.start).Round(time.Second))
+	if p.busy != nil {
+		fmt.Fprintf(&b, "  workers %d/%d busy", p.busy.Value(), p.workers)
+	}
+	p.mu.Lock()
+	if !p.stopped {
+		fmt.Fprint(p.w, b.String())
+	}
+	p.mu.Unlock()
+}

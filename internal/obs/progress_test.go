@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer makes bytes.Buffer safe to poll while the render goroutine
+// writes frames.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestProgressRendersAndErases(t *testing.T) {
+	var buf syncBuffer
+	r := NewRegistry()
+	busy := r.Gauge("par_workers_busy", "")
+	busy.Set(2)
+	p := StartProgress(&buf, time.Millisecond, busy, 4)
+	p.SetTotal(22)
+	p.Step(3)
+	p.SetStage("fig9")
+	// Wait for at least one frame.
+	deadline := time.Now().Add(time.Second)
+	for buf.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+
+	out := buf.String()
+	if !strings.Contains(out, "[3/22]") {
+		t.Fatalf("no done/total in frame: %q", out)
+	}
+	if !strings.Contains(out, "fig9") {
+		t.Fatalf("no stage in frame: %q", out)
+	}
+	if !strings.Contains(out, "workers 2/4 busy") {
+		t.Fatalf("no busy workers in frame: %q", out)
+	}
+	if !strings.HasSuffix(out, "\r\x1b[K") {
+		t.Fatalf("final erase missing: %q", out)
+	}
+}
+
+func TestIsTerminal(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "not-a-tty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if IsTerminal(f) {
+		t.Fatal("regular file reported as a terminal")
+	}
+}

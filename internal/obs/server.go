@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// expvarReg feeds the process-wide expvar variable below; Serve swaps
+// in the registry of the current run.
+var (
+	expvarReg     atomic.Pointer[Registry]
+	expvarPublish sync.Once
+)
+
+// Server is the optional observability HTTP endpoint of a run,
+// serving:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/vars   expvar JSON (Go runtime memstats plus an
+//	              "opportunet" variable mirroring the registry)
+//	/debug/pprof  the standard pprof index and profiles
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the endpoint on addr (host:port; ":0" picks a free
+// port — read the choice back from Addr). The listener is bound
+// synchronously, so a nil error means /metrics is reachable; requests
+// are then served on a background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvarReg.Store(r)
+	expvarPublish.Do(func() {
+		expvar.Publish("opportunet", expvar.Func(func() any {
+			c, g, h := expvarReg.Load().Snapshot()
+			return map[string]any{"counters": c, "gauges": g, "histograms": h}
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting requests. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// RunReport is the end-of-run summary artifact (RUN_REPORT.json): the
+// serial stage accounting, the per-path span aggregates, and a final
+// snapshot of every metric. Stage wall times partition the run by
+// construction (see Stages), so they sum to WallMS up to scheduling
+// noise — the report's internal consistency check.
+type RunReport struct {
+	Version    int                          `json:"version"`
+	Command    string                       `json:"command"`
+	Quick      bool                         `json:"quick"`
+	Workers    int                          `json:"workers"`
+	WallMS     float64                      `json:"wall_ms"`
+	Stages     []StageTime                  `json:"stages"`
+	Spans      []SpanTotal                  `json:"spans,omitempty"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// BuildReport assembles the report from the run's stage timer, span
+// log and registry (any of which may be nil).
+func BuildReport(command string, quick bool, workers int, st *Stages, spans *SpanLog, reg *Registry) *RunReport {
+	stages, total := st.Finish()
+	rep := &RunReport{
+		Version: 1,
+		Command: command,
+		Quick:   quick,
+		Workers: workers,
+		WallMS:  total,
+		Stages:  stages,
+		Spans:   spans.Totals(),
+	}
+	rep.Counters, rep.Gauges, rep.Histograms = reg.Snapshot()
+	return rep
+}
+
+// WriteJSON writes the report, indented, to w.
+func (rep *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

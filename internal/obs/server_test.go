@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "smoke").Add(9)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "served_total 9") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: code=%d", code)
+	}
+	var vars struct {
+		Opportunet struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"opportunet"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.Opportunet.Counters["served_total"] != 9 {
+		t.Fatalf("/debug/vars missing registry mirror: %s", body)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("done_total", "").Add(4)
+	r.Histogram("h", "", []float64{1}).Observe(0.5)
+	st := NewStages()
+	st.Enter("setup")
+	st.Enter("work")
+	spans := NewSpanLog(nil)
+	spans.Start("run").End()
+
+	rep := BuildReport("experiments all", true, 8, st, spans, r)
+	if rep.Version != 1 || rep.Command != "experiments all" || !rep.Quick || rep.Workers != 8 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if len(rep.Stages) != 2 || rep.WallMS <= 0 {
+		t.Fatalf("report stages wrong: %+v", rep)
+	}
+	sum := 0.0
+	for _, s := range rep.Stages {
+		sum += s.WallMS
+	}
+	if diff := rep.WallMS - sum; diff < 0 || diff > 0.05*rep.WallMS+1 {
+		t.Fatalf("stage sum %g vs wall %g: outside the 5%% accounting bound", sum, rep.WallMS)
+	}
+	if len(rep.Spans) != 1 || rep.Spans[0].Name != "run" {
+		t.Fatalf("report spans wrong: %+v", rep.Spans)
+	}
+	if rep.Counters["done_total"] != 4 {
+		t.Fatalf("report counters wrong: %+v", rep.Counters)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Command != rep.Command || len(back.Stages) != len(rep.Stages) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+// BuildReport with every input nil still yields a valid, marshalable
+// report — commands can call it unconditionally.
+func TestBuildReportAllNil(t *testing.T) {
+	rep := BuildReport("x", false, 1, nil, nil, nil)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON from all-nil report")
+	}
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanLog records hierarchical stage timings. Each finished span emits
+// one JSON line to the optional sink and folds into a per-path total,
+// so a run report can summarize where wall-clock went even when no
+// JSONL stream was requested. Span identity is a slash path naming the
+// hierarchy by convention (run, experiment/fig9,
+// dataset/infocom05/generate, ...): paths keep the event stream
+// self-describing without per-span IDs, and aggregation by path groups
+// repeated stages (every dataset build, every engine run) naturally.
+//
+// A nil *SpanLog — and the nil *Span it hands out — is a no-op costing
+// one branch and zero allocations, so instrumented code never guards
+// its span calls.
+type SpanLog struct {
+	t0 time.Time
+
+	mu     sync.Mutex
+	w      io.Writer // optional JSONL sink
+	enc    *json.Encoder
+	totals map[string]*SpanTotal
+	order  []string
+}
+
+// SpanTotal aggregates every finished span of one path.
+type SpanTotal struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// spanEvent is one JSONL record. Times are milliseconds relative to
+// the log's creation, so streams are comparable across runs without
+// depending on wall-clock time.
+type spanEvent struct {
+	Ev    string  `json:"ev"`
+	Name  string  `json:"name"`
+	T0MS  float64 `json:"t0_ms"`
+	DurMS float64 `json:"dur_ms"`
+}
+
+// NewSpanLog returns a span log streaming finished spans to w as JSONL
+// (w may be nil to aggregate only).
+func NewSpanLog(w io.Writer) *SpanLog {
+	l := &SpanLog{t0: time.Now(), w: w, totals: make(map[string]*SpanTotal)}
+	if w != nil {
+		l.enc = json.NewEncoder(w)
+	}
+	return l
+}
+
+// Span is one live stage timing, created by SpanLog.Start and closed by
+// End. The nil span is a no-op.
+type Span struct {
+	l     *SpanLog
+	name  string
+	start time.Time
+}
+
+// Start opens a span with the given path name. Nil-safe: a nil log
+// returns a nil span.
+func (l *SpanLog) Start(name string) *Span {
+	if l == nil {
+		return nil
+	}
+	return &Span{l: l, name: name, start: time.Now()}
+}
+
+// Child opens a sub-span named parent-path + "/" + name. Nil-safe.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.l.Start(sp.name + "/" + name)
+}
+
+// End closes the span: one JSONL event (if streaming) and one
+// aggregation update. Nil-safe; End on a nil span does nothing.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	now := time.Now()
+	dur := now.Sub(sp.start)
+	l := sp.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.totals[sp.name]
+	if !ok {
+		t = &SpanTotal{Name: sp.name}
+		l.totals[sp.name] = t
+		l.order = append(l.order, sp.name)
+	}
+	ms := float64(dur) / float64(time.Millisecond)
+	t.Count++
+	t.TotalMS += ms
+	if ms > t.MaxMS {
+		t.MaxMS = ms
+	}
+	if l.enc != nil {
+		l.enc.Encode(spanEvent{
+			Ev:    "span",
+			Name:  sp.name,
+			T0MS:  float64(sp.start.Sub(l.t0)) / float64(time.Millisecond),
+			DurMS: ms,
+		})
+	}
+}
+
+// Totals returns the per-path aggregates sorted by name. Nil-safe
+// (empty on a nil log).
+func (l *SpanLog) Totals() []SpanTotal {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	names := append([]string(nil), l.order...)
+	out := make([]SpanTotal, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, *l.totals[n])
+	}
+	l.mu.Unlock()
+	return out
+}
+
+// Stages times the serial top-level phases of a run: Enter closes the
+// current stage and opens the next, so the recorded stages partition
+// the time from construction to Finish and their wall times sum to the
+// total by construction — the property the run report's 5% accounting
+// check relies on. The nil *Stages is a no-op.
+type Stages struct {
+	mu      sync.Mutex
+	t0      time.Time
+	cur     string
+	curFrom time.Time
+	done    []StageTime
+}
+
+// StageTime is one finished serial stage.
+type StageTime struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// NewStages starts the serial stage clock.
+func NewStages() *Stages {
+	now := time.Now()
+	return &Stages{t0: now, curFrom: now}
+}
+
+// Enter closes the current stage (if any) and opens a new one.
+// Nil-safe.
+func (s *Stages) Enter(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.close(now)
+	s.cur, s.curFrom = name, now
+	s.mu.Unlock()
+}
+
+func (s *Stages) close(now time.Time) {
+	if s.cur != "" {
+		s.done = append(s.done, StageTime{
+			Name:   s.cur,
+			WallMS: float64(now.Sub(s.curFrom)) / float64(time.Millisecond),
+		})
+	}
+}
+
+// Finish closes the current stage and returns every stage plus the
+// total wall time since NewStages. Nil-safe (zero values on nil).
+func (s *Stages) Finish() ([]StageTime, float64) {
+	if s == nil {
+		return nil, 0
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.close(now)
+	s.cur = ""
+	out := append([]StageTime(nil), s.done...)
+	total := float64(now.Sub(s.t0)) / float64(time.Millisecond)
+	s.mu.Unlock()
+	return out, total
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanLogTotalsAndJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSpanLog(&buf)
+	for i := 0; i < 3; i++ {
+		sp := l.Start("dataset/x/generate")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	run := l.Start("run")
+	child := run.Child("phase")
+	child.End()
+	run.End()
+
+	totals := l.Totals()
+	byName := map[string]SpanTotal{}
+	for _, tt := range totals {
+		byName[tt.Name] = tt
+	}
+	d := byName["dataset/x/generate"]
+	if d.Count != 3 {
+		t.Fatalf("dataset span count = %d, want 3", d.Count)
+	}
+	if d.TotalMS < d.MaxMS || d.MaxMS <= 0 {
+		t.Fatalf("dataset span totals inconsistent: %+v", d)
+	}
+	if byName["run/phase"].Count != 1 {
+		t.Fatalf("child span path not parent/child: %v", totals)
+	}
+	// Totals are name-sorted.
+	for i := 1; i < len(totals); i++ {
+		if totals[i-1].Name > totals[i].Name {
+			t.Fatalf("totals not sorted: %v", totals)
+		}
+	}
+
+	// Every emitted line is a well-formed span event.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d JSONL lines, want 5", len(lines))
+	}
+	for _, line := range lines {
+		var ev struct {
+			Ev    string  `json:"ev"`
+			Name  string  `json:"name"`
+			T0MS  float64 `json:"t0_ms"`
+			DurMS float64 `json:"dur_ms"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if ev.Ev != "span" || ev.Name == "" || ev.T0MS < 0 || ev.DurMS < 0 {
+			t.Fatalf("bad span event: %+v", ev)
+		}
+	}
+}
+
+// TestStagesPartitionTotal is the accounting property the run report
+// leans on: serial stages partition the clock, so their wall times sum
+// to the total (exactly, up to float addition error — not just within
+// some tolerance).
+func TestStagesPartitionTotal(t *testing.T) {
+	st := NewStages()
+	st.Enter("setup")
+	time.Sleep(2 * time.Millisecond)
+	st.Enter("work")
+	time.Sleep(5 * time.Millisecond)
+	st.Enter("report")
+	stages, total := st.Finish()
+	if len(stages) != 3 {
+		t.Fatalf("got %d stages, want 3", len(stages))
+	}
+	sum := 0.0
+	for _, s := range stages {
+		if s.WallMS < 0 {
+			t.Fatalf("negative stage time: %+v", s)
+		}
+		sum += s.WallMS
+	}
+	// The first Enter happens some ns after NewStages, so sum ≤ total
+	// with a sub-millisecond gap.
+	if sum > total || total-sum > 1 {
+		t.Fatalf("stage sum %g vs total %g: not a partition", sum, total)
+	}
+	if stages[0].Name != "setup" || stages[1].Name != "work" || stages[2].Name != "report" {
+		t.Fatalf("stage order wrong: %v", stages)
+	}
+}
+
+func TestStagesFinishIdempotentish(t *testing.T) {
+	st := NewStages()
+	st.Enter("only")
+	a, _ := st.Finish()
+	b, _ := st.Finish()
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("Finish twice: %v then %v", a, b)
+	}
+}

@@ -1,0 +1,34 @@
+package par
+
+import (
+	"opportunet/internal/obs"
+)
+
+// parMetrics are the pool's observability handles. They stay nil (free
+// no-ops) until a command wires a registry via obs.Wire; the scheduling
+// fast path only ever pays nil checks when observability is off, and
+// the timing reads (two time.Now calls per task) happen only when the
+// queue-wait histogram is live.
+var parMetrics struct {
+	tasks     *obs.Counter   // par_tasks_total
+	queueWait *obs.Histogram // par_queue_wait_seconds
+	busyNS    *obs.Counter   // par_worker_busy_ns_total
+	busy      *obs.Gauge     // par_workers_busy
+	panics    *obs.Counter   // par_panics_recovered_total
+}
+
+func init() {
+	obs.OnInstrument(func(r *obs.Registry) {
+		parMetrics.tasks = r.Counter("par_tasks_total",
+			"work items dispatched by the shared worker pool")
+		parMetrics.queueWait = r.Histogram("par_queue_wait_seconds",
+			"delay between a batch entering the pool and each item starting",
+			[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10})
+		parMetrics.busyNS = r.Counter("par_worker_busy_ns_total",
+			"total nanoseconds workers spent inside work functions")
+		parMetrics.busy = r.Gauge("par_workers_busy",
+			"workers currently inside a work function")
+		parMetrics.panics = r.Counter("par_panics_recovered_total",
+			"panics recovered from work functions")
+	})
+}

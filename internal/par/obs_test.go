@@ -1,0 +1,62 @@
+package par
+
+import (
+	"errors"
+	"testing"
+
+	"opportunet/internal/obs"
+)
+
+// TestObsCounters wires a registry and checks the pool's metrics move:
+// tasks dispatched, busy time, queue-wait observations, and recovered
+// panics. Wire(nil) restores the free disabled state for the rest of
+// the package's tests.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Wire(reg)
+	defer obs.Wire(nil)
+
+	const n = 64
+	Do(n, 4, func(i int) {})
+	if got := reg.Counter("par_tasks_total", "").Value(); got != n {
+		t.Fatalf("par_tasks_total = %d, want %d", got, n)
+	}
+	if got := reg.Histogram("par_queue_wait_seconds", "", nil).Count(); got != n {
+		t.Fatalf("par_queue_wait_seconds count = %d, want %d", got, n)
+	}
+	if got := reg.Counter("par_worker_busy_ns_total", "").Value(); got < 0 {
+		t.Fatalf("par_worker_busy_ns_total = %d, want >= 0", got)
+	}
+	if got := reg.Gauge("par_workers_busy", "").Value(); got != 0 {
+		t.Fatalf("par_workers_busy = %d after completion, want 0", got)
+	}
+
+	boom := errors.New("boom")
+	err := DoErr(4, 2, func(i int) error {
+		if i == 2 {
+			panic(boom)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+	if got := reg.Counter("par_panics_recovered_total", "").Value(); got != 1 {
+		t.Fatalf("par_panics_recovered_total = %d, want 1", got)
+	}
+	if got := reg.Gauge("par_workers_busy", "").Value(); got != 0 {
+		t.Fatalf("par_workers_busy = %d after a panic, want 0 (busy slot leaked)", got)
+	}
+}
+
+// TestObsDisabledIdentical: with no registry wired, results are the
+// same — metrics must never influence execution.
+func TestObsDisabledIdentical(t *testing.T) {
+	sum := make([]int, 16)
+	Do(16, 4, func(i int) { sum[i] = i * i })
+	for i, v := range sum {
+		if v != i*i {
+			t.Fatalf("sum[%d] = %d", i, v)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Resolve maps a Workers option to an effective worker count: values
@@ -70,10 +71,36 @@ func (e *PanicError) Error() string {
 func safely(i int, fn func(i int) error) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
+			parMetrics.panics.Inc()
 			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
 		}
 	}()
 	return fn(i)
+}
+
+// instrumented wraps fn with the pool's per-task accounting (tasks
+// dispatched, queue wait, busy time) when a registry is wired. With
+// observability off it returns fn unchanged, so the disabled path adds
+// one nil check per batch — not per task — and zero allocations.
+func instrumented(fn func(i int) error) func(i int) error {
+	m := &parMetrics
+	if m.tasks == nil {
+		return fn
+	}
+	batchStart := time.Now()
+	return func(i int) error {
+		t0 := time.Now()
+		m.tasks.Inc()
+		m.queueWait.Observe(t0.Sub(batchStart).Seconds())
+		m.busy.Add(1)
+		// Deferred so a panicking task (recovered further up) still
+		// releases its busy slot and books its time.
+		defer func() {
+			m.busy.Add(-1)
+			m.busyNS.Add(int64(time.Since(t0)))
+		}()
+		return fn(i)
+	}
 }
 
 // canceled reports whether the (possibly nil) context is done.
@@ -92,6 +119,7 @@ func exec(ctx context.Context, n, workers int, fn func(i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
+	fn = instrumented(fn)
 	errs := make([]error, n)
 	w := Resolve(workers)
 	if w > n {

@@ -1,0 +1,29 @@
+package timeline
+
+import (
+	"opportunet/internal/obs"
+)
+
+// tlMetrics are the timeline layer's observability handles, nil (free
+// no-ops) until a command wires a registry. Meet/NextContact are the
+// layer's hottest queries; their counters are plain nil-safe atomic
+// adds, so the disabled path stays pinned at zero allocations.
+var tlMetrics struct {
+	indexBuilds *obs.Counter // timeline_index_builds_total
+	viewMats    *obs.Counter // timeline_view_materializations_total
+	meets       *obs.Counter // timeline_meet_calls_total
+	nextContact *obs.Counter // timeline_nextcontact_calls_total
+}
+
+func init() {
+	obs.OnInstrument(func(r *obs.Registry) {
+		tlMetrics.indexBuilds = r.Counter("timeline_index_builds_total",
+			"base index arrays built (adjacency and pair CSR sorts)")
+		tlMetrics.viewMats = r.Counter("timeline_view_materializations_total",
+			"derived-view index arrays materialized lazily")
+		tlMetrics.meets = r.Counter("timeline_meet_calls_total",
+			"Meet queries answered")
+		tlMetrics.nextContact = r.Counter("timeline_nextcontact_calls_total",
+			"NextContact queries answered")
+	})
+}

@@ -139,6 +139,7 @@ func (tl *Timeline) ensurePairs() {
 // the trace: both directions of every contact, grouped per node in CSR
 // layout, sorted canonically within each node segment.
 func (v *View) buildBaseAdj() {
+	tlMetrics.indexBuilds.Inc()
 	tr := v.tl.tr
 	n := tr.NumNodes()
 	off := make([]int32, n+1)
@@ -222,6 +223,7 @@ func sufMinBegAdj(off []int32, byEnd []DirContact) []float64 {
 // buildBasePairs fills the identity view's per-pair interval arrays in
 // CSR layout over the canonical pair IDs.
 func (v *View) buildBasePairs() {
+	tlMetrics.indexBuilds.Inc()
 	tl := v.tl
 	tl.ensurePairs()
 	tr := tl.tr

@@ -273,6 +273,7 @@ func (v *View) ensureAdj() {
 			v.buildBaseAdj()
 			return
 		}
+		tlMetrics.viewMats.Inc()
 		base := v.tl.all
 		base.ensureAdj()
 		n := len(base.adjOff) - 1
@@ -316,6 +317,7 @@ func (v *View) ensurePairIndex() {
 			v.buildBasePairs()
 			return
 		}
+		tlMetrics.viewMats.Inc()
 		base := v.tl.all
 		base.ensurePairIndex()
 		np := len(base.pairOff) - 1
@@ -355,6 +357,11 @@ func (v *View) ensurePairIndex() {
 
 func (v *View) ensurePartners() {
 	v.partnerOnce.Do(func() {
+		if v.isBase() {
+			tlMetrics.indexBuilds.Inc()
+		} else {
+			tlMetrics.viewMats.Inc()
+		}
 		tl := v.tl
 		tl.ensurePairs()
 		tr := tl.tr
@@ -418,6 +425,7 @@ func (v *View) Partners(u trace.NodeID) []trace.NodeID {
 // binary search for the first interval ending at or after t, whose
 // suffix-min begin bounds how early the meeting can start.
 func (v *View) Meet(u, w trace.NodeID, t float64) float64 {
+	tlMetrics.meets.Inc()
 	v.ensurePairIndex()
 	id, ok := v.tl.pairID[PairKey(u, w)]
 	if !ok {
@@ -435,6 +443,7 @@ func (v *View) Meet(u, w trace.NodeID, t float64) float64 {
 // NextContact returns the earliest time at or after t at which device u
 // is in contact with any other device, or +Inf.
 func (v *View) NextContact(u trace.NodeID, t float64) float64 {
+	tlMetrics.nextContact.Inc()
 	v.ensureAdj()
 	lo, hi := int(v.adjOff[u]), int(v.adjOff[u+1])
 	seg := v.adjByEnd[lo:hi]

@@ -5,15 +5,29 @@
 # multicore scaling probes) plus one benchmark per paper exhibit, and
 # emits a machine-readable BENCH_<N>.json with ns/op, bytes/op and
 # allocs/op per benchmark so successive PRs can compare both speed and
-# allocation discipline.
+# allocation discipline. A quick-mode experiment run's RUN_REPORT.json
+# (validated by scripts/checkreport) is embedded as "run_report", so
+# each record also carries end-to-end stage times and metric totals.
 #
 # Usage: scripts/bench.sh [output.json]
+# Without an argument the output is BENCH_<N+1>.json, one past the
+# highest index already recorded.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_3.json}
+if [ $# -ge 1 ]; then
+    OUT=$1
+else
+    last=$(ls BENCH_*.json 2>/dev/null |
+        sed -nE 's/^BENCH_([0-9]+)\.json$/\1/p' | sort -n | tail -1)
+    OUT="BENCH_$(( ${last:-0} + 1 )).json"
+fi
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
+
+echo "== quick suite run report =="
+go run ./cmd/experiments -quick -report "$TMP/run_report.json" all > /dev/null
+go run ./scripts/checkreport "$TMP/run_report.json"
 
 echo "== engine + aggregation, -cpu 1,4 =="
 go test -run '^$' -bench 'BenchmarkEngineCompute$|BenchmarkDelayCDFAggregation$' \
@@ -50,6 +64,15 @@ BEGIN {
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, bop, aop
 }
 END { printf "\n  ]\n}\n" }
-' "$TMP/scaling.txt" "$TMP/exhibits.txt" "$TMP/timeline.txt" > "$OUT"
+' "$TMP/scaling.txt" "$TMP/exhibits.txt" "$TMP/timeline.txt" > "$TMP/bench.json"
+
+# Splice the validated run report into the record: drop the closing
+# brace, add the "run_report" member, close again.
+{
+    sed '$d' "$TMP/bench.json"
+    printf '  ,"run_report":\n'
+    sed 's/^/  /' "$TMP/run_report.json"
+    printf '}\n'
+} > "$OUT"
 
 echo "wrote $OUT"

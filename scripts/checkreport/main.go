@@ -1,0 +1,108 @@
+// Command checkreport validates a RUN_REPORT.json produced by
+// cmd/experiments -report: the schema (version, command, stages,
+// metric maps), the stage accounting (serial stage wall times must sum
+// to the total within 5%), and optionally that required metric
+// families are present and non-zero.
+//
+// Usage:
+//
+//	go run ./scripts/checkreport RUN_REPORT.json
+//	go run ./scripts/checkreport -require par_tasks_total,core_rows_total RUN_REPORT.json
+//
+// Exits 1 with a diagnostic on the first violation; CI's obs-smoke job
+// uses it as the report gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"opportunet/internal/obs"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checkreport: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	require := flag.String("require", "", "comma-separated counter names that must be present with a positive value")
+	tolerance := flag.Float64("tolerance", 0.05, "allowed relative gap between the stage wall-time sum and the total")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail("usage: checkreport [-require names] RUN_REPORT.json")
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var rep obs.RunReport
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		fail("%s: not a run report: %v", path, err)
+	}
+
+	if rep.Version != 1 {
+		fail("%s: version = %d, want 1", path, rep.Version)
+	}
+	if rep.Command == "" {
+		fail("%s: empty command", path)
+	}
+	if rep.Workers < 1 {
+		fail("%s: workers = %d, want >= 1", path, rep.Workers)
+	}
+	if rep.WallMS <= 0 {
+		fail("%s: wall_ms = %g, want > 0", path, rep.WallMS)
+	}
+	if len(rep.Stages) == 0 {
+		fail("%s: no stages", path)
+	}
+	if rep.Counters == nil || rep.Gauges == nil || rep.Histograms == nil {
+		fail("%s: metric maps missing", path)
+	}
+
+	// The stages are serial and contiguous, so their wall times must
+	// partition the total: any gap beyond scheduling noise means a phase
+	// of the run escaped the accounting.
+	sum := 0.0
+	for _, s := range rep.Stages {
+		if s.Name == "" || s.WallMS < 0 {
+			fail("%s: bad stage %+v", path, s)
+		}
+		sum += s.WallMS
+	}
+	if gap := math.Abs(rep.WallMS - sum); gap > *tolerance*rep.WallMS {
+		fail("%s: stage sum %.3fms vs total %.3fms: gap %.1f%% exceeds %.0f%%",
+			path, sum, rep.WallMS, 100*gap/rep.WallMS, 100**tolerance)
+	}
+
+	for _, h := range rep.Histograms {
+		if h.Count < 0 || h.Quantiles == nil {
+			fail("%s: bad histogram snapshot %+v", path, h)
+		}
+	}
+
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			v, ok := rep.Counters[name]
+			if !ok {
+				fail("%s: required counter %q missing", path, name)
+			}
+			if v <= 0 {
+				fail("%s: required counter %q is %d, want > 0", path, name, v)
+			}
+		}
+	}
+	fmt.Printf("checkreport: %s ok (%d stages, %.0fms, %d counters)\n",
+		path, len(rep.Stages), rep.WallMS, len(rep.Counters))
+}

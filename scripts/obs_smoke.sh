@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end gate for the observability layer.
+#
+# Runs the quick experiment suite with the obs endpoint on an ephemeral
+# port, curls /metrics, /debug/vars and /debug/pprof mid-run, asserts
+# the expected metric families are exposed, and validates the final
+# RUN_REPORT.json (schema, 5% stage accounting, required counters) with
+# scripts/checkreport. The report and span log land in the output
+# directory so CI can archive them.
+#
+# Usage: scripts/obs_smoke.sh [output-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUTDIR=${1:-$(mktemp -d)}
+mkdir -p "$OUTDIR"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/experiments" ./cmd/experiments
+
+"$TMP/experiments" -quick -obsaddr 127.0.0.1:0 \
+    -report "$OUTDIR/RUN_REPORT.json" -obslog "$OUTDIR/spans.jsonl" \
+    all > "$TMP/out.txt" 2> "$TMP/err.txt" &
+pid=$!
+
+# The bound address is logged to stderr as soon as the listener is up.
+addr=
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|.*on http://\([^]]*\)\].*|\1|p' "$TMP/err.txt" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "obs_smoke: no obs address appeared on stderr:" >&2
+    cat "$TMP/err.txt" >&2
+    kill "$pid" 2>/dev/null || true
+    exit 1
+fi
+
+# Mid-run, all three endpoint families must respond.
+curl -fsS "http://$addr/metrics" > "$TMP/metrics.txt"
+curl -fsS "http://$addr/debug/vars" | grep -q '"opportunet"'
+curl -fsS "http://$addr/debug/pprof/" > /dev/null
+
+wait "$pid"
+
+# Every instrumented layer must expose its families on /metrics.
+for fam in par_tasks_total core_rows_total core_extensions_attempted_total \
+           timeline_index_builds_total analysis_curve_cache_misses_total \
+           checkpoint_hits_total experiments_completed_total; do
+    grep -q "^# TYPE $fam " "$TMP/metrics.txt" || {
+        echo "obs_smoke: metric family $fam missing from /metrics" >&2
+        exit 1
+    }
+done
+
+# The suite must still have produced its real output.
+[ -s "$TMP/out.txt" ] || { echo "obs_smoke: empty experiment output" >&2; exit 1; }
+[ -s "$OUTDIR/spans.jsonl" ] || { echo "obs_smoke: empty span log" >&2; exit 1; }
+
+# Report gate: schema, 5% stage accounting, and live counters from the
+# engine up through the experiment harness.
+go run ./scripts/checkreport \
+    -require par_tasks_total,core_rows_total,core_computes_total,experiments_completed_total \
+    "$OUTDIR/RUN_REPORT.json"
+
+echo "obs smoke passed (artifacts in $OUTDIR)"
