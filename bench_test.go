@@ -23,8 +23,10 @@ import (
 	"opportunet/internal/core"
 	"opportunet/internal/experiments"
 	"opportunet/internal/flood"
+	"opportunet/internal/reach"
 	"opportunet/internal/rng"
 	"opportunet/internal/stats"
+	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
 	"opportunet/internal/tracegen"
 )
@@ -111,6 +113,56 @@ func BenchmarkDelayCDFAggregation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReachBounds measures the fast tier's primitive: one envelope
+// build (slot sweep with grid-bucketed accumulation) plus the
+// per-hop-bound worst-ratio brackets on the scaled conference trace.
+func BenchmarkReachBounds(b *testing.B) {
+	tr := benchTrace(b)
+	v := timeline.New(tr).All()
+	grid := stats.LogSpace(120, tr.Duration(), 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := reach.New(v, reach.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.WorstRatioBounds(grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDiameterWorkload is the eps-sweep/diameter workload of the
+// tiered-vs-exact comparison: an ε sweep plus the headline diameter,
+// caches dropped per iteration so each run redoes the decision work.
+// The two benchmarks below run it with the reach tier on and off; their
+// ratio is the tiered speedup recorded in the bench report, and the
+// fast-tier equivalence tests pin that both produce identical answers.
+func benchDiameterWorkload(b *testing.B, fast bool) {
+	b.Helper()
+	tr := benchTrace(b)
+	st, err := analysis.NewStudy(tr, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.SetFastTier(fast)
+	grid := stats.LogSpace(120, tr.Duration(), 40)
+	epsSweep := []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.ClearCaches()
+		_ = st.DiameterVsEpsilon(epsSweep, grid)
+		if k, _ := st.Diameter(0.01, grid); k < 1 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkDiameterTiered(b *testing.B) { benchDiameterWorkload(b, true) }
+func BenchmarkDiameterExact(b *testing.B)  { benchDiameterWorkload(b, false) }
 
 // BenchmarkAblationPruning/pareto vs /naive: insert an identical
 // candidate stream into the engine's pruned frontier and into a naive

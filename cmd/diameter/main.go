@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +27,9 @@ import (
 	"opportunet/internal/cli"
 	"opportunet/internal/core"
 	"opportunet/internal/export"
+	"opportunet/internal/reach"
 	"opportunet/internal/stats"
+	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
 )
 
@@ -36,6 +39,7 @@ func main() {
 	hops := flag.String("hops", "1,2,3,4,5,6", "comma-separated hop bounds to tabulate (0 = unbounded is always included)")
 	points := flag.Int("points", 30, "delay-grid resolution")
 	verify := flag.Int("verify", 0, "spot-check N random (source, time) points against an independent flooding simulation")
+	approx := flag.Bool("approx", false, "bounds-only mode: certified success-curve envelopes and diameter bounds from the reach tier, skipping the exhaustive engine entirely")
 	workers := flag.Int("workers", 0, "worker goroutines for the path engine and aggregation (0 = all cores); results are identical at every count")
 	timeout := flag.Duration("timeout", 0, "cancel the computation after this long (0 = no limit)")
 	prof := cli.AddProfileFlags()
@@ -71,14 +75,6 @@ func main() {
 		tr.Name, tr.NumNodes(), tr.NumInternal(), len(tr.Contacts),
 		export.FormatDuration(tr.Duration()))
 
-	t0 = time.Now()
-	st, err := analysis.NewStudy(tr, core.Options{Workers: *workers, Ctx: ctx})
-	if err != nil {
-		fail(err)
-	}
-	vb.Debugf("[paths computed in %v]", time.Since(t0).Round(time.Millisecond))
-	fmt.Printf("optimal paths computed: fixpoint at %d hops\n\n", st.Result.Hops)
-
 	var bounds []int
 	for _, part := range strings.Split(*hops, ",") {
 		part = strings.TrimSpace(part)
@@ -104,6 +100,20 @@ func main() {
 		lo = hi / 100
 	}
 	grid := stats.LogSpace(lo, hi, *points)
+
+	if *approx {
+		runApprox(tr, bounds, grid, *eps, *workers, ctx, vb)
+		return
+	}
+
+	t0 = time.Now()
+	st, err := analysis.NewStudy(tr, core.Options{Workers: *workers, Ctx: ctx})
+	if err != nil {
+		fail(err)
+	}
+	vb.Debugf("[paths computed in %v]", time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("optimal paths computed: fixpoint at %d hops\n\n", st.Result.Hops)
+
 	t0 = time.Now()
 	cdfs := st.DelayCDFs(bounds, grid)
 	vb.Debugf("[aggregated CDFs in %v]", time.Since(t0).Round(time.Millisecond))
@@ -143,6 +153,55 @@ func main() {
 	fmt.Println("\ndiameter per delay budget:")
 	for i := 0; i < len(grid); i += 3 {
 		fmt.Printf("  %-8s -> %d hops\n", export.FormatDuration(grid[i]), ks[i])
+	}
+}
+
+// runApprox is the bounds-only mode: no exhaustive path computation at
+// all. The reach tier's envelopes bracket every success curve, and
+// DiameterBounds reports a certified interval for the (1−ε)-diameter —
+// exact whenever the interval collapses.
+func runApprox(tr *trace.Trace, bounds []int, grid []float64, eps float64, workers int, ctx context.Context, vb *cli.Verbosity) {
+	if err := tr.Validate(); err != nil {
+		fail(err)
+	}
+	t0 := time.Now()
+	eng, err := reach.New(timeline.New(tr).All(), reach.Options{Workers: workers, Ctx: ctx})
+	if err != nil {
+		fail(err)
+	}
+	cols := make([]export.Column, 0, 2*len(bounds))
+	for _, k := range bounds {
+		lower, upper, err := eng.DeliveryBound(k, grid)
+		if err != nil {
+			fail(err)
+		}
+		name := fmt.Sprintf("<=%d hops", k)
+		if k == analysis.Unbounded {
+			name = "unbounded"
+		}
+		cols = append(cols,
+			export.Column{Name: name + " lo", Ys: lower},
+			export.Column{Name: name + " hi", Ys: upper})
+	}
+	vb.Debugf("[reachability envelopes built in %v]", time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("certified success-curve envelopes (%d start-time slots, hop layers up to %d):\n",
+		eng.Slots(), eng.MaxHops())
+	if err := export.Series(os.Stdout, "delay(s)", grid, cols); err != nil {
+		fail(err)
+	}
+
+	lo, hi, err := eng.DiameterBounds(eps, grid)
+	if err != nil {
+		fail(err)
+	}
+	switch {
+	case lo == hi:
+		fmt.Printf("\n(1-eps)-diameter at eps=%g: %d hops (certified exact, no exhaustive run needed)\n", eps, lo)
+	case hi < 0:
+		fmt.Printf("\n(1-eps)-diameter at eps=%g: >= %d hops (no upper certificate at %d slots; rerun without -approx for the exact answer)\n",
+			eps, lo, eng.Slots())
+	default:
+		fmt.Printf("\n(1-eps)-diameter at eps=%g: between %d and %d hops (rerun without -approx for the exact answer)\n", eps, lo, hi)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"opportunet/internal/core"
 	"opportunet/internal/flood"
 	"opportunet/internal/par"
+	"opportunet/internal/reach"
 	"opportunet/internal/rng"
 	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
@@ -59,12 +60,19 @@ type Study struct {
 	// as relays inside paths.
 	Pairs [][2]trace.NodeID
 
-	workers int
-	ctx     context.Context
+	workers  int
+	ctx      context.Context
+	directed bool
 
 	mu        sync.Mutex
 	frontiers map[int][]core.Frontier // hop bound -> frontier per pair
 	curves    map[curveKey][]float64  // (hop bound, grid, window) -> summed SuccessWithin
+
+	// fastTier enables the reach bounds tier (see tier.go); reachEng is
+	// its lazily built engine, reachFailed latches a construction error.
+	fastTier    bool
+	reachEng    *reach.Engine
+	reachFailed bool
 }
 
 // NewStudy computes optimal paths for all internal sources of the trace
@@ -102,8 +110,10 @@ func NewStudyView(v *timeline.View, opt core.Options) (*Study, error) {
 		Result:    res,
 		workers:   opt.Workers,
 		ctx:       opt.Ctx,
+		directed:  opt.Directed,
 		frontiers: make(map[int][]core.Frontier),
 		curves:    make(map[curveKey][]float64),
+		fastTier:  fastTierOn.Load(),
 	}
 	for _, a := range internal {
 		for _, b := range internal {
@@ -166,6 +176,8 @@ func (s *Study) ClearCaches() {
 	defer s.mu.Unlock()
 	s.frontiers = make(map[int][]core.Frontier)
 	s.curves = make(map[curveKey][]float64)
+	s.reachEng = nil
+	s.reachFailed = false
 }
 
 // curveKey identifies one cached success curve: the hop bound, the
@@ -223,6 +235,14 @@ func putCurveBuf(buf []float64) {
 // so the curve is byte-identical at every worker count. Callers must not
 // modify the returned slice.
 func (s *Study) successCurve(hopBound int, grid []float64, a, b float64) []float64 {
+	return s.successCurveBuf(hopBound, grid, a, b, nil)
+}
+
+// successCurveBuf is successCurve with a caller-provided integration
+// buffer (≥ pairs × grid capacity): multi-bound aggregations acquire
+// the flat buffer once and reuse it for every hop bound instead of
+// cycling it through the pool per bound. nil falls back to the pool.
+func (s *Study) successCurveBuf(hopBound int, grid []float64, a, b float64, buf []float64) []float64 {
 	key := makeCurveKey(hopBound, grid, a, b)
 	s.mu.Lock()
 	if c, ok := s.curves[key]; ok {
@@ -235,7 +255,15 @@ func (s *Study) successCurve(hopBound int, grid []float64, a, b float64) []float
 
 	fs := s.frontiersFor(hopBound)
 	ng := len(grid)
-	flat := getCurveBuf(len(fs) * ng)
+	need := len(fs) * ng
+	flat := buf
+	if cap(flat) < need {
+		flat = getCurveBuf(need)
+		defer putCurveBuf(flat)
+	} else {
+		flat = flat[:need]
+		clear(flat) // cancelled integrations must read zeros
+	}
 	cancelled := par.DoCtx(s.ctx, len(fs), s.workers, func(i int) {
 		row := flat[i*ng : (i+1)*ng]
 		for gi, d := range grid {
@@ -249,7 +277,6 @@ func (s *Study) successCurve(hopBound int, grid []float64, a, b float64) []float
 			sum[gi] += v
 		}
 	}
-	putCurveBuf(flat)
 	if cancelled {
 		// Incomplete integration: hand it back uncached so a later
 		// (uncancelled) caller rebuilds the true curve.
@@ -268,7 +295,11 @@ func (s *Study) successCurve(hopBound int, grid []float64, a, b float64) []float
 // successProbs returns the normalized success curve: successCurve
 // divided by pairs · window. The returned slice is freshly allocated.
 func (s *Study) successProbs(hopBound int, grid []float64, a, b float64) []float64 {
-	sum := s.successCurve(hopBound, grid, a, b)
+	return s.successProbsBuf(hopBound, grid, a, b, nil)
+}
+
+func (s *Study) successProbsBuf(hopBound int, grid []float64, a, b float64, buf []float64) []float64 {
+	sum := s.successCurveBuf(hopBound, grid, a, b, buf)
 	out := make([]float64, len(sum))
 	norm := float64(len(s.Pairs)) * (b - a)
 	for i, v := range sum {
@@ -316,9 +347,12 @@ func (s *Study) DelayCDFs(hopBounds []int, grid []float64) []DelayCDF {
 // during the day correlates with the contact rate. Paths may still use
 // contacts after b.
 func (s *Study) DelayCDFsWindow(hopBounds []int, grid []float64, a, b float64) []DelayCDF {
+	// One flat integration buffer serves every hop bound of the call.
+	buf := getCurveBuf(len(s.Pairs) * len(grid))
+	defer putCurveBuf(buf)
 	out := make([]DelayCDF, len(hopBounds))
 	for i, k := range hopBounds {
-		out[i] = DelayCDF{HopBound: k, Grid: grid, Success: s.successProbs(k, grid, a, b)}
+		out[i] = DelayCDF{HopBound: k, Grid: grid, Success: s.successProbsBuf(k, grid, a, b, buf)}
 	}
 	return out
 }
@@ -328,11 +362,25 @@ func (s *Study) DelayCDFsWindow(hopBounds []int, grid []float64, a, b float64) [
 // grid, the success probability within k hops is at least (1−ε) times
 // the unbounded success probability. The second return value reports the
 // per-budget worst ratio of the returned k (diagnostics).
+//
+// With the fast tier on, the reach engine's certified lower bound lets
+// the scan skip hop bounds proven to fail — those bounds would fail the
+// exact comparison too (the criterion is monotone in k: larger bounds
+// only add successful starting times), so the first passing k, its
+// exact curve, and the reported worst ratio are byte-identical to the
+// exact-only scan.
 func (s *Study) Diameter(eps float64, grid []float64) (int, float64) {
 	a, b := s.View.Start(), s.View.End()
+	startK := 1
+	if eng := s.reachEngine(); eng != nil && eng.Certifiable(grid) {
+		if lo, _, err := eng.DiameterBounds(eps, grid); err == nil && lo > 1 {
+			anMetrics.tierSkips.Add(int64(lo - 1))
+			startK = lo
+		}
+	}
 	ref := s.successProbs(Unbounded, grid, a, b)
 	maxK := s.Result.Hops
-	for k := 1; k <= maxK && s.Err() == nil; k++ {
+	for k := startK; k <= maxK && s.Err() == nil; k++ {
 		cur := s.successProbs(k, grid, a, b)
 		worst := 1.0
 		ok := true
@@ -344,7 +392,7 @@ func (s *Study) Diameter(eps float64, grid []float64) (int, float64) {
 			if ratio < worst {
 				worst = ratio
 			}
-			if cur[i]+1e-12 < (1-eps)*ref[i] {
+			if cur[i]+reach.SuccessCurveTol < (1-eps)*ref[i] {
 				ok = false
 			}
 		}
@@ -361,15 +409,33 @@ func (s *Study) Diameter(eps float64, grid []float64) (int, float64) {
 // flooding's success can only require more hops. This sweep quantifies
 // how much of the headline number rides on the strictness of the 99%
 // criterion.
+//
+// With the fast tier on, one envelope build brackets every hop bound's
+// worst ratio at once: an ε whose threshold clears the bracket's low
+// side is resolved without touching that bound's exact curve, one below
+// the high side is certified unresolved at this bound, and only the ε
+// values landing inside a bracket trigger the exact integration for
+// that bound. The brackets contain the exact ratio (padded for float
+// headroom), so the resolved hop counts are byte-identical either way.
 func (s *Study) DiameterVsEpsilon(eps []float64, grid []float64) []int {
 	a, b := s.View.Start(), s.View.End()
-	ref := s.successProbs(Unbounded, grid, a, b)
 	out := make([]int, len(eps))
 	for i := range out {
 		out[i] = -1
 	}
-	remaining := len(eps)
-	for k := 1; k <= s.Result.Hops && remaining > 0 && s.Err() == nil; k++ {
+	var brackets []reach.RatioBound
+	if eng := s.reachEngine(); eng != nil && eng.Certifiable(grid) {
+		if rb, err := eng.WorstRatioBounds(grid); err == nil {
+			brackets = rb
+		}
+	}
+	// The exact per-k worst ratio, integrated lazily: only the hop
+	// bounds some ε could not be certified on pay for their curves.
+	var ref []float64
+	exactWorst := func(k int) float64 {
+		if ref == nil {
+			ref = s.successProbs(Unbounded, grid, a, b)
+		}
 		cur := s.successProbs(k, grid, a, b)
 		worst := 1.0
 		for gi := range grid {
@@ -380,8 +446,36 @@ func (s *Study) DiameterVsEpsilon(eps []float64, grid []float64) []int {
 				worst = r
 			}
 		}
+		return worst
+	}
+	remaining := len(eps)
+	for k := 1; k <= s.Result.Hops && remaining > 0 && s.Err() == nil; k++ {
+		exact := math.NaN()
 		for i, e := range eps {
-			if out[i] < 0 && worst+1e-12 >= 1-e {
+			if out[i] >= 0 {
+				continue
+			}
+			thr := 1 - e
+			if k-1 < len(brackets) {
+				rb := brackets[k-1]
+				if rb.Lo+reach.SuccessCurveTol >= thr {
+					anMetrics.tierSkips.Inc()
+					out[i] = k
+					remaining--
+					continue
+				}
+				if rb.Hi+reach.SuccessCurveTol < thr {
+					anMetrics.tierSkips.Inc()
+					continue
+				}
+			}
+			if math.IsNaN(exact) {
+				if brackets != nil {
+					anMetrics.tierFallbacks.Inc()
+				}
+				exact = exactWorst(k)
+			}
+			if exact+reach.SuccessCurveTol >= thr {
 				out[i] = k
 				remaining--
 			}
@@ -413,7 +507,7 @@ func (s *Study) DiameterAtDelay(eps float64, grid []float64) []int {
 	for k := 1; k <= s.Result.Hops && remaining > 0 && s.Err() == nil; k++ {
 		cur := s.successProbs(k, grid, a, b)
 		for i := range grid {
-			if out[i] < 0 && cur[i]+1e-12 >= (1-eps)*ref[i] {
+			if out[i] < 0 && cur[i]+reach.SuccessCurveTol >= (1-eps)*ref[i] {
 				out[i] = k
 				remaining--
 			}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"sync/atomic"
+
+	"opportunet/internal/reach"
+)
+
+// The fast tier: diameter-style questions are answered bounds-first by
+// a reach.Engine over the study's view, and the exhaustive engine's
+// curves are integrated only where the certified bounds leave a gap.
+// The reach certificates fold in the shared comparison tolerance
+// (reach.SuccessCurveTol — the same constant every exact comparison in
+// this package uses), so the tiered results are byte-identical to the
+// exact-only path; the tier is purely a work-avoidance layer and can be
+// switched off at any time for timing or debugging.
+
+// fastTierOn is the package-wide default for newly built studies.
+// Studies built by the removal treatments inherit it too, which is how
+// one process-level switch (cmd flags, benchmarks) covers every study
+// in a run.
+var fastTierOn atomic.Bool
+
+func init() { fastTierOn.Store(true) }
+
+// SetFastTierDefault flips whether newly constructed studies consult
+// the reach bounds tier before exhaustive aggregation. It never changes
+// results — only how much exact integration work is avoided.
+func SetFastTierDefault(on bool) { fastTierOn.Store(on) }
+
+// FastTierDefault reports the current package-wide default.
+func FastTierDefault() bool { return fastTierOn.Load() }
+
+// SetFastTier overrides the tier choice for this study alone.
+func (s *Study) SetFastTier(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fastTier = on
+	if !on {
+		s.reachEng = nil
+	}
+	s.reachFailed = false
+}
+
+// reachEngine returns the study's lazily built bounds engine, or nil
+// when the tier is off or does not apply: a nonzero transmission delay
+// δ makes the exact tier's success integration sampled rather than
+// piecewise-exact, and the envelope certificates only certify the
+// piecewise-exact comparison. Engine construction failures latch — the
+// study silently stays exact-only.
+func (s *Study) reachEngine() *reach.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.fastTier || s.reachFailed || s.Result.Delta != 0 || s.Result.Hops < 1 {
+		return nil
+	}
+	if s.reachEng == nil {
+		eng, err := reach.New(s.View, reach.Options{
+			MaxHops:  s.Result.Hops,
+			Directed: s.directed,
+			Workers:  s.workers,
+			Ctx:      s.ctx,
+		})
+		if err != nil {
+			s.reachFailed = true
+			return nil
+		}
+		s.reachEng = eng
+	}
+	return s.reachEng
+}

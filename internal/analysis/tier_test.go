@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"testing"
+
+	"opportunet/internal/core"
+	"opportunet/internal/randtemp"
+	"opportunet/internal/rng"
+	"opportunet/internal/stats"
+	"opportunet/internal/timeline"
+	"opportunet/internal/trace"
+)
+
+func tierTraces(t *testing.T) []*trace.Trace {
+	t.Helper()
+	var out []*trace.Trace
+	for seed := uint64(1); seed <= 3; seed++ {
+		tr, err := randtemp.DiscreteModel{N: 11, Lambda: 0.25, Slots: 24, SlotSeconds: 300}.Generate(rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+		tr, err = randtemp.ContinuousModel{N: 9, Lambda: 1.0 / 1500, Horizon: 6 * 3600}.Generate(rng.New(seed + 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// TestFastTierEquivalence is the tiering contract: every diameter-style
+// answer must be byte-identical with the reach bounds tier on and off,
+// at serial and parallel worker counts.
+func TestFastTierEquivalence(t *testing.T) {
+	epsSweep := []float64{0.001, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5}
+	for ti, tr := range tierTraces(t) {
+		v := timeline.New(tr).All()
+		grid := stats.LogSpace(60, v.Duration(), 25)
+		for _, workers := range []int{1, 8} {
+			exact, err := NewStudyView(v, core.Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact.SetFastTier(false)
+			tiered, err := NewStudyView(v, core.Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tiered.SetFastTier(true)
+			for _, eps := range []float64{0.01, 0.05, 0.2} {
+				dE, wE := exact.Diameter(eps, grid)
+				dT, wT := tiered.Diameter(eps, grid)
+				if dE != dT || wE != wT {
+					t.Fatalf("trace %d workers %d eps %v: Diameter (%d, %v) exact vs (%d, %v) tiered",
+						ti, workers, eps, dE, wE, dT, wT)
+				}
+			}
+			sE := exact.DiameterVsEpsilon(epsSweep, grid)
+			sT := tiered.DiameterVsEpsilon(epsSweep, grid)
+			for i := range epsSweep {
+				if sE[i] != sT[i] {
+					t.Fatalf("trace %d workers %d eps %v: DiameterVsEpsilon %d exact vs %d tiered",
+						ti, workers, epsSweep[i], sE[i], sT[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFastTierDefaultToggle checks the package-wide switch reaches new
+// studies and that SetFastTier overrides per study.
+func TestFastTierDefaultToggle(t *testing.T) {
+	tr, err := randtemp.DiscreteModel{N: 8, Lambda: 0.3, Slots: 12, SlotSeconds: 300}.Generate(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer SetFastTierDefault(true)
+	SetFastTierDefault(false)
+	if FastTierDefault() {
+		t.Fatal("default did not flip off")
+	}
+	s, err := NewStudy(tr, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.reachEngine() != nil {
+		t.Fatal("tier engaged on a study built with the default off")
+	}
+	s.SetFastTier(true)
+	if s.reachEngine() == nil {
+		t.Fatal("per-study override did not engage the tier")
+	}
+	s.SetFastTier(false)
+	if s.reachEngine() != nil {
+		t.Fatal("per-study override did not disengage the tier")
+	}
+}
+
+// TestFastTierGatesOnDelta: the envelope certificates assume the exact
+// tier's piecewise integration, which only holds at δ = 0.
+func TestFastTierGatesOnDelta(t *testing.T) {
+	tr, err := randtemp.DiscreteModel{N: 8, Lambda: 0.3, Slots: 12, SlotSeconds: 300}.Generate(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStudy(tr, core.Options{TransmitDelay: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.reachEngine() != nil {
+		t.Fatal("tier engaged on a δ>0 study")
+	}
+}
+
+// TestDelayCDFsAllocsPinned pins the aggregation's allocation behavior:
+// with warm frontiers, one DelayCDFs call over many hop bounds shares a
+// single pooled integration buffer across bounds, so the per-call
+// allocations stay bounded by the small per-bound outputs (sum + probs
+// + cache bookkeeping), not by pairs × grid buffers.
+func TestDelayCDFsAllocsPinned(t *testing.T) {
+	tr, err := randtemp.DiscreteModel{N: 12, Lambda: 0.3, Slots: 24, SlotSeconds: 300}.Generate(rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStudy(tr, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := stats.LogSpace(60, tr.Duration(), 40)
+	bounds := []int{1, 2, 3, 4, 5, 6, Unbounded}
+	// Warm the frontier memo and the buffer pool; curves are dropped
+	// each run so every bound re-integrates.
+	s.DelayCDFs(bounds, grid)
+	clearCurves := func() {
+		s.mu.Lock()
+		s.curves = make(map[curveKey][]float64)
+		s.mu.Unlock()
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		clearCurves()
+		s.DelayCDFs(bounds, grid)
+	})
+	// ~6 allocations per hop bound (sum, probs, key bookkeeping, memo
+	// map churn) plus the output slice; the flat pairs × grid buffer
+	// must not be re-allocated per bound.
+	if max := float64(8*len(bounds) + 8); allocs > max {
+		t.Fatalf("DelayCDFs allocations regressed: %v allocs/op, want <= %v", allocs, max)
+	}
+	// Fully-warm calls (curves cached) must stay near-free.
+	s.DelayCDFs(bounds, grid)
+	warm := testing.AllocsPerRun(20, func() {
+		s.DelayCDFs(bounds, grid)
+	})
+	if max := float64(3*len(bounds) + 4); warm > max {
+		t.Fatalf("warm DelayCDFs allocations regressed: %v allocs/op, want <= %v", warm, max)
+	}
+}

@@ -1,0 +1,405 @@
+package reach
+
+import (
+	"math"
+
+	"opportunet/internal/par"
+)
+
+// build is one completed envelope construction: a fixed slot resolution
+// evaluated on one delay grid. lo[kIdx]/hi[kIdx] hold the unnormalized
+// lower/upper success measures of hop class kIdx at each grid budget —
+// classes kIdx < maxK are the hop-bound-(kIdx+1) classes, kIdx == maxK
+// is the unbounded class.
+type build struct {
+	slots  int
+	maxK   int
+	window float64 // observation window length b−a
+	pairs  int     // ordered internal pairs
+	grid   []float64
+	lo, hi [][]float64
+}
+
+// sameGrid reports whether the build was evaluated on this exact grid.
+func (bd *build) sameGrid(grid []float64) bool {
+	if len(bd.grid) != len(grid) {
+		return false
+	}
+	for i, d := range grid {
+		if bd.grid[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// acc accumulates one source's ramp contributions for every hop class,
+// bucketed by the delay grid. Each slot of the start-time sweep
+// contributes a clamped ramp clamp(d−c, 0, w) to a class's measure —
+// exact where del is constant across the slot, and evaluated once with
+// the slot's right (lower side) or left (upper side) boundary value
+// where del jumps, which is what makes the two sums sandwich the exact
+// curve. Using the ramp identity
+//
+//	clamp(d−c, 0, w) = max(0, d−c) − max(0, d−(c+w)),
+//
+// a ramp is two unit-slope breakpoints (+1 at c, −1 at c+w), and since
+// envelopes are only ever evaluated at the grid budgets, each
+// breakpoint collapses to a (count, value-sum) update in the bucket of
+// the first grid point at or above it — no sorted event multisets, no
+// per-event storage. Evaluating a class at grid[m] is then
+// prefixCount·grid[m] − prefixSum over buckets ≤ m, identical at every
+// grid point to evaluating the full sorted multiset (breakpoints past
+// the last budget contribute nothing anywhere and are dropped).
+//
+// Layout: per class, four consecutive G-sized blocks
+// [loCnt, loSum, hiCnt, hiSum].
+type acc struct {
+	grid   []float64
+	buf    []float64
+	events int64
+}
+
+func newAcc(classes int, grid []float64) *acc {
+	return &acc{grid: grid, buf: make([]float64, classes*4*len(grid))}
+}
+
+// buckets locates the two breakpoints of a clamped ramp on the grid:
+// the first bucket at or above c and, searching only the remaining
+// suffix (end ≥ c always), the first at or above end. An index of G
+// means the breakpoint lies past every budget and is dropped. The
+// searches are hand-rolled: this is the innermost accumulation step and
+// the sort.Search closure overhead is measurable here.
+func (ac *acc) buckets(c, end float64) (int, int) {
+	grid := ac.grid
+	lo, hi := 0, len(grid)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if grid[m] < c {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	b1 := lo
+	hi = len(grid)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if grid[m] < end {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return b1, lo
+}
+
+// addRamp registers one clamped ramp (start c, width w) into a
+// (count, sum) block pair.
+func (ac *acc) addRamp(off int, c, w float64) {
+	G := len(ac.grid)
+	end := c + w
+	b1, b2 := ac.buckets(c, end)
+	if b1 < G {
+		ac.buf[off+b1]++
+		ac.buf[off+G+b1] += c
+	}
+	if b2 < G {
+		ac.buf[off+b2]--
+		ac.buf[off+G+b2] -= end
+	}
+	ac.events++
+}
+
+// exact adds a contribution present in both envelopes: a constant run
+// of del across one or more whole slots has exactly measure
+// clamp(d−c, 0, w) of successful starting times. The buckets are
+// located once and applied to both the lower and upper blocks.
+func (ac *acc) exact(kIdx int, c, w float64) {
+	G := len(ac.grid)
+	base := kIdx * 4 * G
+	end := c + w
+	b1, b2 := ac.buckets(c, end)
+	if b1 < G {
+		ac.buf[base+b1]++
+		ac.buf[base+G+b1] += c
+		ac.buf[base+2*G+b1]++
+		ac.buf[base+3*G+b1] += c
+	}
+	if b2 < G {
+		ac.buf[base+b2]--
+		ac.buf[base+G+b2] -= end
+		ac.buf[base+2*G+b2]--
+		ac.buf[base+3*G+b2] -= end
+	}
+	ac.events += 2
+}
+
+func (ac *acc) lower(kIdx int, c, w float64) {
+	ac.addRamp(kIdx*4*len(ac.grid), c, w)
+}
+
+func (ac *acc) upper(kIdx int, c, w float64) {
+	ac.addRamp(kIdx*4*len(ac.grid)+2*len(ac.grid), c, w)
+}
+
+// buildAt runs the slot sweep at the given resolution and returns the
+// finished envelopes evaluated on the grid. For every source it relaxes
+// once per slot boundary and run-merges the per-destination delivery
+// times: while del stays constant across consecutive boundaries the
+// slots between them contribute one exact ramp, and each slot where del
+// jumps contributes a pessimistic ramp to the lower envelope (right
+// boundary value — del is non-decreasing in the starting time, so that
+// value bounds the slot from above) and an optimistic one to the upper
+// envelope (left boundary value). Infinite delivery times contribute
+// nothing: an unreachable boundary pins its slot's lower contribution
+// at zero and the preceding value keeps the upper side honest.
+//
+// Hop classes at or above the relaxation depth all equal the unbounded
+// class — del_k saturates once k exceeds the longest useful path from
+// the source. Per source, every class at or above gLo (the running
+// maximum of the recorded depth over the boundaries processed so far)
+// has had an identical history, so those lanes are swept as ONE group
+// lane (index K+1) holding a single copy of the run state and the
+// bucketed events. When a boundary's depth exceeds gLo, the classes it
+// separates leave the group: each takes a copy of the group's run state
+// and accumulated block and proceeds individually (one-way splits — a
+// materialized lane never rejoins). After the final flush the group
+// block is copied into every class still grouped. Each lane's block
+// receives exactly the float additions, in exactly the order, that an
+// ungrouped sweep would have applied to it, so the envelopes are
+// byte-identical; with the typical depth well under MaxHops this
+// removes a third or more of the merge and bucketing work.
+func (e *Engine) buildAt(slots int, grid []float64) (*build, error) {
+	reMetrics.builds.Inc()
+	a, b := e.view.Start(), e.view.End()
+	K := e.maxK
+	nInt := len(e.sources)
+	G := len(grid)
+	sb := make([]float64, slots+1)
+	for i := 0; i <= slots; i++ {
+		sb[i] = a + (b-a)*float64(i)/float64(slots)
+	}
+	sb[slots] = b
+
+	accs := make([]*acc, nInt)
+	err := par.DoErrCtx(e.opt.Ctx, nInt, e.opt.Workers, func(si int) error {
+		ac := newAcc(K+2, grid) // class lanes 0..K plus the group lane K+1
+		accs[si] = ac
+		src := e.sources[si]
+		sc := getScratch(e.view.NumNodes(), nInt, K)
+		defer putScratch(sc)
+		runVal, runStart := sc.runVal, sc.runStart
+		lastIn := e.lastIn()
+		G4 := 4 * G
+		gBase := (K + 1) * nInt
+		gBlk := ac.buf[(K+1)*G4 : (K+2)*G4]
+		gLo := K + 1
+		for i := 0; i <= slots; i++ {
+			sc.relax(e.view, src, sb[i], K, e.sources, e.opt.Directed, lastIn)
+			if i == 0 {
+				gLo = sc.recorded
+				for kIdx := 0; kIdx < gLo; kIdx++ {
+					base := kIdx * nInt
+					for d := 0; d < nInt; d++ {
+						if d == si {
+							continue
+						}
+						runVal[base+d] = sc.delAt(kIdx, d, e.sources)
+						runStart[base+d] = 0
+					}
+				}
+				for d := 0; d < nInt; d++ {
+					if d == si {
+						continue
+					}
+					runVal[gBase+d] = sc.arrCur[e.sources[d]]
+					runStart[gBase+d] = 0
+				}
+				continue
+			}
+			if rec := sc.recorded; rec > gLo {
+				// This boundary distinguishes classes gLo..rec−1 from the
+				// unbounded tail: materialize them from the group before
+				// sweeping it. Their blocks were untouched until now, so
+				// copying reproduces the ungrouped sums bit-for-bit.
+				for k := gLo; k < rec; k++ {
+					copy(runVal[k*nInt:(k+1)*nInt], runVal[gBase:gBase+nInt])
+					copy(runStart[k*nInt:(k+1)*nInt], runStart[gBase:gBase+nInt])
+					copy(ac.buf[k*G4:(k+1)*G4], gBlk)
+				}
+				gLo = rec
+			}
+			for kIdx := 0; kIdx < gLo; kIdx++ {
+				base := kIdx * nInt
+				// delAt, hoisted: one row-vs-saturated decision per lane
+				// instead of one per destination.
+				row := sc.rows[base : base+nInt]
+				if kIdx >= sc.recorded {
+					row = nil
+				}
+				for d := 0; d < nInt; d++ {
+					if d == si {
+						continue
+					}
+					var v float64
+					if row != nil {
+						v = row[d]
+					} else {
+						v = sc.arrCur[e.sources[d]]
+					}
+					pv := runVal[base+d]
+					if v == pv {
+						continue
+					}
+					// Flush the constant run [s_rs, s_{i-1}] — exact on
+					// both sides — then account the jump slot
+					// [s_{i-1}, s_i].
+					rs := int(runStart[base+d])
+					if rs < i-1 && !math.IsInf(pv, 1) {
+						ac.exact(kIdx, pv-sb[i-1], sb[i-1]-sb[rs])
+					}
+					w := sb[i] - sb[i-1]
+					if !math.IsInf(v, 1) {
+						ac.lower(kIdx, v-sb[i], w)
+					}
+					if !math.IsInf(pv, 1) {
+						ac.upper(kIdx, pv-sb[i], w)
+					}
+					runVal[base+d] = v
+					runStart[base+d] = int32(i)
+				}
+			}
+			for d := 0; d < nInt; d++ {
+				if d == si {
+					continue
+				}
+				v := sc.arrCur[e.sources[d]]
+				pv := runVal[gBase+d]
+				if v == pv {
+					continue
+				}
+				rs := int(runStart[gBase+d])
+				if rs < i-1 && !math.IsInf(pv, 1) {
+					ac.exact(K+1, pv-sb[i-1], sb[i-1]-sb[rs])
+				}
+				w := sb[i] - sb[i-1]
+				if !math.IsInf(v, 1) {
+					ac.lower(K+1, v-sb[i], w)
+				}
+				if !math.IsInf(pv, 1) {
+					ac.upper(K+1, pv-sb[i], w)
+				}
+				runVal[gBase+d] = v
+				runStart[gBase+d] = int32(i)
+			}
+		}
+		// Final flush: runs that extend to the window end.
+		for kIdx := 0; kIdx < gLo; kIdx++ {
+			base := kIdx * nInt
+			for d := 0; d < nInt; d++ {
+				if d == si {
+					continue
+				}
+				pv := runVal[base+d]
+				rs := int(runStart[base+d])
+				if rs < slots && !math.IsInf(pv, 1) {
+					ac.exact(kIdx, pv-sb[slots], sb[slots]-sb[rs])
+				}
+			}
+		}
+		for d := 0; d < nInt; d++ {
+			if d == si {
+				continue
+			}
+			pv := runVal[gBase+d]
+			rs := int(runStart[gBase+d])
+			if rs < slots && !math.IsInf(pv, 1) {
+				ac.exact(K+1, pv-sb[slots], sb[slots]-sb[rs])
+			}
+		}
+		// Classes still grouped take the group block wholesale.
+		for k := gLo; k <= K; k++ {
+			copy(ac.buf[k*G4:(k+1)*G4], gBlk)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce the per-source accumulators in source order — the totals
+	// (hence every envelope value) are independent of worker scheduling —
+	// then turn each class's bucketed breakpoints into evaluated curves
+	// by a prefix scan over the grid. The group lane was distributed into
+	// its classes inside each worker, so only the class lanes reduce.
+	total := make([]float64, (K+1)*4*G)
+	var events int64
+	for _, ac := range accs {
+		for j, v := range ac.buf[:len(total)] {
+			total[j] += v
+		}
+		events += ac.events
+	}
+	bd := &build{
+		slots:  slots,
+		maxK:   K,
+		window: b - a,
+		pairs:  nInt * (nInt - 1),
+		grid:   append([]float64(nil), grid...),
+		lo:     make([][]float64, K+1),
+		hi:     make([][]float64, K+1),
+	}
+	for kIdx := 0; kIdx <= K; kIdx++ {
+		base := kIdx * 4 * G
+		bd.lo[kIdx] = evalCurve(grid, total[base:base+G], total[base+G:base+2*G])
+		bd.hi[kIdx] = evalCurve(grid, total[base+2*G:base+3*G], total[base+3*G:base+4*G])
+	}
+	reMetrics.events.Add(events)
+	return bd, nil
+}
+
+// evalCurve turns one bucketed breakpoint set into the measure curve at
+// the grid budgets: Σ over breakpoints at or below grid[m] of
+// (grid[m] − breakpoint), via running prefix count and value sums.
+func evalCurve(grid, cnt, sum []float64) []float64 {
+	out := make([]float64, len(grid))
+	var pc, ps float64
+	for m, d := range grid {
+		pc += cnt[m]
+		ps += sum[m]
+		out[m] = pc*d - ps
+	}
+	return out
+}
+
+// classFor maps a hop bound (core convention: 0 = unbounded) to the
+// envelope indexes answering it. Bounds above maxK are answered soundly
+// but loosely: the maxK lower envelope under-estimates every larger
+// bound's curve, and the unbounded upper envelope over-estimates it.
+func (bd *build) classFor(hopBound int) (loIdx, hiIdx int) {
+	switch {
+	case hopBound <= 0 || hopBound > bd.maxK:
+		hiIdx = bd.maxK
+		if hopBound <= 0 {
+			loIdx = bd.maxK
+		} else {
+			loIdx = bd.maxK - 1
+		}
+	default:
+		loIdx, hiIdx = hopBound-1, hopBound-1
+	}
+	return loIdx, hiIdx
+}
+
+// boundsInto fills lower/upper with the normalized envelope values of
+// the hop class at each grid budget (same normalization as the exact
+// tier: pairs × window).
+func (bd *build) boundsInto(hopBound int, lower, upper []float64) {
+	loIdx, hiIdx := bd.classFor(hopBound)
+	norm := float64(bd.pairs) * bd.window
+	for i := range bd.grid {
+		lower[i] = bd.lo[loIdx][i] / norm
+		upper[i] = bd.hi[hiIdx][i] / norm
+	}
+}

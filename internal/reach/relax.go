@@ -1,0 +1,424 @@
+package reach
+
+import (
+	"math"
+	"sync"
+
+	"opportunet/internal/timeline"
+	"opportunet/internal/trace"
+)
+
+// scratch is the pooled per-relaxation working set: the two arrival
+// arrays of the layered relaxation, the change lists that keep a layer's
+// cost proportional to the nodes it actually improves, the recorded
+// hop-bounded rows, and the run-merge state of the slot sweep. Arrays
+// are sized for the largest (nodes, internal, hops) combination seen and
+// reused across boundaries, sources and engines. Invariant outside
+// relax: arrPrev/arrCur hold +Inf everywhere except the indices listed
+// in touched — so resetting between starting times is proportional to
+// the previous reachable set, never to the node count.
+type scratch struct {
+	arrPrev, arrCur      []float64
+	touched              []int32
+	changed, changedNext []int32
+
+	// rows[(k-1)*nInt : k*nInt] holds del_k at every internal device
+	// after relax, for k = 1..recorded. recorded = min(layers run,
+	// recordK); del_k for k > recorded equals the unbounded arrCur.
+	rows     []float64
+	nInt     int
+	recorded int
+
+	// Run-merge state of the slot sweep (owned by buildAt, pooled here
+	// so a build allocates nothing per source): maxK+2 lanes of nInt —
+	// one per hop class plus buildAt's shared tail-group lane.
+	runVal   []float64
+	runStart []int32
+
+	// mark flags the current layer's changed nodes during the
+	// target-side pass; always all-false between layers.
+	mark []bool
+
+	// futLo[u] is the smallest departure time whose future window of u
+	// has been scanned in the current relaxation (+Inf before the first
+	// scan). A future contact's offer is its begin time — independent
+	// of the departure — so when u improves and is relaxed again, only
+	// the newly exposed (tu, futLo[u]] begin range holds offers not
+	// already applied; everything past futLo[u] was offered in an
+	// earlier layer and can only be a no-op. Maintained under the same
+	// touched-list reset discipline as the arrival arrays.
+	futLo []float64
+
+	// begCur/endCur memoize each node's last search positions in its
+	// begin-/end-sorted adjacency. Departure times strictly decrease
+	// across a node's relaxations within one call, so both positions
+	// only move left — a short backward walk from the previous spot
+	// replaces the binary searches after the first visit. Entries are
+	// meaningful only while the node's futLo is finite (set on first
+	// visit), so the arrays need no reset between relaxations.
+	begCur, endCur []int32
+}
+
+var scratchPool sync.Pool
+
+// getScratch returns a scratch sized for n nodes, nInt internal devices
+// and maxK recorded hop layers, growing a pooled one as needed.
+func getScratch(n, nInt, maxK int) *scratch {
+	sc, _ := scratchPool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{}
+	}
+	if cap(sc.arrPrev) < n {
+		sc.arrPrev = make([]float64, n)
+		sc.arrCur = make([]float64, n)
+		sc.futLo = make([]float64, n)
+		for i := 0; i < n; i++ {
+			sc.arrPrev[i] = inf
+			sc.arrCur[i] = inf
+			sc.futLo[i] = inf
+		}
+		sc.touched = sc.touched[:0]
+	} else {
+		// Shrinking back to a smaller node count keeps the invariant:
+		// entries beyond n were +Inf already (they were reset by the
+		// previous user's touched list).
+		for _, u := range sc.touched {
+			sc.arrPrev[u], sc.arrCur[u] = inf, inf
+			sc.futLo[u] = inf
+		}
+		sc.touched = sc.touched[:0]
+	}
+	sc.arrPrev = sc.arrPrev[:n]
+	sc.arrCur = sc.arrCur[:n]
+	sc.futLo = sc.futLo[:n]
+	if cap(sc.mark) < n {
+		sc.mark = make([]bool, n)
+	}
+	sc.mark = sc.mark[:n]
+	if cap(sc.begCur) < n {
+		sc.begCur = make([]int32, n)
+		sc.endCur = make([]int32, n)
+	}
+	sc.begCur = sc.begCur[:n]
+	sc.endCur = sc.endCur[:n]
+	if cap(sc.rows) < maxK*nInt {
+		sc.rows = make([]float64, maxK*nInt)
+	}
+	sc.rows = sc.rows[:maxK*nInt]
+	if cap(sc.runVal) < (maxK+2)*nInt {
+		sc.runVal = make([]float64, (maxK+2)*nInt)
+		sc.runStart = make([]int32, (maxK+2)*nInt)
+	}
+	sc.runVal = sc.runVal[:(maxK+2)*nInt]
+	sc.runStart = sc.runStart[:(maxK+2)*nInt]
+	sc.nInt = nInt
+	sc.recorded = 0
+	return sc
+}
+
+func putScratch(sc *scratch) {
+	// Restore the all-+Inf invariant before pooling so the next user's
+	// reset loop starts from a clean touched list.
+	for _, u := range sc.touched {
+		sc.arrPrev[u], sc.arrCur[u] = inf, inf
+		sc.futLo[u] = inf
+	}
+	sc.touched = sc.touched[:0]
+	scratchPool.Put(sc)
+}
+
+// relax runs the hop-layered temporal relaxation from src at starting
+// time t0: layer k improves arrivals by composing exactly one more
+// contact onto the layer-(k−1) reachable set, so after layer k,
+// arrCur[v] is the exact optimal delivery time of a ≤k-contact
+// time-respecting path (the min-plus product of k δ-sliced reachability
+// steps). Layers run until a fixpoint, at which point arrCur is the
+// unbounded delivery time. When recordK > 0, the per-layer arrivals of
+// the internal devices are recorded into rows (up to recordK layers).
+//
+// Each layer relaxes only nodes improved by the previous layer, reading
+// arrivals from arrPrev (frozen at the previous layer) and min-writing
+// into arrCur — same-layer improvements never cascade, which is what
+// keeps the hop accounting exact.
+//
+// A node's adjacency is scanned in two parts around the departure time
+// tu. Contacts already open at tu all offer the same arrival tu: they
+// are the end-sorted entries past one binary search, and the scan stops
+// as soon as the suffix minimum of begin times passes tu (every later
+// entry begins, and so is handled, in the future part). Contacts
+// beginning after tu offer their begin time: they are a begin-sorted
+// suffix, scanned in increasing Beg until the layer's cutoff. The
+// cutoff is sound because a contact can only improve node w if its
+// begin time is below both arrCur[w] (the arrival it must beat; an
+// offer is max(tu, Beg) ≥ Beg) and lastIn[w] (its end time is at most
+// w's last usable incoming end, and Beg ≤ End) — so no contact
+// beginning strictly after max_w min(arrCur[w], lastIn[w]) can improve
+// anything. The maximum is taken at layer start; arrCur only decreases
+// within a layer, so it stays an upper bound. Unlike a plain max of
+// arrivals it is finite even while nodes are still unreached (their
+// lastIn caps them), which is what lets the sweep skip the long tail of
+// future contacts instead of rescanning the rest of the trace at every
+// layer. Results are bit-identical to the unpruned scan.
+func (sc *scratch) relax(v *timeline.View, src trace.NodeID, t0 float64, recordK int, internal []trace.NodeID, directed bool, lastIn []float64) {
+	reMetrics.relaxations.Inc()
+	for _, u := range sc.touched {
+		sc.arrPrev[u], sc.arrCur[u] = inf, inf
+		sc.futLo[u] = inf
+	}
+	sc.touched = sc.touched[:0]
+	sc.arrPrev[src], sc.arrCur[src] = t0, t0
+	sc.touched = append(sc.touched, int32(src))
+	changed := sc.changed[:0]
+	changed = append(changed, int32(src))
+	next := sc.changedNext[:0]
+	sc.recorded = 0
+	layer := 0
+	arrPrev, arrCur := sc.arrPrev, sc.arrCur
+	aOff, aBeg, aEnd, aSuf := v.Adjacency()
+	// wSideOn latches the first layer whose changed list outgrows the
+	// unreached set; see the regime comment below. Latching (instead of
+	// re-deciding per layer) keeps the effective scan cutoff monotone
+	// non-increasing across layers, which the futLo windowing relies on.
+	wSideOn := false
+	for len(changed) > 0 {
+		layer++
+		next = next[:0]
+		// Two cutoffs per layer: cutReached caps the begin time of any
+		// contact that can improve an already-reached node, cutAll
+		// additionally covers the still-unreached ones (through their
+		// lastIn, since reaching w needs a contact ending by lastIn[w]).
+		// Nodes whose last usable incoming contact ended before t0 can
+		// never be improved in this relaxation and contribute to neither.
+		cutReached, cutAll := t0, t0
+		unreached := 0
+		for w, a := range arrCur {
+			li := lastIn[w]
+			if li < t0 {
+				continue
+			}
+			if math.IsInf(a, 1) {
+				unreached++
+				if li > cutAll {
+					cutAll = li
+				}
+				continue
+			}
+			if li < a {
+				a = li
+			}
+			if a > cutReached {
+				cutReached = a
+			}
+		}
+		if cutReached > cutAll {
+			cutAll = cutReached
+		}
+		// Unreached nodes keep cutAll pinned near the end of the trace
+		// (their lastIn is the only cap), which would make every scan
+		// below sweep the rest of the timeline. When the changed list is
+		// larger than the unreached set it is cheaper to flip those
+		// targets around: resolve each unreached node by one pass over
+		// its own incoming adjacency (the exact minimum over the changed
+		// nodes' offers), and let the forward scans stop at cutReached.
+		// Either split computes the same arrival minima, so the results
+		// stay bit-identical.
+		if !wSideOn && unreached > 0 && len(changed) > unreached {
+			wSideOn = true
+		}
+		wSide := wSideOn && unreached > 0
+		cutoff := cutAll
+		if wSideOn {
+			// With the target-side pass resolving every unreached node
+			// exactly in its own layer (below), forward scans only need to
+			// cover already-reached targets. This also keeps futLo sound
+			// even though cutReached itself is not monotone: any offer
+			// beyond a layer's cutReached is a permanent no-op for nodes
+			// reached that layer, and subsumed by that layer's target-side
+			// minimum for nodes unreached then.
+			cutoff = cutReached
+		}
+		if wSide {
+			minTu := inf
+			for _, ui := range changed {
+				sc.mark[ui] = true
+				if arrPrev[ui] < minTu {
+					minTu = arrPrev[ui]
+				}
+			}
+			for w := range arrCur {
+				if !math.IsInf(arrCur[w], 1) || lastIn[w] < minTu {
+					continue
+				}
+				o0, o1 := aOff[w], aOff[w+1]
+				byEnd, sufMin := aEnd[o0:o1], aSuf[o0:o1]
+				lo, hi := 0, len(byEnd)
+				for lo < hi {
+					m := int(uint(lo+hi) >> 1)
+					if byEnd[m].End < minTu {
+						lo = m + 1
+					} else {
+						hi = m
+					}
+				}
+				best := inf
+				for j := lo; j < len(byEnd); j++ {
+					// Once every remaining begin time is at least the best
+					// offer so far, no remaining contact can lower it
+					// (offers are bounded below by their begin times).
+					if sufMin[j] >= best {
+						break
+					}
+					ec := &byEnd[j]
+					if directed && ec.Fwd {
+						// w's Fwd entries are w→u directions; under
+						// Directed only the contact's recorded u→w
+						// orientation (w's non-Fwd entries) delivers.
+						continue
+					}
+					u := ec.To
+					if !sc.mark[u] {
+						continue
+					}
+					tu := arrPrev[u]
+					if ec.End < tu {
+						continue
+					}
+					off := ec.Beg
+					if tu > off {
+						off = tu
+					}
+					if off < best {
+						best = off
+					}
+				}
+				if best < arrCur[w] {
+					next = append(next, int32(w))
+					sc.touched = append(sc.touched, int32(w))
+					arrCur[w] = best
+				}
+			}
+			for _, ui := range changed {
+				sc.mark[ui] = false
+			}
+		}
+		for _, ui := range changed {
+			tu := arrPrev[ui]
+			o0, o1 := aOff[ui], aOff[ui+1]
+			byBeg, byEnd, sufMin := aBeg[o0:o1], aEnd[o0:o1], aSuf[o0:o1]
+			first := math.IsInf(sc.futLo[ui], 1)
+			// Contacts open at tu: first end-sorted entry with End ≥ tu.
+			var lo int
+			if first {
+				l, h := 0, len(byEnd)
+				for l < h {
+					m := int(uint(l+h) >> 1)
+					if byEnd[m].End < tu {
+						l = m + 1
+					} else {
+						h = m
+					}
+				}
+				lo = l
+			} else {
+				lo = int(sc.endCur[ui])
+				for lo > 0 && byEnd[lo-1].End >= tu {
+					lo--
+				}
+			}
+			sc.endCur[ui] = int32(lo)
+			for j := lo; j < len(byEnd); j++ {
+				if sufMin[j] > tu {
+					break
+				}
+				ec := &byEnd[j]
+				if ec.Beg > tu || (directed && !ec.Fwd) {
+					continue
+				}
+				to := ec.To
+				if tu < arrCur[to] {
+					if arrCur[to] == arrPrev[to] {
+						// First improvement of this layer.
+						next = append(next, int32(to))
+						if math.IsInf(arrPrev[to], 1) {
+							sc.touched = append(sc.touched, int32(to))
+						}
+					}
+					arrCur[to] = tu
+				}
+			}
+			// Contacts beginning after tu, up to the improvement cutoff —
+			// and no further than futLo[ui]: future offers are begin times,
+			// independent of the departure, so the range past an earlier
+			// scan's departure was already applied then (arrivals only
+			// decrease, making re-offers no-ops) and only the newly exposed
+			// (tu, futLo] window can hold news.
+			upper := cutoff
+			if fl := sc.futLo[ui]; fl < upper {
+				upper = fl
+			}
+			if first {
+				l, h := 0, len(byBeg)
+				for l < h {
+					m := int(uint(l+h) >> 1)
+					if byBeg[m].Beg <= tu {
+						l = m + 1
+					} else {
+						h = m
+					}
+				}
+				lo = l
+			} else {
+				lo = int(sc.begCur[ui])
+				for lo > 0 && byBeg[lo-1].Beg > tu {
+					lo--
+				}
+			}
+			sc.begCur[ui] = int32(lo)
+			for j := lo; j < len(byBeg); j++ {
+				ec := &byBeg[j]
+				cand := ec.Beg
+				if cand > upper {
+					break
+				}
+				if directed && !ec.Fwd {
+					continue
+				}
+				to := ec.To
+				if cand < arrCur[to] {
+					if arrCur[to] == arrPrev[to] {
+						next = append(next, int32(to))
+						if math.IsInf(arrPrev[to], 1) {
+							sc.touched = append(sc.touched, int32(to))
+						}
+					}
+					arrCur[to] = cand
+				}
+			}
+			sc.futLo[ui] = tu
+		}
+		if layer <= recordK {
+			row := sc.rows[(layer-1)*sc.nInt : layer*sc.nInt]
+			for d, node := range internal {
+				row[d] = arrCur[node]
+			}
+			sc.recorded = layer
+		}
+		for _, vi := range next {
+			arrPrev[vi] = arrCur[vi]
+		}
+		changed, next = next, changed
+	}
+	// Keep the (possibly grown) list capacities for the next call.
+	sc.changed, sc.changedNext = changed, next
+}
+
+// delAt returns the recorded delivery time of internal device d (dense
+// index) under hop class kIdx: kIdx < maxK selects hop bound kIdx+1,
+// kIdx == maxK (or any layer past the relaxation's fixpoint) selects the
+// unbounded value.
+func (sc *scratch) delAt(kIdx int, d int, internal []trace.NodeID) float64 {
+	if kIdx < sc.recorded {
+		return sc.rows[kIdx*sc.nInt+d]
+	}
+	return sc.arrCur[internal[d]]
+}

@@ -11,8 +11,9 @@ import (
 var tlMetrics struct {
 	indexBuilds *obs.Counter // timeline_index_builds_total
 	viewMats    *obs.Counter // timeline_view_materializations_total
-	meets       *obs.Counter // timeline_meet_calls_total
-	nextContact *obs.Counter // timeline_nextcontact_calls_total
+	meets        *obs.Counter // timeline_meet_calls_total
+	nextContact  *obs.Counter // timeline_nextcontact_calls_total
+	sliceQueries *obs.Counter // timeline_slice_queries_total
 }
 
 func init() {
@@ -25,5 +26,7 @@ func init() {
 			"Meet queries answered")
 		tlMetrics.nextContact = r.Counter("timeline_nextcontact_calls_total",
 			"NextContact queries answered")
+		tlMetrics.sliceQueries = r.Counter("timeline_slice_queries_total",
+			"OutgoingAfter δ-slice queries answered")
 	})
 }

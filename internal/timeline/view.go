@@ -411,6 +411,51 @@ func (v *View) OutgoingByEnd(u trace.NodeID) []DirContact {
 	return v.adjByEnd[v.adjOff[u]:v.adjOff[u+1]]
 }
 
+// OutgoingAfter returns the usable contact directions leaving u that are
+// still open at or after time t (End >= t), sorted by non-decreasing end
+// time — the δ-slice accessor of the reach layer: slicing the [t, ∞)
+// tail out of u's adjacency is one binary search on the shared
+// end-sorted arrays, so composing reachability products over successive
+// starting times never copies or re-sorts contacts. The slice is shared;
+// callers must not modify it.
+func (v *View) OutgoingAfter(u trace.NodeID, t float64) []DirContact {
+	tlMetrics.sliceQueries.Inc()
+	v.ensureAdj()
+	lo, hi := int(v.adjOff[u]), int(v.adjOff[u+1])
+	seg := v.adjByEnd[lo:hi]
+	i := sort.Search(len(seg), func(i int) bool { return seg[i].End >= t })
+	return seg[i:]
+}
+
+// OutgoingIndex returns u's usable contact directions in both sort
+// orders plus the suffix minimum of begin times aligned with the
+// end-sorted slice: sufMinBeg[i] is the smallest Beg among byEnd[i:].
+// This is the bulk form of the δ-slice accessor for sweeps that
+// repeatedly partition u's adjacency around a moving departure time —
+// the contacts still open at t are the byEnd entries past one binary
+// search (stopping early once sufMinBeg exceeds t), and the contacts
+// beginning after t are a byBeg suffix. All three slices are shared;
+// callers must not modify them.
+func (v *View) OutgoingIndex(u trace.NodeID) (byBeg, byEnd []DirContact, sufMinBeg []float64) {
+	tlMetrics.sliceQueries.Inc()
+	v.ensureAdj()
+	lo, hi := v.adjOff[u], v.adjOff[u+1]
+	return v.adjByBeg[lo:hi], v.adjByEnd[lo:hi], v.adjSufMinBeg[lo:hi]
+}
+
+// Adjacency returns the view's packed adjacency wholesale: node u's
+// usable contact directions are byBeg[off[u]:off[u+1]] (begin-sorted)
+// and byEnd[off[u]:off[u+1]] (end-sorted), with sufMinBeg aligned to
+// byEnd as in OutgoingIndex. Sweeps that index the adjacency once per
+// relaxed node use this to hoist the per-call overhead of the sliced
+// accessors out of their hot loops. All four slices are shared; callers
+// must not modify them.
+func (v *View) Adjacency() (off []int32, byBeg, byEnd []DirContact, sufMinBeg []float64) {
+	tlMetrics.sliceQueries.Inc()
+	v.ensureAdj()
+	return v.adjOff, v.adjByBeg, v.adjByEnd, v.adjSufMinBeg
+}
+
 // Partners returns the devices u ever shares a contact with, ordered by
 // the first contact of each pair in trace order (the tie-break order the
 // forwarding algorithms rely on). The slice is shared; callers must not

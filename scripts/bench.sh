@@ -9,6 +9,17 @@
 # (validated by scripts/checkreport) is embedded as "run_report", so
 # each record also carries end-to-end stage times and metric totals.
 #
+# The reach-tier stage records the fast tier's primitive (ReachBounds:
+# one envelope build plus every hop bound's worst-ratio bracket, i.e. a
+# whole ε sweep's worth of answers) next to the exact primitive it
+# replaces (DelayCDFAggregation), and emits their same-run ratio as
+# "tiered_vs_exact" — same-run so machine drift between records cannot
+# fake or hide a speedup. DiameterTiered/DiameterExact run the Study
+# eps-sweep workload with the tier on and off; on the benchmark trace
+# the delay grid is finer than the tier can certify, so those two
+# measure the certifiability gate's overhead (they should be equal),
+# not the tier's win.
+#
 # Usage: scripts/bench.sh [output.json]
 # Without an argument the output is BENCH_<N+1>.json, one past the
 # highest index already recorded.
@@ -37,6 +48,10 @@ echo "== per-exhibit benchmarks (quick mode) =="
 go test -run '^$' -bench 'Benchmark(Table1|Figure[0-9]+|PhaseCheck|Forwarding)$' \
     -benchtime 1x . | tee "$TMP/exhibits.txt"
 
+echo "== reach tier: envelope bounds vs exact aggregation =="
+go test -run '^$' -bench 'Benchmark(ReachBounds|DiameterTiered|DiameterExact)$' \
+    -benchtime 3x . | tee "$TMP/reach.txt"
+
 echo "== timeline index: build, queries, shared-vs-cold engine setup =="
 go test -run '^$' -bench 'Benchmark(IndexBuild|Meet|DeriveRemovalView|ComputeSetupShared|ComputeSetupCold)$' \
     -benchtime 10x ./internal/timeline | tee "$TMP/timeline.txt"
@@ -64,12 +79,22 @@ BEGIN {
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, bop, aop
 }
 END { printf "\n  ]\n}\n" }
-' "$TMP/scaling.txt" "$TMP/exhibits.txt" "$TMP/timeline.txt" > "$TMP/bench.json"
+' "$TMP/scaling.txt" "$TMP/exhibits.txt" "$TMP/reach.txt" "$TMP/timeline.txt" > "$TMP/bench.json"
 
-# Splice the validated run report into the record: drop the closing
-# brace, add the "run_report" member, close again.
+# Tiered-vs-exact speedup from this run's own numbers: the exact
+# aggregation primitive (single-core) over the reach tier's bounds
+# primitive.
+RATIO=$(awk '
+$1 == "BenchmarkDelayCDFAggregation" { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") exact = $i }
+$1 ~ /^BenchmarkReachBounds(-[0-9]+)?$/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") fast = $i }
+END { if (exact && fast) printf "%.2f", exact / fast; else printf "null" }
+' "$TMP/scaling.txt" "$TMP/reach.txt")
+
+# Splice the ratio and the validated run report into the record: drop
+# the closing brace, add the members, close again.
 {
     sed '$d' "$TMP/bench.json"
+    printf '  ,"tiered_vs_exact": %s\n' "$RATIO"
     printf '  ,"run_report":\n'
     sed 's/^/  /' "$TMP/run_report.json"
     printf '}\n'
