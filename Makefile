@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json bench-smoke profile quick-equivalence fuzz-smoke checkpoint-idempotence obs-smoke reach-check
+.PHONY: check build vet test race bench bench-json bench-smoke profile quick-equivalence fuzz-smoke checkpoint-idempotence obs-smoke reach-check stream-check
 
 check: build vet race
 
@@ -73,6 +73,16 @@ checkpoint-idempotence:
 # accounting validated. Artifacts land in obs-artifacts/.
 obs-smoke:
 	scripts/obs_smoke.sh obs-artifacts
+
+# Streaming gate: segmented-timeline and incremental-engine equivalence
+# under the race detector — any split of a trace into append batches
+# (random batch sizes, seal cadences, epochs, out-of-order appends)
+# must reproduce the one-shot build byte-identically at workers 1 and 8,
+# and fuzzed seal+merge must equal a fresh index over the same contacts.
+stream-check:
+	$(GO) test -race -timeout 20m -run 'StreamCheck|Appender|Segment|Extend|NewStudyResult|GenerateStream|Stream' \
+		./internal/timeline ./internal/core ./internal/analysis ./internal/trace ./internal/tracegen
+	$(GO) test ./internal/timeline -run FuzzAppendMerge -fuzz FuzzAppendMerge -fuzztime 10s
 
 # Fast-tier gate: the reach cross-validation suite (bounds bracket the
 # exact engine on randomized traces, certificates imply exact answers)

@@ -5,10 +5,15 @@
 //
 //	tracegen -dataset infocom05 -seed 1 -o infocom05.trace
 //	tracegen -dataset realitymining -days 30 -o rm30.trace
+//	tracegen -dataset hongkong -stream -o hk.trace
 //	tracegen -random -n 200 -lambda 1.5 -slots 100 -o rand.trace
 //
 // The output format is the line-oriented text format of internal/trace
-// (see its documentation), readable back by cmd/diameter. A summary of
+// (see its documentation), readable back by cmd/diameter. With -stream
+// the contacts go to the output through the streaming writer as they are
+// generated, holding only one batch in memory instead of the whole
+// trace; the file then lists contacts in generation order rather than
+// sorted by start time (every reader accepts either order). A summary of
 // what was written goes to stderr; -quiet suppresses it, -v adds the
 // generation time. Exit codes: 2 for usage errors, 1 for runtime
 // errors.
@@ -17,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -36,18 +42,17 @@ func main() {
 	slots := flag.Int("slots", 100, "random model: number of time slots")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output file (default stdout)")
+	stream := flag.Bool("stream", false, "stream contacts to the output as generated (bounded memory, generation order)")
+	batch := flag.Int("batch", 0, "streaming batch size (default 4096; implies -stream semantics only with -stream)")
 	vb := cli.AddVerbosityFlags()
 	flag.Parse()
 
-	start := time.Now()
-	var tr *trace.Trace
-	var err error
+	var cfg tracegen.Config
+	isDataset := false
 	switch {
 	case *random:
-		m := randtemp.DiscreteModel{N: *n, Lambda: *lambda, Slots: *slots}
-		tr, err = m.Generate(rng.New(*seed))
 	case *dataset != "":
-		var cfg tracegen.Config
+		isDataset = true
 		switch *dataset {
 		case "infocom05":
 			cfg = tracegen.Infocom05Config()
@@ -62,21 +67,37 @@ func main() {
 				cfg = tracegen.RealityMiningConfig()
 			}
 		case "wlan":
-			// Handled separately: WLAN traces have their own config.
+			isDataset = false // WLAN traces have their own generator.
 		default:
 			cli.Usage("tracegen", fmt.Sprintf("unknown dataset %q", *dataset))
 		}
-		if *dataset == "wlan" {
-			wcfg := tracegen.CampusWLANConfig()
-			if *days > 0 {
-				wcfg.DurationDays = *days
-			}
-			tr, err = tracegen.GenerateWLAN(wcfg, *seed)
-		} else {
-			tr, err = tracegen.Generate(cfg, *seed)
-		}
 	default:
 		cli.Usage("tracegen", "pass -dataset NAME or -random")
+	}
+
+	if *stream {
+		if !isDataset {
+			cli.Usage("tracegen", "-stream requires a -dataset other than wlan")
+		}
+		streamOut(cfg, *seed, *batch, *out, vb)
+		return
+	}
+
+	start := time.Now()
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *random:
+		m := randtemp.DiscreteModel{N: *n, Lambda: *lambda, Slots: *slots}
+		tr, err = m.Generate(rng.New(*seed))
+	case *dataset == "wlan":
+		wcfg := tracegen.CampusWLANConfig()
+		if *days > 0 {
+			wcfg.DurationDays = *days
+		}
+		tr, err = tracegen.GenerateWLAN(wcfg, *seed)
+	default:
+		tr, err = tracegen.Generate(cfg, *seed)
 	}
 	if err != nil {
 		cli.Fail("tracegen", err)
@@ -97,4 +118,47 @@ func main() {
 	}
 	vb.Logf("wrote %d contacts, %d devices (%d internal)",
 		len(tr.Contacts), tr.NumNodes(), tr.NumInternal())
+}
+
+// streamOut generates the dataset through GenerateStream, writing each
+// batch to the destination as it is produced: memory use is one batch
+// plus the generator's own state, independent of the trace size.
+func streamOut(cfg tracegen.Config, seed uint64, batch int, out string, vb *cli.Verbosity) {
+	meta, err := cfg.Meta()
+	if err != nil {
+		cli.Fail("tracegen", err)
+	}
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if out != "" {
+		f, err = os.Create(out)
+		if err != nil {
+			cli.Fail("tracegen", err)
+		}
+		w = f
+	}
+	start := time.Now()
+	tw := trace.NewWriter(w, meta.Header())
+	count := 0
+	_, err = tracegen.GenerateStream(cfg, seed, batch, func(cs []trace.Contact) error {
+		for _, c := range cs {
+			if err := tw.WriteContact(c); err != nil {
+				return err
+			}
+		}
+		count += len(cs)
+		return nil
+	})
+	if err == nil {
+		err = tw.Flush()
+	}
+	if err == nil && f != nil {
+		err = f.Close()
+	}
+	if err != nil {
+		cli.Fail("tracegen", err)
+	}
+	vb.Debugf("[generated in %v]", time.Since(start).Round(time.Millisecond))
+	vb.Logf("streamed %d contacts, %d devices (%d internal)",
+		count, meta.NumNodes(), meta.NumInternal())
 }

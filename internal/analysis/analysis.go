@@ -125,6 +125,52 @@ func NewStudyView(v *timeline.View, opt core.Options) (*Study, error) {
 	return s, nil
 }
 
+// NewStudyResult wraps an already computed core.Result — typically the
+// output of an incremental core.Engine.Extend pass during streaming
+// ingestion — into a Study over the same view, skipping the path
+// computation NewStudyView would redo from scratch. The result must
+// cover every internal device of the view as a source (Extend with
+// Options.Sources set to v.InternalNodes() does); opt carries the
+// worker count, context, and directedness the aggregations use, and
+// must match the options the result was computed under for the
+// aggregates to mean anything.
+func NewStudyResult(v *timeline.View, res *core.Result, opt core.Options) (*Study, error) {
+	internal := v.InternalNodes()
+	if len(internal) < 2 {
+		return nil, fmt.Errorf("analysis: trace %q has %d internal devices, need at least 2", v.Name(), len(internal))
+	}
+	if res == nil {
+		return nil, fmt.Errorf("analysis: nil result")
+	}
+	covered := make(map[trace.NodeID]bool, len(res.Sources()))
+	for _, src := range res.Sources() {
+		covered[src] = true
+	}
+	for _, a := range internal {
+		if !covered[a] {
+			return nil, fmt.Errorf("analysis: result does not cover internal source %d", a)
+		}
+	}
+	s := &Study{
+		View:      v,
+		Result:    res,
+		workers:   opt.Workers,
+		ctx:       opt.Ctx,
+		directed:  opt.Directed,
+		frontiers: make(map[int][]core.Frontier),
+		curves:    make(map[curveKey][]float64),
+		fastTier:  fastTierOn.Load(),
+	}
+	for _, a := range internal {
+		for _, b := range internal {
+			if a != b {
+				s.Pairs = append(s.Pairs, [2]trace.NodeID{a, b})
+			}
+		}
+	}
+	return s, nil
+}
+
 // Err reports the study's cancellation state: the context error when
 // the context carried by core.Options is done, nil otherwise. After any
 // aggregation call, a non-nil Err means that call's results are

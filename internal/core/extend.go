@@ -1,0 +1,606 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"opportunet/internal/checkpoint"
+	"opportunet/internal/par"
+	"opportunet/internal/timeline"
+	"opportunet/internal/trace"
+)
+
+// Engine is the incremental counterpart of ComputeView for streaming
+// timelines: it keeps the per-row Pareto archives alive between calls,
+// and each Extend relaxes only against the contacts appended since the
+// previous one. Frontier monotonicity makes the archived entries
+// reusable as-is — appending contacts never invalidates a summary, it
+// can only add new ones — so per-epoch cost scales with the delta, not
+// the history.
+//
+// Correctness does not depend on the appends being in time order. Any
+// time-respecting path that uses at least one new contact decomposes as
+// old-prefix · first-new-contact · suffix, where every suffix contact
+// ends at or after T0 (the earliest begin among the new contacts: the
+// arrival time is already >= T0 when the suffix starts). The prefix has
+// an archived dominator by the pre-epoch invariant, so relaxing every
+// archived entry against the new contacts at its node — and then
+// cascading fresh acceptances through the End >= T0 adjacency tail,
+// which the segmented view serves without materializing its merged
+// index — covers every such path. Archived entries are deliberately NOT
+// re-relaxed against old tail contacts: those compositions describe
+// all-old paths, which the pre-epoch invariant already dominates, so
+// they are guaranteed-rejected work. Out-of-order arrivals only make T0
+// earlier, widening the tail, never breaking the decomposition.
+//
+// Unlike the one-shot engine, archives are kept under hop-aware 3D
+// dominance even when TransmitDelay == 0: a resumed epoch revisits
+// destinations in a different order than the hop-synchronous iteration,
+// and only the 3D archive provably preserves every hop-bounded frontier.
+// The archive is stored as one 2D (LD, EA) staircase per hop count
+// (pairArch), which makes the 3D dominance test a binary search per hop
+// group and lets the new-contact relaxation enumerate only staircase
+// segments that can still produce undominated candidates. Archives are
+// supersets of what the hop-bounded frontiers need, but Result.Frontier
+// canonicalizes, so every frontier — and everything analysis derives
+// from one — is identical to a cold ComputeView over the same snapshot
+// (the stream-check gate enforces this byte for byte). Result.Hops and
+// Result.Fixpoint are the only fields allowed to differ: Hops is
+// promised to be at least the deepest canonical hop, which is all any
+// consumer relies on.
+//
+// Full passes (the first call, and every resume invalidation) delegate
+// to the one-shot engine and adopt its acceptance log as the archive:
+// the hop-synchronous iteration is far cheaper than running the epoch
+// machinery over the whole history, and the one-shot log provably
+// contains every 3D-Pareto path summary.
+//
+// Resume validity is fingerprinted with the checkpoint scheme over the
+// snapshot's stream identity and eviction generation: eviction removes
+// contacts the archived frontiers may have consumed, so a generation
+// bump (or a different stream, or a non-streaming view) falls back to a
+// full recompute of the presented view. An Engine is not safe for
+// concurrent use; the Results it returns are immutable and are.
+type Engine struct {
+	opt Options
+
+	started  bool
+	streamFP string
+	n        int
+	seen     int // contacts already relaxed
+
+	sources  []trace.NodeID
+	srcIndex []int32
+	rows     []incRow
+
+	res *Result
+}
+
+// incRow is the persistent frontier state of one source row.
+type incRow struct {
+	arch      []pairArch // hop-grouped staircases per destination
+	pending   [][]Entry  // current sub-iteration's accepted overlay
+	pivots    [][]Entry  // previous sub-iteration's surviving acceptances
+	pendList  []int32
+	changedAt []int32 // sub-iteration at which dst last accepted (0 = not this epoch)
+
+	accepted    int
+	attempts    int // since last metrics flush
+	acceptedNew int // since last metrics flush
+	maxHop      int32
+}
+
+// pairArch is the 3D Pareto archive of one (source, destination) pair:
+// for each hop count with any undominated summary, the 2D staircase of
+// (LD, EA) entries at that hop — both slices ascending, so dominance
+// against the group is one binary search (the first entry with LD >= x
+// carries the minimum EA among all entries with LD >= x).
+type pairArch struct {
+	hops []int32 // ascending distinct hop counts
+	st   []stair
+}
+
+// stair is one hop group's staircase, LD and EA strictly ascending.
+type stair struct {
+	ld, ea []float64
+}
+
+func (a *pairArch) empty() bool { return len(a.hops) == 0 }
+
+func (a *pairArch) size() int {
+	n := 0
+	for i := range a.st {
+		n += len(a.st[i].ld)
+	}
+	return n
+}
+
+// dominated reports whether some archived entry weakly 3D-dominates
+// (ld, ea, hop): a group of hop count <= hop holding an entry with
+// LD >= ld and EA <= ea.
+func (a *pairArch) dominated(ld, ea float64, hop int32) bool {
+	for i, h := range a.hops {
+		if h > hop {
+			return false
+		}
+		s := &a.st[i]
+		lo, hi := 0, len(s.ld)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.ld[mid] < ld {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(s.ea) && s.ea[lo] <= ea {
+			return true
+		}
+	}
+	return false
+}
+
+// add folds an accepted entry into its hop group's staircase, dropping
+// the in-group entries it weakly dominates. The caller guarantees the
+// entry is not dominated by any group of smaller or equal hop.
+func (a *pairArch) add(en Entry) {
+	gi := sort.Search(len(a.hops), func(i int) bool { return a.hops[i] >= en.Hop })
+	if gi == len(a.hops) || a.hops[gi] != en.Hop {
+		a.hops = append(a.hops, 0)
+		copy(a.hops[gi+1:], a.hops[gi:])
+		a.hops[gi] = en.Hop
+		a.st = append(a.st, stair{})
+		copy(a.st[gi+1:], a.st[gi:])
+		a.st[gi] = stair{}
+	}
+	s := &a.st[gi]
+	// Entries with LD <= en.LD and EA >= en.EA are weakly dominated:
+	// within the prefix LD <= en.LD they are the EA >= en.EA suffix.
+	hi := sort.Search(len(s.ld), func(i int) bool { return s.ld[i] > en.LD })
+	lo := sort.SearchFloat64s(s.ea[:hi], en.EA)
+	if lo == hi {
+		s.ld = append(s.ld, 0)
+		copy(s.ld[lo+1:], s.ld[lo:])
+		s.ea = append(s.ea, 0)
+		copy(s.ea[lo+1:], s.ea[lo:])
+	} else {
+		s.ld = append(s.ld[:lo+1], s.ld[hi:]...)
+		s.ea = append(s.ea[:lo+1], s.ea[hi:]...)
+	}
+	s.ld[lo] = en.LD
+	s.ea[lo] = en.EA
+}
+
+// NewEngine prepares an incremental engine. Options are validated at
+// the first Extend (they need the view's node count).
+func NewEngine(opt Options) *Engine {
+	return &Engine{opt: opt}
+}
+
+// Extend brings the engine up to date with the view and returns the
+// result over everything seen so far. The view should be successive
+// snapshots of one timeline.Appender: contacts already relaxed resume
+// for free and only the appended tail is relaxed. Any break in the
+// resume contract — a different stream, an eviction generation bump, a
+// shrunk contact slice, a changed node count, or a prior failed Extend
+// — falls back to a full recompute of the presented view, whose result
+// is then bit-identical to ComputeView.
+func (e *Engine) Extend(v *timeline.View) (*Result, error) {
+	if e.opt.TransmitDelay < 0 {
+		return nil, fmt.Errorf("core: negative TransmitDelay %v", e.opt.TransmitDelay)
+	}
+	n := v.NumNodes()
+	fp := ""
+	if id, gen, ok := v.Timeline().StreamInfo(); ok && v == v.Timeline().All() {
+		fp = checkpoint.Fingerprint("stream", id, strconv.FormatUint(gen, 10))
+	}
+	if coreMetrics.extends != nil {
+		coreMetrics.extends.Inc()
+	}
+	contacts := v.Contacts()
+	resume := e.started && fp != "" && fp == e.streamFP && n == e.n && len(contacts) >= e.seen
+	if !resume {
+		return e.fullCompute(v, n, fp, len(contacts))
+	}
+	if len(contacts) == e.seen && e.res != nil {
+		return e.res, nil
+	}
+
+	added := contacts[e.seen:]
+	newAdj := buildNewAdj(n, added)
+	t0 := math.Inf(1)
+	for _, c := range added {
+		if c.Beg < t0 {
+			t0 = c.Beg
+		}
+	}
+	// A failed pass leaves rows partially relaxed; poison resume so the
+	// next Extend recomputes from scratch.
+	if err := par.DoErrCtx(e.opt.Ctx, len(e.sources), e.opt.Workers, func(row int) error {
+		return e.extendRow(row, v, added, newAdj, t0)
+	}); err != nil {
+		e.started = false
+		e.res = nil
+		return nil, err
+	}
+	e.seen = len(contacts)
+	e.res = e.buildResult(n)
+	e.flushMetrics()
+	return e.res, nil
+}
+
+// fullCompute runs the one-shot engine over the whole view and adopts
+// its acceptance log as the incremental archive (the log provably
+// contains the full 3D Pareto set; building staircases drops the rest).
+func (e *Engine) fullCompute(v *timeline.View, n int, fp string, nContacts int) (*Result, error) {
+	if e.started && coreMetrics.fallbacks != nil {
+		coreMetrics.fallbacks.Inc()
+	}
+	e.started = false
+	res, err := ComputeView(v, e.opt)
+	if err != nil {
+		return nil, err
+	}
+	e.n = n
+	e.streamFP = fp
+	e.seen = nContacts
+	e.sources = res.sources
+	e.srcIndex = res.srcIndex
+	e.rows = make([]incRow, len(res.rows))
+	for ri := range res.rows {
+		ra := &res.rows[ri]
+		r := &e.rows[ri]
+		r.arch = make([]pairArch, n)
+		r.pending = make([][]Entry, n)
+		r.pivots = make([][]Entry, n)
+		r.changedAt = make([]int32, n)
+		for d := 0; d < n; d++ {
+			lo, hi := ra.off[d], ra.off[d+1]
+			if lo == hi {
+				continue
+			}
+			buildStairs(&r.arch[d], ra.entries[lo:hi])
+			if h := r.arch[d].hops; len(h) > 0 && h[len(h)-1] > r.maxHop {
+				r.maxHop = h[len(h)-1]
+			}
+		}
+	}
+	e.res = res
+	e.started = true
+	return res, nil
+}
+
+// buildStairs converts one pair's acceptance log into hop staircases:
+// bucket by hop, canonicalize each bucket with the 2D staircase sweep.
+// Entries dominated across hop groups are NOT removed — they are
+// harmless for rejection (every archived entry is a real path summary)
+// and removing them would cost a quadratic cross-group pass.
+func buildStairs(a *pairArch, entries []Entry) {
+	maxHop := int32(0)
+	for _, en := range entries {
+		if en.Hop > maxHop {
+			maxHop = en.Hop
+		}
+	}
+	buckets := make([][]Entry, maxHop+1)
+	for _, en := range entries {
+		buckets[en.Hop] = append(buckets[en.Hop], en)
+	}
+	for h := int32(1); h <= maxHop; h++ {
+		if len(buckets[h]) == 0 {
+			continue
+		}
+		front := buildFrontier2D(buckets[h], math.MaxInt32)
+		st := stair{ld: make([]float64, len(front)), ea: make([]float64, len(front))}
+		for i, en := range front {
+			st.ld[i] = en.LD
+			st.ea[i] = en.EA
+		}
+		a.hops = append(a.hops, h)
+		a.st = append(a.st, st)
+	}
+}
+
+// buildNewAdj indexes the appended contacts by node, both directions,
+// so each row can relax its archive against exactly the new contacts.
+func buildNewAdj(n int, added []trace.Contact) [][]timeline.DirContact {
+	adj := make([][]timeline.DirContact, n)
+	for _, c := range added {
+		adj[c.A] = append(adj[c.A], timeline.DirContact{To: c.B, Beg: c.Beg, End: c.End, Fwd: true})
+		adj[c.B] = append(adj[c.B], timeline.DirContact{To: c.A, Beg: c.Beg, End: c.End, Fwd: false})
+	}
+	return adj
+}
+
+// extendRow relaxes one source row over the appended contacts: seed the
+// new one-hop summaries, relax the archive against the new contacts at
+// each node, then cascade fresh acceptances through the End >= t0
+// adjacency tail until quiescence.
+func (e *Engine) extendRow(row int, v *timeline.View, added []trace.Contact, newAdj [][]timeline.DirContact, t0 float64) error {
+	if len(added) == 0 {
+		return nil
+	}
+	r := &e.rows[row]
+	src := e.sources[row]
+	ctx := e.opt.Ctx
+	maxHops := int32(0)
+	if e.opt.MaxHops > 0 {
+		maxHops = int32(e.opt.MaxHops)
+	}
+	clear(r.changedAt)
+
+	// Sub-iteration 1: one-hop seeds from the new contacts leaving the
+	// source, plus the archive at each node composed with that node's
+	// new contacts (old-prefix · first-new-contact of the decomposition
+	// in the type comment).
+	for _, c := range added {
+		if c.A == src && c.B != src {
+			r.insert(int32(c.B), Entry{LD: c.End, EA: c.Beg, Hop: 1}, maxHops)
+		} else if c.B == src && c.A != src && !e.opt.Directed {
+			r.insert(int32(c.A), Entry{LD: c.End, EA: c.Beg, Hop: 1}, maxHops)
+		}
+	}
+	polled := 0
+	for u := 0; u < e.n; u++ {
+		if len(newAdj[u]) == 0 || r.arch[u].empty() {
+			continue
+		}
+		if polled++; polled&255 == 0 && ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		e.relaxArch(r, src, trace.NodeID(u), newAdj[u], maxHops)
+	}
+	active := r.commit(1)
+
+	// Sub-iterations k >= 2: only destinations that accepted during
+	// k−1 pivot, and only their surviving acceptances extend — over the
+	// full End >= t0 tail this time (every acceptance has EA >= t0, so
+	// the tail holds every contact usable after it). The same hard cap
+	// as the one-shot loop guards pathological inputs.
+	for sub := int32(2); active > 0 && sub <= 100000; sub++ {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		for u := 0; u < e.n; u++ {
+			if r.changedAt[u] != sub-1 {
+				continue
+			}
+			if polled++; polled&255 == 0 && ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			pivots := r.pivots[u]
+			v.ForOutgoingAfter(trace.NodeID(u), t0, func(run []timeline.DirContact) {
+				e.relaxRun(r, src, trace.NodeID(u), pivots, run, maxHops)
+			})
+		}
+		active = r.commit(sub)
+	}
+	return nil
+}
+
+// relaxArch composes the archive at node u with u's new contacts. Per
+// hop group and contact, only the staircase segment that can produce an
+// undominated candidate is enumerated: entries whose composed EA
+// collapses to the contact begin are represented by their max-LD
+// member, entries whose composed LD collapses to the contact end (minus
+// the hop delay budget) by their min-EA member, and only the strictly
+// interior segment — entries the composition maps injectively — is
+// walked one by one. Every skipped composition is weakly dominated by
+// an emitted one of the same hop count, so skipping it loses neither an
+// archive entry nor a pivot that could reach anything new.
+func (e *Engine) relaxArch(r *incRow, src, u trace.NodeID, run []timeline.DirContact, maxHops int32) {
+	directed := e.opt.Directed
+	delta := e.opt.TransmitDelay
+	arch := &r.arch[u]
+	for _, c := range run {
+		if directed && !c.Fwd {
+			continue
+		}
+		if c.To == src || c.To == u {
+			continue
+		}
+		dst := int32(c.To)
+		for gi, h := range arch.hops {
+			if maxHops > 0 && h >= maxHops {
+				break
+			}
+			s := &arch.st[gi]
+			eaUsable := c.End - delta   // usable iff EA <= this
+			eaCollapse := c.Beg - delta // composed EA collapses to c.Beg at or below this
+			ldCap := c.End - float64(h)*delta
+			jEnd := sort.Search(len(s.ea), func(i int) bool { return s.ea[i] > eaUsable })
+			if jEnd == 0 {
+				continue
+			}
+			jBeg := sort.Search(jEnd, func(i int) bool { return s.ea[i] > eaCollapse })
+			if jBeg > 0 {
+				r.insert(dst, Entry{
+					LD:  math.Min(s.ld[jBeg-1], ldCap),
+					EA:  c.Beg,
+					Hop: h + 1,
+				}, maxHops)
+			}
+			// Entries from jLd on compose to LD == ldCap; the first in
+			// range carries the minimum EA and dominates the rest.
+			hi := sort.SearchFloat64s(s.ld, ldCap) + 1
+			if hi <= jBeg {
+				hi = jBeg + 1
+			}
+			if hi > jEnd {
+				hi = jEnd
+			}
+			for i := jBeg; i < hi; i++ {
+				r.insert(dst, Entry{
+					LD:  math.Min(s.ld[i], ldCap),
+					EA:  math.Max(s.ea[i]+delta, c.Beg),
+					Hop: h + 1,
+				}, maxHops)
+			}
+		}
+	}
+}
+
+// relaxRun extends every pivot entry of (row, u) through a run of
+// directed contacts, inserting the compound summaries.
+func (e *Engine) relaxRun(r *incRow, src, u trace.NodeID, pivots []Entry, run []timeline.DirContact, maxHops int32) {
+	if len(pivots) == 0 {
+		return
+	}
+	directed := e.opt.Directed
+	delta := e.opt.TransmitDelay
+	for _, c := range run {
+		if directed && !c.Fwd {
+			continue
+		}
+		if c.To == src || c.To == u {
+			continue
+		}
+		dst := int32(c.To)
+		if delta == 0 {
+			for _, p := range pivots {
+				if p.EA > c.End {
+					continue
+				}
+				r.insert(dst, Entry{
+					LD:  math.Min(p.LD, c.End),
+					EA:  math.Max(p.EA, c.Beg),
+					Hop: p.Hop + 1,
+				}, maxHops)
+			}
+		} else {
+			for _, p := range pivots {
+				if p.EA+delta > c.End {
+					continue
+				}
+				r.insert(dst, Entry{
+					LD:  math.Min(p.LD, c.End-float64(p.Hop)*delta),
+					EA:  math.Max(p.EA+delta, c.Beg),
+					Hop: p.Hop + 1,
+				}, maxHops)
+			}
+		}
+	}
+}
+
+// insert accepts a candidate unless an archived or same-sub-iteration
+// entry 3D-dominates it. Hop-aware dominance is load-bearing here even
+// for Delta == 0: see the Engine doc comment.
+func (r *incRow) insert(dst int32, en Entry, maxHops int32) {
+	r.attempts++
+	if maxHops > 0 && en.Hop > maxHops {
+		return
+	}
+	if r.arch[dst].dominated(en.LD, en.EA, en.Hop) {
+		return
+	}
+	pend := r.pending[dst]
+	for _, q := range pend {
+		if dominates3D(q, en) {
+			return
+		}
+	}
+	if len(pend) == 0 {
+		r.pendList = append(r.pendList, dst)
+	}
+	r.pending[dst] = append(pend, en)
+	r.accepted++
+	r.acceptedNew++
+	if en.Hop > r.maxHop {
+		r.maxHop = en.Hop
+	}
+}
+
+// commit folds the sub-iteration's overlays into the archive
+// staircases, stamps the changed-at marks, and stages the surviving
+// acceptances as the next sub-iteration's pivots (an acceptance
+// dominated by a later-accepted entry never pivots: the dominator's
+// extensions dominate its own). Returns the number of destinations
+// that changed.
+func (r *incRow) commit(sub int32) int {
+	changed := len(r.pendList)
+	for _, dst := range r.pendList {
+		pend := r.pending[dst]
+		surv := r.pivots[dst][:0]
+		for i, p := range pend {
+			if !dominated3DByAny(pend[i+1:], p) {
+				surv = append(surv, p)
+				r.arch[dst].add(p)
+			}
+		}
+		r.pivots[dst] = surv
+		r.pending[dst] = pend[:0]
+		r.changedAt[dst] = sub
+	}
+	r.pendList = r.pendList[:0]
+	r.accepted = 0
+	return changed
+}
+
+// buildResult flattens the Pareto archives into fresh result arenas —
+// the same arena layout as the one-shot finalize, so Frontier, MinHops
+// and analysis read both identically (the one-shot arena is a superset
+// of the Pareto set; both canonicalize to the same frontiers). Hops is
+// the maximum accepted hop count: at least the deepest hop of any
+// canonical frontier, which is all any Result consumer relies on.
+func (e *Engine) buildResult(n int) *Result {
+	res := &Result{
+		NumNodes: n,
+		Delta:    e.opt.TransmitDelay,
+		sources:  e.sources,
+		srcIndex: e.srcIndex,
+		rows:     make([]rowArchive, len(e.sources)),
+	}
+	par.Do(len(e.rows), e.opt.Workers, func(ri int) {
+		r := &e.rows[ri]
+		total := 0
+		for d := range r.arch {
+			total += r.arch[d].size()
+		}
+		off := make([]int32, n+1)
+		entries := make([]Entry, total)
+		pos := int32(0)
+		for d := 0; d < n; d++ {
+			off[d] = pos
+			a := &r.arch[d]
+			for gi, h := range a.hops {
+				s := &a.st[gi]
+				for i := range s.ld {
+					entries[pos] = Entry{LD: s.ld[i], EA: s.ea[i], Hop: h}
+					pos++
+				}
+			}
+		}
+		off[n] = pos
+		res.rows[ri] = rowArchive{entries: entries, off: off}
+	})
+	maxHop := int32(1)
+	for ri := range e.rows {
+		if e.rows[ri].maxHop > maxHop {
+			maxHop = e.rows[ri].maxHop
+		}
+	}
+	res.Hops = int(maxHop)
+	// Incremental epochs always relax to quiescence; with a MaxHops cap
+	// the stop mirrors the one-shot rule (a cap that was never reached
+	// is a true fixpoint).
+	res.Fixpoint = e.opt.MaxHops == 0 || int(maxHop) < e.opt.MaxHops
+	return res
+}
+
+func (e *Engine) flushMetrics() {
+	if coreMetrics.extAttempted == nil {
+		return
+	}
+	var att, acc int64
+	for ri := range e.rows {
+		r := &e.rows[ri]
+		att += int64(r.attempts)
+		acc += int64(r.acceptedNew)
+		r.attempts = 0
+		r.acceptedNew = 0
+	}
+	coreMetrics.extAttempted.Add(att)
+	coreMetrics.extAccepted.Add(acc)
+}

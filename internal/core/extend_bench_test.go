@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/timeline"
+	"opportunet/internal/trace"
+)
+
+// streamBenchTrace is coreBenchTrace's contact set in time order — the
+// replay arrival order a live feed would deliver — so "the final 1%"
+// below is the newest time window, not a random sample.
+func streamBenchTrace(b *testing.B) *trace.Trace {
+	tr := coreBenchTrace(b)
+	sort.Slice(tr.Contacts, func(i, j int) bool { return tr.Contacts[i].Beg < tr.Contacts[j].Beg })
+	return tr
+}
+
+func streamBenchMeta(tr *trace.Trace) *trace.Trace {
+	return &trace.Trace{Name: tr.Name, Granularity: tr.Granularity,
+		Start: tr.Start, End: tr.End, Kinds: tr.Kinds}
+}
+
+// BenchmarkIncrementalExtend measures the marginal cost of the last 1%
+// of a trace on a warm engine: append the tail, snapshot, Extend, and
+// run a frontier query. BenchmarkColdRecompute below is the baseline
+// the ISSUE gate divides by (extend must cost < 10% of cold).
+func BenchmarkIncrementalExtend(b *testing.B) {
+	tr := streamBenchTrace(b)
+	cut := len(tr.Contacts) * 99 / 100
+	prefix, tail := tr.Contacts[:cut], tr.Contacts[cut:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		app, err := timeline.NewAppender(streamBenchMeta(tr), 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := app.Append(prefix); err != nil {
+			b.Fatal(err)
+		}
+		eng := NewEngine(Options{})
+		if _, err := eng.Extend(app.Snapshot().All()); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := app.Append(tail); err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Extend(app.Snapshot().All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Frontier(0, 1, 0).Empty() {
+			b.Fatal("unexpectedly empty frontier")
+		}
+	}
+}
+
+// BenchmarkColdRecompute is the non-incremental baseline: rebuild the
+// timeline from scratch and run the one-shot engine over the identical
+// full contact set, ending in the same query.
+func BenchmarkColdRecompute(b *testing.B) {
+	tr := streamBenchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ComputeView(timeline.New(tr).All(), Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Frontier(0, 1, 0).Empty() {
+			b.Fatal("unexpectedly empty frontier")
+		}
+	}
+}
+
+// BenchmarkAppendToQueryable measures one live-ingest epoch end to end:
+// a 200-contact batch appended, snapshotted, and relaxed into a
+// queryable result — the latency a feed consumer sees between handing
+// over a batch and being able to answer path queries that include it.
+func BenchmarkAppendToQueryable(b *testing.B) {
+	const batchLen = 200
+	r := rng.New(7)
+	n := 60
+	meta := &trace.Trace{Name: "ingest", Start: 0, End: 1e12, Kinds: make([]trace.Kind, n)}
+	app, err := timeline.NewAppender(meta, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(Options{})
+	batch := make([]trace.Contact, 0, batchLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		base := float64(i) * 100
+		batch = batch[:0]
+		for len(batch) < batchLen {
+			a, c := trace.NodeID(r.Intn(n)), trace.NodeID(r.Intn(n))
+			if a == c {
+				continue
+			}
+			beg := base + r.Uniform(0, 99)
+			batch = append(batch, trace.Contact{A: a, B: c, Beg: beg, End: beg + r.Uniform(0, 300)})
+		}
+		b.StartTimer()
+		if err := app.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Extend(app.Snapshot().All()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -80,6 +80,16 @@ type Timeline struct {
 	pairA    []trace.NodeID
 	pairB    []trace.NodeID
 
+	// Streaming snapshots (Appender.Snapshot) carry the sealed segment
+	// set: base views answer point queries straight off the segments
+	// until a consumer forces the merged canonical arrays. nil for
+	// timelines built by New.
+	segs      []*segment
+	streamID  string
+	evictGen  uint64
+	mergeOnce sync.Once
+	merged    *segment
+
 	all *View
 }
 
@@ -98,6 +108,39 @@ func New(tr *trace.Trace) *Timeline {
 
 // Trace returns the underlying trace (read-only by convention).
 func (tl *Timeline) Trace() *trace.Trace { return tl.tr }
+
+// StreamInfo identifies the streaming origin of a snapshot timeline:
+// the appender's process-unique ID and the eviction generation at
+// snapshot time. Engine resume is valid across two snapshots iff both
+// report ok with the same ID and generation — eviction bumps the
+// generation precisely because it removes contacts a resumed frontier
+// may have consumed. Timelines built by New report ok == false.
+func (tl *Timeline) StreamInfo() (id string, evictGen uint64, ok bool) {
+	return tl.streamID, tl.evictGen, tl.streamID != ""
+}
+
+// mergedSegment folds the snapshot's segments left to right into one
+// canonical segment whose local indices are arrival-positional — the
+// exact arrays timeline.New would build over the same contact slice.
+// Built at most once per snapshot, on first demand.
+func (tl *Timeline) mergedSegment() *segment {
+	tl.mergeOnce.Do(func() {
+		if len(tl.segs) == 1 {
+			tl.merged = tl.segs[0]
+			return
+		}
+		if len(tl.segs) == 0 {
+			tl.merged = buildSegment(nil, tl.tr.NumNodes())
+			return
+		}
+		m := tl.segs[0]
+		for _, s := range tl.segs[1:] {
+			m = mergeSegments(m, s)
+		}
+		tl.merged = m
+	})
+	return tl.merged
+}
 
 // All returns the identity view exposing the whole trace.
 func (tl *Timeline) All() *View { return tl.all }
@@ -140,6 +183,14 @@ func (tl *Timeline) ensurePairs() {
 // layout, sorted canonically within each node segment.
 func (v *View) buildBaseAdj() {
 	tlMetrics.indexBuilds.Inc()
+	if v.tl.segs != nil {
+		s := v.tl.mergedSegment()
+		v.adjOff = s.adjOff
+		v.adjByBeg = s.adjByBeg
+		v.adjByEnd = s.adjByEnd
+		v.adjSufMinBeg = s.adjSufMinBeg
+		return
+	}
 	tr := v.tl.tr
 	n := tr.NumNodes()
 	off := make([]int32, n+1)
@@ -226,6 +277,16 @@ func (v *View) buildBasePairs() {
 	tlMetrics.indexBuilds.Inc()
 	tl := v.tl
 	tl.ensurePairs()
+	if tl.segs != nil {
+		// The merged segment's sorted distinct key list IS the canonical
+		// pair-ID order, so its CSR arrays adopt directly.
+		s := tl.mergedSegment()
+		v.pairOff = s.pairOff
+		v.pairByBeg = s.pairByBeg
+		v.pairByEnd = s.pairByEnd
+		v.pairSufMinBeg = s.pairSufMinBeg
+		return
+	}
 	tr := tl.tr
 	np := len(tl.pairA)
 	off := make([]int32, np+1)

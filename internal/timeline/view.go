@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"opportunet/internal/rng"
 	"opportunet/internal/trace"
@@ -34,12 +35,14 @@ type View struct {
 	clipLo, clipHi float64
 
 	adjOnce      sync.Once
+	adjReady     atomic.Bool // set once ensureAdj has materialized
 	adjOff       []int32
 	adjByBeg     []DirContact
 	adjByEnd     []DirContact
 	adjSufMinBeg []float64
 
 	pairOnce      sync.Once
+	pairReady     atomic.Bool // set once ensurePairIndex has materialized
 	pairOff       []int32
 	pairByBeg     []Interval
 	pairByEnd     []Interval
@@ -269,6 +272,7 @@ func windowKeeps(beg, end, a, b float64) bool {
 
 func (v *View) ensureAdj() {
 	v.adjOnce.Do(func() {
+		defer v.adjReady.Store(true)
 		if v.isBase() {
 			v.buildBaseAdj()
 			return
@@ -313,6 +317,7 @@ func (v *View) ensureAdj() {
 
 func (v *View) ensurePairIndex() {
 	v.pairOnce.Do(func() {
+		defer v.pairReady.Store(true)
 		if v.isBase() {
 			v.buildBasePairs()
 			return
@@ -427,6 +432,38 @@ func (v *View) OutgoingAfter(u trace.NodeID, t float64) []DirContact {
 	return seg[i:]
 }
 
+// ForOutgoingAfter invokes yield with one or more end-sorted runs that
+// together contain exactly the usable contact directions leaving u with
+// End >= t. On a streaming base view whose adjacency is not yet
+// materialized the runs are the per-segment tails (one binary search
+// per sealed segment, no merged index ever built — the incremental
+// engine's relaxation path); otherwise yield receives the single
+// materialized tail, exactly OutgoingAfter's slice. CIdx values are
+// local to the index the run came from; consumers that only read
+// To/Beg/End/Fwd are order-insensitive across runs. The runs are
+// shared; callers must not modify or retain them past the call.
+func (v *View) ForOutgoingAfter(u trace.NodeID, t float64, yield func(run []DirContact)) {
+	tlMetrics.sliceQueries.Inc()
+	if segs := v.tl.segs; segs != nil && v.isBase() && !v.adjReady.Load() {
+		for _, s := range segs {
+			if s.maxEnd < t {
+				continue
+			}
+			if run := s.outgoingAfter(u, t); len(run) > 0 {
+				yield(run)
+			}
+		}
+		return
+	}
+	v.ensureAdj()
+	lo, hi := int(v.adjOff[u]), int(v.adjOff[u+1])
+	seg := v.adjByEnd[lo:hi]
+	i := sort.Search(len(seg), func(i int) bool { return seg[i].End >= t })
+	if i < len(seg) {
+		yield(seg[i:])
+	}
+}
+
 // OutgoingIndex returns u's usable contact directions in both sort
 // orders plus the suffix minimum of begin times aligned with the
 // end-sorted slice: sufMinBeg[i] is the smallest Beg among byEnd[i:].
@@ -471,6 +508,19 @@ func (v *View) Partners(u trace.NodeID) []trace.NodeID {
 // suffix-min begin bounds how early the meeting can start.
 func (v *View) Meet(u, w trace.NodeID, t float64) float64 {
 	tlMetrics.meets.Inc()
+	// Streaming snapshots answer straight off the sealed segments (one
+	// binary search each) until some consumer has paid for the merged
+	// canonical index, after which the single materialized search wins.
+	if segs := v.tl.segs; segs != nil && v.isBase() && !v.pairReady.Load() {
+		key := PairKey(u, w)
+		best := inf
+		for _, s := range segs {
+			if m := s.meet(key, t); m < best {
+				best = m
+			}
+		}
+		return best
+	}
 	v.ensurePairIndex()
 	id, ok := v.tl.pairID[PairKey(u, w)]
 	if !ok {
@@ -489,6 +539,15 @@ func (v *View) Meet(u, w trace.NodeID, t float64) float64 {
 // is in contact with any other device, or +Inf.
 func (v *View) NextContact(u trace.NodeID, t float64) float64 {
 	tlMetrics.nextContact.Inc()
+	if segs := v.tl.segs; segs != nil && v.isBase() && !v.adjReady.Load() {
+		best := inf
+		for _, s := range segs {
+			if m := s.nextContact(u, t); m < best {
+				best = m
+			}
+		}
+		return best
+	}
 	v.ensureAdj()
 	lo, hi := int(v.adjOff[u]), int(v.adjOff[u+1])
 	seg := v.adjByEnd[lo:hi]

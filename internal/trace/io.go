@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"strconv"
 	"strings"
 )
 
@@ -34,34 +33,24 @@ func finite(v float64) bool {
 
 // Write serializes the trace in the text format above.
 func (t *Trace) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# trace %s\n", t.Name)
-	fmt.Fprintf(bw, "# granularity %g\n", t.Granularity)
-	fmt.Fprintf(bw, "# window %g %g\n", t.Start, t.End)
-	fmt.Fprintf(bw, "# nodes %d\n", t.NumNodes())
-	var ext []string
-	for id, k := range t.Kinds {
-		if k == External {
-			ext = append(ext, strconv.Itoa(id))
-		}
-	}
-	if len(ext) > 0 {
-		fmt.Fprintf(bw, "# external %s\n", strings.Join(ext, " "))
-	}
+	tw := NewWriter(w, t.Header())
 	for _, c := range t.Contacts {
-		fmt.Fprintf(bw, "%d %d %g %g\n", c.A, c.B, c.Beg, c.End)
+		tw.WriteContact(c)
 	}
-	return bw.Flush()
+	return tw.Flush()
 }
 
-// Read parses a trace from the text format written by Write. It
-// validates the result before returning it.
+// Read parses a trace from the text format written by Write. It buffers
+// the whole trace in memory; use Stream for bounded-memory ingestion.
+// Unlike Stream, Read accepts header lines anywhere in the file (a later
+// header overrides an earlier one) and infers the node count from the
+// highest device ID when the "# nodes" header is absent. It validates
+// the result before returning it.
 func Read(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var external []int
-	nodes := -1
+	h := Header{Nodes: -1}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -74,68 +63,16 @@ func Read(r io.Reader) (*Trace, error) {
 			if len(fields) == 0 {
 				continue
 			}
-			switch fields[0] {
-			case "trace":
-				if len(fields) > 1 {
-					t.Name = fields[1]
-				}
-			case "granularity":
-				if len(fields) != 2 {
-					return nil, fmt.Errorf("trace: line %d: malformed granularity header", line)
-				}
-				g, err := strconv.ParseFloat(fields[1], 64)
-				if err != nil || !finite(g) {
-					return nil, fmt.Errorf("trace: line %d: bad granularity %q", line, fields[1])
-				}
-				t.Granularity = g
-			case "window":
-				if len(fields) != 3 {
-					return nil, fmt.Errorf("trace: line %d: malformed window header", line)
-				}
-				a, err1 := strconv.ParseFloat(fields[1], 64)
-				b, err2 := strconv.ParseFloat(fields[2], 64)
-				if err1 != nil || err2 != nil || !finite(a) || !finite(b) {
-					return nil, fmt.Errorf("trace: line %d: malformed window values", line)
-				}
-				t.Start, t.End = a, b
-			case "nodes":
-				if len(fields) != 2 {
-					return nil, fmt.Errorf("trace: line %d: malformed nodes header", line)
-				}
-				n, err := strconv.Atoi(fields[1])
-				if err != nil || n < 0 {
-					return nil, fmt.Errorf("trace: line %d: bad node count %q", line, fields[1])
-				}
-				nodes = n
-			case "external":
-				for _, f := range fields[1:] {
-					id, err := strconv.Atoi(f)
-					if err != nil {
-						return nil, fmt.Errorf("trace: line %d: bad external id %q", line, f)
-					}
-					external = append(external, id)
-				}
+			if err := applyHeader(&h, line, fields); err != nil {
+				return nil, err
 			}
 			continue
 		}
-		fields := strings.Fields(text)
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(fields))
+		c, err := ParseContactLine(line, text)
+		if err != nil {
+			return nil, err
 		}
-		a, err1 := strconv.Atoi(fields[0])
-		b, err2 := strconv.Atoi(fields[1])
-		beg, err3 := strconv.ParseFloat(fields[2], 64)
-		end, err4 := strconv.ParseFloat(fields[3], 64)
-		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-			return nil, fmt.Errorf("trace: line %d: malformed contact %q", line, text)
-		}
-		if !finite(beg) || !finite(end) {
-			return nil, fmt.Errorf("trace: line %d: non-finite contact time in %q", line, text)
-		}
-		if end < beg {
-			return nil, fmt.Errorf("trace: line %d: contact ends before it begins (%g < %g)", line, end, beg)
-		}
-		t.Contacts = append(t.Contacts, Contact{A: NodeID(a), B: NodeID(b), Beg: beg, End: end})
+		t.Contacts = append(t.Contacts, c)
 	}
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
@@ -145,7 +82,8 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 		return nil, fmt.Errorf("trace: read: %w", err)
 	}
-	if nodes < 0 {
+	t.Name, t.Granularity, t.Start, t.End = h.Name, h.Granularity, h.Start, h.End
+	if h.Nodes < 0 {
 		// Infer from the highest device ID seen.
 		maxID := -1
 		for _, c := range t.Contacts {
@@ -156,15 +94,12 @@ func Read(r io.Reader) (*Trace, error) {
 				maxID = int(c.B)
 			}
 		}
-		nodes = maxID + 1
+		h.Nodes = maxID + 1
 	}
-	t.Kinds = make([]Kind, nodes)
-	for _, id := range external {
-		if id < 0 || id >= nodes {
-			return nil, fmt.Errorf("trace: external id %d out of range (nodes=%d)", id, nodes)
-		}
-		t.Kinds[id] = External
+	if err := h.checkExternal(); err != nil {
+		return nil, err
 	}
+	t.Kinds = h.Kinds()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"opportunet/internal/rng"
+)
+
+func streamTestTrace(t *testing.T) *Trace {
+	t.Helper()
+	r := rng.New(42)
+	tr := &Trace{Name: "stream-test", Granularity: 60, Start: 0, End: 5000,
+		Kinds: make([]Kind, 12)}
+	tr.Kinds[10] = External
+	tr.Kinds[11] = External
+	for i := 0; i < 300; i++ {
+		a, b := NodeID(r.Intn(12)), NodeID(r.Intn(12))
+		if a == b {
+			continue
+		}
+		beg := r.Uniform(0, 4000)
+		tr.Contacts = append(tr.Contacts, Contact{A: a, B: b, Beg: beg, End: beg + r.Uniform(0, 500)})
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestWriterMatchesTraceWrite pins the byte identity Writer promises:
+// serializing contact by contact produces exactly Trace.Write's output.
+func TestWriterMatchesTraceWrite(t *testing.T) {
+	tr := streamTestTrace(t)
+	var batch bytes.Buffer
+	if err := tr.Write(&batch); err != nil {
+		t.Fatal(err)
+	}
+	var inc bytes.Buffer
+	w := NewWriter(&inc, tr.Header())
+	for _, c := range tr.Contacts {
+		if err := w.WriteContact(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batch.Bytes(), inc.Bytes()) {
+		t.Fatalf("Writer output differs from Trace.Write:\n--- batch ---\n%s\n--- incremental ---\n%s",
+			batch.String(), inc.String())
+	}
+}
+
+// TestStreamMatchesRead round-trips a trace through Write and checks
+// that Stream delivers the same header and the same contacts, in order,
+// as Read — across several batch sizes including ones that do not
+// divide the contact count.
+func TestStreamMatchesRead(t *testing.T) {
+	tr := streamTestTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batchSize := range []int{1, 7, 100, 0, 1 << 20} {
+		var h Header
+		headerCalls := 0
+		var contacts []Contact
+		maxBatch := 0
+		err := Stream(bytes.NewReader(data), batchSize,
+			func(hd Header) error { h = hd; headerCalls++; return nil },
+			func(batch []Contact) error {
+				if len(batch) > maxBatch {
+					maxBatch = len(batch)
+				}
+				contacts = append(contacts, batch...)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("batchSize %d: %v", batchSize, err)
+		}
+		if headerCalls != 1 {
+			t.Fatalf("batchSize %d: header fired %d times", batchSize, headerCalls)
+		}
+		if h.Name != got.Name || h.Granularity != got.Granularity ||
+			h.Start != got.Start || h.End != got.End || h.Nodes != got.NumNodes() {
+			t.Fatalf("batchSize %d: header %+v does not match Read result", batchSize, h)
+		}
+		if len(h.External) != 2 || h.External[0] != 10 || h.External[1] != 11 {
+			t.Fatalf("batchSize %d: external = %v", batchSize, h.External)
+		}
+		want := batchSize
+		if want <= 0 {
+			want = DefaultStreamBatch
+		}
+		if maxBatch > want {
+			t.Fatalf("batchSize %d: saw batch of %d", batchSize, maxBatch)
+		}
+		if len(contacts) != len(got.Contacts) {
+			t.Fatalf("batchSize %d: %d contacts, Read saw %d", batchSize, len(contacts), len(got.Contacts))
+		}
+		for i := range contacts {
+			if contacts[i] != got.Contacts[i] {
+				t.Fatalf("batchSize %d: contact %d = %+v, Read saw %+v",
+					batchSize, i, contacts[i], got.Contacts[i])
+			}
+		}
+	}
+}
+
+// TestStreamHeaderAtEOF checks the header callback still fires for an
+// input with no contact lines at all.
+func TestStreamHeaderAtEOF(t *testing.T) {
+	in := "# trace empty\n# nodes 3\n"
+	fired := false
+	err := Stream(strings.NewReader(in), 0, func(h Header) error {
+		fired = true
+		if h.Name != "empty" || h.Nodes != 3 {
+			t.Fatalf("header = %+v", h)
+		}
+		return nil
+	}, func([]Contact) error {
+		t.Fatal("emit fired for body-less input")
+		return nil
+	})
+	if err != nil || !fired {
+		t.Fatalf("err=%v fired=%v", err, fired)
+	}
+}
+
+// TestStreamErrorAttribution checks that malformed inputs fail under
+// Stream with the same error text as Read — the property that lets the
+// two ingestion paths share documentation and tooling.
+func TestStreamErrorAttribution(t *testing.T) {
+	cases := []string{
+		"# granularity\n0 1 2 3\n",
+		"# granularity nope\n",
+		"# granularity NaN\n",
+		"# window 1\n",
+		"# window a b\n",
+		"# nodes -1\n",
+		"# nodes x\n",
+		"# external 1 q\n",
+		"# nodes 4\n# external 9\n",
+		"0 1 2\n",
+		"0 1 2 3 4\n",
+		"a 1 2 3\n",
+		"0 1 2 Inf\n",
+		"0 1 5 2\n",
+	}
+	for _, in := range cases {
+		_, readErr := Read(strings.NewReader(in))
+		streamErr := Stream(strings.NewReader(in), 0, nil, nil)
+		if readErr == nil || streamErr == nil {
+			t.Fatalf("input %q: readErr=%v streamErr=%v", in, readErr, streamErr)
+		}
+		if readErr.Error() != streamErr.Error() {
+			t.Fatalf("input %q:\n  Read:   %v\n  Stream: %v", in, readErr, streamErr)
+		}
+	}
+}
+
+// TestStreamRejectsLateHeader pins the documented divergence from Read:
+// a header after the first contact is an error, because a streaming
+// consumer has already acted on the header by then.
+func TestStreamRejectsLateHeader(t *testing.T) {
+	in := "# nodes 4\n0 1 2 3\n# nodes 8\n"
+	err := Stream(strings.NewReader(in), 0, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), `header "nodes" after first contact`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestStreamValidatesPerLine checks the line-attributed versions of the
+// checks Read defers to Trace.Validate.
+func TestStreamValidatesPerLine(t *testing.T) {
+	if err := Stream(strings.NewReader("# nodes 2\n0 5 1 2\n"), 0, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "line 2: contact references device out of range (0, 5, n=2)") {
+		t.Fatalf("range err = %v", err)
+	}
+	if err := Stream(strings.NewReader("3 3 1 2\n"), 0, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "line 1: self-contact on device 3") {
+		t.Fatalf("self-contact err = %v", err)
+	}
+	// Without a nodes header the range check cannot run; the line must
+	// be accepted and the header report Nodes == -1.
+	var h Header
+	if err := Stream(strings.NewReader("0 999 1 2\n"), 0,
+		func(hd Header) error { h = hd; return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h.Nodes != -1 {
+		t.Fatalf("Nodes = %d, want -1", h.Nodes)
+	}
+}
+
+// TestStreamCallbackErrorsPropagate checks both callbacks can abort the
+// stream and their error comes back unwrapped.
+func TestStreamCallbackErrorsPropagate(t *testing.T) {
+	in := "# nodes 3\n0 1 2 3\n1 2 4 5\n"
+	sentinel := errors.New("stop")
+	if err := Stream(strings.NewReader(in), 0,
+		func(Header) error { return sentinel }, nil); err != sentinel {
+		t.Fatalf("header abort: %v", err)
+	}
+	calls := 0
+	if err := Stream(strings.NewReader(in), 1, nil,
+		func([]Contact) error { calls++; return sentinel }); err != sentinel || calls != 1 {
+		t.Fatalf("emit abort: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestParseContactLine spot-checks the exported parser used by network
+// feeds.
+func TestParseContactLine(t *testing.T) {
+	c, err := ParseContactLine(9, "  3 7 1.5 2.5 ")
+	if err != nil || c != (Contact{A: 3, B: 7, Beg: 1.5, End: 2.5}) {
+		t.Fatalf("c=%+v err=%v", c, err)
+	}
+	if _, err := ParseContactLine(9, "3 7 x 2.5"); err == nil ||
+		!strings.Contains(err.Error(), "line 9") {
+		t.Fatalf("err = %v", err)
+	}
+}

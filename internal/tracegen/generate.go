@@ -137,12 +137,113 @@ func paretoTruncMeanUnit(alpha, ratio float64) float64 {
 	return alpha / (1 - alpha) * (math.Pow(ratio, 1-alpha) - 1) / c
 }
 
+// Meta returns the contact-less skeleton trace — name, window, device
+// table — that Generate(c, seed) would fill in, available before any
+// contact exists: a streaming consumer uses it to emit a trace.Writer
+// header (or size a timeline.Appender) up front.
+func (c Config) Meta() (*trace.Trace, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c.meta(), nil
+}
+
+// meta builds the contact-less trace skeleton — name, window, and the
+// device table — shared by Generate and GenerateStream (whose consumers
+// need it up front to write a header before any contact arrives).
+func (c *Config) meta() *trace.Trace {
+	tr := &trace.Trace{
+		Name:        c.Name,
+		Granularity: c.Granularity,
+		Start:       0,
+		End:         c.DurationDays * 86400,
+		Kinds:       make([]trace.Kind, c.Devices+c.ExternalDevices),
+	}
+	for i := 0; i < c.ExternalDevices; i++ {
+		tr.Kinds[c.Devices+i] = trace.External
+	}
+	return tr
+}
+
+// emitter funnels generated contacts to a sink. The sink's first error
+// is sticky: once set, contact() stops forwarding and the generation
+// loops bail out at their next check, so a failed disk write aborts a
+// large generation instead of grinding through it.
+type emitter struct {
+	cfg  Config
+	end  float64 // horizon clamp for observed intervals
+	sink func(trace.Contact) error
+	err  error
+}
+
 // Generate produces one synthetic trace from the configuration and seed.
-// The same (config, seed) always yields the identical trace.
+// The same (config, seed) always yields the identical trace. The whole
+// trace is buffered and sorted; use GenerateStream when the contact
+// volume should not live in memory.
 func Generate(cfg Config, seed uint64) (*trace.Trace, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	tr := cfg.meta()
+	e := &emitter{cfg: cfg, end: tr.End, sink: func(c trace.Contact) error {
+		tr.Contacts = append(tr.Contacts, c)
+		return nil
+	}}
+	if err := generate(cfg, seed, e); err != nil {
+		return nil, err
+	}
+	tr.SortByBeg()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("tracegen: generated invalid trace: %w", err)
+	}
+	return tr, nil
+}
+
+// GenerateStream generates the same contact set as Generate(cfg, seed)
+// while holding at most flushEvery contacts in memory (<= 0 means 4096):
+// fn receives successive batches whose backing array is reused between
+// calls, so it must copy what it keeps — writing to a trace.Writer or
+// appending to a timeline.Appender both do. A fn error aborts the
+// generation and is returned as-is.
+//
+// Contacts arrive in generation order, not time order; the returned
+// skeleton trace carries the header (name, window, device table) and no
+// contacts. Sorting the streamed contacts with trace.SortByBeg
+// reproduces Generate's output exactly.
+func GenerateStream(cfg Config, seed uint64, flushEvery int, fn func([]trace.Contact) error) (*trace.Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if flushEvery <= 0 {
+		flushEvery = 4096
+	}
+	tr := cfg.meta()
+	batch := make([]trace.Contact, 0, flushEvery)
+	e := &emitter{cfg: cfg, end: tr.End}
+	e.sink = func(c trace.Contact) error {
+		batch = append(batch, c)
+		if len(batch) >= flushEvery {
+			err := fn(batch)
+			batch = batch[:0]
+			return err
+		}
+		return nil
+	}
+	if err := generate(cfg, seed, e); err != nil {
+		return nil, err
+	}
+	if len(batch) > 0 {
+		if err := fn(batch); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// generate runs the generation process, emitting every observed contact
+// into e. The RNG consumption is independent of the sink, so Generate
+// and GenerateStream produce the identical contact sequence.
+func generate(cfg Config, seed uint64, e *emitter) error {
 	r := rng.New(seed)
 	prof := cfg.Profile
 	if prof == nil {
@@ -155,16 +256,6 @@ func Generate(cfg Config, seed uint64) (*trace.Trace, error) {
 	warpedHorizon := warp(horizon)
 
 	n := cfg.Devices
-	tr := &trace.Trace{
-		Name:        cfg.Name,
-		Granularity: cfg.Granularity,
-		Start:       0,
-		End:         horizon,
-		Kinds:       make([]trace.Kind, n+cfg.ExternalDevices),
-	}
-	for i := 0; i < cfg.ExternalDevices; i++ {
-		tr.Kinds[n+i] = trace.External
-	}
 
 	// Per-device sociability (log-normal, mean 1) and community.
 	soc := make([]float64, n)
@@ -236,6 +327,9 @@ func Generate(cfg Config, seed uint64) (*trace.Trace, error) {
 		return (i + 1) % n
 	}
 	for i := 0; i < n; i++ {
+		if e.err != nil {
+			return e.err
+		}
 		expectedWalks := rawRenewal / meanBurst * soc[i] / sumSoc
 		if expectedWalks <= 0 {
 			continue
@@ -253,7 +347,7 @@ func Generate(cfg Config, seed uint64) (*trace.Trace, error) {
 				beg := walkBeg + r.Uniform(0, 300)
 				dur := sampleDuration(cfg, r)
 				end := math.Min(beg+dur, horizon)
-				emitContact(tr, cfg, r, trace.NodeID(i), trace.NodeID(j), beg, end)
+				e.contact(r, trace.NodeID(i), trace.NodeID(j), beg, end)
 			}
 			s += r.ParetoTrunc(cfg.GapAlpha, gmin, gmax)
 		}
@@ -265,8 +359,8 @@ func Generate(cfg Config, seed uint64) (*trace.Trace, error) {
 	// pass is disjoint within itself, so residual cross-membership stays
 	// rare — people occasionally moving rooms mid-window).
 	remaining := targetGather
-	for pass := 0; pass < 4 && remaining > 0.05*targetGather; pass++ {
-		remaining -= generateGatherings(tr, cfg, r, group, warp, horizon, remaining, hitShort)
+	for pass := 0; pass < 4 && remaining > 0.05*targetGather && e.err == nil; pass++ {
+		remaining -= generateGatherings(e, cfg, r, group, warp, horizon, remaining, hitShort)
 	}
 
 	// External devices: passers-by seen a handful of times each. Every
@@ -283,7 +377,7 @@ func Generate(cfg Config, seed uint64) (*trace.Trace, error) {
 			cum[i] = run
 		}
 		rawExt := int(math.Round(float64(cfg.ExternalContacts) / hitRenewal))
-		for c := 0; c < rawExt; c++ {
+		for c := 0; c < rawExt && e.err == nil; c++ {
 			ext := trace.NodeID(n + r.Intn(cfg.ExternalDevices))
 			x := r.Uniform(0, run)
 			i := 0
@@ -293,15 +387,11 @@ func Generate(cfg Config, seed uint64) (*trace.Trace, error) {
 			beg := unwarp(r.Uniform(0, warpedHorizon))
 			dur := sampleDuration(cfg, r)
 			end := math.Min(beg+dur, horizon)
-			emitContact(tr, cfg, r, trace.NodeID(i), ext, beg, end)
+			e.contact(r, trace.NodeID(i), ext, beg, end)
 		}
 	}
 
-	tr.SortByBeg()
-	if err := tr.Validate(); err != nil {
-		return nil, fmt.Errorf("tracegen: generated invalid trace: %w", err)
-	}
-	return tr, nil
+	return e.err
 }
 
 // generateGatherings emits the gathering component: room-structured
@@ -324,7 +414,7 @@ func Generate(cfg Config, seed uint64) (*trace.Trace, error) {
 //
 // targetObserved and the returned value are in observed (post-sampling)
 // contacts; hitShort is the scan-hit probability of a short contact.
-func generateGatherings(tr *trace.Trace, cfg Config, r *rng.Source, group []int, warp func(float64) float64, horizon, targetObserved, hitShort float64) float64 {
+func generateGatherings(e *emitter, cfg Config, r *rng.Source, group []int, warp func(float64) float64, horizon, targetObserved, hitShort float64) float64 {
 	n := cfg.Devices
 	byGroup := make([][]int, cfg.Groups)
 	for i, g := range group {
@@ -374,7 +464,7 @@ func generateGatherings(tr *trace.Trace, cfg Config, r *rng.Source, group []int,
 	// gathering per window.
 	scale := targetObserved / (perEvent * float64(cfg.Groups) * warpedHorizon / window)
 	emitted := 0.0
-	for s0 := 0.0; s0 < horizon; s0 += window {
+	for s0 := 0.0; s0 < horizon && e.err == nil; s0 += window {
 		s1 := math.Min(s0+window, horizon)
 		lambda := scale * (warp(s1) - warp(s0)) / window
 		busy := make(map[int]bool) // devices already in a room this window
@@ -427,7 +517,7 @@ func generateGatherings(tr *trace.Trace, cfg Config, r *rng.Source, group []int,
 								dur = s1 - beg
 							}
 							end := math.Min(beg+dur, horizon)
-							emitContact(tr, cfg, r, trace.NodeID(members[i]), trace.NodeID(members[j]), beg, end)
+							e.contact(r, trace.NodeID(members[i]), trace.NodeID(members[j]), beg, end)
 							emitted++
 						}
 					}
@@ -456,7 +546,7 @@ func generateGatherings(tr *trace.Trace, cfg Config, r *rng.Source, group []int,
 							beg := walkAt + r.Uniform(0, cfg.Granularity)
 							dur := shortDuration(cfg, r)
 							end := math.Min(beg+dur, horizon)
-							emitContact(tr, cfg, r, trace.NodeID(members[i]), trace.NodeID(members[j]), beg, end)
+							e.contact(r, trace.NodeID(members[i]), trace.NodeID(members[j]), beg, end)
 						}
 					}
 				}
@@ -499,32 +589,44 @@ func sampleDuration(cfg Config, r *rng.Source) float64 {
 	return seatedDuration(cfg, r)
 }
 
-// emitContact applies the Bluetooth scanning sampler and appends the
-// observed contact, if any. Scan instants for a pair sit at a random
-// per-contact phase of the granularity grid; a true contact is observed
-// only if a scan falls inside it, from the first covering scan until one
-// period after the last (the device is presumed in range until it fails
-// a scan) — this is what turns most sub-period meetings into single-slot
-// observations and misses many of them, the sampling effect of §5.1.
-func emitContact(tr *trace.Trace, cfg Config, r *rng.Source, a, b trace.NodeID, beg, end float64) {
+// contact applies the Bluetooth scanning sampler and forwards the
+// observed contact, if any, to the sink. Scan instants for a pair sit at
+// a random per-contact phase of the granularity grid; a true contact is
+// observed only if a scan falls inside it, from the first covering scan
+// until one period after the last (the device is presumed in range until
+// it fails a scan) — this is what turns most sub-period meetings into
+// single-slot observations and misses many of them, the sampling effect
+// of §5.1. RNG consumption is identical whether or not the sink has
+// already failed, so a deterministic replay past an error point stays
+// aligned.
+func (e *emitter) contact(r *rng.Source, a, b trace.NodeID, beg, end float64) {
 	if end <= beg {
 		return
 	}
-	if cfg.RawContacts {
-		tr.Contacts = append(tr.Contacts, trace.Contact{A: a, B: b, Beg: beg, End: end})
+	if e.cfg.RawContacts {
+		e.send(trace.Contact{A: a, B: b, Beg: beg, End: end})
 		return
 	}
-	g := cfg.Granularity
+	g := e.cfg.Granularity
 	phase := r.Uniform(0, g)
 	first := phase + g*math.Ceil((beg-phase)/g)
 	if first > end {
 		return // fell between scans: missed
 	}
 	last := phase + g*math.Floor((end-phase)/g)
-	obsEnd := math.Min(last+g, tr.End)
+	obsEnd := math.Min(last+g, e.end)
 	obsBeg := math.Max(first, 0)
 	if obsEnd <= obsBeg {
 		return
 	}
-	tr.Contacts = append(tr.Contacts, trace.Contact{A: a, B: b, Beg: obsBeg, End: obsEnd})
+	e.send(trace.Contact{A: a, B: b, Beg: obsBeg, End: obsEnd})
+}
+
+// send forwards one observed contact to the sink, latching the first
+// sink error.
+func (e *emitter) send(c trace.Contact) {
+	if e.err != nil {
+		return
+	}
+	e.err = e.sink(c)
 }

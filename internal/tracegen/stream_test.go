@@ -1,0 +1,108 @@
+package tracegen
+
+import (
+	"errors"
+	"testing"
+
+	"opportunet/internal/trace"
+)
+
+// streamTestConfig is a small-but-structured configuration exercising
+// every generation component (walkers, gatherings, externals, scan
+// sampling) quickly.
+func streamTestConfig() Config {
+	cfg := Infocom05Config()
+	cfg.Devices = 12
+	cfg.DurationDays = 0.5
+	cfg.TargetContacts = 800
+	cfg.ExternalDevices = 3
+	cfg.ExternalContacts = 60
+	return cfg
+}
+
+// TestGenerateStreamMatchesGenerate is the equivalence gate for the
+// streaming path: collecting every streamed batch (copying, since the
+// backing array is reused) and sorting must reproduce Generate's trace
+// exactly — same header, same contacts, same order.
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	cfg := streamTestConfig()
+	for _, seed := range []uint64{1, 7, 42} {
+		want, err := Generate(cfg, seed)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		for _, flushEvery := range []int{0, 1, 17, 1 << 20} {
+			var got []trace.Contact
+			batches := 0
+			meta, err := GenerateStream(cfg, seed, flushEvery, func(cs []trace.Contact) error {
+				got = append(got, cs...) // copies out of the reused batch
+				batches++
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("GenerateStream(flush=%d): %v", flushEvery, err)
+			}
+			if len(meta.Contacts) != 0 {
+				t.Fatalf("skeleton trace carries %d contacts", len(meta.Contacts))
+			}
+			if meta.Name != want.Name || meta.Start != want.Start || meta.End != want.End ||
+				meta.Granularity != want.Granularity || meta.NumNodes() != want.NumNodes() {
+				t.Fatalf("skeleton header mismatch: %+v", meta)
+			}
+			if flushEvery == 1 && batches != len(got) {
+				t.Fatalf("flushEvery=1 delivered %d batches for %d contacts", batches, len(got))
+			}
+			tr := &trace.Trace{Name: meta.Name, Granularity: meta.Granularity,
+				Start: meta.Start, End: meta.End, Kinds: meta.Kinds, Contacts: got}
+			tr.SortByBeg()
+			if len(tr.Contacts) != len(want.Contacts) {
+				t.Fatalf("flush=%d: got %d contacts, want %d", flushEvery, len(tr.Contacts), len(want.Contacts))
+			}
+			for i := range tr.Contacts {
+				if tr.Contacts[i] != want.Contacts[i] {
+					t.Fatalf("flush=%d: contact %d = %+v, want %+v", flushEvery, i, tr.Contacts[i], want.Contacts[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateStreamSinkError checks that a sink failure aborts the
+// generation and surfaces as-is.
+func TestGenerateStreamSinkError(t *testing.T) {
+	cfg := streamTestConfig()
+	boom := errors.New("disk full")
+	calls := 0
+	_, err := GenerateStream(cfg, 1, 16, func(cs []trace.Contact) error {
+		calls++
+		if calls == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 3 {
+		t.Fatalf("sink called %d times after error, want exactly 3", calls)
+	}
+}
+
+// TestGenerateStreamValidContacts streams into a fresh trace skeleton
+// and validates it, mirroring what a writer-to-disk consumer produces.
+func TestGenerateStreamValidContacts(t *testing.T) {
+	cfg := streamTestConfig()
+	var got []trace.Contact
+	meta, err := GenerateStream(cfg, 5, 0, func(cs []trace.Contact) error {
+		got = append(got, cs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("GenerateStream: %v", err)
+	}
+	meta.Contacts = got
+	meta.SortByBeg()
+	if err := meta.Validate(); err != nil {
+		t.Fatalf("streamed trace invalid: %v", err)
+	}
+}

@@ -20,6 +20,15 @@
 # measure the certifiability gate's overhead (they should be equal),
 # not the tier's win.
 #
+# The ingest stage records the streaming pipeline: the marginal cost of
+# Extending a warm engine by the final 1% of a trace next to the cold
+# rebuild+recompute it replaces (their same-run ratio is emitted as
+# "extend_vs_cold"; the ISSUE gate requires extend < 10% of cold, i.e.
+# a ratio above 10), plus steady-state Appender throughput in
+# contacts/sec ("append_contacts_per_sec") and the end-to-end latency
+# of one live epoch — append a batch, snapshot, Extend to queryable —
+# as "append_to_queryable_ns".
+#
 # Usage: scripts/bench.sh [output.json]
 # Without an argument the output is BENCH_<N+1>.json, one past the
 # highest index already recorded.
@@ -56,6 +65,12 @@ echo "== timeline index: build, queries, shared-vs-cold engine setup =="
 go test -run '^$' -bench 'Benchmark(IndexBuild|Meet|DeriveRemovalView|ComputeSetupShared|ComputeSetupCold)$' \
     -benchtime 10x ./internal/timeline | tee "$TMP/timeline.txt"
 
+echo "== streaming ingest: incremental extend vs cold, append path =="
+go test -run '^$' -bench 'Benchmark(IncrementalExtend|ColdRecompute|AppendToQueryable)$' \
+    -benchtime 3x ./internal/core | tee "$TMP/ingest.txt"
+go test -run '^$' -bench 'Benchmark(AppendThroughput|SegmentMeet)$' \
+    -benchtime 1000x ./internal/timeline | tee -a "$TMP/ingest.txt"
+
 # Benchmark output lines look like:
 #   BenchmarkEngineCompute-4   3   123456789 ns/op   61700000 B/op   46494 allocs/op
 # The -N suffix is GOMAXPROCS (absent when it equals the default 1-run).
@@ -79,7 +94,7 @@ BEGIN {
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, bop, aop
 }
 END { printf "\n  ]\n}\n" }
-' "$TMP/scaling.txt" "$TMP/exhibits.txt" "$TMP/reach.txt" "$TMP/timeline.txt" > "$TMP/bench.json"
+' "$TMP/scaling.txt" "$TMP/exhibits.txt" "$TMP/reach.txt" "$TMP/timeline.txt" "$TMP/ingest.txt" > "$TMP/bench.json"
 
 # Tiered-vs-exact speedup from this run's own numbers: the exact
 # aggregation primitive (single-core) over the reach tier's bounds
@@ -90,11 +105,32 @@ $1 ~ /^BenchmarkReachBounds(-[0-9]+)?$/ { for (i = 2; i < NF; i++) if ($(i+1) ==
 END { if (exact && fast) printf "%.2f", exact / fast; else printf "null" }
 ' "$TMP/scaling.txt" "$TMP/reach.txt")
 
-# Splice the ratio and the validated run report into the record: drop
+# Streaming-pipeline headline numbers from this run's own lines:
+# cold-recompute over incremental-extend (the <10%-of-cold gate wants
+# this above 10), the append→queryable epoch latency, and Appender
+# throughput (each AppendThroughput op ingests one 512-contact batch).
+EXTEND_VS_COLD=$(awk '
+$1 ~ /^BenchmarkIncrementalExtend(-[0-9]+)?$/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") ext = $i }
+$1 ~ /^BenchmarkColdRecompute(-[0-9]+)?$/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") cold = $i }
+END { if (ext && cold) printf "%.2f", cold / ext; else printf "null" }
+' "$TMP/ingest.txt")
+APPEND_TO_QUERYABLE=$(awk '
+$1 ~ /^BenchmarkAppendToQueryable(-[0-9]+)?$/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") lat = $i }
+END { if (lat) printf "%s", lat; else printf "null" }
+' "$TMP/ingest.txt")
+APPEND_RATE=$(awk '
+$1 ~ /^BenchmarkAppendThroughput(-[0-9]+)?$/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") ns = $i }
+END { if (ns) printf "%.0f", 512 * 1e9 / ns; else printf "null" }
+' "$TMP/ingest.txt")
+
+# Splice the ratios and the validated run report into the record: drop
 # the closing brace, add the members, close again.
 {
     sed '$d' "$TMP/bench.json"
     printf '  ,"tiered_vs_exact": %s\n' "$RATIO"
+    printf '  ,"extend_vs_cold": %s\n' "$EXTEND_VS_COLD"
+    printf '  ,"append_to_queryable_ns": %s\n' "$APPEND_TO_QUERYABLE"
+    printf '  ,"append_contacts_per_sec": %s\n' "$APPEND_RATE"
     printf '  ,"run_report":\n'
     sed 's/^/  /' "$TMP/run_report.json"
     printf '}\n'

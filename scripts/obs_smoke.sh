@@ -8,6 +8,13 @@
 # scripts/checkreport. The report and span log land in the output
 # directory so CI can archive them.
 #
+# A second phase replays a streamed synthetic trace through cmd/ingest
+# with a tight eviction window and scrapes /metrics throughout the run:
+# the segment lifecycle (append, seal, merge, evict) and the ingest
+# loop (epochs, batches, append-to-queryable latency) must all expose
+# their families live, and the core ones must actually move during the
+# replay. The ingest run report passes the same checkreport gate.
+#
 # Usage: scripts/obs_smoke.sh [output-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -65,5 +72,72 @@ done
 go run ./scripts/checkreport \
     -require par_tasks_total,core_rows_total,core_computes_total,experiments_completed_total \
     "$OUTDIR/RUN_REPORT.json"
+
+# ---- ingest replay phase -------------------------------------------
+# Stream a synthetic dataset to disk, replay it through cmd/ingest with
+# a seal cadence and eviction window tight enough that every segment
+# lifecycle transition fires, and scrape /metrics for the whole run.
+
+go build -o "$TMP/ingest" ./cmd/ingest
+go build -o "$TMP/tracegen" ./cmd/tracegen
+"$TMP/tracegen" -dataset infocom05 -stream -quiet -o "$TMP/feed.trace"
+
+"$TMP/ingest" -i "$TMP/feed.trace" -seal 1024 -epoch 4000 -evict 20000 \
+    -summary=false -obsaddr 127.0.0.1:0 -report "$OUTDIR/INGEST_REPORT.json" \
+    < /dev/null > /dev/null 2> "$TMP/ingest_err.txt" &
+pid=$!
+
+addr=
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|.*on http://\([^]]*\)\].*|\1|p' "$TMP/ingest_err.txt" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "obs_smoke: no obs address appeared on ingest stderr:" >&2
+    cat "$TMP/ingest_err.txt" >&2
+    kill "$pid" 2>/dev/null || true
+    exit 1
+fi
+
+# Scrape continuously while the replay runs, keeping the freshest
+# successful scrape: the asserted snapshot is genuinely mid-flight.
+while kill -0 "$pid" 2>/dev/null; do
+    if curl -fsS "http://$addr/metrics" > "$TMP/ingest_metrics.tmp" 2>/dev/null; then
+        mv "$TMP/ingest_metrics.tmp" "$TMP/ingest_metrics.txt"
+    fi
+    sleep 0.2
+done
+wait "$pid"
+cp "$TMP/ingest_metrics.txt" "$OUTDIR/ingest_metrics.txt"
+
+# Every streaming family must be exposed during a live replay.
+for fam in ingest_epochs_total ingest_batches_total ingest_extend_seconds \
+           ingest_append_to_queryable_seconds timeline_appended_contacts_total \
+           timeline_segment_seals_total timeline_segment_merges_total \
+           timeline_merge_contacts_rewritten_total timeline_segments_evicted_total \
+           timeline_contacts_evicted_total timeline_live_segments; do
+    grep -q "^# TYPE $fam " "$TMP/ingest_metrics.txt" || {
+        echo "obs_smoke: metric family $fam missing from ingest /metrics" >&2
+        exit 1
+    }
+done
+
+# And the lifecycle counters must have moved: contacts appended,
+# segments sealed, merged, and evicted, epochs extended.
+for fam in timeline_appended_contacts_total timeline_segment_seals_total \
+           timeline_segment_merges_total timeline_contacts_evicted_total \
+           ingest_epochs_total ingest_batches_total; do
+    awk -v fam="$fam" '$1 == fam { found = 1; if ($2 + 0 > 0) ok = 1 }
+        END { exit !(found && ok) }' "$TMP/ingest_metrics.txt" || {
+        echo "obs_smoke: counter $fam never moved during the ingest replay" >&2
+        exit 1
+    }
+done
+
+go run ./scripts/checkreport \
+    -require ingest_epochs_total,timeline_appended_contacts_total,timeline_segment_seals_total \
+    "$OUTDIR/INGEST_REPORT.json"
 
 echo "obs smoke passed (artifacts in $OUTDIR)"
