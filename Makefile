@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json bench-smoke profile quick-equivalence fuzz-smoke checkpoint-idempotence obs-smoke reach-check stream-check
+.PHONY: check build vet test race bench bench-json bench-smoke profile quick-equivalence fuzz-smoke checkpoint-idempotence obs-smoke reach-check stream-check server-smoke
 
 check: build vet race
 
@@ -83,6 +83,14 @@ stream-check:
 	$(GO) test -race -timeout 20m -run 'StreamCheck|Appender|Segment|Extend|NewStudyResult|GenerateStream|Stream' \
 		./internal/timeline ./internal/core ./internal/analysis ./internal/trace ./internal/tracegen
 	$(GO) test ./internal/timeline -run FuzzAppendMerge -fuzz FuzzAppendMerge -fuzztime 10s
+
+# Serving gate: opportunetd end-to-end over real HTTP — warm exact
+# answers, 1 ms deadlines degrading to certified bounds that contain
+# the exact diameter, overload shedding with 429 + Retry-After, live
+# serving metrics, and a SIGTERM drain that leaks no in-flight request.
+# Artifacts land in server-artifacts/.
+server-smoke:
+	scripts/server_smoke.sh server-artifacts
 
 # Fast-tier gate: the reach cross-validation suite (bounds bracket the
 # exact engine on randomized traces, certificates imply exact answers)

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net"
+	"time"
+
+	"opportunet/internal/cli"
+	"opportunet/internal/obs"
+	"opportunet/internal/rng"
+)
+
+// feed is the -listen source: one live TCP connection at a time, with
+// optional reconnect. The first connection is awaited indefinitely
+// (the legacy behavior); after the feed drops, up to maxRetries
+// re-accept windows open with exponential backoff and jitter — a
+// producer that restarts within the budget resumes the stream on the
+// same listener, invisible to the parser. A reconnected producer may
+// resend its '#' header block; the stream header has already fired, so
+// leading header and blank lines of later connections are stripped
+// before the bytes reach the parser. Exhausted retries end the stream
+// cleanly (EOF), so the run still finishes with a summary of what was
+// ingested.
+type feed struct {
+	ctx        context.Context
+	ln         net.Listener
+	vb         *cli.Verbosity
+	maxRetries int
+	baseWait   time.Duration // first re-accept window (doubles per retry)
+	maxWait    time.Duration // backoff cap
+	reconnects *obs.Counter
+	jitter     *rng.Source
+
+	conn      net.Conn
+	br        *bufio.Reader
+	connected bool // a connection has been served before
+}
+
+func newFeed(ctx context.Context, ln net.Listener, maxRetries int, reconnects *obs.Counter, vb *cli.Verbosity) *feed {
+	return &feed{
+		ctx:        ctx,
+		ln:         ln,
+		vb:         vb,
+		maxRetries: maxRetries,
+		baseWait:   time.Second,
+		maxWait:    time.Minute,
+		reconnects: reconnects,
+		jitter:     rng.New(uint64(time.Now().UnixNano())),
+	}
+}
+
+// arm installs the cancellation hook: a cancelled run unblocks a
+// pending Accept by closing the listener.
+func (f *feed) arm() *feed {
+	go func() { <-f.ctx.Done(); f.ln.Close() }()
+	return f
+}
+
+func (f *feed) Read(p []byte) (int, error) {
+	for {
+		if f.br == nil {
+			if err := f.connect(); err != nil {
+				return 0, err
+			}
+		}
+		n, err := f.br.Read(p)
+		if n > 0 || err == nil {
+			return n, nil
+		}
+		// The feed dropped (EOF) or the connection broke.
+		f.close()
+		if cerr := f.ctx.Err(); cerr != nil {
+			return 0, cerr
+		}
+		if err != io.EOF {
+			f.vb.Logf("[ingest: feed error: %v]", err)
+		}
+		if f.maxRetries <= 0 {
+			return 0, io.EOF
+		}
+		f.vb.Logf("[ingest: feed dropped, waiting for reconnect (up to %d attempts)]", f.maxRetries)
+	}
+}
+
+// connect accepts the next connection. The first connection is awaited
+// without a deadline; reconnects get maxRetries jittered windows of
+// exponentially growing length, and run out to a clean EOF.
+func (f *feed) connect() error {
+	window := f.baseWait
+	for attempt := 0; ; attempt++ {
+		if err := f.ctx.Err(); err != nil {
+			return err
+		}
+		if f.connected {
+			if attempt >= f.maxRetries {
+				f.vb.Logf("[ingest: no reconnect after %d attempts, ending stream]", f.maxRetries)
+				return io.EOF
+			}
+			wait := time.Duration(float64(window) * f.jitter.Uniform(0.5, 1.5))
+			if tl, ok := f.ln.(*net.TCPListener); ok {
+				_ = tl.SetDeadline(time.Now().Add(wait))
+			}
+			window *= 2
+			if window > f.maxWait {
+				window = f.maxWait
+			}
+		}
+		conn, err := f.ln.Accept()
+		if err != nil {
+			if f.ctx.Err() != nil {
+				return f.ctx.Err()
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // window elapsed with no producer; back off and retry
+			}
+			return err
+		}
+		// A cancelled run unblocks any in-flight read by closing the
+		// connection under it.
+		go func() { <-f.ctx.Done(); conn.Close() }()
+		f.conn = conn
+		f.br = bufio.NewReader(conn)
+		if f.connected {
+			f.reconnects.Inc()
+			f.vb.Logf("[ingest: feed reconnected from %s]", conn.RemoteAddr())
+			if err := f.stripHeader(); err != nil {
+				f.close()
+				continue // the reconnect died immediately; keep waiting
+			}
+		} else {
+			f.vb.Logf("[ingest: feed connected from %s]", conn.RemoteAddr())
+			if f.maxRetries <= 0 {
+				// Legacy single-connection mode: nobody else may dial in.
+				f.ln.Close()
+			}
+		}
+		f.connected = true
+		return nil
+	}
+}
+
+// stripHeader discards the leading '#' header block (and blank lines)
+// of a reconnected producer: the stream header is fixed by the first
+// connection, and the parser rejects header lines mid-stream.
+func (f *feed) stripHeader() error {
+	for {
+		b, err := f.br.Peek(1)
+		if err != nil {
+			return err
+		}
+		switch b[0] {
+		case '#', '\n', '\r':
+			if _, err := f.br.ReadString('\n'); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (f *feed) close() {
+	if f.conn != nil {
+		f.conn.Close()
+	}
+	f.conn, f.br = nil, nil
+}
+
+// Close shuts down the current connection and the listener; safe to
+// call twice.
+func (f *feed) Close() {
+	f.close()
+	f.ln.Close()
+}

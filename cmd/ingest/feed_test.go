@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"opportunet/internal/cli"
+	"opportunet/internal/obs"
+)
+
+func testFeed(t *testing.T, maxRetries int, reconnects *obs.Counter) (*feed, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFeed(context.Background(), ln, maxRetries, reconnects, &cli.Verbosity{})
+	f.baseWait = 50 * time.Millisecond
+	t.Cleanup(f.Close)
+	return f, ln.Addr().String()
+}
+
+// dialAndSend is called from producer goroutines, so it reports with
+// t.Error (goroutine-safe) rather than t.Fatal.
+func dialAndSend(t *testing.T, addr, payload string) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, payload); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeedReconnectResumesStream(t *testing.T) {
+	reg := obs.NewRegistry()
+	reconnects := reg.Counter("test_reconnects_total", "")
+	f, addr := testFeed(t, 3, reconnects)
+
+	go func() {
+		dialAndSend(t, addr, "# trace synth\n0 1 10 20\n")
+		// Second producer restarts and resends its header block: the
+		// feed must strip it, not feed it to the parser mid-stream.
+		dialAndSend(t, addr, "# trace synth\n\n2 3 30 40\n")
+	}()
+
+	var lines []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"# trace synth", "0 1 10 20", "2 3 30 40"}
+	if strings.Join(lines, "|") != strings.Join(want, "|") {
+		t.Fatalf("stream lines = %q, want %q", lines, want)
+	}
+	if got := reconnects.Value(); got != 1 {
+		t.Fatalf("reconnects counter = %d, want 1", got)
+	}
+}
+
+func TestFeedRetriesExhaustEndStream(t *testing.T) {
+	f, addr := testFeed(t, 2, nil)
+	go dialAndSend(t, addr, "0 1 10 20\n")
+
+	data, err := io.ReadAll(f) // nobody reconnects: 2 windows, then EOF
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0 1 10 20\n" {
+		t.Fatalf("stream = %q", data)
+	}
+}
+
+func TestFeedSingleConnectionMode(t *testing.T) {
+	f, addr := testFeed(t, 0, nil)
+	go dialAndSend(t, addr, "0 1 10 20\n")
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0 1 10 20\n" {
+		t.Fatalf("stream = %q", data)
+	}
+	// Legacy mode closed the listener after the first accept.
+	if _, err := net.DialTimeout("tcp", addr, 100*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting in single-connection mode")
+	}
+}

@@ -73,6 +73,7 @@ func main() {
 	epoch := flag.Int("epoch", 20000, "appended contacts per incremental Extend pass")
 	evict := flag.Float64("evict", 0, "evict segments ending more than this many trace-seconds before the newest end (0 = keep everything)")
 	nodes := flag.Int("nodes", 0, "device count for feeds without a '# nodes' header")
+	maxRetries := flag.Int("max-retries", 0, "with -listen: re-accept a dropped feed up to this many times per drop, with exponential backoff and jitter (0 = end the stream on first drop)")
 	delta := flag.Float64("delta", 0, "per-hop transmission delay (engine TransmitDelay)")
 	directed := flag.Bool("directed", false, "treat contacts as usable only from A to B")
 	maxhops := flag.Int("maxhops", 0, "bound the number of contacts per path (0 = fixpoint)")
@@ -157,7 +158,8 @@ func main() {
 		extendDur: reg.Histogram("ingest_extend_seconds", "wall time of one snapshot+extend pass", latBuckets),
 	}
 
-	src, srcName, closeSrc, err := openSource(ctx, *in, *listen, vb)
+	reconnects := reg.Counter("ingest_reconnects_total", "feed reconnections accepted after a drop")
+	src, srcName, closeSrc, err := openSource(ctx, *in, *listen, *maxRetries, reconnects, vb)
 	if err != nil {
 		cli.Fail("ingest", err)
 	}
@@ -202,9 +204,10 @@ func main() {
 	}
 }
 
-// openSource resolves the feed source: a replay file, a single accepted
-// TCP connection, or stdin. The returned closer is safe to call twice.
-func openSource(ctx context.Context, in, listen string, vb *cli.Verbosity) (io.Reader, string, func(), error) {
+// openSource resolves the feed source: a replay file, a TCP feed
+// (single connection, or reconnecting when maxRetries > 0), or stdin.
+// The returned closer is safe to call twice.
+func openSource(ctx context.Context, in, listen string, maxRetries int, reconnects *obs.Counter, vb *cli.Verbosity) (io.Reader, string, func(), error) {
 	switch {
 	case in != "":
 		f, err := os.Open(in)
@@ -218,20 +221,8 @@ func openSource(ctx context.Context, in, listen string, vb *cli.Verbosity) (io.R
 			return nil, "", nil, err
 		}
 		vb.Logf("[ingest: listening on %s]", ln.Addr())
-		// A cancelled context unblocks Accept (and later reads) by
-		// closing the listener and connection.
-		go func() { <-ctx.Done(); ln.Close() }()
-		conn, err := ln.Accept()
-		ln.Close()
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, "", nil, ctx.Err()
-			}
-			return nil, "", nil, err
-		}
-		go func() { <-ctx.Done(); conn.Close() }()
-		vb.Logf("[ingest: feed connected from %s]", conn.RemoteAddr())
-		return conn, "tcp:" + conn.RemoteAddr().String(), func() { conn.Close() }, nil
+		fd := newFeed(ctx, ln, maxRetries, reconnects, vb).arm()
+		return fd, "tcp:" + ln.Addr().String(), fd.Close, nil
 	default:
 		return os.Stdin, "stdin", func() {}, nil
 	}

@@ -1,0 +1,215 @@
+// Command opportunetd is the long-lived query daemon: it loads one or
+// more contact traces into a warm registry (timeline index + exhaustive
+// path archive + curve cache + reach bounds tier) and serves the
+// paper's quantities over HTTP as JSON:
+//
+//	/v1/datasets                          registry metadata
+//	/v1/path?src=&dst=&t=&reconstruct=1   one pair's delivery (and path)
+//	/v1/diameter?eps=&points=             the (1−ε)-diameter
+//	/v1/delaycdf?hops=1,2,0&points=       per-hop-bound success curves
+//	/healthz, /readyz                     liveness / readiness
+//
+// Robustness is the point: bounded admission with load shedding (429 +
+// Retry-After), per-request deadlines (X-Deadline-Ms header or
+// deadline_ms parameter, capped by -max-deadline) propagated through
+// every computation, graceful degradation of deadline-busting
+// diameter-style queries to certified reach-tier bounds marked
+// "degraded":"bounds-only", per-request panic containment, coalescing
+// of identical in-flight queries, and SIGTERM drain within -drain
+// budget. Exit codes follow the repo convention: 2 usage, 1 runtime
+// error, 0 after a clean signal-triggered drain.
+//
+// Usage:
+//
+//	opportunetd -trace infocom05.trace
+//	opportunetd -addr :8080 -trace a=ia.trace -trace b=ib.trace -obsaddr :9188
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"opportunet/internal/analysis"
+	"opportunet/internal/cli"
+	"opportunet/internal/core"
+	"opportunet/internal/obs"
+	"opportunet/internal/server"
+	"opportunet/internal/trace"
+)
+
+type traceArg struct{ name, path string }
+
+func main() {
+	var traces []traceArg
+	flag.Func("trace", "trace file to load, `[name=]file` (repeatable)", func(v string) error {
+		ta := traceArg{path: v}
+		if i := strings.IndexByte(v, '='); i > 0 {
+			ta.name, ta.path = v[:i], v[i+1:]
+		}
+		traces = append(traces, ta)
+		return nil
+	})
+	addr := flag.String("addr", ":8080", "HTTP listen address (:0 picks a free port)")
+	workers := flag.Int("workers", 0, "worker goroutines for loading and per-query aggregation (0 = all cores)")
+	directed := flag.Bool("directed", false, "use contacts only in their recorded orientation")
+	delta := flag.Float64("delta", 0, "per-hop transmission delay in seconds (disables the bounds tier when > 0)")
+	maxHops := flag.Int("maxhops", 0, "hop bound for the path computation (0 = run to the fixpoint)")
+	points := flag.Int("points", 60, "default delay-grid resolution (and the prewarmed degraded grid)")
+	eps := flag.Float64("eps", 0.01, "default diameter confidence parameter (and the prewarmed bounds')")
+	maxInflight := flag.Int("max-inflight", 4, "queries computing concurrently; more wait, then shed")
+	maxQueue := flag.Int("max-queue", 16, "queries allowed to wait for a slot before arrivals are shed with 429")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "longest one query may wait for admission before 429")
+	maxDeadline := flag.Duration("max-deadline", 30*time.Second, "cap (and default) for per-request deadlines")
+	drain := flag.Duration("drain", 10*time.Second, "SIGTERM: wait this long for in-flight queries before cancelling them")
+	fastTier := flag.Bool("fast-tier", true, "answer diameter questions bounds-first via the reach tier inside exact queries too")
+	obsAddr := flag.String("obsaddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (:0 picks a free port)")
+	obsLog := flag.String("obslog", "", "append one JSON line per request span to this file")
+	report := flag.String("report", "", "write a RUN_REPORT.json summary to this file at exit")
+	prof := cli.AddProfileFlags()
+	vb := cli.AddVerbosityFlags()
+	flag.Parse()
+
+	if len(traces) == 0 {
+		cli.Usage("opportunetd", "need at least one -trace file to serve")
+	}
+	if flag.NArg() > 0 {
+		cli.Usage("opportunetd", fmt.Sprintf("unexpected argument %q", flag.Arg(0)))
+	}
+
+	obsOn := *obsAddr != "" || *obsLog != "" || *report != ""
+	var reg *obs.Registry
+	if obsOn {
+		reg = obs.NewRegistry()
+		obs.Wire(reg)
+	}
+	var spans *obs.SpanLog
+	if *obsLog != "" {
+		f, err := os.Create(*obsLog)
+		if err != nil {
+			cli.Fail("opportunetd", err)
+		}
+		defer f.Close()
+		spans = obs.NewSpanLog(f)
+	} else if *report != "" {
+		spans = obs.NewSpanLog(nil)
+	}
+	if *obsAddr != "" {
+		osrv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			cli.Fail("opportunetd", err)
+		}
+		defer osrv.Close()
+		vb.Logf("[obs: serving /metrics, /debug/vars, /debug/pprof on http://%s]", osrv.Addr())
+	}
+	stages := obs.NewStages()
+	stages.Enter("load")
+
+	analysis.SetFastTierDefault(*fastTier)
+
+	// The daemon context: SIGINT/SIGTERM flip it, which is the drain
+	// trigger, not an abort — in-flight queries get the -drain budget.
+	ctx, stop := cli.Context(0)
+	defer stop()
+	if err := prof.Start(); err != nil {
+		cli.Fail("opportunetd", err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			cli.Fail("opportunetd", err)
+		}
+	}()
+
+	srv := server.New(ctx, server.Config{
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		QueueWait:   *queueWait,
+		MaxDeadline: *maxDeadline,
+		Logf:        vb.Logf,
+		Spans:       spans,
+	})
+
+	opt := core.Options{
+		Workers:       *workers,
+		Directed:      *directed,
+		TransmitDelay: *delta,
+		MaxHops:       *maxHops,
+		Ctx:           ctx,
+	}
+	for _, ta := range traces {
+		f, err := os.Open(ta.path)
+		if err != nil {
+			cli.Fail("opportunetd", err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			cli.Fail("opportunetd", fmt.Errorf("%s: %w", ta.path, err))
+		}
+		if ta.name != "" {
+			tr.Name = ta.name
+		}
+		ds, err := server.LoadDataset(tr, server.LoadOptions{Core: opt, Points: *points, Eps: *eps})
+		if err != nil {
+			cli.Fail("opportunetd", fmt.Errorf("%s: %w", ta.path, err))
+		}
+		srv.Register(ds)
+		bounds := "no bounds tier"
+		switch {
+		case ds.WarmHi >= 0:
+			bounds = fmt.Sprintf("warm diameter bounds [%d, %d]", ds.WarmLo, ds.WarmHi)
+		case ds.Reach != nil:
+			// Envelopes are warm but no hop bound certified as passing:
+			// degraded answers use [WarmLo, fixpoint].
+			bounds = fmt.Sprintf("warm envelopes, diameter >= %d", ds.WarmLo)
+		}
+		vb.Logf("[opportunetd: loaded %q: %d nodes, %d contacts, fixpoint %d hops, %s, in %v]",
+			ds.Name, ds.View.NumNodes(), ds.View.NumContacts(), ds.Study.Result.Hops,
+			bounds, ds.LoadTime.Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fail("opportunetd", err)
+	}
+	srv.SetReady(true)
+	stages.Enter("serve")
+	vb.Logf("[opportunetd: serving queries on http://%s]", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			cli.Fail("opportunetd", err)
+		}
+	case <-ctx.Done():
+		stages.Enter("drain")
+		st := srv.Drain(*drain)
+		mode := "clean"
+		if st.Forced {
+			mode = "forced"
+		}
+		// The smoke test parses this line: after a drain, no request may
+		// be left in flight.
+		vb.Logf("[opportunetd: drained (%s): started=%d finished=%d inflight=%d]",
+			mode, st.Started, st.Finished, st.Inflight)
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			cli.Fail("opportunetd", err)
+		}
+		rep := obs.BuildReport("opportunetd", false, *workers, stages, spans, reg)
+		if err := rep.WriteJSON(f); err != nil {
+			cli.Fail("opportunetd", err)
+		}
+		f.Close()
+	}
+}

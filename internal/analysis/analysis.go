@@ -64,9 +64,25 @@ type Study struct {
 	ctx      context.Context
 	directed bool
 
+	// state holds everything shared between a study and its WithContext
+	// handles: the caches and the reach tier. A Study value is therefore
+	// safe to shallow-copy — handles alias the same warm state.
+	state *studyState
+}
+
+// studyState is the cache layer shared by every handle over one study:
+// the frontier memo, the success-curve cache, and the reach bounds
+// tier. Cancelled aggregations never write to it, so handles with
+// short-lived request contexts can hammer a shared warm study without
+// poisoning the caches for each other.
+type studyState struct {
 	mu        sync.Mutex
 	frontiers map[int][]core.Frontier // hop bound -> frontier per pair
 	curves    map[curveKey][]float64  // (hop bound, grid, window) -> summed SuccessWithin
+
+	// baseCtx is the construction context: the reach engine is built
+	// under it (tier state outlives any single request's deadline).
+	baseCtx context.Context
 
 	// fastTier enables the reach bounds tier (see tier.go); reachEng is
 	// its lazily built engine, reachFailed latches a construction error.
@@ -106,14 +122,12 @@ func NewStudyView(v *timeline.View, opt core.Options) (*Study, error) {
 		return nil, err
 	}
 	s := &Study{
-		View:      v,
-		Result:    res,
-		workers:   opt.Workers,
-		ctx:       opt.Ctx,
-		directed:  opt.Directed,
-		frontiers: make(map[int][]core.Frontier),
-		curves:    make(map[curveKey][]float64),
-		fastTier:  fastTierOn.Load(),
+		View:     v,
+		Result:   res,
+		workers:  opt.Workers,
+		ctx:      opt.Ctx,
+		directed: opt.Directed,
+		state:    newStudyState(opt.Ctx),
 	}
 	for _, a := range internal {
 		for _, b := range internal {
@@ -152,14 +166,12 @@ func NewStudyResult(v *timeline.View, res *core.Result, opt core.Options) (*Stud
 		}
 	}
 	s := &Study{
-		View:      v,
-		Result:    res,
-		workers:   opt.Workers,
-		ctx:       opt.Ctx,
-		directed:  opt.Directed,
-		frontiers: make(map[int][]core.Frontier),
-		curves:    make(map[curveKey][]float64),
-		fastTier:  fastTierOn.Load(),
+		View:     v,
+		Result:   res,
+		workers:  opt.Workers,
+		ctx:      opt.Ctx,
+		directed: opt.Directed,
+		state:    newStudyState(opt.Ctx),
 	}
 	for _, a := range internal {
 		for _, b := range internal {
@@ -169,6 +181,30 @@ func NewStudyResult(v *timeline.View, res *core.Result, opt core.Options) (*Stud
 		}
 	}
 	return s, nil
+}
+
+func newStudyState(baseCtx context.Context) *studyState {
+	return &studyState{
+		frontiers: make(map[int][]core.Frontier),
+		curves:    make(map[curveKey][]float64),
+		baseCtx:   baseCtx,
+		fastTier:  fastTierOn.Load(),
+	}
+}
+
+// WithContext returns a handle over the same study whose aggregation
+// loops observe ctx instead of the construction context. The handle
+// aliases the underlying result, frontier memo, curve cache, and reach
+// tier, so a warm study can serve many concurrent requests each with
+// its own deadline: a call cancelled through any handle returns
+// incomplete values uncached (check Err), leaving the shared caches
+// exactly as a never-started call would. The reach tier keeps the
+// construction context — certificates are study-lifetime state, not
+// per-request work.
+func (s *Study) WithContext(ctx context.Context) *Study {
+	clone := *s
+	clone.ctx = ctx
+	return &clone
 }
 
 // Err reports the study's cancellation state: the context error when
@@ -189,13 +225,14 @@ func (s *Study) Err() error {
 // study's context is cancelled mid-build, the incomplete slice is
 // returned uncached — Err() tells callers to discard it.
 func (s *Study) frontiersFor(hopBound int) []core.Frontier {
-	s.mu.Lock()
-	if fs, ok := s.frontiers[hopBound]; ok {
-		s.mu.Unlock()
+	st := s.state
+	st.mu.Lock()
+	if fs, ok := st.frontiers[hopBound]; ok {
+		st.mu.Unlock()
 		anMetrics.memoHits.Inc()
 		return fs
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 	anMetrics.memoMisses.Inc()
 	fs := make([]core.Frontier, len(s.Pairs))
 	if err := par.DoCtx(s.ctx, len(s.Pairs), s.workers, func(i int) {
@@ -204,12 +241,12 @@ func (s *Study) frontiersFor(hopBound int) []core.Frontier {
 	}); err != nil {
 		return fs
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := s.frontiers[hopBound]; ok {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if prev, ok := st.frontiers[hopBound]; ok {
 		return prev
 	}
-	s.frontiers[hopBound] = fs
+	st.frontiers[hopBound] = fs
 	return fs
 }
 
@@ -218,12 +255,13 @@ func (s *Study) frontiersFor(hopBound int) []core.Frontier {
 // memory after a study has been mined, and for benchmarks that need to
 // time the aggregation work itself.
 func (s *Study) ClearCaches() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.frontiers = make(map[int][]core.Frontier)
-	s.curves = make(map[curveKey][]float64)
-	s.reachEng = nil
-	s.reachFailed = false
+	st := s.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.frontiers = make(map[int][]core.Frontier)
+	st.curves = make(map[curveKey][]float64)
+	st.reachEng = nil
+	st.reachFailed = false
 }
 
 // curveKey identifies one cached success curve: the hop bound, the
@@ -290,13 +328,14 @@ func (s *Study) successCurve(hopBound int, grid []float64, a, b float64) []float
 // cycling it through the pool per bound. nil falls back to the pool.
 func (s *Study) successCurveBuf(hopBound int, grid []float64, a, b float64, buf []float64) []float64 {
 	key := makeCurveKey(hopBound, grid, a, b)
-	s.mu.Lock()
-	if c, ok := s.curves[key]; ok {
-		s.mu.Unlock()
+	st := s.state
+	st.mu.Lock()
+	if c, ok := st.curves[key]; ok {
+		st.mu.Unlock()
 		anMetrics.curveHits.Inc()
 		return c
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 	anMetrics.curveMisses.Inc()
 
 	fs := s.frontiersFor(hopBound)
@@ -329,12 +368,12 @@ func (s *Study) successCurveBuf(hopBound int, grid []float64, a, b float64, buf 
 		return sum
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := s.curves[key]; ok {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if prev, ok := st.curves[key]; ok {
 		return prev
 	}
-	s.curves[key] = sum
+	st.curves[key] = sum
 	return sum
 }
 

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"opportunet/internal/core"
+)
+
+// TestWithContextIsolation is the per-request deadline contract the
+// serving layer builds on: a handle whose context expires leaves the
+// shared study — its caches and its own Err() state — exactly as a
+// never-started request would.
+func TestWithContextIsolation(t *testing.T) {
+	tr := parallelTestTrace(11, 20, 800)
+	grid := []float64{50, 200, 1000, 4000}
+
+	ref, err := NewStudy(tr, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCDFs := ref.DelayCDFs([]int{1, 3}, grid)
+	wantD, wantW := ref.Diameter(0.05, grid)
+
+	st, err := NewStudy(tr, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	clone := st.WithContext(expired)
+	clone.DelayCDFs([]int{1, 3}, grid) // incomplete, must not be cached
+	clone.Diameter(0.05, grid)
+	if !errors.Is(clone.Err(), context.DeadlineExceeded) {
+		t.Fatalf("clone.Err() = %v, want context.DeadlineExceeded", clone.Err())
+	}
+	if st.Err() != nil {
+		t.Fatalf("base study inherited the clone's deadline: %v", st.Err())
+	}
+
+	// The shared caches must be clean: the base study (and a live-ctx
+	// clone) still compute the reference values.
+	if got := st.DelayCDFs([]int{1, 3}, grid); !reflect.DeepEqual(got, wantCDFs) {
+		t.Fatal("expired clone polluted the shared curve cache")
+	}
+	live := st.WithContext(context.Background())
+	if d, w := live.Diameter(0.05, grid); d != wantD || w != wantW {
+		t.Fatalf("live clone Diameter = (%d, %v), want (%d, %v)", d, w, wantD, wantW)
+	}
+	if live.Err() != nil {
+		t.Fatalf("live clone Err() = %v", live.Err())
+	}
+}
+
+// TestWithContextSharesWarmState: handles alias the study's memo and
+// cache, so a query through a fresh handle over a warm study reuses the
+// curve integrations instead of redoing them. The warm lookup itself
+// must not allocate — it is the serving hot path.
+func TestWithContextSharesWarmState(t *testing.T) {
+	tr := parallelTestTrace(12, 20, 800)
+	grid := []float64{50, 200, 1000, 4000}
+
+	st, err := NewStudy(tr, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := st.View.Start(), st.View.End()
+	warm := st.successCurve(0, grid, a, b)
+
+	clone := st.WithContext(context.Background())
+	if got := clone.successCurve(0, grid, a, b); &got[0] != &warm[0] {
+		t.Fatal("clone rebuilt a curve the base study had cached")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = clone.successCurve(0, grid, a, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm curve-cache hit allocates %v per op, want 0", allocs)
+	}
+}

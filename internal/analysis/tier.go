@@ -31,15 +31,30 @@ func SetFastTierDefault(on bool) { fastTierOn.Store(on) }
 // FastTierDefault reports the current package-wide default.
 func FastTierDefault() bool { return fastTierOn.Load() }
 
-// SetFastTier overrides the tier choice for this study alone.
+// SetFastTier overrides the tier choice for this study alone (shared
+// with every WithContext handle over it).
 func (s *Study) SetFastTier(on bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.fastTier = on
+	st := s.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.fastTier = on
 	if !on {
-		s.reachEng = nil
+		st.reachEng = nil
 	}
-	s.reachFailed = false
+	st.reachFailed = false
+}
+
+// SetReachEngine injects a prebuilt bounds engine instead of letting
+// the study construct its own lazily. Serving layers use it to share
+// one prewarmed engine between the study's internal tier and their
+// degraded bounds-only answers — the engine must cover the study's
+// view with at least its fixpoint hop count and matching directedness.
+func (s *Study) SetReachEngine(eng *reach.Engine) {
+	st := s.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.reachEng = eng
+	st.reachFailed = false
 }
 
 // reachEngine returns the study's lazily built bounds engine, or nil
@@ -47,25 +62,29 @@ func (s *Study) SetFastTier(on bool) {
 // δ makes the exact tier's success integration sampled rather than
 // piecewise-exact, and the envelope certificates only certify the
 // piecewise-exact comparison. Engine construction failures latch — the
-// study silently stays exact-only.
+// study silently stays exact-only. The engine is built under the
+// study's construction context, never a WithContext handle's: its
+// certificates are shared warm state and must not inherit one
+// request's deadline.
 func (s *Study) reachEngine() *reach.Engine {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.fastTier || s.reachFailed || s.Result.Delta != 0 || s.Result.Hops < 1 {
+	st := s.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.fastTier || st.reachFailed || s.Result.Delta != 0 || s.Result.Hops < 1 {
 		return nil
 	}
-	if s.reachEng == nil {
+	if st.reachEng == nil {
 		eng, err := reach.New(s.View, reach.Options{
 			MaxHops:  s.Result.Hops,
 			Directed: s.directed,
 			Workers:  s.workers,
-			Ctx:      s.ctx,
+			Ctx:      st.baseCtx,
 		})
 		if err != nil {
-			s.reachFailed = true
+			st.reachFailed = true
 			return nil
 		}
-		s.reachEng = eng
+		st.reachEng = eng
 	}
-	return s.reachEng
+	return st.reachEng
 }

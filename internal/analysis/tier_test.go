@@ -133,9 +133,9 @@ func TestDelayCDFsAllocsPinned(t *testing.T) {
 	// each run so every bound re-integrates.
 	s.DelayCDFs(bounds, grid)
 	clearCurves := func() {
-		s.mu.Lock()
-		s.curves = make(map[curveKey][]float64)
-		s.mu.Unlock()
+		s.state.mu.Lock()
+		s.state.curves = make(map[curveKey][]float64)
+		s.state.mu.Unlock()
 	}
 	allocs := testing.AllocsPerRun(20, func() {
 		clearCurves()

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opportunet/internal/timeline"
+)
+
+// deadlineCtx is countdownCtx's deadline-flavored twin: Err() flips to
+// context.DeadlineExceeded after a fixed number of polls, which is what
+// a per-request timeout looks like from inside the engine. Only Err()
+// is consulted (Done() stays nil), so the expiry lands mid-computation
+// deterministically at every worker count.
+type deadlineCtx struct {
+	remaining atomic.Int64
+}
+
+func newDeadlineCtx(polls int64) *deadlineCtx {
+	c := &deadlineCtx{}
+	c.remaining.Store(polls)
+	return c
+}
+
+func (c *deadlineCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func (c *deadlineCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *deadlineCtx) Done() <-chan struct{}       { return nil }
+func (c *deadlineCtx) Value(any) any               { return nil }
+
+// TestComputeDeadlineMidRun is the deadline-attribution contract a
+// serving layer relies on: a request context that expires mid-Compute
+// yields exactly context.DeadlineExceeded — never a partial Result,
+// never a different error — identically at workers 1 and 8.
+func TestComputeDeadlineMidRun(t *testing.T) {
+	tr := equivTrace(11, 40, 3000)
+	for _, polls := range []int64{0, 2, 7, 25, 90} {
+		for _, w := range []int{1, 8} {
+			res, err := Compute(tr, Options{Workers: w, Ctx: newDeadlineCtx(polls)})
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("polls=%d workers=%d: err = %v, want context.DeadlineExceeded", polls, w, err)
+			}
+			if err != context.DeadlineExceeded {
+				t.Fatalf("polls=%d workers=%d: err = %v, want the exact sentinel (attribution must survive wrapping layers)", polls, w, err)
+			}
+			if res != nil {
+				t.Fatalf("polls=%d workers=%d: got a partial Result past the deadline", polls, w)
+			}
+		}
+	}
+}
+
+// TestReconstructDeadline: path reconstruction honors the same
+// contract — an expired context yields ctx.Err(), not a partial path.
+func TestReconstructDeadline(t *testing.T) {
+	tr := equivTrace(5, 30, 2000)
+	v := timeline.New(tr).All()
+	p, err := ReconstructPathView(v, 0, 1, tr.Start, 0, Options{Ctx: newDeadlineCtx(0)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if p != nil {
+		t.Fatalf("got a partial path past the deadline")
+	}
+}

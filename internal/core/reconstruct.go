@@ -78,6 +78,14 @@ func ReconstructPathView(v *timeline.View, src, dst trace.NodeID, t0 float64, ma
 	arr[0][src] = t0
 	reachedAt := -1
 	for k := 1; k <= cap; k++ {
+		// The sweep honors the same cancellation contract as ComputeView:
+		// once opt.Ctx is done the call returns exactly ctx.Err(), never a
+		// partial path — serving layers propagate request deadlines here.
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		prev := arr[k-1]
 		next := append([]float64(nil), prev...)
 		for u := trace.NodeID(0); u < n; u++ {

@@ -2,6 +2,7 @@ package reach
 
 import (
 	"math"
+	"time"
 
 	"opportunet/internal/par"
 )
@@ -172,6 +173,7 @@ func (ac *acc) upper(kIdx int, c, w float64) {
 // removes a third or more of the merge and bucketing work.
 func (e *Engine) buildAt(slots int, grid []float64) (*build, error) {
 	reMetrics.builds.Inc()
+	buildStart := time.Now()
 	a, b := e.view.Start(), e.view.End()
 	K := e.maxK
 	nInt := len(e.sources)
@@ -356,6 +358,11 @@ func (e *Engine) buildAt(slots int, grid []float64) (*build, error) {
 		bd.hi[kIdx] = evalCurve(grid, total[base+2*G:base+3*G], total[base+3*G:base+4*G])
 	}
 	reMetrics.events.Add(events)
+	// Completed builds feed the deadline budget of DiameterBoundsBudget:
+	// the duration of the last full sweep predicts the next escalation's
+	// cost (cancelled builds are shorter than a real sweep, so only
+	// completed ones are recorded).
+	e.lastBuildNS.Store(time.Since(buildStart).Nanoseconds())
 	return bd, nil
 }
 

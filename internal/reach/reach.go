@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"opportunet/internal/timeline"
 	"opportunet/internal/trace"
@@ -103,8 +104,24 @@ type Engine struct {
 	mu    sync.Mutex
 	built *build // finest completed build, nil until first query
 
+	// lastBuildNS is the wall-clock cost of the last completed envelope
+	// sweep; DiameterBoundsBudget uses it to predict whether another
+	// refinement fits a request deadline.
+	lastBuildNS atomic.Int64
+
 	inOnce    sync.Once
 	lastInEnd []float64 // node → last usable incoming contact end, -Inf if none
+}
+
+// HasBuild reports whether the engine already holds a completed build
+// for this exact delay grid — i.e. whether envelope queries on it are
+// warm reads rather than a fresh slot sweep. Serving layers use it to
+// decide if a degraded bounds answer is available "for free" after a
+// request's deadline has already expired.
+func (e *Engine) HasBuild(grid []float64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.built != nil && e.built.sameGrid(grid)
 }
 
 // lastIn returns, per node, the largest end time over the contact

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"strconv"
+	"testing"
+)
+
+// The warm query hot path must not allocate per request where it can
+// avoid it: admission is pure channel + atomic work, and the coalescing
+// key is a bounded handful of small allocations (hasher state plus the
+// hex string). These pins keep the overload path — the one that runs
+// hottest exactly when memory matters most — from regressing.
+
+func TestAdmissionAcquireReleaseAllocs(t *testing.T) {
+	a := newAdmission(4, 4, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := a.acquire(nil); err != nil {
+			t.Fatal(err)
+		}
+		a.release()
+	})
+	if allocs != 0 {
+		t.Fatalf("acquire/release fast path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestQueryKeyAllocs(t *testing.T) {
+	eps := formatFloat(0.01)
+	points := strconv.Itoa(60)
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = queryKey("diameter", "synth", eps, points)
+	})
+	// sha256 state + Sum + hex + the fmt boxing inside Fingerprint: a
+	// fixed small count independent of input size.
+	if allocs > 12 {
+		t.Fatalf("queryKey allocates %v per op, want <= 12", allocs)
+	}
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCoalesceSharesOneRun(t *testing.T) {
+	var g flightGroup
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+
+	const followers = 8
+	results := make([]any, followers+1)
+	errs := make([]error, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = g.do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			runs.Add(1)
+			<-gate
+			return 42, nil
+		})
+	}()
+	<-entered // the leader is inside fn; everyone below must join its flight
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = g.do(context.Background(), "k", func() (any, error) {
+				runs.Add(1)
+				return 42, nil
+			})
+		}(i)
+	}
+	// Give the followers time to park on the flight before releasing it.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+		if results[i] != 42 {
+			t.Fatalf("caller %d: result = %v, want 42", i, results[i])
+		}
+	}
+}
+
+func TestCoalesceDistinctKeysRunIndependently(t *testing.T) {
+	var g flightGroup
+	var runs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		key := string(rune('a' + i))
+		go func() {
+			defer wg.Done()
+			_, _ = g.do(context.Background(), key, func() (any, error) {
+				runs.Add(1)
+				return nil, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if n := runs.Load(); n != 4 {
+		t.Fatalf("fn ran %d times, want 4 (one per key)", n)
+	}
+}
+
+func TestCoalesceFollowerDeadlineExits(t *testing.T) {
+	var g flightGroup
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	go func() {
+		_, _ = g.do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-gate
+			return nil, nil
+		})
+	}()
+	<-entered
+	defer close(gate)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := g.do(ctx, "k", func() (any, error) {
+		t.Error("follower must not run fn")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCoalesceLeaderCtxErrorRetries(t *testing.T) {
+	// A leader failing with *its* deadline says nothing about a live
+	// follower: the follower must loop, become the new leader, and
+	// succeed.
+	var g flightGroup
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	go func() {
+		_, _ = g.do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-gate
+			return nil, context.DeadlineExceeded
+		})
+	}()
+	<-entered
+
+	followerDone := make(chan struct{})
+	var val any
+	var err error
+	go func() {
+		defer close(followerDone)
+		val, err = g.do(context.Background(), "k", func() (any, error) {
+			return "fresh", nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the follower park on the flight
+	close(gate)
+	<-followerDone
+	if err != nil || val != "fresh" {
+		t.Fatalf("follower got (%v, %v), want (fresh, nil) from its own retry", val, err)
+	}
+}
+
+func TestCoalesceLeaderPanicContained(t *testing.T) {
+	var g flightGroup
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+
+	leaderPanicked := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanicked <- recover() }()
+		_, _ = g.do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-gate
+			panic("boom")
+		})
+	}()
+	<-entered
+
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := g.do(context.Background(), "k", func() (any, error) {
+			return nil, nil
+		})
+		followerDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+
+	if v := <-leaderPanicked; v != "boom" {
+		t.Fatalf("leader recover() = %v, want the original panic value", v)
+	}
+	if err := <-followerDone; !errors.Is(err, errLeaderPanicked) {
+		t.Fatalf("follower err = %v, want errLeaderPanicked", err)
+	}
+	// The key must be free again after the panic.
+	v, err := g.do(context.Background(), "k", func() (any, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("post-panic flight got (%v, %v), want (7, nil)", v, err)
+	}
+}

@@ -1,0 +1,425 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"opportunet/internal/checkpoint"
+	"opportunet/internal/core"
+	"opportunet/internal/trace"
+)
+
+// maxHopBounds caps how many CDF curves one request may ask for.
+const maxHopBounds = 16
+
+// query is one parsed request. Only the fields of the requested
+// endpoint are populated.
+type query struct {
+	endpoint string
+	src, dst trace.NodeID
+	t        float64
+	hasT     bool
+	maxHops  int
+	recon    bool
+	eps      float64
+	points   int
+	hops     []int
+	hopsRaw  string
+}
+
+// parseQuery validates the request parameters for the endpoint and
+// resolves the dataset. Validation happens before admission: malformed
+// requests are rejected without consuming an execution slot.
+func (s *Server) parseQuery(r *http.Request, endpoint string) (*query, *Dataset, error) {
+	q := &query{endpoint: endpoint}
+	if endpoint == "datasets" {
+		return q, nil, nil
+	}
+	vals := r.URL.Query()
+	name := vals.Get("dataset")
+	if name == "" {
+		// Single-dataset deployments may omit the parameter.
+		if list := s.datasetList(); len(list) == 1 {
+			name = list[0].Name
+		} else {
+			return nil, nil, badRequest("missing dataset parameter")
+		}
+	}
+	ds, ok := s.dataset(name)
+	if !ok {
+		return nil, nil, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown dataset %q", name)}
+	}
+	var err error
+	switch endpoint {
+	case "path":
+		if q.src, err = parseNode(vals.Get("src")); err != nil {
+			return nil, nil, badRequest("bad src: %v", err)
+		}
+		if q.dst, err = parseNode(vals.Get("dst")); err != nil {
+			return nil, nil, badRequest("bad dst: %v", err)
+		}
+		if v := vals.Get("t"); v != "" {
+			if q.t, err = strconv.ParseFloat(v, 64); err != nil || math.IsNaN(q.t) || math.IsInf(q.t, 0) {
+				return nil, nil, badRequest("bad t %q: want a finite number", v)
+			}
+			q.hasT = true
+		}
+		if q.maxHops, err = parseCount(vals.Get("maxhops"), 0, 1<<20); err != nil {
+			return nil, nil, badRequest("bad maxhops: %v", err)
+		}
+		q.recon = vals.Get("reconstruct") == "1" || vals.Get("reconstruct") == "true"
+	case "diameter":
+		if q.eps, err = parseEps(vals.Get("eps"), ds.DefaultEps); err != nil {
+			return nil, nil, err
+		}
+		if q.points, err = parseCount(vals.Get("points"), ds.DefaultPoints, maxGridPoints); err != nil {
+			return nil, nil, badRequest("bad points: %v", err)
+		}
+	case "delaycdf":
+		if q.points, err = parseCount(vals.Get("points"), ds.DefaultPoints, maxGridPoints); err != nil {
+			return nil, nil, badRequest("bad points: %v", err)
+		}
+		q.hopsRaw = vals.Get("hops")
+		if q.hopsRaw == "" {
+			q.hopsRaw = "1,2,3,0"
+		}
+		for _, part := range strings.Split(q.hopsRaw, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			k, err := strconv.Atoi(part)
+			if err != nil || k < 0 {
+				return nil, nil, badRequest("bad hop bound %q", part)
+			}
+			q.hops = append(q.hops, k)
+		}
+		if len(q.hops) == 0 || len(q.hops) > maxHopBounds {
+			return nil, nil, badRequest("need between 1 and %d hop bounds", maxHopBounds)
+		}
+	}
+	return q, ds, nil
+}
+
+func parseNode(v string) (trace.NodeID, error) {
+	if v == "" {
+		return 0, fmt.Errorf("missing")
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%q is not a nonnegative integer", v)
+	}
+	return trace.NodeID(n), nil
+}
+
+func parseCount(v string, def, max int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%q is not a nonnegative integer", v)
+	}
+	if n == 0 {
+		return def, nil
+	}
+	if n > max {
+		return max, nil
+	}
+	return n, nil
+}
+
+func parseEps(v string, def float64) (float64, error) {
+	if v == "" {
+		return def, nil
+	}
+	e, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(e) || e < 0 || e >= 1 {
+		return 0, badRequest("bad eps %q: want a number in [0, 1)", v)
+	}
+	return e, nil
+}
+
+// queryKey content-addresses one query for coalescing, reusing the
+// checkpoint fingerprint convention (length-prefixed sha256). The
+// request deadline is deliberately NOT part of the key: the computed
+// value is deadline-independent, deadlines only decide how long each
+// caller waits for it.
+func queryKey(parts ...string) string { return checkpoint.Fingerprint(parts...) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ---- responses ------------------------------------------------------
+
+type datasetInfo struct {
+	Name          string  `json:"name"`
+	Nodes         int     `json:"nodes"`
+	Internal      int     `json:"internal"`
+	Contacts      int     `json:"contacts"`
+	WindowSeconds float64 `json:"window_seconds"`
+	Granularity   float64 `json:"granularity"`
+	Hops          int     `json:"hops"`
+	DefaultPoints int     `json:"default_points"`
+	DefaultEps    float64 `json:"default_eps"`
+	DiameterLo    int     `json:"diameter_lo,omitempty"`
+	DiameterHi    int     `json:"diameter_hi,omitempty"`
+	LoadMillis    int64   `json:"load_ms"`
+}
+
+type pathHop struct {
+	From trace.NodeID `json:"from"`
+	To   trace.NodeID `json:"to"`
+	At   float64      `json:"at"`
+	Beg  float64      `json:"beg"`
+	End  float64      `json:"end"`
+}
+
+type pathResponse struct {
+	Dataset      string       `json:"dataset"`
+	Src          trace.NodeID `json:"src"`
+	Dst          trace.NodeID `json:"dst"`
+	T            float64      `json:"t"`
+	MaxHops      int          `json:"max_hops"`
+	Delivered    bool         `json:"delivered"`
+	DeliveryTime float64      `json:"delivery_time,omitempty"`
+	Delay        float64      `json:"delay,omitempty"`
+	MinHops      int          `json:"min_hops"`
+	Path         []pathHop    `json:"path,omitempty"`
+}
+
+type diameterResponse struct {
+	Dataset    string  `json:"dataset"`
+	Eps        float64 `json:"eps"`
+	Points     int     `json:"points"`
+	Diameter   int     `json:"diameter,omitempty"`
+	WorstRatio float64 `json:"worst_ratio,omitempty"`
+	// Degraded is "bounds-only" when the reach tier answered; the
+	// certified bracket [DiameterLo, DiameterHi] then contains the
+	// exact diameter, and Reason says why the exact tier was skipped
+	// ("deadline" or "shed").
+	Degraded   string `json:"degraded,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+	DiameterLo int    `json:"diameter_lo,omitempty"`
+	DiameterHi int    `json:"diameter_hi,omitempty"`
+}
+
+type cdfCurve struct {
+	HopBound int       `json:"hop_bound"`
+	Success  []float64 `json:"success,omitempty"`
+	Lower    []float64 `json:"lower,omitempty"`
+	Upper    []float64 `json:"upper,omitempty"`
+}
+
+type delayCDFResponse struct {
+	Dataset  string     `json:"dataset"`
+	Points   int        `json:"points"`
+	Grid     []float64  `json:"grid"`
+	Degraded string     `json:"degraded,omitempty"`
+	Reason   string     `json:"reason,omitempty"`
+	Curves   []cdfCurve `json:"curves"`
+}
+
+// ---- handlers -------------------------------------------------------
+
+func (s *Server) handleDatasets(ctx context.Context, _ *Dataset, _ *query) (any, error) {
+	list := s.datasetList()
+	infos := make([]datasetInfo, 0, len(list))
+	for _, ds := range list {
+		info := datasetInfo{
+			Name:          ds.Name,
+			Nodes:         ds.View.NumNodes(),
+			Internal:      ds.View.NumInternal(),
+			Contacts:      ds.View.NumContacts(),
+			WindowSeconds: ds.View.Duration(),
+			Granularity:   ds.View.Granularity(),
+			Hops:          ds.Study.Result.Hops,
+			DefaultPoints: ds.DefaultPoints,
+			DefaultEps:    ds.DefaultEps,
+			LoadMillis:    ds.LoadTime.Milliseconds(),
+		}
+		if ds.WarmHi >= 0 {
+			info.DiameterLo, info.DiameterHi = ds.WarmLo, ds.WarmHi
+		}
+		infos = append(infos, info)
+	}
+	return map[string]any{"datasets": infos}, nil
+}
+
+// handlePath answers from the warm frontier archive — an O(log) read
+// per request — so it never degrades; only the optional reconstruction
+// walks the timeline, under the request context.
+func (s *Server) handlePath(ctx context.Context, ds *Dataset, q *query) (any, error) {
+	if err := ds.CheckPair(q.src, q.dst); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	t := q.t
+	if !q.hasT {
+		t = ds.View.Start()
+	}
+	fr := ds.Study.Result.Frontier(q.src, q.dst, q.maxHops)
+	del := fr.Del(t)
+	resp := &pathResponse{
+		Dataset: ds.Name,
+		Src:     q.src, Dst: q.dst,
+		T:       t,
+		MaxHops: q.maxHops,
+		MinHops: ds.Study.Result.MinHops(q.src, q.dst),
+	}
+	if !math.IsInf(del, 1) {
+		resp.Delivered = true
+		resp.DeliveryTime = del
+		resp.Delay = del - t
+	}
+	if q.recon && resp.Delivered {
+		opt := ds.opt
+		opt.Ctx = ctx
+		p, err := core.ReconstructPathView(ds.View, q.src, q.dst, t, q.maxHops, opt)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, &httpError{code: http.StatusInternalServerError, msg: err.Error()}
+		}
+		resp.Path = make([]pathHop, 0, len(p.Hops))
+		for _, h := range p.Hops {
+			resp.Path = append(resp.Path, pathHop{From: h.From, To: h.To, At: h.At, Beg: h.Beg, End: h.End})
+		}
+	}
+	return resp, nil
+}
+
+// handleDiameter runs the exact (1−ε)-diameter under the request
+// deadline and degrades to the certified bounds bracket when the exact
+// tier cannot answer in time (or the server is saturated). Identical
+// concurrent queries coalesce into one computation.
+func (s *Server) handleDiameter(ctx context.Context, ds *Dataset, q *query) (any, error) {
+	grid := ds.Grid(q.points)
+	key := queryKey("diameter", ds.Name, formatFloat(q.eps), strconv.Itoa(len(grid)))
+	return s.flights.do(ctx, key, func() (any, error) {
+		if s.adm.saturated() {
+			if resp, ok := s.diameterBounds(ctx, ds, q.eps, grid, "shed"); ok {
+				return resp, nil
+			}
+		}
+		st := ds.Study.WithContext(ctx)
+		k, worst := st.Diameter(q.eps, grid)
+		if err := st.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				if resp, ok := s.diameterBounds(ctx, ds, q.eps, grid, "deadline"); ok {
+					return resp, nil
+				}
+			}
+			return nil, err
+		}
+		return &diameterResponse{
+			Dataset: ds.Name, Eps: q.eps, Points: len(grid),
+			Diameter: k, WorstRatio: worst,
+		}, nil
+	})
+}
+
+// diameterBounds assembles a degraded bounds-only diameter answer from
+// the reach tier, or reports that none is available (no engine, or a
+// cold build the expired deadline can no longer pay for). An
+// uncertified upper side falls back to the archive's fixpoint hop
+// count — paths longer than the longest optimal path do not exist, so
+// it is a sound (if loose) certificate.
+func (s *Server) diameterBounds(ctx context.Context, ds *Dataset, eps float64, grid []float64, reason string) (*diameterResponse, bool) {
+	if ds.Reach == nil {
+		return nil, false
+	}
+	lo, hi, err := ds.Reach.DiameterBoundsBudget(ctx, eps, grid)
+	if err != nil {
+		return nil, false
+	}
+	if hi < 0 {
+		hi = ds.Study.Result.Hops
+	}
+	srvMetrics.degraded.Inc()
+	return &diameterResponse{
+		Dataset: ds.Name, Eps: eps, Points: len(grid),
+		Degraded: "bounds-only", Reason: reason,
+		DiameterLo: lo, DiameterHi: hi,
+	}, true
+}
+
+// handleDelayCDF integrates the exact per-hop-bound success curves
+// under the request deadline, degrading to the reach tier's
+// lower/upper envelopes when the deadline (or shed mode) preempts the
+// exact integration and a warm envelope build exists for the grid.
+func (s *Server) handleDelayCDF(ctx context.Context, ds *Dataset, q *query) (any, error) {
+	grid := ds.Grid(q.points)
+	key := queryKey("delaycdf", ds.Name, q.hopsRaw, strconv.Itoa(len(grid)))
+	return s.flights.do(ctx, key, func() (any, error) {
+		if s.adm.saturated() {
+			if resp, ok := s.cdfBounds(ds, q.hops, grid, "shed"); ok {
+				return resp, nil
+			}
+		}
+		st := ds.Study.WithContext(ctx)
+		cdfs := st.DelayCDFs(q.hops, grid)
+		if err := st.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				if resp, ok := s.cdfBounds(ds, q.hops, grid, "deadline"); ok {
+					return resp, nil
+				}
+			}
+			return nil, err
+		}
+		resp := &delayCDFResponse{Dataset: ds.Name, Points: len(grid), Grid: grid}
+		for _, c := range cdfs {
+			resp.Curves = append(resp.Curves, cdfCurve{HopBound: c.HopBound, Success: c.Success})
+		}
+		return resp, nil
+	})
+}
+
+// cdfBounds assembles degraded envelope curves: for each hop bound the
+// certified lower/upper bracket of the exact success curve. Only warm
+// envelope builds qualify — building envelopes for an already expired
+// request would burn CPU nobody is waiting for.
+func (s *Server) cdfBounds(ds *Dataset, hops []int, grid []float64, reason string) (*delayCDFResponse, bool) {
+	if ds.Reach == nil || !ds.Reach.HasBuild(grid) {
+		return nil, false
+	}
+	resp := &delayCDFResponse{
+		Dataset: ds.Name, Points: len(grid), Grid: grid,
+		Degraded: "bounds-only", Reason: reason,
+	}
+	for _, k := range hops {
+		lower, upper, err := ds.Reach.DeliveryBound(k, grid)
+		if err != nil {
+			return nil, false
+		}
+		resp.Curves = append(resp.Curves, cdfCurve{HopBound: k, Lower: lower, Upper: upper})
+	}
+	srvMetrics.degraded.Inc()
+	return resp, true
+}
+
+// ---- JSON plumbing --------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, err error) {
+	code, retry := mapError(err)
+	if retry > 0 {
+		secs := int(retry / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,395 @@
+// Package server is the hardened query daemon behind cmd/opportunetd:
+// a zero-dependency HTTP layer serving the paper's quantities —
+// path(src,dst,t), the (1−ε)-diameter, per-hop delay CDFs — from a
+// warm registry of loaded datasets.
+//
+// Robustness is the architecture, in four layers applied to every
+// query in order:
+//
+//  1. Admission: a bounded concurrency semaphore with a bounded wait
+//     queue and a queue-wait deadline. Offered load beyond the queue is
+//     shed immediately with 429 + Retry-After — memory under overload
+//     is bounded by design.
+//  2. Deadlines: every request carries a timeout (X-Deadline-Ms header
+//     or deadline_ms query parameter, capped by the server's
+//     MaxDeadline) that propagates as a context through the admission
+//     wait, the analysis aggregation loops (Study.WithContext), and
+//     path reconstruction — an expired request stops consuming CPU at
+//     the next poll.
+//  3. Degradation: diameter-style queries whose exact computation hits
+//     the deadline — or that arrive while the server is saturated —
+//     answer from the internal/reach certificate tier instead:
+//     certified lo/hi bounds marked "degraded":"bounds-only". Degraded
+//     answers are sound (the bracket contains the exact answer); only
+//     tightness is lost.
+//  4. Containment and lifecycle: per-request panic recovery (500, stack
+//     logged, daemon survives), coalescing of identical in-flight
+//     queries keyed by checkpoint-style fingerprints, /healthz +
+//     /readyz, and SIGTERM drain — stop accepting, finish or cancel
+//     in-flight work within a drain budget, exit clean.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opportunet/internal/obs"
+)
+
+// Config parameterizes a Server. Zero values select the defaults.
+type Config struct {
+	// MaxInflight is the number of queries that may compute
+	// concurrently (default 4).
+	MaxInflight int
+	// MaxQueue is how many queries may wait for a slot before further
+	// arrivals are shed immediately (default 16).
+	MaxQueue int
+	// QueueWait bounds how long one query may wait for admission before
+	// being shed (default 2s).
+	QueueWait time.Duration
+	// MaxDeadline caps (and defaults) the per-request deadline
+	// (default 30s).
+	MaxDeadline time.Duration
+	// Logf, when non-nil, receives one line per notable event (panics,
+	// drain). It must be safe for concurrent use.
+	Logf func(format string, args ...any)
+	// Spans, when non-nil, records one span per request under
+	// server/<endpoint>.
+	Spans *obs.SpanLog
+}
+
+// Server is the warm dataset registry plus the robustness pipeline.
+// Create with New, register datasets, then Serve; all methods are safe
+// for concurrent use.
+type Server struct {
+	cfg     Config
+	adm     *admission
+	flights flightGroup
+
+	mu       sync.Mutex
+	datasets map[string]*Dataset
+	order    []string // registration order, for /v1/datasets
+
+	// reqCtx parents every request context; cancelReqs is the drain
+	// budget's hammer — it cancels all in-flight work at once.
+	reqCtx     context.Context
+	cancelReqs context.CancelFunc
+
+	httpSrv  *http.Server
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// started/finished mirror the obs counters but live on the server
+	// so the drain report works with observability disabled.
+	started  atomic.Int64
+	finished atomic.Int64
+}
+
+// New builds a Server. baseCtx is the daemon's lifetime context: every
+// request context descends from it, so cancelling it cancels all
+// in-flight work.
+func New(baseCtx context.Context, cfg Config) *Server {
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	} else if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 16
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 2 * time.Second
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 30 * time.Second
+	}
+	reqCtx, cancel := context.WithCancel(baseCtx)
+	return &Server{
+		cfg:        cfg,
+		adm:        newAdmission(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
+		datasets:   make(map[string]*Dataset),
+		reqCtx:     reqCtx,
+		cancelReqs: cancel,
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Register adds a loaded dataset to the registry (replacing any
+// previous dataset of the same name).
+func (s *Server) Register(ds *Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[ds.Name]; !ok {
+		s.order = append(s.order, ds.Name)
+	}
+	s.datasets[ds.Name] = ds
+}
+
+func (s *Server) dataset(name string) (*Dataset, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, ok := s.datasets[name]
+	return ds, ok
+}
+
+func (s *Server) datasetList() []*Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Dataset, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.datasets[name])
+	}
+	return out
+}
+
+// SetReady flips /readyz. The daemon turns it on once every dataset is
+// loaded; Drain turns it off first thing.
+func (s *Server) SetReady(on bool) { s.ready.Store(on) }
+
+// Handler returns the daemon's full route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "loading")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("/v1/datasets", s.endpoint("datasets", false, s.handleDatasets))
+	mux.Handle("/v1/path", s.endpoint("path", true, s.handlePath))
+	mux.Handle("/v1/diameter", s.endpoint("diameter", true, s.handleDiameter))
+	mux.Handle("/v1/delaycdf", s.endpoint("delaycdf", true, s.handleDelayCDF))
+	return mux
+}
+
+// httpError carries a status code (and optional Retry-After) from a
+// handler to the serving pipeline.
+type httpError struct {
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// endpoint wraps a query handler in the full robustness pipeline:
+// panic recovery, readiness gating, request accounting, deadline
+// derivation, and (for admitted endpoints) admission control. The
+// handler returns its response value (serialized as JSON) or an error
+// the pipeline maps to a status code.
+func (s *Server) endpoint(name string, admitted bool, h func(ctx context.Context, ds *Dataset, q *query) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Layer 4 first: nothing below this line can kill the daemon.
+		// The recovery mirrors par's panic containment — value plus
+		// goroutine stack, logged, request failed with 500.
+		defer func() {
+			if v := recover(); v != nil {
+				srvMetrics.panics.Inc()
+				s.logf("[server: %s: panic: %v\n%s]", name, v, debug.Stack())
+				writeJSONError(w, &httpError{code: http.StatusInternalServerError,
+					msg: fmt.Sprintf("internal error in %s", name)})
+			}
+		}()
+
+		if s.draining.Load() {
+			writeJSONError(w, &httpError{code: http.StatusServiceUnavailable,
+				msg: "draining", retryAfter: time.Second})
+			return
+		}
+		if !s.ready.Load() {
+			writeJSONError(w, &httpError{code: http.StatusServiceUnavailable,
+				msg: "loading datasets", retryAfter: time.Second})
+			return
+		}
+
+		s.started.Add(1)
+		srvMetrics.started.Inc()
+		start := time.Now()
+		sp := spanStart(s.cfg.Spans, "server/"+name)
+		defer func() {
+			sp.End()
+			srvMetrics.latency.Observe(time.Since(start).Seconds())
+			srvMetrics.finished.Inc()
+			s.finished.Add(1)
+		}()
+
+		// Layer 2: derive the request deadline before admission so time
+		// spent queued counts against it.
+		d, err := requestDeadline(r, s.cfg.MaxDeadline)
+		if err != nil {
+			writeJSONError(w, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+
+		q, ds, err := s.parseQuery(r, name)
+		if err != nil {
+			writeJSONError(w, err)
+			return
+		}
+
+		if admitted {
+			// Layer 1: acquire an execution slot or shed.
+			if err := s.adm.acquire(ctx); err != nil {
+				writeJSONError(w, err)
+				return
+			}
+			defer s.adm.release()
+		}
+
+		val, err := h(ctx, ds, q)
+		if err != nil {
+			writeJSONError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, val)
+	})
+}
+
+// requestDeadline extracts the per-request timeout: the X-Deadline-Ms
+// header or deadline_ms query parameter, capped by the server maximum;
+// absent both, the maximum applies.
+func requestDeadline(r *http.Request, max time.Duration) (time.Duration, error) {
+	raw := r.Header.Get("X-Deadline-Ms")
+	if v := r.URL.Query().Get("deadline_ms"); v != "" {
+		raw = v
+	}
+	if raw == "" {
+		return max, nil
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, badRequest("bad deadline_ms %q: want a positive integer of milliseconds", raw)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > max {
+		d = max
+	}
+	return d, nil
+}
+
+// mapError turns pipeline errors into status codes; anything
+// unrecognized is a 500.
+func mapError(err error) (code int, retryAfter time.Duration) {
+	var he *httpError
+	var she *shedError
+	switch {
+	case errors.As(err, &he):
+		return he.code, he.retryAfter
+	case errors.As(err, &she):
+		// Shed counters were incremented at the admission site itself.
+		return http.StatusTooManyRequests, she.retryAfter
+	case errors.Is(err, context.DeadlineExceeded):
+		srvMetrics.deadlines.Inc()
+		return http.StatusGatewayTimeout, 0
+	case errors.Is(err, context.Canceled):
+		// The client went away or the drain budget fired; the exact
+		// code barely matters (nobody is listening), but 503 is honest.
+		return http.StatusServiceUnavailable, 0
+	default:
+		return http.StatusInternalServerError, 0
+	}
+}
+
+// Serve accepts connections until the listener closes (use Drain for a
+// clean stop). It wires the drain hammer through BaseContext: every
+// request context descends from reqCtx.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.httpSrv == nil {
+		s.httpSrv = &http.Server{
+			Handler:           s.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			BaseContext:       func(net.Listener) context.Context { return s.reqCtx },
+		}
+	}
+	srv := s.httpSrv
+	s.mu.Unlock()
+	return srv.Serve(ln)
+}
+
+// DrainStats reports how a drain went. Clean means every in-flight
+// request finished inside the budget; Forced means the budget expired
+// and the remaining requests were cancelled (and then finished).
+// Started == Finished with Inflight == 0 is the no-leak invariant the
+// smoke test asserts.
+type DrainStats struct {
+	Started  int64
+	Finished int64
+	Inflight int64
+	Forced   bool
+}
+
+// Drain performs the SIGTERM lifecycle: flip /readyz to draining, stop
+// accepting connections, wait up to budget for in-flight requests,
+// then cancel whatever remains and wait for it to unwind. It returns
+// once no request is running.
+func (s *Server) Drain(budget time.Duration) DrainStats {
+	s.draining.Store(true)
+	s.ready.Store(false)
+	st := DrainStats{}
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			// Budget exceeded: cancel every in-flight request and give
+			// the handlers a moment to observe it and unwind.
+			st.Forced = true
+			s.cancelReqs()
+			ctx2, cancel2 := context.WithTimeout(context.Background(), budget)
+			_ = srv.Shutdown(ctx2)
+			cancel2()
+			_ = srv.Close()
+		}
+	}
+	s.cancelReqs()
+	st.Started = s.started.Load()
+	st.Finished = s.finished.Load()
+	st.Inflight = st.Started - st.Finished
+	return st
+}
+
+// spanStart is obs.SpanLog.Start tolerating a nil log.
+func spanStart(l *obs.SpanLog, name string) *obs.Span {
+	if l == nil {
+		return nil
+	}
+	return l.Start(name)
+}

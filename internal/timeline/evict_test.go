@@ -1,0 +1,87 @@
+package timeline_test
+
+import (
+	"math"
+	"testing"
+
+	"opportunet/internal/rng"
+	"opportunet/internal/timeline"
+	"opportunet/internal/trace"
+)
+
+// TestEvictBeforeAllSegments pins the total-eviction edge: dropping
+// every sealed segment in one call must leave a fully valid (empty)
+// snapshot, bump the generation exactly once, and leave the appender
+// ready for new contacts.
+func TestEvictBeforeAllSegments(t *testing.T) {
+	r := rng.New(29)
+	tr := randomTrace(9, 300, r)
+	app := appendInBatches(t, tr, 32, r)
+	app.Seal()
+	gen0 := app.Generation()
+
+	dropped := app.EvictBefore(math.Inf(1))
+	if dropped != len(tr.Contacts) {
+		t.Fatalf("dropped %d contacts, want all %d", dropped, len(tr.Contacts))
+	}
+	if got := app.Generation(); got != gen0+1 {
+		t.Fatalf("generation went %d -> %d, want exactly one bump", gen0, got)
+	}
+	if app.Len() != 0 || app.Segments() != 0 {
+		t.Fatalf("post-eviction appender: len %d, segments %d, want 0/0", app.Len(), app.Segments())
+	}
+
+	// The empty snapshot must be a valid index, not a special case:
+	// identical to a fresh index over a contactless trace.
+	snap := app.Snapshot().All()
+	if snap.NumContacts() != 0 || len(snap.Contacts()) != 0 {
+		t.Fatalf("empty snapshot still reports %d contacts", snap.NumContacts())
+	}
+	empty := &trace.Trace{Name: tr.Name, Granularity: tr.Granularity,
+		Start: tr.Start, End: tr.End, Kinds: tr.Kinds}
+	checkIndexEqual(t, snap, timeline.New(empty).All())
+
+	// A second total eviction has nothing left to drop: no-op, no bump.
+	if n := app.EvictBefore(math.Inf(1)); n != 0 {
+		t.Fatalf("eviction of an empty appender dropped %d", n)
+	}
+	if got := app.Generation(); got != gen0+1 {
+		t.Fatalf("no-op eviction bumped the generation to %d", got)
+	}
+
+	// The appender keeps working: appends after total eviction index
+	// exactly like a fresh appender over the same contacts.
+	if err := app.Append(tr.Contacts[:25]); err != nil {
+		t.Fatal(err)
+	}
+	refill := &trace.Trace{Name: tr.Name, Granularity: tr.Granularity,
+		Start: tr.Start, End: tr.End, Kinds: tr.Kinds, Contacts: tr.Contacts[:25]}
+	checkIndexEqual(t, app.Snapshot().All(), timeline.New(refill).All())
+}
+
+// TestEvictBeforeFirstContact pins the no-op edge: a cutoff at (or
+// before) the earliest contact end drops nothing, does not bump the
+// generation, and leaves the snapshot byte-identical.
+func TestEvictBeforeFirstContact(t *testing.T) {
+	r := rng.New(31)
+	tr := randomTrace(9, 300, r)
+	app := appendInBatches(t, tr, 32, r)
+	gen0 := app.Generation()
+	before := app.Snapshot().All()
+
+	minBeg := math.Inf(1)
+	for _, c := range tr.Contacts {
+		if c.Beg < minBeg {
+			minBeg = c.Beg
+		}
+	}
+	for _, cutoff := range []float64{math.Inf(-1), minBeg - 1, minBeg} {
+		if n := app.EvictBefore(cutoff); n != 0 {
+			t.Fatalf("cutoff %v dropped %d contacts, want 0", cutoff, n)
+		}
+		if got := app.Generation(); got != gen0 {
+			t.Fatalf("cutoff %v bumped the generation %d -> %d", cutoff, gen0, got)
+		}
+	}
+	checkIndexEqual(t, app.Snapshot().All(), before)
+}

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# server_smoke.sh — end-to-end gate for the opportunetd query daemon.
+#
+# Builds opportunetd, loads a generated infocom05-class trace on an
+# ephemeral port, and drives the full serving contract through real
+# HTTP: warm queries answer exactly, a 1 ms deadline degrades the same
+# query to certified bounds that contain the exact answer, a burst of
+# uncoalescable queries against a single execution slot is shed with
+# 429 + Retry-After, the serving metric families are live on /metrics
+# with the shed and degraded counters moved, and SIGTERM drains to exit
+# 0 with no request left in flight (asserted from the daemon's own
+# drain accounting).
+#
+# Usage: scripts/server_smoke.sh [output-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUTDIR=${1:-$(mktemp -d)}
+mkdir -p "$OUTDIR"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/opportunetd" ./cmd/opportunetd
+go build -o "$TMP/tracegen" ./cmd/tracegen
+"$TMP/tracegen" -dataset infocom05 -quiet -o "$TMP/feed.trace"
+
+# One execution slot, one queue seat, a short queue wait: the overload
+# phase below only needs three concurrent queries to prove shedding.
+"$TMP/opportunetd" -addr 127.0.0.1:0 -trace "$TMP/feed.trace" \
+    -max-inflight 1 -max-queue 1 -queue-wait 250ms \
+    -obsaddr 127.0.0.1:0 > /dev/null 2> "$TMP/err.txt" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+# Both listeners log their bound address to stderr; the query address
+# only appears once the datasets finished loading (~10 s for infocom05).
+addr= obsaddr=
+for _ in $(seq 1 600); do
+    addr=$(sed -n 's|.*serving queries on http://\([^]]*\)\].*|\1|p' "$TMP/err.txt" | head -1)
+    obsaddr=$(sed -n 's|.*\[obs: serving .* on http://\([^]]*\)\].*|\1|p' "$TMP/err.txt" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$addr" ] || [ -z "$obsaddr" ]; then
+    echo "server_smoke: daemon never reached serving (addr=$addr obs=$obsaddr):" >&2
+    cat "$TMP/err.txt" >&2
+    exit 1
+fi
+
+fail() { echo "server_smoke: $*" >&2; cat "$TMP/err.txt" >&2; exit 1; }
+
+curl -fsS "http://$addr/healthz" > /dev/null || fail "/healthz not ok"
+curl -fsS "http://$addr/readyz" > /dev/null || fail "/readyz not ready after load"
+curl -fsS "http://$addr/v1/datasets" | grep -q '"infocom05"' \
+    || fail "/v1/datasets does not list the loaded trace"
+
+# ---- degradation before exact ---------------------------------------
+# A 1 ms deadline cannot fit the cold exact integration, so the daemon
+# must answer from the prewarmed bounds tier and say so. Asking before
+# any exact query keeps this deterministic: nothing is cached yet.
+curl -sS "http://$addr/v1/diameter?deadline_ms=1" > "$TMP/degraded.json"
+grep -q '"degraded":"bounds-only"' "$TMP/degraded.json" \
+    || fail "1 ms diameter did not degrade: $(cat "$TMP/degraded.json")"
+lo=$(sed -n 's/.*"diameter_lo":\([0-9]*\).*/\1/p' "$TMP/degraded.json")
+hi=$(sed -n 's/.*"diameter_hi":\([0-9]*\).*/\1/p' "$TMP/degraded.json")
+[ -n "$lo" ] && [ -n "$hi" ] || fail "degraded answer carries no bounds: $(cat "$TMP/degraded.json")"
+
+curl -sS "http://$addr/v1/delaycdf?hops=1,0&deadline_ms=1" > "$TMP/cdf.json"
+grep -q '"degraded":"bounds-only"' "$TMP/cdf.json" \
+    || fail "1 ms delaycdf did not degrade: $(head -c 300 "$TMP/cdf.json")"
+
+# ---- warm exact queries ---------------------------------------------
+curl -fsS "http://$addr/v1/diameter" > "$TMP/exact.json" || fail "exact diameter query failed"
+d=$(grep -o '"diameter":[0-9]*' "$TMP/exact.json" | head -1 | cut -d: -f2)
+[ -n "$d" ] || fail "no diameter in exact answer: $(cat "$TMP/exact.json")"
+awk -v lo="$lo" -v d="$d" -v hi="$hi" 'BEGIN { exit !(lo <= d && d <= hi) }' \
+    || fail "degraded bounds [$lo, $hi] do not contain the exact diameter $d"
+echo "server_smoke: exact diameter $d inside degraded bounds [$lo, $hi]"
+
+curl -fsS "http://$addr/v1/path?src=1&dst=5&t=0&reconstruct=1" > "$TMP/path.json" \
+    || fail "path query failed"
+grep -q '"delivered":' "$TMP/path.json" || fail "path answer malformed: $(cat "$TMP/path.json")"
+
+# ---- overload sheds with 429 ----------------------------------------
+# Twenty concurrent diameter queries on distinct grids (distinct points
+# defeat both the curve cache and coalescing) against one slot and one
+# queue seat: one computes, one waits, the rest must shed immediately.
+: > "$TMP/codes.txt"
+(
+    for i in $(seq 100 119); do
+        curl -s -D "$TMP/hdr.$i" -o /dev/null -w '%{http_code}\n' \
+            "http://$addr/v1/diameter?points=$i&deadline_ms=5000" >> "$TMP/codes.txt" &
+    done
+    wait
+)
+shed=$(grep -c '^429$' "$TMP/codes.txt" || true)
+served=$(grep -c '^200$' "$TMP/codes.txt" || true)
+[ "$shed" -ge 1 ] || fail "overload burst produced no 429 (codes: $(sort "$TMP/codes.txt" | uniq -c | tr '\n' ' '))"
+[ "$served" -ge 1 ] || fail "overload burst starved every query (codes: $(sort "$TMP/codes.txt" | uniq -c | tr '\n' ' '))"
+ra=0
+for h in "$TMP"/hdr.*; do
+    if head -1 "$h" | grep -q ' 429' && grep -qi '^Retry-After:' "$h"; then
+        ra=1
+        break
+    fi
+done
+[ "$ra" = 1 ] || fail "shed responses carry no Retry-After header"
+echo "server_smoke: overload shed $shed of 20 queries with 429, served $served"
+
+# ---- serving metrics are live ---------------------------------------
+curl -fsS "http://$obsaddr/metrics" > "$OUTDIR/server_metrics.txt"
+for fam in server_requests_started_total server_requests_finished_total \
+           server_admitted_total server_shed_queue_full_total server_shed_wait_total \
+           server_inflight server_queue_depth server_queue_wait_seconds \
+           server_request_seconds server_degraded_total server_deadline_exceeded_total \
+           server_panics_recovered_total server_flights_total server_coalesced_total; do
+    grep -q "^# TYPE $fam " "$OUTDIR/server_metrics.txt" \
+        || fail "metric family $fam missing from /metrics"
+done
+for fam in server_requests_started_total server_admitted_total \
+           server_shed_queue_full_total server_degraded_total; do
+    awk -v fam="$fam" '$1 == fam { found = 1; if ($2 + 0 > 0) ok = 1 }
+        END { exit !(found && ok) }' "$OUTDIR/server_metrics.txt" \
+        || fail "counter $fam never moved"
+done
+# With the burst settled, nothing may be left holding a slot.
+awk '$1 == "server_inflight" && $2 + 0 != 0 { bad = 1 } END { exit bad }' \
+    "$OUTDIR/server_metrics.txt" \
+    || fail "server_inflight nonzero after the burst settled"
+
+# ---- SIGTERM drains cleanly -----------------------------------------
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+[ "$rc" = 0 ] || fail "daemon exited $rc after SIGTERM, want 0"
+drained=$(grep -o 'drained (clean): started=[0-9]* finished=[0-9]* inflight=[0-9]*' "$TMP/err.txt" | head -1)
+[ -n "$drained" ] || fail "no clean drain line on stderr"
+started=$(echo "$drained" | sed -n 's/.*started=\([0-9]*\).*/\1/p')
+finished=$(echo "$drained" | sed -n 's/.*finished=\([0-9]*\).*/\1/p')
+inflight=$(echo "$drained" | sed -n 's/.*inflight=\([0-9]*\).*/\1/p')
+[ "$started" = "$finished" ] && [ "$inflight" = 0 ] \
+    || fail "drain leaked requests: $drained"
+echo "server_smoke: drained clean, started=$started finished=$finished inflight=$inflight"
+
+cp "$TMP/err.txt" "$OUTDIR/opportunetd_stderr.txt"
+echo "server smoke passed (artifacts in $OUTDIR)"
