@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json bench-smoke profile quick-equivalence fuzz-smoke checkpoint-idempotence obs-smoke reach-check stream-check server-smoke
+.PHONY: check build vet test race bench bench-json bench-smoke profile quick-equivalence fuzz-smoke checkpoint-idempotence obs-smoke reach-check stream-check server-smoke loadgen-smoke
 
 check: build vet race
 
@@ -91,6 +91,15 @@ stream-check:
 # Artifacts land in server-artifacts/.
 server-smoke:
 	scripts/server_smoke.sh server-artifacts
+
+# Load-driver gate: cmd/loadgen against a live daemon — same-seed dry
+# runs print the identical schedule fingerprint, a closed-loop mix
+# measures nonzero throughput for every query type with zero errors,
+# and a burst volley beyond the admission budget is shed. Reports are
+# validated with checkreport -loadgen; artifacts land in
+# loadgen-artifacts/.
+loadgen-smoke:
+	scripts/loadgen_smoke.sh loadgen-artifacts
 
 # Fast-tier gate: the reach cross-validation suite (bounds bracket the
 # exact engine on randomized traces, certificates imply exact answers)

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"testing"
+
+	"opportunet/internal/core"
+	"opportunet/internal/stats"
+	"opportunet/internal/tracegen"
+)
+
+// TestDelayCDFAggregationAllocs pins the aggregation pipeline's
+// allocation discipline: with the frontier arena (one flat allocation
+// per hop bound instead of filter/sort/output allocations per pair)
+// and the pooled integration buffer, a full multi-bound CDF evaluation
+// stays within a small per-bound budget that is independent of the
+// pair count. Regressions here reintroduce the per-pair garbage that
+// dominated the aggregation benchmark before the arena.
+func TestDelayCDFAggregationAllocs(t *testing.T) {
+	cfg := tracegen.Infocom05Config()
+	cfg.TargetContacts = 1500
+	cfg.ExternalDevices, cfg.ExternalContacts = 0, 0
+	cfg.Devices = 15
+	tr, err := tracegen.Generate(cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStudy(tr, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetFastTier(false) // pin the exact pipeline, not tier state churn
+	grid := stats.LogSpace(120, 86400, 12)
+	bounds := []int{1, 2, 3, Unbounded}
+	allocs := testing.AllocsPerRun(20, func() {
+		st.ClearCaches()
+		if cdfs := st.DelayCDFs(bounds, grid); len(cdfs) != len(bounds) {
+			t.Fatal("wrong CDF count")
+		}
+	})
+	// Measured ~57 for 4 bounds (frontier slice + arena + curve sum +
+	// normalized output + cache insert per bound, plus the cleared maps
+	// and the flat buffer header). 3 per pair would already be ~600.
+	t.Logf("allocs per run: %.0f", allocs)
+	const budget = 96
+	if allocs > budget {
+		t.Fatalf("DelayCDFs allocated %.0f times per run, budget %d", allocs, budget)
+	}
+}

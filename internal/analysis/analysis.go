@@ -80,6 +80,13 @@ type studyState struct {
 	frontiers map[int][]core.Frontier // hop bound -> frontier per pair
 	curves    map[curveKey][]float64  // (hop bound, grid, window) -> summed SuccessWithin
 
+	// pairOff is the arena offset table for per-pair frontier building
+	// (Delta == 0 only): pair i's slot is arena[pairOff[i]:pairOff[i+1]],
+	// sized by the pair's archive length. Computed once per study — it
+	// depends only on the immutable Result — and deliberately survives
+	// ClearCaches.
+	pairOff []int
+
 	// baseCtx is the construction context: the reach engine is built
 	// under it (tier state outlives any single request's deadline).
 	baseCtx context.Context
@@ -218,12 +225,34 @@ func (s *Study) Err() error {
 	return nil
 }
 
+// pairOffsets returns (computing on first use) the arena offset table
+// for per-pair frontier slots: prefix sums of every pair's archive
+// length, in pair order.
+func (s *Study) pairOffsets() []int {
+	st := s.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.pairOff == nil {
+		off := make([]int, len(s.Pairs)+1)
+		for i, p := range s.Pairs {
+			off[i+1] = off[i] + s.Result.PairArchiveLen(p[0], p[1])
+		}
+		st.pairOff = off
+	}
+	return st.pairOff
+}
+
 // frontiersFor returns (building and caching on first use) the frontier
-// of every analyzed pair under the given hop bound. It is safe for
-// concurrent use; when two goroutines race on an uncached bound, both
-// build the same deterministic value and one copy wins. When the
-// study's context is cancelled mid-build, the incomplete slice is
-// returned uncached — Err() tells callers to discard it.
+// of every analyzed pair under the given hop bound. For the Delta == 0
+// model all pairs build into one flat arena (two allocations per hop
+// bound — the frontier slice and the arena — instead of filter, sort
+// and output allocations per pair); each pair owns a disjoint,
+// capacity-capped slot, so the parallel build stays race-free and
+// byte-identical at every worker count. It is safe for concurrent use;
+// when two goroutines race on an uncached bound, both build the same
+// deterministic value and one copy wins. When the study's context is
+// cancelled mid-build, the incomplete slice is returned uncached —
+// Err() tells callers to discard it.
 func (s *Study) frontiersFor(hopBound int) []core.Frontier {
 	st := s.state
 	st.mu.Lock()
@@ -235,10 +264,21 @@ func (s *Study) frontiersFor(hopBound int) []core.Frontier {
 	st.mu.Unlock()
 	anMetrics.memoMisses.Inc()
 	fs := make([]core.Frontier, len(s.Pairs))
-	if err := par.DoCtx(s.ctx, len(s.Pairs), s.workers, func(i int) {
-		p := s.Pairs[i]
-		fs[i] = s.Result.Frontier(p[0], p[1], hopBound)
-	}); err != nil {
+	var build func(i int)
+	if s.Result.Delta == 0 {
+		off := s.pairOffsets()
+		arena := make([]core.Entry, off[len(s.Pairs)])
+		build = func(i int) {
+			p := s.Pairs[i]
+			fs[i] = s.Result.FrontierInto(p[0], p[1], hopBound, arena[off[i]:off[i+1]])
+		}
+	} else {
+		build = func(i int) {
+			p := s.Pairs[i]
+			fs[i] = s.Result.Frontier(p[0], p[1], hopBound)
+		}
+	}
+	if err := par.DoCtx(s.ctx, len(s.Pairs), s.workers, build); err != nil {
 		return fs
 	}
 	st.mu.Lock()

@@ -665,6 +665,50 @@ func (r *Result) Frontier(src, dst trace.NodeID, maxHop int) Frontier {
 	return Frontier{Entries: buildFrontier2D(entries, bound), Delta: 0}
 }
 
+// PairArchiveLen returns the number of archived path summaries for the
+// pair (src, dst): an upper bound on the size of any frontier of the
+// pair, which is what FrontierInto callers size their slots by. Panics
+// on the same conditions as Frontier.
+func (r *Result) PairArchiveLen(src, dst trace.NodeID) int {
+	if int(src) < 0 || int(src) >= r.NumNodes || int(dst) < 0 || int(dst) >= r.NumNodes {
+		panic(fmt.Sprintf("core: PairArchiveLen(%d, %d) out of range (nodes=%d)", src, dst, r.NumNodes))
+	}
+	row := r.srcIndex[src]
+	if row < 0 {
+		panic(fmt.Sprintf("core: source %d was not computed", src))
+	}
+	return len(r.pairEntries(row, int(dst)))
+}
+
+// FrontierInto is Frontier building into caller-owned memory: for the
+// Delta == 0 model the frontier is filtered, sorted and compacted
+// entirely inside slot — which must have length at least
+// PairArchiveLen(src, dst) — and the returned Frontier aliases it, with
+// no allocation. Aggregations building one frontier per pair carve
+// their slots out of a single arena; serving layers reuse a pooled
+// slot per request. The caller owns slot's lifetime: the Frontier is
+// valid only while the slot's contents are left alone. For Delta > 0
+// frontiers (hop-aware dominance plus the evaluation index) it falls
+// back to the allocating Frontier path and slot is untouched. The
+// entries produced are identical to Frontier's in either case.
+func (r *Result) FrontierInto(src, dst trace.NodeID, maxHop int, slot []Entry) Frontier {
+	if r.Delta > 0 {
+		return r.Frontier(src, dst, maxHop)
+	}
+	if int(src) < 0 || int(src) >= r.NumNodes || int(dst) < 0 || int(dst) >= r.NumNodes {
+		panic(fmt.Sprintf("core: FrontierInto(%d, %d) out of range (nodes=%d)", src, dst, r.NumNodes))
+	}
+	row := r.srcIndex[src]
+	if row < 0 {
+		panic(fmt.Sprintf("core: source %d was not computed", src))
+	}
+	bound := int32(math.MaxInt32)
+	if maxHop > 0 {
+		bound = int32(maxHop)
+	}
+	return Frontier{Entries: buildFrontier2DInto(r.pairEntries(row, int(dst)), bound, slot)}
+}
+
 // Sources returns the source devices the result was computed for.
 func (r *Result) Sources() []trace.NodeID {
 	return append([]trace.NodeID(nil), r.sources...)

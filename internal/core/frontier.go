@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -354,55 +355,86 @@ func (f *frontier3D) add(e Entry) bool {
 
 // buildFrontier2D extracts the Pareto frontier of all entries with
 // Hop <= maxHop, for the Delta == 0 model. It returns entries sorted by
-// increasing LD and EA.
+// increasing LD and EA, in one allocation (the filtered scratch the
+// frontier compacts into).
 func buildFrontier2D(entries []Entry, maxHop int32) []Entry {
-	var kept []Entry
-	for _, e := range entries {
-		if e.Hop <= maxHop {
-			kept = append(kept, e)
-		}
-	}
-	if len(kept) == 0 {
+	if len(entries) == 0 {
 		return nil
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		if kept[i].LD != kept[j].LD {
-			return kept[i].LD < kept[j].LD
+	out := buildFrontier2DInto(entries, maxHop, make([]Entry, len(entries)))
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// buildFrontier2DInto is buildFrontier2D working entirely inside slot,
+// which must have length at least len(entries): the matching entries
+// are filtered into the slot's prefix, sorted in place, and a
+// right-to-left dominance sweep compacts the survivors into a suffix
+// of the sorted run. The returned frontier aliases slot (capped at the
+// sweep's bounds so callers cannot append over adjacent arena slots);
+// nothing is allocated. Entry ties under the sort key are entire-value
+// equal (Entry has no other fields), so the unstable sort cannot
+// perturb results.
+func buildFrontier2DInto(entries []Entry, maxHop int32, slot []Entry) []Entry {
+	m := 0
+	for _, e := range entries {
+		if e.Hop <= maxHop {
+			slot[m] = e
+			m++
 		}
-		if kept[i].EA != kept[j].EA {
-			return kept[i].EA < kept[j].EA
+	}
+	if m == 0 {
+		return nil
+	}
+	s := slot[:m]
+	slices.SortFunc(s, func(a, b Entry) int {
+		switch {
+		case a.LD < b.LD:
+			return -1
+		case a.LD > b.LD:
+			return 1
+		case a.EA < b.EA:
+			return -1
+		case a.EA > b.EA:
+			return 1
+		default:
+			return int(a.Hop - b.Hop)
 		}
-		return kept[i].Hop < kept[j].Hop
 	})
 	// Right-to-left sweep keeping entries whose EA is a new strict
 	// minimum — exactly condition (4) of the paper. Within an equal-LD
 	// group the sweep sees EA in decreasing order, so each improvement
 	// replaces the previously kept entry of that group; likewise an
 	// equal (LD, EA) duplicate with a smaller hop count replaces the
-	// larger one.
-	out := make([]Entry, 0, len(kept))
+	// larger one. Survivors accumulate right-to-left at s[w:m], which
+	// is already LD-ascending — no reversal pass. The write index never
+	// catches the read index: after processing the k rightmost entries
+	// at most k survive, so w-1 >= i always (equality is a
+	// self-assignment).
+	w := m
 	bestEA := math.Inf(1)
-	for i := len(kept) - 1; i >= 0; i-- {
-		if kept[i].EA <= bestEA {
-			if len(out) > 0 && out[len(out)-1].LD == kept[i].LD {
-				if kept[i].EA <= out[len(out)-1].EA {
-					out[len(out)-1] = kept[i]
-					bestEA = kept[i].EA
-				}
-				continue
-			}
-			if kept[i].EA == bestEA {
-				continue // same EA, smaller LD: dominated
-			}
-			out = append(out, kept[i])
-			bestEA = kept[i].EA
+	for i := m - 1; i >= 0; i-- {
+		e := s[i]
+		if e.EA > bestEA {
+			continue
 		}
+		if w < m && s[w].LD == e.LD {
+			if e.EA <= s[w].EA {
+				s[w] = e
+				bestEA = e.EA
+			}
+			continue
+		}
+		if e.EA == bestEA {
+			continue // same EA, smaller LD: dominated
+		}
+		w--
+		s[w] = e
+		bestEA = e.EA
 	}
-	// Reverse into LD-ascending order.
-	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
-		out[l], out[r] = out[r], out[l]
-	}
-	return out
+	return s[w:m:m]
 }
 
 // buildFrontier3D extracts the hop-aware Pareto frontier of all entries

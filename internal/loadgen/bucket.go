@@ -1,0 +1,56 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// tokenBucket paces open-loop arrivals: tokens accrue at rate per
+// second up to burst, and each request consumes one. Waiters sleep for
+// exactly the refill gap they are short, so the offered rate converges
+// on the target without busy-polling — the standard rate/burst shape,
+// implemented locally because the container's stdlib has no limiter
+// and the repo takes no dependencies.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// wait blocks until a token is available or ctx is done.
+func (b *tokenBucket) wait(ctx context.Context) error {
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		b.last = now
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		if b.tokens >= 1 {
+			b.tokens--
+			b.mu.Unlock()
+			return nil
+		}
+		short := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+
+		timer := time.NewTimer(short)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketPaces(t *testing.T) {
+	// 200 tokens/s, burst 1: the 20th token cannot arrive before
+	// 19/200s = 95ms of refill. The lower bound is what matters — an
+	// unpaced loop would finish in microseconds; upper bounds are left
+	// loose for noisy CI schedulers.
+	b := newTokenBucket(200, 1)
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if err := b.wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("20 tokens at 200/s took %v; pacing is not happening", elapsed)
+	}
+}
+
+func TestTokenBucketBurstCapacity(t *testing.T) {
+	// With burst 10 the first 10 tokens are free; only then does the
+	// refill clock gate.
+	b := newTokenBucket(1, 10)
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if err := b.wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("draining a full burst of 10 took %v; should be immediate", elapsed)
+	}
+}
+
+func TestTokenBucketHonorsContext(t *testing.T) {
+	b := newTokenBucket(0.1, 1) // one token per 10s after the first
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := b.wait(ctx); err != nil {
+		t.Fatalf("first token should be free: %v", err)
+	}
+	start := time.Now()
+	err := b.wait(ctx)
+	if err == nil {
+		t.Fatal("second token granted despite 10s refill gap")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; waiter ignored ctx", elapsed)
+	}
+}

@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Discover fills a Target from the daemon's own registry metadata
+// (/v1/datasets): internal node count, window, and default grid. An
+// empty dataset name selects the daemon's sole dataset and fails if it
+// serves several — the same convention the daemon itself applies to
+// requests without a dataset parameter.
+func Discover(ctx context.Context, baseURL, dataset string) (Target, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/datasets", nil)
+	if err != nil {
+		return Target{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return Target{}, fmt.Errorf("loadgen: discover: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Target{}, fmt.Errorf("loadgen: discover: %s returned %d", baseURL, resp.StatusCode)
+	}
+	var list struct {
+		Datasets []struct {
+			Name          string  `json:"name"`
+			Internal      int     `json:"internal"`
+			WindowSeconds float64 `json:"window_seconds"`
+			DefaultPoints int     `json:"default_points"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return Target{}, fmt.Errorf("loadgen: discover: bad /v1/datasets payload: %w", err)
+	}
+	for _, ds := range list.Datasets {
+		if dataset == "" && len(list.Datasets) == 1 || ds.Name == dataset {
+			return Target{
+				Dataset:  ds.Name,
+				Internal: ds.Internal,
+				Window:   ds.WindowSeconds,
+				Points:   ds.DefaultPoints,
+			}, nil
+		}
+	}
+	if dataset == "" {
+		return Target{}, fmt.Errorf("loadgen: daemon serves %d datasets; pick one with -dataset", len(list.Datasets))
+	}
+	return Target{}, fmt.Errorf("loadgen: daemon does not serve dataset %q", dataset)
+}

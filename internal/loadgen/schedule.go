@@ -1,0 +1,189 @@
+package loadgen
+
+// The schedule is the determinism substrate: request i is synthesized
+// from a private rng stream seeded by (run seed, i) alone, so the
+// sequence of URLs is independent of worker interleaving, pacing mode,
+// and wall-clock time. The fingerprint — a sha256 over every URL in
+// index order — is what reruns compare to prove they issued the same
+// load.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"opportunet/internal/rng"
+)
+
+// Request is one scheduled exchange: the endpoint kind and the fully
+// rendered URL path+query (relative to the daemon root).
+type Request struct {
+	Kind QueryKind
+	URL  string
+}
+
+// Schedule deterministically maps request indices to Requests.
+type Schedule struct {
+	seed    uint64
+	mix     Mix
+	cum     [numKinds]float64 // cumulative mix weights
+	target  Target
+	phases  []Phase
+	total   int
+	deadMS  []int
+	epsSet  []float64
+	hopSets []string
+}
+
+// NewSchedule validates the config and lays the phases out over one
+// run-wide index space (phase offsets are assigned in order).
+func NewSchedule(cfg Config) (*Schedule, error) {
+	if cfg.Target.Dataset == "" {
+		return nil, fmt.Errorf("loadgen: target dataset name is empty")
+	}
+	if cfg.Target.Internal < 2 {
+		return nil, fmt.Errorf("loadgen: target needs >= 2 internal nodes, have %d", cfg.Target.Internal)
+	}
+	if len(cfg.Phases) == 0 {
+		return nil, fmt.Errorf("loadgen: no phases configured")
+	}
+	s := &Schedule{
+		seed:   cfg.Seed,
+		mix:    cfg.Mix.orDefault(),
+		target: cfg.Target,
+		deadMS: cfg.DeadlineMS,
+		// Diameter eps values beyond the daemon default exercise the
+		// curve cache across distinct thresholds; the hop lists cover
+		// the paper's per-hop-bound views.
+		epsSet:  []float64{0, 0.01, 0.05, 0.1},
+		hopSets: []string{"", "1,2,0", "1,2,3,0", "2,0"},
+	}
+	s.cum[KindPath] = s.mix.Path
+	s.cum[KindDiameter] = s.cum[KindPath] + s.mix.Diameter
+	s.cum[KindDelayCDF] = s.cum[KindDiameter] + s.mix.DelayCDF
+	for _, ph := range cfg.Phases {
+		if ph.Requests < 1 {
+			return nil, fmt.Errorf("loadgen: phase %q has %d requests", ph.Name, ph.Requests)
+		}
+		ph.Offset = s.total
+		s.total += ph.Requests
+		s.phases = append(s.phases, ph)
+	}
+	return s, nil
+}
+
+// Total returns the run-wide request count.
+func (s *Schedule) Total() int { return s.total }
+
+// Phases returns the laid-out phases (offsets filled).
+func (s *Schedule) Phases() []Phase { return s.phases }
+
+func (s *Schedule) mixString() string {
+	return fmt.Sprintf("path=%g,diameter=%g,delaycdf=%g", s.mix.Path, s.mix.Diameter, s.mix.DelayCDF)
+}
+
+// Request synthesizes request i. Pure: same (schedule, i) → same
+// Request, regardless of which worker asks or when.
+func (s *Schedule) Request(i int) Request {
+	// Each index gets its own stream; rng.New seeds through SplitMix64,
+	// so consecutive derived seeds give unrelated streams.
+	r := rng.New(s.seed + 0x9E3779B97F4A7C15*uint64(i+1))
+	kind := s.pickKind(r)
+
+	b := make([]byte, 0, 96)
+	switch kind {
+	case KindPath:
+		b = append(b, "/v1/path?dataset="...)
+		b = append(b, s.target.Dataset...)
+		src := r.Intn(s.target.Internal)
+		dst := r.Intn(s.target.Internal - 1)
+		if dst >= src {
+			dst++
+		}
+		b = append(b, "&src="...)
+		b = strconv.AppendInt(b, int64(src), 10)
+		b = append(b, "&dst="...)
+		b = strconv.AppendInt(b, int64(dst), 10)
+		if s.target.Window > 0 {
+			// Early times keep most queries on delivering frontiers; a
+			// tail into the window exercises the undelivered branch.
+			b = append(b, "&t="...)
+			b = strconv.AppendFloat(b, r.Uniform(0, s.target.Window/2), 'f', 1, 64)
+		}
+		if r.Bool(0.25) {
+			b = append(b, "&maxhops="...)
+			b = strconv.AppendInt(b, int64(1+r.Intn(4)), 10)
+		}
+	case KindDiameter:
+		b = append(b, "/v1/diameter?dataset="...)
+		b = append(b, s.target.Dataset...)
+		if eps := s.epsSet[r.Intn(len(s.epsSet))]; eps > 0 {
+			b = append(b, "&eps="...)
+			b = strconv.AppendFloat(b, eps, 'g', -1, 64)
+		}
+	case KindDelayCDF:
+		b = append(b, "/v1/delaycdf?dataset="...)
+		b = append(b, s.target.Dataset...)
+		if hops := s.hopSets[r.Intn(len(s.hopSets))]; hops != "" {
+			b = append(b, "&hops="...)
+			b = append(b, hops...)
+		}
+	}
+	if len(s.deadMS) > 0 {
+		if ms := s.deadMS[r.Intn(len(s.deadMS))]; ms > 0 {
+			b = append(b, "&deadline_ms="...)
+			b = strconv.AppendInt(b, int64(ms), 10)
+		}
+	}
+	return Request{Kind: kind, URL: string(b)}
+}
+
+// BurstRequest synthesizes the overload variant used by burst phases:
+// always a diameter query on a distinct grid resolution, so neither
+// the daemon's curve cache nor its coalescing can collapse the volley
+// — every request must hold (or be refused) its own execution slot.
+func (s *Schedule) BurstRequest(i int) Request {
+	b := make([]byte, 0, 96)
+	b = append(b, "/v1/diameter?dataset="...)
+	b = append(b, s.target.Dataset...)
+	b = append(b, "&points="...)
+	// Distinct small grids: cheap enough to finish, distinct enough
+	// never to coalesce.
+	b = strconv.AppendInt(b, int64(24+i%256), 10)
+	return Request{Kind: KindDiameter, URL: string(b)}
+}
+
+// request dispatches to the burst or mixed generator depending on the
+// phase the index lands in.
+func (s *Schedule) request(ph Phase, i int) Request {
+	if ph.Burst {
+		return s.BurstRequest(i)
+	}
+	return s.Request(i)
+}
+
+func (s *Schedule) pickKind(r *rng.Source) QueryKind {
+	v := r.Float64() * s.cum[numKinds-1]
+	for k := QueryKind(0); k < numKinds-1; k++ {
+		if v < s.cum[k] {
+			return k
+		}
+	}
+	return numKinds - 1
+}
+
+// Fingerprint hashes every scheduled URL in index order and returns
+// the digest with the total request count. Equal fingerprints mean two
+// runs offered byte-identical request sequences.
+func (s *Schedule) Fingerprint() (string, int) {
+	h := sha256.New()
+	for _, ph := range s.phases {
+		for i := 0; i < ph.Requests; i++ {
+			req := s.request(ph, ph.Offset+i)
+			h.Write([]byte(req.URL))
+			h.Write([]byte{'\n'})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), s.total
+}

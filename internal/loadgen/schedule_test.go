@@ -1,0 +1,182 @@
+package loadgen
+
+import (
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		BaseURL: "http://example.invalid",
+		Target:  Target{Dataset: "synth", Internal: 10, Window: 9000, Points: 64},
+		Seed:    42,
+		Phases:  Closed(500),
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a, err := NewSchedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSchedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the two schedules in opposite orders: request i must depend
+	// on (seed, i) alone, not on what was synthesized before it.
+	n := a.Total()
+	for i := 0; i < n; i++ {
+		ra, rb := a.Request(i), b.Request(n-1-i)
+		if ra != a.Request(i) {
+			t.Fatalf("Request(%d) unstable across calls", i)
+		}
+		_ = rb
+	}
+	for i := 0; i < n; i++ {
+		if got, want := b.Request(i), a.Request(i); got != want {
+			t.Fatalf("schedules diverge at %d: %+v vs %+v", i, got, want)
+		}
+	}
+	fpA, nA := a.Fingerprint()
+	fpB, nB := b.Fingerprint()
+	if fpA != fpB || nA != nB {
+		t.Fatalf("same-seed fingerprints differ: %s/%d vs %s/%d", fpA, nA, fpB, nB)
+	}
+
+	cfg := testConfig()
+	cfg.Seed = 43
+	c, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpC, _ := c.Fingerprint(); fpC == fpA {
+		t.Fatalf("different seeds produced identical fingerprint %s", fpA)
+	}
+}
+
+func TestScheduleURLWellFormed(t *testing.T) {
+	cfg := testConfig()
+	cfg.DeadlineMS = []int{0, 50, 200}
+	s, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[QueryKind]int{}
+	for i := 0; i < s.Total(); i++ {
+		req := s.Request(i)
+		seen[req.Kind]++
+		u, err := url.Parse(req.URL)
+		if err != nil {
+			t.Fatalf("request %d: unparseable URL %q: %v", i, req.URL, err)
+		}
+		q := u.Query()
+		if q.Get("dataset") != "synth" {
+			t.Fatalf("request %d: dataset %q", i, q.Get("dataset"))
+		}
+		wantPath := "/v1/" + req.Kind.String()
+		if u.Path != wantPath {
+			t.Fatalf("request %d: path %q for kind %v", i, u.Path, req.Kind)
+		}
+		if req.Kind == KindPath {
+			src, _ := strconv.Atoi(q.Get("src"))
+			dst, _ := strconv.Atoi(q.Get("dst"))
+			if src == dst || src < 0 || src >= 10 || dst < 0 || dst >= 10 {
+				t.Fatalf("request %d: bad pair src=%d dst=%d", i, src, dst)
+			}
+		}
+		if d := q.Get("deadline_ms"); d != "" && d != "50" && d != "200" {
+			t.Fatalf("request %d: deadline_ms %q not from the sample list", i, d)
+		}
+	}
+	// The 8:1:1 default mix over 500 seeded draws covers every kind.
+	for k := QueryKind(0); k < numKinds; k++ {
+		if seen[k] == 0 {
+			t.Fatalf("kind %v never scheduled in %d requests (mix %s)", k, s.Total(), s.mixString())
+		}
+	}
+}
+
+func TestBurstRequestsDefeatCoalescing(t *testing.T) {
+	s, err := NewSchedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := map[string]bool{}
+	for i := 0; i < 256; i++ {
+		r := s.BurstRequest(i)
+		if r.Kind != KindDiameter {
+			t.Fatalf("burst request %d has kind %v", i, r.Kind)
+		}
+		if !strings.Contains(r.URL, "points=") {
+			t.Fatalf("burst request %d missing points: %q", i, r.URL)
+		}
+		if urls[r.URL] {
+			t.Fatalf("burst request %d repeats URL %q within the coalescable window", i, r.URL)
+		}
+		urls[r.URL] = true
+	}
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Target.Dataset = "" },
+		func(c *Config) { c.Target.Internal = 1 },
+		func(c *Config) { c.Phases = nil },
+		func(c *Config) { c.Phases = []Phase{{Name: "empty", Requests: 0}} },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := NewSchedule(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestPlanBuilders(t *testing.T) {
+	ramp := Ramp(100, 300, 100, time.Second)
+	if len(ramp) != 3 {
+		t.Fatalf("Ramp(100,300,100): %d phases, want 3", len(ramp))
+	}
+	for i, want := range []float64{100, 200, 300} {
+		if ramp[i].RPS != want || ramp[i].Requests != int(want) {
+			t.Fatalf("ramp phase %d = %+v, want rps %g", i, ramp[i], want)
+		}
+	}
+	if st := Steady(50, 2*time.Second); len(st) != 1 || st[0].Requests != 100 {
+		t.Fatalf("Steady(50, 2s) = %+v", st)
+	}
+	if b := Burst(64); len(b) != 1 || !b[0].Burst || b[0].Requests != 64 {
+		t.Fatalf("Burst(64) = %+v", b)
+	}
+	// Degenerate ramp (step defaulted from a zero) still terminates.
+	if one := Ramp(100, 100, 0, time.Second); len(one) != 1 {
+		t.Fatalf("Ramp(100,100,0) = %+v", one)
+	}
+}
+
+func TestScheduleOffsets(t *testing.T) {
+	cfg := testConfig()
+	cfg.Phases = []Phase{
+		{Name: "a", Requests: 10},
+		{Name: "b", Requests: 20},
+		{Name: "c", Requests: 5},
+	}
+	s, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total() != 35 {
+		t.Fatalf("Total = %d, want 35", s.Total())
+	}
+	wantOff := []int{0, 10, 30}
+	for i, ph := range s.Phases() {
+		if ph.Offset != wantOff[i] {
+			t.Fatalf("phase %d offset %d, want %d", i, ph.Offset, wantOff[i])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrentObserveAndRead hammers one histogram with
+// writers while readers snapshot it mid-flight: Quantile, Sum, Count
+// and Registry.Snapshot must all be safe against concurrent Observe
+// (the loadgen worker pool does exactly this), and the final totals
+// must be exact — the CAS-summed float loses nothing under contention.
+func TestHistogramConcurrentObserveAndRead(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{1, 10, 100})
+	const writers = 8
+	const readers = 4
+	const ops = 5000
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Mid-flight reads see a torn-free prefix of the stream:
+				// any quantile must stay inside the observable range.
+				if q := h.Quantile(0.5); q < 0 || q > 100 {
+					t.Errorf("mid-flight p50 = %g outside [0, 100]", q)
+					return
+				}
+				if h.Sum() < 0 || h.Count() < 0 {
+					t.Errorf("mid-flight sum/count negative")
+					return
+				}
+				r.Snapshot()
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for j := 0; j < ops; j++ {
+				h.Observe(float64(j % 150))
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := h.Count(); got != writers*ops {
+		t.Fatalf("count = %d, want %d", got, writers*ops)
+	}
+	want := 0.0
+	for j := 0; j < ops; j++ {
+		want += float64(j % 150)
+	}
+	want *= writers
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %g, want %g (concurrent observes lost mass)", got, want)
+	}
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty", "", []float64{1, 2, 3})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil handle Quantile = %g, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("single", "", []float64{10})
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	// All mass in (0, 10]: the quantile sweeps the bucket linearly.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g, want 0 (bucket lower edge)", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %g, want 10 (bucket upper edge)", got)
+	}
+	if got := h.Quantile(0.25); got != 2.5 {
+		t.Errorf("Quantile(0.25) = %g, want 2.5", got)
+	}
+}
+
+func TestQuantileAllOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("overflow", "", []float64{1, 2})
+	for i := 0; i < 50; i++ {
+		h.Observe(1e6)
+	}
+	// Everything landed in the +Inf bucket; the estimate clamps to the
+	// largest finite bound rather than inventing an infinite latency.
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 2 {
+			t.Errorf("all-overflow Quantile(%g) = %g, want 2", q, got)
+		}
+	}
+}
+
+func TestQuantileNoFiniteBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("unbounded", "", nil)
+	h.Observe(7)
+	h.Observe(9)
+	// With no finite bounds there is nothing to clamp to; the estimate
+	// degrades to 0 rather than panicking or returning +Inf.
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("boundless Quantile(0.5) = %g, want 0", got)
+	}
+	if h.Count() != 2 || h.Sum() != 16 {
+		t.Errorf("boundless histogram lost observations: count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestQuantileSkipsEmptyLeadingBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sparse", "", []float64{1, 2, 4, 8})
+	for i := 0; i < 10; i++ {
+		h.Observe(3) // lands in (2, 4] only
+	}
+	if got := h.Quantile(0.5); got < 2 || got > 4 {
+		t.Errorf("p50 = %g, want inside the (2, 4] bucket", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("p100 = %g, want 4", got)
+	}
+}

@@ -235,9 +235,13 @@ func (e *Engine) Certifiable(grid []float64) bool {
 
 // slotsFor picks the initial slot resolution for a grid: the smallest
 // doubling of the configured Slots that makes a slot no wider than the
-// smallest budget (capped at MaxSlots), so the first build is already
-// at a potentially certifying resolution instead of paying for a
-// provably vacuous coarse pass first. Grids the engine can never
+// smallest budget, so the first build is already at a potentially
+// certifying resolution instead of paying for a provably vacuous coarse
+// pass first. When the last doubling would overshoot MaxSlots the
+// resolution clamps to exactly MaxSlots: Certifiable promised that
+// MaxSlots suffices, and stopping a doubling short of it would leave
+// slots wider than the smallest budget — the build cost is paid but the
+// head of the grid stays undecidable. Grids the engine can never
 // certify at any allowed resolution stay at the configured Slots —
 // escalating toward an unreachable target would only burn time.
 func (e *Engine) slotsFor(grid []float64) int {
@@ -246,8 +250,11 @@ func (e *Engine) slotsFor(grid []float64) int {
 		return s
 	}
 	need := (e.view.End() - e.view.Start()) / grid[0]
-	for float64(s) < need && s*2 <= e.opt.MaxSlots {
+	for float64(s) < need && s < e.opt.MaxSlots {
 		s *= 2
+		if s > e.opt.MaxSlots {
+			s = e.opt.MaxSlots
+		}
 	}
 	return s
 }
@@ -275,11 +282,12 @@ func (e *Engine) ensure(grid []float64) (*build, error) {
 	return bd, nil
 }
 
-// Refine doubles the engine's slot resolution (×2 per call) up to the
-// MaxSlots cap, rebuilding the envelopes on the current grid, and
-// reports whether a finer build was produced. Tiered callers refine
-// once or twice before falling back to the exact engine. Before any
-// bounds query there is no build (and no grid) to refine.
+// Refine doubles the engine's slot resolution (×2 per call, clamping
+// the final step to the MaxSlots cap so the cap itself is reachable),
+// rebuilding the envelopes on the current grid, and reports whether a
+// finer build was produced. Tiered callers refine once or twice before
+// falling back to the exact engine. Before any bounds query there is no
+// build (and no grid) to refine.
 func (e *Engine) Refine() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -288,6 +296,9 @@ func (e *Engine) Refine() bool {
 	}
 	next := e.built.slots * 2
 	if next > e.opt.MaxSlots {
+		next = e.opt.MaxSlots
+	}
+	if next <= e.built.slots {
 		return false
 	}
 	bd, err := e.buildAt(next, e.built.grid)

@@ -1,6 +1,9 @@
 package server
 
 import (
+	"context"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"testing"
 )
@@ -21,6 +24,43 @@ func TestAdmissionAcquireReleaseAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("acquire/release fast path allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestWarmPathServeAllocs pins the whole warm /v1/path request —
+// routing, pipeline, raw-query parsing, frontier lookup, and the
+// append-encoded response — end to end over a reused httptest
+// recorder. Everything the serving layer controls is pooled or
+// allocation-free; the budget leaves room only for incidental
+// net/http internals, so a regression anywhere in the request path
+// (a url.Values map, a reflection encode, an unpooled response)
+// blows well past it.
+func TestWarmPathServeAllocs(t *testing.T) {
+	ds := testDataset(t, LoadOptions{SkipPrewarm: true})
+	s := New(context.Background(), Config{})
+	s.Register(ds)
+	s.SetReady(true)
+	h := s.Handler()
+
+	req := httptest.NewRequest("GET", "/v1/path?dataset=synth&src=0&dst=1&t=300&maxhops=3", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm request: status %d body %s", rec.Code, rec.Body)
+	}
+	want := rec.Body.String()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Body.Reset()
+		h.ServeHTTP(rec, req)
+	})
+	if got := rec.Body.String(); got != want {
+		t.Fatalf("warm response drifted across runs: %q vs %q", got, want)
+	}
+	t.Logf("allocs per warm /v1/path request: %.1f", allocs)
+	const budget = 4
+	if allocs > budget {
+		t.Fatalf("warm /v1/path allocates %.1f times per request, budget %d", allocs, budget)
 	}
 }
 

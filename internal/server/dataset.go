@@ -2,7 +2,6 @@ package server
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
@@ -119,13 +118,9 @@ func LoadDataset(tr *trace.Trace, lo LoadOptions) (*Dataset, error) {
 		// cannot). Capped so a pathological window/grid ratio degrades to
 		// loose-but-sound envelopes instead of an unbounded build.
 		grid := ds.Grid(ds.DefaultPoints)
-		maxSlots := 0 // 0 = package default
-		if need := math.Ceil(ds.View.Duration() / grid[0]); need > 256 && need <= maxReachSlots {
-			maxSlots = int(need)
-		}
 		eng, err := reach.New(st.View, reach.Options{
 			MaxHops:  st.Result.Hops,
-			MaxSlots: maxSlots,
+			MaxSlots: ReachSlotBudget(ds.View.Duration(), grid[0]),
 			Directed: lo.Core.Directed,
 			Workers:  lo.Core.Workers,
 			Ctx:      lo.Core.Ctx,
@@ -179,6 +174,33 @@ func (ds *Dataset) Grid(points int) []float64 {
 	g := stats.LogSpace(lo, hi, points)
 	ds.grids[points] = g
 	return g
+}
+
+// ReachSlotBudget picks the bounds tier's slot cap for a window/grid
+// combination: the smallest doubling of the 256-slot package ceiling
+// that makes a slot no wider than the smallest delay budget. The reach
+// escalation ladder only visits doublings of its 64-slot base, so a
+// cap strictly between rungs pays extra build cost without buying
+// resolution (the build clamps to the cap mid-doubling). Returns 0 —
+// the package default — when even maxReachSlots slots cannot certify;
+// the tier then serves loose-but-sound envelopes from a cheap coarse
+// build instead of paying for a huge one that still cannot certify.
+func ReachSlotBudget(window, minBudget float64) int {
+	if minBudget <= 0 || window <= 0 {
+		return 0
+	}
+	need := window / minBudget
+	if need <= 256 {
+		return 0
+	}
+	s := 256
+	for float64(s) < need {
+		s *= 2
+		if s > maxReachSlots {
+			return 0
+		}
+	}
+	return s
 }
 
 // CheckPair validates a queried (src, dst) pair: both in range and the

@@ -1,0 +1,361 @@
+package server
+
+// Append-style JSON encoding for the serving hot path. The generic
+// json.NewEncoder route costs an encoder allocation plus reflection
+// walks per request; at the load generator's rates that garbage is the
+// dominant per-request cost. Response shapes the daemon serves hot
+// implement jsonAppender instead: a hand-rolled append-style encoder
+// into a pooled buffer, byte-for-byte identical to encoding/json
+// (same field order, omitempty semantics, HTML escaping, and float
+// formatting — pinned by TestAppendJSONMatchesEncodingJSON).
+//
+// Pooling discipline: path responses are per-request and returned to
+// their pool by the pipeline after the write (releasable). Diameter
+// and delay-CDF responses are shared across coalesced flights — many
+// requests may hold and encode the same value concurrently — so they
+// are never pooled; appendJSON only reads, which keeps the shared
+// encode safe.
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"opportunet/internal/core"
+)
+
+// jsonAppender marks a response that can serialize itself into a
+// caller-provided buffer exactly as encoding/json would.
+type jsonAppender interface {
+	appendJSON(b []byte) []byte
+}
+
+// releasable marks a per-request response the pipeline returns to its
+// pool once the bytes are on the wire. Responses shared across
+// coalesced callers must NOT implement this.
+type releasable interface {
+	release()
+}
+
+// encBuf wraps the pooled encode buffer (a pointer target, so Put does
+// not allocate a slice header box).
+type encBuf struct{ b []byte }
+
+var encBufPool = sync.Pool{New: func() any { return &encBuf{b: make([]byte, 0, 1024)} }}
+
+var queryPool = sync.Pool{New: func() any { return new(query) }}
+
+// getQuery hands out a reset pooled query, keeping the hops slice
+// capacity across requests.
+func getQuery(endpoint string) *query {
+	q := queryPool.Get().(*query)
+	hops := q.hops[:0]
+	*q = query{endpoint: endpoint, hops: hops}
+	return q
+}
+
+func putQuery(q *query) {
+	if q != nil {
+		queryPool.Put(q)
+	}
+}
+
+var pathRespPool = sync.Pool{New: func() any { return new(pathResponse) }}
+
+func getPathResponse() *pathResponse {
+	return pathRespPool.Get().(*pathResponse)
+}
+
+func (r *pathResponse) release() {
+	hops := r.Path[:0]
+	*r = pathResponse{}
+	r.Path = hops
+	pathRespPool.Put(r)
+}
+
+// entrySlot pools the frontier-arena scratch /v1/path builds its
+// Pareto frontier into (core.Result.FrontierInto), sized up to the
+// largest pair archive seen so far.
+type entrySlot struct{ s []core.Entry }
+
+var entrySlotPool = sync.Pool{New: func() any { return new(entrySlot) }}
+
+func getEntrySlot(n int) *entrySlot {
+	es := entrySlotPool.Get().(*entrySlot)
+	if cap(es.s) < n {
+		es.s = make([]core.Entry, n)
+	}
+	es.s = es.s[:n]
+	return es
+}
+
+func putEntrySlot(es *entrySlot) { entrySlotPool.Put(es) }
+
+// ---- primitives -----------------------------------------------------
+
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe marks ASCII bytes encoding/json passes through unescaped
+// with HTML escaping on (its htmlSafeSet): printable, minus the JSON
+// specials and the HTML-sensitive <, >, &.
+var jsonSafe [utf8.RuneSelf]bool
+
+func init() {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		jsonSafe[c] = c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+	}
+}
+
+// appendJSONString appends s as a JSON string exactly as encoding/json
+// encodes it: quotes, backslash escapes for the short forms, \u00xx
+// for remaining control characters, HTML escaping of <, >, &, the
+// JS-hostile U+2028/U+2029 escaped, and each invalid UTF-8 byte
+// replaced by �.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if jsonSafe[c] {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends f in encoding/json's float format: 'f' for
+// magnitudes in [1e-6, 1e21), 'e' otherwise with the exponent's
+// leading zero trimmed (1e-09 → 1e-9). encoding/json rejects NaN and
+// ±Inf outright; the hot responses never contain them (inputs are
+// validated finite and undelivered pairs omit their fields), so a
+// non-finite value here would be a handler bug — encode null, which a
+// client sees as a broken field rather than broken JSON.
+func appendJSONFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendJSONFloats appends a []float64 as encoding/json would: null
+// when nil, a bracketed list otherwise.
+func appendJSONFloats(b []byte, vs []float64) []byte {
+	if vs == nil {
+		return append(b, "null"...)
+	}
+	b = append(b, '[')
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONFloat(b, v)
+	}
+	return append(b, ']')
+}
+
+func appendJSONBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+// ---- response encoders ----------------------------------------------
+//
+// Field order, names, and omitempty behavior must mirror the struct
+// tags in handlers.go exactly; the equivalence test compares against
+// json.Marshal on randomized values, so a drift here fails CI rather
+// than silently changing the wire format.
+
+func (r *pathResponse) appendJSON(b []byte) []byte {
+	b = append(b, `{"dataset":`...)
+	b = appendJSONString(b, r.Dataset)
+	b = append(b, `,"src":`...)
+	b = strconv.AppendInt(b, int64(r.Src), 10)
+	b = append(b, `,"dst":`...)
+	b = strconv.AppendInt(b, int64(r.Dst), 10)
+	b = append(b, `,"t":`...)
+	b = appendJSONFloat(b, r.T)
+	b = append(b, `,"max_hops":`...)
+	b = strconv.AppendInt(b, int64(r.MaxHops), 10)
+	b = append(b, `,"delivered":`...)
+	b = appendJSONBool(b, r.Delivered)
+	if r.DeliveryTime != 0 {
+		b = append(b, `,"delivery_time":`...)
+		b = appendJSONFloat(b, r.DeliveryTime)
+	}
+	if r.Delay != 0 {
+		b = append(b, `,"delay":`...)
+		b = appendJSONFloat(b, r.Delay)
+	}
+	b = append(b, `,"min_hops":`...)
+	b = strconv.AppendInt(b, int64(r.MinHops), 10)
+	if len(r.Path) > 0 {
+		b = append(b, `,"path":[`...)
+		for i, h := range r.Path {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"from":`...)
+			b = strconv.AppendInt(b, int64(h.From), 10)
+			b = append(b, `,"to":`...)
+			b = strconv.AppendInt(b, int64(h.To), 10)
+			b = append(b, `,"at":`...)
+			b = appendJSONFloat(b, h.At)
+			b = append(b, `,"beg":`...)
+			b = appendJSONFloat(b, h.Beg)
+			b = append(b, `,"end":`...)
+			b = appendJSONFloat(b, h.End)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+func (r *diameterResponse) appendJSON(b []byte) []byte {
+	b = append(b, `{"dataset":`...)
+	b = appendJSONString(b, r.Dataset)
+	b = append(b, `,"eps":`...)
+	b = appendJSONFloat(b, r.Eps)
+	b = append(b, `,"points":`...)
+	b = strconv.AppendInt(b, int64(r.Points), 10)
+	if r.Diameter != 0 {
+		b = append(b, `,"diameter":`...)
+		b = strconv.AppendInt(b, int64(r.Diameter), 10)
+	}
+	if r.WorstRatio != 0 {
+		b = append(b, `,"worst_ratio":`...)
+		b = appendJSONFloat(b, r.WorstRatio)
+	}
+	if r.Degraded != "" {
+		b = append(b, `,"degraded":`...)
+		b = appendJSONString(b, r.Degraded)
+	}
+	if r.Reason != "" {
+		b = append(b, `,"reason":`...)
+		b = appendJSONString(b, r.Reason)
+	}
+	if r.DiameterLo != 0 {
+		b = append(b, `,"diameter_lo":`...)
+		b = strconv.AppendInt(b, int64(r.DiameterLo), 10)
+	}
+	if r.DiameterHi != 0 {
+		b = append(b, `,"diameter_hi":`...)
+		b = strconv.AppendInt(b, int64(r.DiameterHi), 10)
+	}
+	return append(b, '}')
+}
+
+func (r *delayCDFResponse) appendJSON(b []byte) []byte {
+	b = append(b, `{"dataset":`...)
+	b = appendJSONString(b, r.Dataset)
+	b = append(b, `,"points":`...)
+	b = strconv.AppendInt(b, int64(r.Points), 10)
+	b = append(b, `,"grid":`...)
+	b = appendJSONFloats(b, r.Grid)
+	if r.Degraded != "" {
+		b = append(b, `,"degraded":`...)
+		b = appendJSONString(b, r.Degraded)
+	}
+	if r.Reason != "" {
+		b = append(b, `,"reason":`...)
+		b = appendJSONString(b, r.Reason)
+	}
+	b = append(b, `,"curves":`...)
+	if r.Curves == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range r.Curves {
+			c := &r.Curves[i]
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"hop_bound":`...)
+			b = strconv.AppendInt(b, int64(c.HopBound), 10)
+			if len(c.Success) > 0 {
+				b = append(b, `,"success":`...)
+				b = appendJSONFloats(b, c.Success)
+			}
+			if len(c.Lower) > 0 {
+				b = append(b, `,"lower":`...)
+				b = appendJSONFloats(b, c.Lower)
+			}
+			if len(c.Upper) > 0 {
+				b = append(b, `,"upper":`...)
+				b = appendJSONFloats(b, c.Upper)
+			}
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// errorResponse replaces the map[string]string error payload: same
+// single-key JSON object, but encodable without reflection — the shed
+// path runs hottest exactly when the server is drowning, and feeding
+// it through the generic encoder would make overload the most
+// allocation-heavy state.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (r *errorResponse) appendJSON(b []byte) []byte {
+	b = append(b, `{"error":`...)
+	b = appendJSONString(b, r.Error)
+	return append(b, '}')
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opportunet/internal/rng"
+)
+
+// The append encoders exist only because they are byte-for-byte
+// interchangeable with encoding/json — any divergence is a wire-format
+// change clients would see. These tests enforce the contract against
+// the stdlib itself, so a toolchain that changes encoding/json's
+// output breaks the pin instead of silently forking the format.
+
+func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		"",
+		"synth",
+		"with \"quotes\" and \\backslashes\\",
+		"<script>alert('x')&amp;</script>",
+		"controls \x00\x01\x1f\b\f\n\r\t",
+		"unicode ñ 中文 🎉",
+		"line separators \u2028 and \u2029",
+		"invalid \xff\xfe utf8 \xed\xa0\x80 surrogate",
+		"trailing backslash\\",
+		"\x7f del is safe",
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+	if err := quick.Check(func(s string) bool {
+		want, err := json.Marshal(s)
+		if err != nil {
+			return true
+		}
+		return bytes.Equal(appendJSONString(nil, s), want)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 86400, 0.017,
+		1e-6, 9.9e-7, 1e-7, 1e-9, 1e20, 1e21, 1.5e21, 123456.789,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, -2.5e-300,
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONFloat(nil, f)
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendJSONFloat(%v) = %s, want %s", f, got, want)
+		}
+	}
+	r := rng.New(3)
+	for i := 0; i < 5000; i++ {
+		f := math.Float64frombits(r.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, f); !bytes.Equal(got, want) {
+			t.Fatalf("appendJSONFloat(%v) = %s, want %s", f, got, want)
+		}
+	}
+}
+
+// TestAppendJSONMatchesEncodingJSON drives every hot response shape —
+// including the omitempty branches — through both encoders and
+// requires identical bytes.
+func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
+	vals := []jsonAppender{
+		&pathResponse{Dataset: "synth", Src: 0, Dst: 9, T: 0, MaxHops: 0, MinHops: 2},
+		&pathResponse{
+			Dataset: "a<b>&c", Src: 3, Dst: 4, T: 120.5, MaxHops: 7,
+			Delivered: true, DeliveryTime: 480.25, Delay: 359.75, MinHops: 1,
+			Path: []pathHop{
+				{From: 3, To: 5, At: 130, Beg: 125, End: 140},
+				{From: 5, To: 4, At: 480.25, Beg: 470, End: 500},
+			},
+		},
+		&pathResponse{Dataset: "zero-delay", Delivered: true, DeliveryTime: 42, Delay: 0, MinHops: 1},
+		&diameterResponse{Dataset: "synth", Eps: 0.01, Points: 60, Diameter: 4, WorstRatio: 0.9937},
+		&diameterResponse{Dataset: "synth", Eps: 0, Points: 60,
+			Degraded: "bounds-only", Reason: "deadline", DiameterLo: 2, DiameterHi: 6},
+		&diameterResponse{Dataset: "s", Eps: 1e-9, Points: 1},
+		&delayCDFResponse{Dataset: "synth", Points: 3, Grid: []float64{120, 1200, 86400},
+			Curves: []cdfCurve{
+				{HopBound: 1, Success: []float64{0, 0.25, 1}},
+				{HopBound: 0, Success: []float64{0.5, 0.75, 1}},
+			}},
+		&delayCDFResponse{Dataset: "synth", Points: 2, Grid: []float64{1, 2},
+			Degraded: "bounds-only", Reason: "shed",
+			Curves: []cdfCurve{{HopBound: 2, Lower: []float64{0, 0.5}, Upper: []float64{0.25, 1}}}},
+		&delayCDFResponse{Dataset: "empty", Points: 0, Grid: nil, Curves: nil},
+		&errorResponse{Error: "server: overloaded (queue-full), retry after 2s"},
+		&errorResponse{Error: `bad src: "zebra" is not a nonnegative integer`},
+	}
+	for _, v := range vals {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := v.appendJSON(nil)
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendJSON mismatch for %T:\n got %s\nwant %s", v, got, want)
+		}
+	}
+}

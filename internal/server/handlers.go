@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -34,78 +35,156 @@ type query struct {
 	hopsRaw  string
 }
 
+// needsDeadline reports whether the endpoint can actually compute for
+// a while: those requests get a context timer; pure warm reads skip it
+// (the timer costs more than the read).
+func (q *query) needsDeadline() bool {
+	switch q.endpoint {
+	case "diameter", "delaycdf":
+		return true
+	case "path":
+		return q.recon
+	}
+	return false
+}
+
 // parseQuery validates the request parameters for the endpoint and
 // resolves the dataset. Validation happens before admission: malformed
-// requests are rejected without consuming an execution slot.
+// requests are rejected without consuming an execution slot. The
+// returned query comes from a pool; the caller (the endpoint pipeline)
+// returns it with putQuery once the response is written. Parameters
+// are read by scanning RawQuery directly — the url.Values map the
+// stdlib builds would be the warm path's single largest allocation.
 func (s *Server) parseQuery(r *http.Request, endpoint string) (*query, *Dataset, error) {
-	q := &query{endpoint: endpoint}
+	q := getQuery(endpoint)
 	if endpoint == "datasets" {
 		return q, nil, nil
 	}
-	vals := r.URL.Query()
-	name := vals.Get("dataset")
+	raw := r.URL.RawQuery
+	name := queryParam(raw, "dataset")
 	if name == "" {
 		// Single-dataset deployments may omit the parameter.
-		if list := s.datasetList(); len(list) == 1 {
-			name = list[0].Name
-		} else {
-			return nil, nil, badRequest("missing dataset parameter")
+		s.mu.Lock()
+		if len(s.order) == 1 {
+			name = s.order[0]
+		}
+		s.mu.Unlock()
+		if name == "" {
+			return q, nil, badRequest("missing dataset parameter")
 		}
 	}
 	ds, ok := s.dataset(name)
 	if !ok {
-		return nil, nil, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown dataset %q", name)}
+		return q, nil, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown dataset %q", name)}
 	}
 	var err error
 	switch endpoint {
 	case "path":
-		if q.src, err = parseNode(vals.Get("src")); err != nil {
-			return nil, nil, badRequest("bad src: %v", err)
+		if q.src, err = parseNode(queryParam(raw, "src")); err != nil {
+			return q, nil, badRequest("bad src: %v", err)
 		}
-		if q.dst, err = parseNode(vals.Get("dst")); err != nil {
-			return nil, nil, badRequest("bad dst: %v", err)
+		if q.dst, err = parseNode(queryParam(raw, "dst")); err != nil {
+			return q, nil, badRequest("bad dst: %v", err)
 		}
-		if v := vals.Get("t"); v != "" {
+		if v := queryParam(raw, "t"); v != "" {
 			if q.t, err = strconv.ParseFloat(v, 64); err != nil || math.IsNaN(q.t) || math.IsInf(q.t, 0) {
-				return nil, nil, badRequest("bad t %q: want a finite number", v)
+				return q, nil, badRequest("bad t %q: want a finite number", v)
 			}
 			q.hasT = true
 		}
-		if q.maxHops, err = parseCount(vals.Get("maxhops"), 0, 1<<20); err != nil {
-			return nil, nil, badRequest("bad maxhops: %v", err)
+		if q.maxHops, err = parseCount(queryParam(raw, "maxhops"), 0, 1<<20); err != nil {
+			return q, nil, badRequest("bad maxhops: %v", err)
 		}
-		q.recon = vals.Get("reconstruct") == "1" || vals.Get("reconstruct") == "true"
+		recon := queryParam(raw, "reconstruct")
+		q.recon = recon == "1" || recon == "true"
 	case "diameter":
-		if q.eps, err = parseEps(vals.Get("eps"), ds.DefaultEps); err != nil {
-			return nil, nil, err
+		if q.eps, err = parseEps(queryParam(raw, "eps"), ds.DefaultEps); err != nil {
+			return q, nil, err
 		}
-		if q.points, err = parseCount(vals.Get("points"), ds.DefaultPoints, maxGridPoints); err != nil {
-			return nil, nil, badRequest("bad points: %v", err)
+		if q.points, err = parseCount(queryParam(raw, "points"), ds.DefaultPoints, maxGridPoints); err != nil {
+			return q, nil, badRequest("bad points: %v", err)
 		}
 	case "delaycdf":
-		if q.points, err = parseCount(vals.Get("points"), ds.DefaultPoints, maxGridPoints); err != nil {
-			return nil, nil, badRequest("bad points: %v", err)
+		if q.points, err = parseCount(queryParam(raw, "points"), ds.DefaultPoints, maxGridPoints); err != nil {
+			return q, nil, badRequest("bad points: %v", err)
 		}
-		q.hopsRaw = vals.Get("hops")
+		q.hopsRaw = queryParam(raw, "hops")
 		if q.hopsRaw == "" {
 			q.hopsRaw = "1,2,3,0"
 		}
-		for _, part := range strings.Split(q.hopsRaw, ",") {
+		for rest := q.hopsRaw; rest != ""; {
+			var part string
+			if i := strings.IndexByte(rest, ','); i >= 0 {
+				part, rest = rest[:i], rest[i+1:]
+			} else {
+				part, rest = rest, ""
+			}
 			part = strings.TrimSpace(part)
 			if part == "" {
 				continue
 			}
 			k, err := strconv.Atoi(part)
 			if err != nil || k < 0 {
-				return nil, nil, badRequest("bad hop bound %q", part)
+				return q, nil, badRequest("bad hop bound %q", part)
 			}
 			q.hops = append(q.hops, k)
 		}
 		if len(q.hops) == 0 || len(q.hops) > maxHopBounds {
-			return nil, nil, badRequest("need between 1 and %d hop bounds", maxHopBounds)
+			return q, nil, badRequest("need between 1 and %d hop bounds", maxHopBounds)
 		}
 	}
 	return q, ds, nil
+}
+
+// queryParam returns the first value for key in a raw query string,
+// replicating url.Values.Get without materializing the map: pairs
+// containing semicolons are dropped (net/url stopped treating ';' as a
+// separator), undecodable pairs are skipped, and values are unescaped
+// only when they actually contain an escape — the common numeric
+// parameters are returned as substrings of the request, allocation
+// free.
+func queryParam(raw, key string) string {
+	for len(raw) > 0 {
+		var pair string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			pair, raw = raw, ""
+		}
+		if pair == "" || strings.IndexByte(pair, ';') >= 0 {
+			continue
+		}
+		k, v := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			k, v = pair[:i], pair[i+1:]
+		}
+		if !queryKeyMatch(k, key) {
+			continue
+		}
+		if strings.IndexByte(v, '%') < 0 && strings.IndexByte(v, '+') < 0 {
+			return v
+		}
+		dec, err := url.QueryUnescape(v)
+		if err != nil {
+			continue // url.ParseQuery drops this pair too
+		}
+		return dec
+	}
+	return ""
+}
+
+// queryKeyMatch compares a raw (possibly escaped) query key against a
+// literal. Keys never carry escapes in practice, so the fallback
+// unescape is cold.
+func queryKeyMatch(k, key string) bool {
+	if k == key {
+		return true
+	}
+	if strings.IndexByte(k, '%') < 0 && strings.IndexByte(k, '+') < 0 {
+		return false
+	}
+	dec, err := url.QueryUnescape(k)
+	return err == nil && dec == key
 }
 
 func parseNode(v string) (trace.NodeID, error) {
@@ -254,7 +333,10 @@ func (s *Server) handleDatasets(ctx context.Context, _ *Dataset, _ *query) (any,
 
 // handlePath answers from the warm frontier archive — an O(log) read
 // per request — so it never degrades; only the optional reconstruction
-// walks the timeline, under the request context.
+// walks the timeline, under the request context. The frontier is built
+// into a pooled arena slot and the response comes from a pool the
+// pipeline returns it to after the write: a warm non-reconstructing
+// request allocates nothing (pinned by TestWarmPathServeAllocs).
 func (s *Server) handlePath(ctx context.Context, ds *Dataset, q *query) (any, error) {
 	if err := ds.CheckPair(q.src, q.dst); err != nil {
 		return nil, badRequest("%v", err)
@@ -263,15 +345,21 @@ func (s *Server) handlePath(ctx context.Context, ds *Dataset, q *query) (any, er
 	if !q.hasT {
 		t = ds.View.Start()
 	}
-	fr := ds.Study.Result.Frontier(q.src, q.dst, q.maxHops)
-	del := fr.Del(t)
-	resp := &pathResponse{
-		Dataset: ds.Name,
-		Src:     q.src, Dst: q.dst,
-		T:       t,
-		MaxHops: q.maxHops,
-		MinHops: ds.Study.Result.MinHops(q.src, q.dst),
+	res := ds.Study.Result
+	var del float64
+	if res.Delta == 0 {
+		slot := getEntrySlot(res.PairArchiveLen(q.src, q.dst))
+		del = res.FrontierInto(q.src, q.dst, q.maxHops, slot.s).Del(t)
+		putEntrySlot(slot)
+	} else {
+		del = res.Frontier(q.src, q.dst, q.maxHops).Del(t)
 	}
+	resp := getPathResponse()
+	resp.Dataset = ds.Name
+	resp.Src, resp.Dst = q.src, q.dst
+	resp.T = t
+	resp.MaxHops = q.maxHops
+	resp.MinHops = res.MinHops(q.src, q.dst)
 	if !math.IsInf(del, 1) {
 		resp.Delivered = true
 		resp.DeliveryTime = del
@@ -282,12 +370,13 @@ func (s *Server) handlePath(ctx context.Context, ds *Dataset, q *query) (any, er
 		opt.Ctx = ctx
 		p, err := core.ReconstructPathView(ds.View, q.src, q.dst, t, q.maxHops, opt)
 		if err != nil {
+			resp.release()
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, cerr
 			}
 			return nil, &httpError{code: http.StatusInternalServerError, msg: err.Error()}
 		}
-		resp.Path = make([]pathHop, 0, len(p.Hops))
+		resp.Path = resp.Path[:0]
 		for _, h := range p.Hops {
 			resp.Path = append(resp.Path, pathHop{From: h.From, To: h.To, At: h.At, Beg: h.Beg, End: h.End})
 		}
@@ -406,7 +495,31 @@ func (s *Server) cdfBounds(ds *Dataset, hops []int, grid []float64, reason strin
 
 // ---- JSON plumbing --------------------------------------------------
 
+// contentTypeJSON is the shared Content-Type value for the append
+// path. net/http only reads header value slices, so sharing one across
+// requests is safe and skips the per-request slice Set allocates.
+var contentTypeJSON = []string{"application/json"}
+
+// writeJSON serializes v: hot response shapes (jsonAppender) go
+// through a pooled append buffer with no reflection; everything else
+// falls back to the stock encoder. Both routes produce identical bytes
+// (object + trailing newline) — the append encoders are pinned
+// byte-for-byte against encoding/json.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	if enc, ok := v.(jsonAppender); ok {
+		eb := encBufPool.Get().(*encBuf)
+		b := enc.appendJSON(eb.b[:0])
+		b = append(b, '\n')
+		h := w.Header()
+		if len(h["Content-Type"]) == 0 {
+			h["Content-Type"] = contentTypeJSON
+		}
+		w.WriteHeader(code)
+		_, _ = w.Write(b)
+		eb.b = b
+		encBufPool.Put(eb)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
@@ -421,5 +534,5 @@ func writeJSONError(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, &errorResponse{Error: err.Error()})
 }

@@ -245,20 +245,32 @@ func (s *Server) endpoint(name string, admitted bool, h func(ctx context.Context
 			s.finished.Add(1)
 		}()
 
-		// Layer 2: derive the request deadline before admission so time
-		// spent queued counts against it.
+		// Layer 2: derive (and validate) the request deadline before
+		// admission so time spent queued counts against it.
 		d, err := requestDeadline(r, s.cfg.MaxDeadline)
 		if err != nil {
 			writeJSONError(w, err)
 			return
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), d)
-		defer cancel()
 
 		q, ds, err := s.parseQuery(r, name)
+		defer putQuery(q)
 		if err != nil {
 			writeJSONError(w, err)
 			return
+		}
+
+		// Warm archive reads finish in microseconds — a deadline timer
+		// would cost more than the query itself. Only endpoints that
+		// actually compute (diameter, delaycdf, path reconstruction) arm
+		// one; pure reads run under the request context (which the drain
+		// hammer still cancels), with the admission wait independently
+		// bounded by QueueWait.
+		ctx := r.Context()
+		if q.needsDeadline() {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
 		}
 
 		if admitted {
@@ -276,6 +288,9 @@ func (s *Server) endpoint(name string, admitted bool, h func(ctx context.Context
 			return
 		}
 		writeJSON(w, http.StatusOK, val)
+		if rel, ok := val.(releasable); ok {
+			rel.release()
+		}
 	})
 }
 
@@ -284,7 +299,7 @@ func (s *Server) endpoint(name string, admitted bool, h func(ctx context.Context
 // absent both, the maximum applies.
 func requestDeadline(r *http.Request, max time.Duration) (time.Duration, error) {
 	raw := r.Header.Get("X-Deadline-Ms")
-	if v := r.URL.Query().Get("deadline_ms"); v != "" {
+	if v := queryParam(r.URL.RawQuery, "deadline_ms"); v != "" {
 		raw = v
 	}
 	if raw == "" {

@@ -9,16 +9,20 @@
 # (validated by scripts/checkreport) is embedded as "run_report", so
 # each record also carries end-to-end stage times and metric totals.
 #
-# The reach-tier stage records the fast tier's primitive (ReachBounds:
-# one envelope build plus every hop bound's worst-ratio bracket, i.e. a
-# whole ε sweep's worth of answers) next to the exact primitive it
-# replaces (DelayCDFAggregation), and emits their same-run ratio as
-# "tiered_vs_exact" — same-run so machine drift between records cannot
-# fake or hide a speedup. DiameterTiered/DiameterExact run the Study
-# eps-sweep workload with the tier on and off; on the benchmark trace
-# the delay grid is finer than the tier can certify, so those two
-# measure the certifiability gate's overhead (they should be equal),
-# not the tier's win.
+# The reach-tier stage runs the Study ε-sweep/diameter workload twice —
+# DiameterTiered with a warm, serving-sized bounds engine (envelopes
+# prewarmed outside the timer, exactly a loaded dataset's state) and
+# DiameterExact with the tier off — and emits their same-run ratio as
+# "tiered_vs_exact": the warm tiered speedup of the *same workload*,
+# same-run so machine drift between records cannot fake or hide a
+# speedup. The ratio excludes the one-time envelope build, which is
+# recorded separately by ReachBounds (one certifying-resolution build
+# plus every hop bound's worst-ratio bracket — the cost a dataset load
+# pays once). Records before BENCH_6 computed "tiered_vs_exact" as
+# DelayCDFAggregation/ReachBounds — two unrelated workloads — while
+# the tiered benchmark ran an engine whose default slot cap could
+# never certify on this window/grid; those ratios are not comparable
+# to the ones recorded here.
 #
 # The ingest stage records the streaming pipeline: the marginal cost of
 # Extending a warm engine by the final 1% of a trace next to the cold
@@ -28,6 +32,13 @@
 # contacts/sec ("append_contacts_per_sec") and the end-to-end latency
 # of one live epoch — append a batch, snapshot, Extend to queryable —
 # as "append_to_queryable_ns".
+#
+# The loadgen stage measures the serving path under real HTTP load: an
+# opportunetd daemon is booted on an ephemeral port and cmd/loadgen
+# drives an open-loop RPS ramp through it (default 8:1:1 query mix).
+# The validated LOADGEN_REPORT.json is embedded as "loadgen" — one
+# latency-vs-rate point per ramp step with per-query-type p50/p90/p99,
+# throughput, and shed/degraded/error counts.
 #
 # Usage: scripts/bench.sh [output.json]
 # Without an argument the output is BENCH_<N+1>.json, one past the
@@ -71,6 +82,35 @@ go test -run '^$' -bench 'Benchmark(IncrementalExtend|ColdRecompute|AppendToQuer
 go test -run '^$' -bench 'Benchmark(AppendThroughput|SegmentMeet)$' \
     -benchtime 1000x ./internal/timeline | tee -a "$TMP/ingest.txt"
 
+echo "== serving path under load: RPS ramp through opportunetd =="
+go build -o "$TMP/opportunetd" ./cmd/opportunetd
+go build -o "$TMP/tracegen" ./cmd/tracegen
+go build -o "$TMP/loadgen" ./cmd/loadgen
+"$TMP/tracegen" -random -n 40 -lambda 0.3 -slots 50 -quiet -o "$TMP/feed.trace"
+"$TMP/opportunetd" -addr 127.0.0.1:0 -trace synth="$TMP/feed.trace" \
+    > /dev/null 2> "$TMP/daemon_err.txt" &
+daemon_pid=$!
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+addr=
+for _ in $(seq 1 600); do
+    addr=$(sed -n 's|.*serving queries on http://\([^]]*\)\].*|\1|p' "$TMP/daemon_err.txt" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "bench: opportunetd never reached serving:" >&2
+    cat "$TMP/daemon_err.txt" >&2
+    exit 1
+fi
+# Warm the daemon's caches off the record, then sweep three rates up
+# through the 10k+ regime the serving path is sized for.
+"$TMP/loadgen" -url "http://$addr" -mode closed -requests 500 -workers 16 -out /dev/null
+"$TMP/loadgen" -url "http://$addr" -mode ramp -ramp 2500:12500:5000 \
+    -step-duration 2s -workers 256 -out "$TMP/loadgen_report.json"
+go run ./scripts/checkreport -loadgen -min-phases 3 "$TMP/loadgen_report.json"
+kill -TERM "$daemon_pid" && wait "$daemon_pid" || true
+
 # Benchmark output lines look like:
 #   BenchmarkEngineCompute-4   3   123456789 ns/op   61700000 B/op   46494 allocs/op
 # The -N suffix is GOMAXPROCS (absent when it equals the default 1-run).
@@ -96,14 +136,13 @@ BEGIN {
 END { printf "\n  ]\n}\n" }
 ' "$TMP/scaling.txt" "$TMP/exhibits.txt" "$TMP/reach.txt" "$TMP/timeline.txt" "$TMP/ingest.txt" > "$TMP/bench.json"
 
-# Tiered-vs-exact speedup from this run's own numbers: the exact
-# aggregation primitive (single-core) over the reach tier's bounds
-# primitive.
+# Tiered-vs-exact speedup from this run's own numbers: the identical
+# ε-sweep/diameter workload with a warm bounds tier on vs off.
 RATIO=$(awk '
-$1 == "BenchmarkDelayCDFAggregation" { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") exact = $i }
-$1 ~ /^BenchmarkReachBounds(-[0-9]+)?$/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") fast = $i }
+$1 ~ /^BenchmarkDiameterExact(-[0-9]+)?$/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") exact = $i }
+$1 ~ /^BenchmarkDiameterTiered(-[0-9]+)?$/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") fast = $i }
 END { if (exact && fast) printf "%.2f", exact / fast; else printf "null" }
-' "$TMP/scaling.txt" "$TMP/reach.txt")
+' "$TMP/reach.txt")
 
 # Streaming-pipeline headline numbers from this run's own lines:
 # cold-recompute over incremental-extend (the <10%-of-cold gate wants
@@ -131,6 +170,8 @@ END { if (ns) printf "%.0f", 512 * 1e9 / ns; else printf "null" }
     printf '  ,"extend_vs_cold": %s\n' "$EXTEND_VS_COLD"
     printf '  ,"append_to_queryable_ns": %s\n' "$APPEND_TO_QUERYABLE"
     printf '  ,"append_contacts_per_sec": %s\n' "$APPEND_RATE"
+    printf '  ,"loadgen":\n'
+    sed 's/^/  /' "$TMP/loadgen_report.json"
     printf '  ,"run_report":\n'
     sed 's/^/  /' "$TMP/run_report.json"
     printf '}\n'

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# loadgen_smoke.sh — end-to-end gate for the cmd/loadgen load driver.
+#
+# Boots opportunetd on an ephemeral port over a generated trace, then
+# proves the generator's three contracts against the live daemon:
+#
+#   1. Determinism: two -dry-run invocations with the same seed print
+#      the identical schedule fingerprint; a different seed does not.
+#   2. Measurement: a closed-loop run of the default 8:1:1 mix reports
+#      nonzero throughput for every query type with zero errors and
+#      zero sheds against an uncontended daemon, and the report passes
+#      checkreport -loadgen.
+#   3. Overload: a burst volley larger than -max-inflight + -max-queue
+#      is partially shed (>= 1 429 counted in the report), because the
+#      volley's distinct diameter grids defeat both the curve cache and
+#      request coalescing.
+#
+# Usage: scripts/loadgen_smoke.sh [output-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUTDIR=${1:-$(mktemp -d)}
+mkdir -p "$OUTDIR"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/opportunetd" ./cmd/opportunetd
+go build -o "$TMP/tracegen" ./cmd/tracegen
+go build -o "$TMP/loadgen" ./cmd/loadgen
+go build -o "$TMP/checkreport" ./scripts/checkreport
+
+# A random discrete-time trace loads in milliseconds and is dense
+# enough that most sampled pairs deliver inside the window.
+"$TMP/tracegen" -random -n 40 -lambda 0.3 -slots 50 -quiet -o "$TMP/feed.trace"
+
+# Four slots and four queue seats: roomy enough that the closed-loop
+# phase (2 workers) never sheds, tight enough that the 64-request burst
+# volley must.
+"$TMP/opportunetd" -addr 127.0.0.1:0 -trace synth="$TMP/feed.trace" \
+    -max-inflight 4 -max-queue 4 -queue-wait 250ms \
+    > /dev/null 2> "$TMP/err.txt" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+addr=
+for _ in $(seq 1 600); do
+    addr=$(sed -n 's|.*serving queries on http://\([^]]*\)\].*|\1|p' "$TMP/err.txt" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "loadgen_smoke: daemon never reached serving:" >&2
+    cat "$TMP/err.txt" >&2
+    exit 1
+fi
+
+fail() { echo "loadgen_smoke: $*" >&2; cat "$TMP/err.txt" >&2; exit 1; }
+
+# ---- determinism: the schedule is a pure function of the seed -------
+"$TMP/loadgen" -url "http://$addr" -dry-run -mode closed -requests 400 -seed 11 > "$TMP/fp1.txt"
+"$TMP/loadgen" -url "http://$addr" -dry-run -mode closed -requests 400 -seed 11 > "$TMP/fp2.txt"
+"$TMP/loadgen" -url "http://$addr" -dry-run -mode closed -requests 400 -seed 12 > "$TMP/fp3.txt"
+cmp -s "$TMP/fp1.txt" "$TMP/fp2.txt" \
+    || fail "same-seed dry runs disagree: $(cat "$TMP/fp1.txt" "$TMP/fp2.txt")"
+cmp -s "$TMP/fp1.txt" "$TMP/fp3.txt" \
+    && fail "different seeds printed the same fingerprint: $(cat "$TMP/fp1.txt")"
+echo "loadgen_smoke: $(head -1 "$TMP/fp1.txt") stable across reruns"
+
+# ---- closed-loop mix measures every query type ----------------------
+"$TMP/loadgen" -url "http://$addr" -mode closed -requests 400 -seed 11 \
+    -workers 2 -out "$OUTDIR/LOADGEN_REPORT.json"
+"$TMP/checkreport" -loadgen "$OUTDIR/LOADGEN_REPORT.json" \
+    || fail "closed-loop report failed validation"
+for kind in path diameter delaycdf; do
+    grep -q "\"$kind\"" "$OUTDIR/LOADGEN_REPORT.json" \
+        || fail "query type $kind absent from the closed-loop report"
+done
+grep -q '"shed": 0' "$OUTDIR/LOADGEN_REPORT.json" \
+    || fail "uncontended closed loop shed requests: $(cat "$OUTDIR/LOADGEN_REPORT.json")"
+rfp=$(sed -n 's/.*"schedule_fingerprint": "\([0-9a-f]*\)".*/\1/p' "$OUTDIR/LOADGEN_REPORT.json")
+dfp=$(sed -n 's/^schedule_fingerprint \([0-9a-f]*\)$/\1/p' "$TMP/fp1.txt")
+[ "$rfp" = "$dfp" ] || fail "report fingerprint $rfp differs from dry-run fingerprint $dfp"
+echo "loadgen_smoke: closed-loop mix measured all three query types, zero shed"
+
+# ---- burst beyond the admission budget is shed ----------------------
+"$TMP/loadgen" -url "http://$addr" -mode burst -requests 64 -seed 11 \
+    -out "$OUTDIR/LOADGEN_BURST.json"
+"$TMP/checkreport" -loadgen -require-shed "$OUTDIR/LOADGEN_BURST.json" \
+    || fail "burst volley beyond -max-inflight+-max-queue produced no shed"
+shed=$(sed -n 's/.*"shed": \([0-9]*\).*/\1/p' "$OUTDIR/LOADGEN_BURST.json" | head -1)
+echo "loadgen_smoke: burst of 64 against 4+4 admission shed $shed"
+
+kill -TERM "$pid"
+wait "$pid" || fail "daemon exited nonzero after SIGTERM"
+cp "$TMP/err.txt" "$OUTDIR/opportunetd_stderr.txt"
+echo "loadgen smoke passed (artifacts in $OUTDIR)"
