@@ -88,6 +88,9 @@ stream-check:
 # answers, 1 ms deadlines degrading to certified bounds that contain
 # the exact diameter, overload shedding with 429 + Retry-After, live
 # serving metrics, and a SIGTERM drain that leaks no in-flight request.
+# The tracing contract rides along: X-Trace-Id round trip, the
+# /debug/requests flight recorder holding shed + degraded traces
+# mid-run, and the access log validated by scripts/checktrace.
 # Artifacts land in server-artifacts/.
 server-smoke:
 	scripts/server_smoke.sh server-artifacts
@@ -95,9 +98,10 @@ server-smoke:
 # Load-driver gate: cmd/loadgen against a live daemon — same-seed dry
 # runs print the identical schedule fingerprint, a closed-loop mix
 # measures nonzero throughput for every query type with zero errors,
-# and a burst volley beyond the admission budget is shed. Reports are
-# validated with checkreport -loadgen; artifacts land in
-# loadgen-artifacts/.
+# a burst volley beyond the admission budget is shed, and every
+# worst_trace_id in the report resolves in the daemon's access log.
+# Reports are validated with checkreport -loadgen, the access log with
+# checktrace; artifacts land in loadgen-artifacts/.
 loadgen-smoke:
 	scripts/loadgen_smoke.sh loadgen-artifacts
 

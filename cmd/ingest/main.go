@@ -37,7 +37,11 @@
 //
 // Observability matches cmd/experiments: -obsaddr serves /metrics,
 // /debug/vars and /debug/pprof while running; -obslog appends stage
-// spans as JSON lines; -report writes RUN_REPORT.json at exit. The
+// spans as JSON lines; -report writes RUN_REPORT.json at exit. Each
+// epoch is additionally traced end to end — append batches, the
+// snapshot seal, the incremental extend (its compute stage), window
+// compaction — and a small flight recorder keeps the slowest epochs
+// inspectable at /debug/requests on the same -obsaddr. The
 // ingest-specific families are ingest_epochs_total,
 // ingest_batches_total, ingest_append_to_queryable_seconds and
 // ingest_extend_seconds, alongside the timeline layer's segment seal /
@@ -116,13 +120,18 @@ func main() {
 		spans = obs.NewSpanLog(nil) // aggregate only
 	}
 
+	// Every epoch is traced — append batches, the snapshot seal, the
+	// incremental extend, window compaction — and the recorder keeps
+	// the slowest ones inspectable at /debug/requests while running.
+	recorder := obs.NewRecorder(64)
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg)
+		srv, err := obs.Serve(*obsAddr, reg,
+			obs.Mount{Pattern: "/debug/requests", Handler: recorder})
 		if err != nil {
 			cli.Fail("ingest", err)
 		}
 		defer srv.Close()
-		vb.Logf("[obs: serving /metrics, /debug/vars, /debug/pprof on http://%s]", srv.Addr())
+		vb.Logf("[obs: serving /metrics, /debug/vars, /debug/pprof, /debug/requests on http://%s]", srv.Addr())
 	}
 
 	ctx, stop := cli.Context(*timeout)
@@ -152,6 +161,7 @@ func main() {
 			Workers:       *workers,
 			Ctx:           ctx,
 		},
+		tracer:    obs.NewTracer(recorder),
 		epochs:    reg.Counter("ingest_epochs_total", "incremental extend epochs run"),
 		batches:   reg.Counter("ingest_batches_total", "contact batches appended"),
 		appendLat: reg.Histogram("ingest_append_to_queryable_seconds", "wall time from oldest unextended append to queryability", latBuckets),
@@ -245,6 +255,10 @@ type ingester struct {
 	appendLat *obs.Histogram
 	extendDur *obs.Histogram
 
+	tracer *obs.Tracer
+	cur    *obs.Trace // the in-progress epoch's trace (nil between epochs)
+	stream string
+
 	ap  *timeline.Appender
 	eng *core.Engine
 	res *core.Result
@@ -301,6 +315,7 @@ func (g *ingester) header(h trace.Header) error {
 	// cutoff trails the data actually seen, not the declared horizon
 	// (a replayed header already names the final window end).
 	g.maxEnd = h.Start
+	g.stream = h.Name
 	g.vb.Debugf("[ingest: stream %q, %d devices (%d internal), window [%g, %g]]",
 		h.Name, h.Nodes, len(g.opt.Sources), h.Start, h.End)
 	return nil
@@ -334,9 +349,19 @@ func (g *ingester) emit(cs []trace.Contact) error {
 	if g.pendingSince.IsZero() {
 		g.pendingSince = time.Now()
 	}
+	// The epoch's trace opens with its first append and closes in
+	// runEpoch; every batch is one append event (Arg = contacts).
+	if g.cur == nil {
+		g.cur = g.tracer.Start("epoch")
+		g.cur.Dataset = g.stream
+	}
 	if err := g.ap.Append(cs); err != nil {
+		g.cur.Disposition = obs.DispError
+		g.tracer.Finish(g.cur)
+		g.cur = nil
 		return err
 	}
+	g.cur.EventArg(obs.TraceAppend, int64(len(cs)))
 	g.batches.Inc()
 	for _, c := range cs {
 		if c.End > g.maxEnd {
@@ -353,12 +378,30 @@ func (g *ingester) emit(cs []trace.Contact) error {
 }
 
 // runEpoch snapshots the appender, extends the engine with the delta
-// appended since the last epoch, and applies eviction.
+// appended since the last epoch, and applies eviction. The epoch's
+// trace (opened by the first append) records the seal, the extend as
+// its compute stage, and the compaction, then retires to the recorder.
 func (g *ingester) runEpoch() error {
+	tc := g.cur
+	g.cur = nil
 	epochStart := time.Now()
 	g.v = g.ap.Snapshot().All()
+	tc.Event(obs.TraceSealed)
+	var c0 int64
+	if tc != nil {
+		tc.Event(obs.TraceComputeStart)
+		c0 = tc.Since()
+	}
 	res, err := g.eng.Extend(g.v)
+	if tc != nil {
+		tc.ComputeNS += tc.Since() - c0
+		tc.Event(obs.TraceComputeEnd)
+	}
 	if err != nil {
+		if tc != nil {
+			tc.Disposition = obs.DispError
+		}
+		g.tracer.Finish(tc)
 		return err
 	}
 	g.res = res
@@ -374,7 +417,9 @@ func (g *ingester) runEpoch() error {
 	if g.evict > 0 {
 		dropped = g.ap.EvictBefore(g.maxEnd - g.evict)
 		g.evicted += dropped
+		tc.EventArg(obs.TraceCompact, int64(dropped))
 	}
+	g.tracer.Finish(tc)
 	g.vb.Debugf("[epoch %d: +%d contacts (total %d live %d), extend %v, queryable after %v, evicted %d, segs %d]",
 		g.epochCount, delta, g.total, g.ap.Len(), now.Sub(epochStart).Round(time.Microsecond),
 		now.Sub(g.wallT0).Round(time.Millisecond), dropped, g.ap.Segments())

@@ -5,7 +5,11 @@
 // The request schedule is a pure function of -seed and the run shape:
 // two invocations with identical flags issue byte-identical request
 // sequences (compare the schedule_fingerprint in the report, or print
-// it without sending anything via -dry-run). Four modes:
+// it without sending anything via -dry-run). Request i carries the
+// deterministic trace ID lg-<fingerprint[:16]>-<i>, which the daemon
+// adopts and echoes; the report names each (phase, type)'s slowest
+// exchange by that ID (worst_trace_id), resolvable in the daemon's
+// access log and /debug/requests recorder. Four modes:
 //
 //	-mode closed   fixed worker pool, zero think time (saturation)
 //	-mode steady   open loop at -rps for -duration (token bucket)
@@ -127,8 +131,9 @@ func main() {
 			if !ok {
 				continue
 			}
-			vb.Logf("[loadgen: %s %s: %d reqs %.0f rps p50 %.2fms p99 %.2fms shed %d degraded %d errors %d]",
-				ph.Name, kind, ts.Count, ts.Throughput, ts.P50MS, ts.P99MS, ts.Shed, ts.Degraded, ts.Errors)
+			vb.Logf("[loadgen: %s %s: %d reqs %.0f rps p50 %.2fms p99 %.2fms shed %d degraded %d errors %d worst %.2fms (%s)]",
+				ph.Name, kind, ts.Count, ts.Throughput, ts.P50MS, ts.P99MS, ts.Shed, ts.Degraded, ts.Errors,
+				ts.WorstMS, ts.WorstTraceID)
 		}
 	}
 

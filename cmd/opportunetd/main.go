@@ -19,6 +19,14 @@
 // budget. Exit codes follow the repo convention: 2 usage, 1 runtime
 // error, 0 after a clean signal-triggered drain.
 //
+// Every request is traced: the daemon adopts a client X-Trace-Id (or
+// generates one), echoes it on the response, and attributes the
+// request's latency to queue/compute/encode stages. -access-log
+// appends one JSON line per request, -slow-ms dumps full event traces
+// of outliers into the same stream, and the last -recorder requests
+// (tail-biased: slowest per endpoint, every shed/degraded/error) are
+// served live at /debug/requests.
+//
 // Usage:
 //
 //	opportunetd -trace infocom05.trace
@@ -28,6 +36,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -70,6 +79,9 @@ func main() {
 	obsAddr := flag.String("obsaddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (:0 picks a free port)")
 	obsLog := flag.String("obslog", "", "append one JSON line per request span to this file")
 	report := flag.String("report", "", "write a RUN_REPORT.json summary to this file at exit")
+	accessLog := flag.String("access-log", "", "append one JSON line per request (trace id, disposition, stage attribution) to this file")
+	slowMS := flag.Int("slow-ms", 0, "dump the full event trace of requests slower than this many milliseconds into -access-log (0 = off)")
+	recorder := flag.Int("recorder", 256, "flight-recorder capacity served at /debug/requests (0 = off)")
 	prof := cli.AddProfileFlags()
 	vb := cli.AddVerbosityFlags()
 	flag.Parse()
@@ -124,13 +136,25 @@ func main() {
 		}
 	}()
 
+	var accessW io.Writer
+	if *accessLog != "" {
+		f, err := os.Create(*accessLog)
+		if err != nil {
+			cli.Fail("opportunetd", err)
+		}
+		defer f.Close()
+		accessW = f
+	}
 	srv := server.New(ctx, server.Config{
-		MaxInflight: *maxInflight,
-		MaxQueue:    *maxQueue,
-		QueueWait:   *queueWait,
-		MaxDeadline: *maxDeadline,
-		Logf:        vb.Logf,
-		Spans:       spans,
+		MaxInflight:   *maxInflight,
+		MaxQueue:      *maxQueue,
+		QueueWait:     *queueWait,
+		MaxDeadline:   *maxDeadline,
+		Logf:          vb.Logf,
+		Spans:         spans,
+		AccessLog:     accessW,
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+		Recorder:      *recorder,
 	})
 
 	opt := core.Options{

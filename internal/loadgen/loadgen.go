@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -167,6 +169,23 @@ type typeStats struct {
 	shed     atomic.Int64
 	degraded atomic.Int64
 	errors   atomic.Int64
+
+	mu      sync.Mutex
+	worst   time.Duration
+	worstID string
+}
+
+// observe records one exchange's latency and keeps the trace ID of the
+// slowest exchange the cell has seen — the handle that resolves the
+// report's tail back to a full event trace in the daemon's access log
+// or /debug/requests recorder.
+func (st *typeStats) observe(d time.Duration, traceID string) {
+	st.latency.Observe(d.Seconds())
+	st.mu.Lock()
+	if d > st.worst {
+		st.worst, st.worstID = d, traceID
+	}
+	st.mu.Unlock()
 }
 
 // TypeReport is the per-query-type summary of one phase.
@@ -180,6 +199,11 @@ type TypeReport struct {
 	Shed       int64   `json:"shed"`
 	Degraded   int64   `json:"degraded"`
 	Errors     int64   `json:"errors"`
+	// WorstMS is the single slowest exchange and WorstTraceID the
+	// X-Trace-Id it carried, resolvable in the daemon's access log and
+	// /debug/requests while the flight recorder still holds it.
+	WorstMS      float64 `json:"worst_ms"`
+	WorstTraceID string  `json:"worst_trace_id"`
 }
 
 // PhaseReport summarizes one phase.
@@ -259,9 +283,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	rep.Fingerprint, rep.Requests = sched.Fingerprint()
 
+	// Requests carry deterministic trace IDs lg-<fingerprint[:16]>-<index>:
+	// a rerun with the same seed and shape issues the same IDs, so a
+	// tail outlier in one run names the identical request in the next.
+	tidPrefix := "lg-" + rep.Fingerprint[:16]
+
 	start := time.Now()
 	for _, ph := range sched.phases {
-		pr, err := runPhase(ctx, client, cfg.BaseURL, sched, ph, workers)
+		pr, err := runPhase(ctx, client, cfg.BaseURL, sched, ph, workers, tidPrefix)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +300,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func runPhase(ctx context.Context, client *http.Client, base string, sched *Schedule, ph Phase, workers int) (PhaseReport, error) {
+func runPhase(ctx context.Context, client *http.Client, base string, sched *Schedule, ph Phase, workers int, tidPrefix string) (PhaseReport, error) {
 	reg := obs.NewRegistry()
 	stats := make([]typeStats, numKinds)
 	for k := range stats {
@@ -305,7 +334,8 @@ func runPhase(ctx context.Context, client *http.Client, base string, sched *Sche
 				}
 			}
 			req := sched.request(ph, ph.Offset+i)
-			if err := issue(ctx, client, base, req, &stats[req.Kind]); err != nil {
+			tid := tidPrefix + "-" + strconv.Itoa(ph.Offset+i)
+			if err := issue(ctx, client, base, req, tid, &stats[req.Kind]); err != nil {
 				failed.Store(&err)
 				return
 			}
@@ -340,15 +370,17 @@ func runPhase(ctx context.Context, client *http.Client, base string, sched *Sche
 			continue
 		}
 		pr.Types[kindNames[k]] = TypeReport{
-			Count:      n,
-			Throughput: float64(n) / elapsed.Seconds(),
-			P50MS:      st.latency.Quantile(0.50) * 1e3,
-			P90MS:      st.latency.Quantile(0.90) * 1e3,
-			P99MS:      st.latency.Quantile(0.99) * 1e3,
-			MeanMS:     st.latency.Sum() / float64(n) * 1e3,
-			Shed:       st.shed.Load(),
-			Degraded:   st.degraded.Load(),
-			Errors:     st.errors.Load(),
+			Count:        n,
+			Throughput:   float64(n) / elapsed.Seconds(),
+			P50MS:        st.latency.Quantile(0.50) * 1e3,
+			P90MS:        st.latency.Quantile(0.90) * 1e3,
+			P99MS:        st.latency.Quantile(0.99) * 1e3,
+			MeanMS:       st.latency.Sum() / float64(n) * 1e3,
+			Shed:         st.shed.Load(),
+			Degraded:     st.degraded.Load(),
+			Errors:       st.errors.Load(),
+			WorstMS:      float64(st.worst) / float64(time.Millisecond),
+			WorstTraceID: st.worstID,
 		}
 	}
 	return pr, nil
@@ -361,11 +393,14 @@ const degradedMarker = `"degraded":"bounds-only"`
 // issue performs one exchange and classifies the outcome. Only
 // transport-level failures (daemon gone, timeout at the client) abort
 // the run; HTTP-level failures are what the generator exists to count.
-func issue(ctx context.Context, client *http.Client, base string, r Request, st *typeStats) error {
+// The deterministic trace ID rides the X-Trace-Id header, which the
+// daemon adopts, so every measured exchange is attributable server-side.
+func issue(ctx context.Context, client *http.Client, base string, r Request, traceID string, st *typeStats) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+r.URL, nil)
 	if err != nil {
 		return err
 	}
+	req.Header.Set("X-Trace-Id", traceID)
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
@@ -376,7 +411,7 @@ func issue(ctx context.Context, client *http.Client, base string, r Request, st 
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	st.latency.Observe(time.Since(start).Seconds())
+	st.observe(time.Since(start), traceID)
 	if err != nil {
 		st.errors.Add(1)
 		return nil

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func exemplarHist(t *testing.T) *Histogram {
+	t.Helper()
+	return NewRegistry().Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+}
+
+func TestExemplarLastWritePerBucket(t *testing.T) {
+	h := exemplarHist(t)
+	h.ObserveExemplar(0.005, []byte("first"))
+	h.ObserveExemplar(0.006, []byte("second")) // same bucket: replaces
+	h.ObserveExemplar(0.5, []byte("mid"))      // different bucket: independent
+	h.ObserveExemplar(5, []byte("inf"))        // +Inf overflow bucket
+
+	if id, val, ok := h.Exemplar(0); !ok || id != "second" || val != 0.006 {
+		t.Fatalf("bucket 0 exemplar = %q %v %v, want second/0.006", id, val, ok)
+	}
+	if id, _, ok := h.Exemplar(2); !ok || id != "mid" {
+		t.Fatalf("bucket 2 exemplar = %q %v, want mid", id, ok)
+	}
+	if id, _, ok := h.Exemplar(3); !ok || id != "inf" {
+		t.Fatalf("+Inf bucket exemplar = %q %v, want inf", id, ok)
+	}
+	if _, _, ok := h.Exemplar(1); ok {
+		t.Fatal("bucket 1 has an exemplar but never received one")
+	}
+	if _, _, ok := h.Exemplar(-1); ok {
+		t.Fatal("out-of-range bucket returned an exemplar")
+	}
+	if _, _, ok := h.Exemplar(99); ok {
+		t.Fatal("out-of-range bucket returned an exemplar")
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (exemplar observes still count)", h.Count())
+	}
+}
+
+func TestExemplarEmptyIDIsPlainObserve(t *testing.T) {
+	h := exemplarHist(t)
+	h.ObserveExemplar(0.005, nil)
+	if _, _, ok := h.Exemplar(0); ok {
+		t.Fatal("empty exemplar ID attached an exemplar")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+}
+
+func TestExemplarIDTruncated(t *testing.T) {
+	h := exemplarHist(t)
+	long := strings.Repeat("y", 2*TraceIDCap)
+	h.ObserveExemplar(0.5, []byte(long))
+	if id, _, ok := h.Exemplar(2); !ok || id != long[:TraceIDCap] {
+		t.Fatalf("exemplar id kept %d bytes, want %d", len(id), TraceIDCap)
+	}
+}
+
+// Nil-handle exemplar calls must stay free, like every obs handle.
+func TestExemplarNilHandleAllocFree(t *testing.T) {
+	var h *Histogram
+	id := []byte("trace")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveExemplar(0.5, id)
+		_, _, _ = h.Exemplar(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil histogram exemplar ops allocate %v per op, want 0", allocs)
+	}
+}
+
+// The enabled write path must not allocate either — the ID is copied
+// into a fixed slot.
+func TestExemplarObserveAllocFree(t *testing.T) {
+	h := exemplarHist(t)
+	id := []byte("abcdef0123456789")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveExemplar(0.5, id)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveExemplar allocates %v per op, want 0", allocs)
+	}
+}
+
+// Race hammer: concurrent exemplar writes, plain observes, reads and
+// exposition over the same histogram (companion to the Observe hammer
+// in histogram_test.go).
+func TestExemplarConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := []byte{'g', byte('0' + g)}
+			for i := 0; i < 2000; i++ {
+				h.ObserveExemplar(float64(i%3), id)
+				h.Observe(0.5)
+			}
+		}(g)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for b := 0; b < 4; b++ {
+				h.Exemplar(b)
+			}
+			reg.WritePrometheus(&strings.Builder{})
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if h.Count() != 4*2000*2 {
+		t.Fatalf("count = %d, want %d", h.Count(), 4*2000*2)
+	}
+	// Whichever writer landed last, the slot must hold a valid ID.
+	if id, _, ok := h.Exemplar(0); !ok || len(id) != 2 || id[0] != 'g' {
+		t.Fatalf("bucket 0 exemplar after hammer = %q %v", id, ok)
+	}
+}
+
+func TestPrometheusExemplarRendering(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "latency seconds", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.ObserveExemplar(0.05, []byte("deadbeef00000001"))
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "lat_bucket{le=\"0.1\"} 2 # {trace_id=\"deadbeef00000001\"} 0.05\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	// The bucket without an exemplar renders the classic 0.0.4 sample.
+	if !strings.Contains(out, "lat_bucket{le=\"0.01\"} 1\n") {
+		t.Fatalf("exemplar-free bucket line changed:\n%s", out)
+	}
+}

@@ -41,7 +41,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if i < len(m.bounds) {
 					le = formatFloat(m.bounds[i])
 				}
-				_, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, le, cum)
+				// Buckets carrying an exemplar render it OpenMetrics-style
+				// (`# {trace_id="..."} value` after the sample), linking the
+				// latency tail to a concrete request trace. Buckets without
+				// one render exactly as before, keeping the 0.0.4 golden
+				// bytes stable for exemplar-free registries.
+				if id, val, ok := m.Exemplar(i); ok {
+					_, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d # {trace_id=%q} %s\n",
+						m.name, le, cum, id, formatFloat(val))
+				} else {
+					_, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, le, cum)
+				}
 			}
 			if err == nil {
 				_, err = fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(m.Sum()))

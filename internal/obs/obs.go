@@ -111,7 +111,30 @@ type Histogram struct {
 	bounds     []float64      // sorted upper bounds, exclusive of +Inf
 	counts     []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	count      atomic.Int64
-	sumBits    atomic.Uint64 // math.Float64bits of the running sum
+	sumBits    atomic.Uint64  // math.Float64bits of the running sum
+	exemplars  []exemplarSlot // len(bounds)+1; written by ObserveExemplar only
+}
+
+// exemplarSlot holds the most recent exemplar of one bucket: a trace ID
+// (fixed buffer, so attaching one never allocates) plus the observed
+// value. Each slot has its own mutex; exemplar traffic on distinct
+// buckets never contends.
+type exemplarSlot struct {
+	mu  sync.Mutex
+	n   int
+	val float64
+	id  [TraceIDCap]byte
+}
+
+// bucketFor returns the bucket index covering v. Branchless-enough
+// linear scan: bounds lists are short (≤ ~16), so it beats binary
+// search on real sizes.
+func (h *Histogram) bucketFor(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
 }
 
 // Observe records one value. No-op on a nil handle; never allocates.
@@ -119,13 +142,11 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	// Branchless-enough bucket scan: bounds lists are short (≤ ~16), so
-	// a linear scan beats binary search on real sizes.
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i].Add(1)
+	h.observe(h.bucketFor(v), v)
+}
+
+func (h *Histogram) observe(bucket int, v float64) {
+	h.counts[bucket].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -134,6 +155,44 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and attaches id as the covering
+// bucket's exemplar (last write wins — each bucket remembers the most
+// recent exemplar, the natural "show me a request that landed here"
+// semantics). The id bytes are copied into a fixed slot, truncated to
+// TraceIDCap, so the call never allocates; an empty id degrades to a
+// plain Observe. No-op on a nil handle.
+func (h *Histogram) ObserveExemplar(v float64, id []byte) {
+	if h == nil {
+		return
+	}
+	bucket := h.bucketFor(v)
+	h.observe(bucket, v)
+	if len(id) == 0 {
+		return
+	}
+	s := &h.exemplars[bucket]
+	s.mu.Lock()
+	s.n = copy(s.id[:], id)
+	s.val = v
+	s.mu.Unlock()
+}
+
+// Exemplar returns the bucket's current exemplar ID and value, with ok
+// false when the bucket never received one. Bucket len(bounds) is the
+// +Inf bucket. Nil-safe.
+func (h *Histogram) Exemplar(bucket int) (id string, val float64, ok bool) {
+	if h == nil || bucket < 0 || bucket >= len(h.exemplars) {
+		return "", 0, false
+	}
+	s := &h.exemplars[bucket]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return "", 0, false
+	}
+	return string(s.id[:s.n]), s.val, true
 }
 
 // Count returns the number of observations (0 on a nil handle).
@@ -265,7 +324,9 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	m := r.lookup(name, func() any {
 		b := append([]float64(nil), buckets...)
 		sort.Float64s(b)
-		return &Histogram{name: name, help: help, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		return &Histogram{name: name, help: help, bounds: b,
+			counts:    make([]atomic.Int64, len(b)+1),
+			exemplars: make([]exemplarSlot, len(b)+1)}
 	})
 	h, ok := m.(*Histogram)
 	if !ok {

@@ -31,11 +31,18 @@ type Server struct {
 	srv *http.Server
 }
 
+// Mount attaches one extra handler to the observability mux — e.g. a
+// trace Recorder at /debug/requests.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve starts the endpoint on addr (host:port; ":0" picks a free
 // port — read the choice back from Addr). The listener is bound
 // synchronously, so a nil error means /metrics is reachable; requests
 // are then served on a background goroutine until Close.
-func Serve(addr string, r *Registry) (*Server, error) {
+func Serve(addr string, r *Registry, mounts ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -58,6 +65,9 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
 	return s, nil

@@ -1,0 +1,121 @@
+package server
+
+// The structured access log: one JSON line per completed request,
+// carrying the trace ID and the stage attribution (queue wait, compute,
+// encode) that lets an operator explain any individual latency sample.
+// The line is built with the same append-style encoding as the hot
+// responses into a pooled buffer, so logging does not break the warm
+// path's allocation pin. Requests slower than the configured threshold
+// additionally dump their full event trace as an `"ev":"trace"` line —
+// a cold path that may allocate.
+//
+// Line schema (validated end-to-end by scripts/checktrace):
+//
+//	{"ev":"req","t_unix_ns":N,"trace_id":"…","endpoint":"…",
+//	 "dataset":"…","status":N,"disposition":"ok|shed|degraded|error",
+//	 "queue_ns":N,"compute_ns":N,"encode_ns":N,"total_ns":N,
+//	 "deadline_ns":N,"used_ns":N,"coalesce":"leader|follower|none",
+//	 "bytes":N}
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"opportunet/internal/obs"
+)
+
+type accessLogger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	slow time.Duration
+}
+
+// newAccessLogger returns nil (the free disabled logger) when w is nil.
+func newAccessLogger(w io.Writer, slow time.Duration) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	return &accessLogger{w: w, slow: slow}
+}
+
+// coalesceRole derives the request's coalescing role from its recorded
+// events. A follower that retried into leadership (its first leader
+// failed on the leader's own deadline) counts as a leader — it did the
+// work.
+func coalesceRole(tc *obs.Trace) string {
+	role := "none"
+	for _, ev := range tc.Events() {
+		switch ev.Kind {
+		case obs.TraceLeader:
+			return "leader"
+		case obs.TraceFollower:
+			role = "follower"
+		}
+	}
+	return role
+}
+
+// log writes the request's access-log line, plus the full event dump
+// when the request was slower than the threshold. Nil-safe on both
+// sides; safe for concurrent use.
+func (l *accessLogger) log(tc *obs.Trace) {
+	if l == nil || tc == nil {
+		return
+	}
+	eb := encBufPool.Get().(*encBuf)
+	b := eb.b[:0]
+	b = append(b, `{"ev":"req","t_unix_ns":`...)
+	b = strconv.AppendInt(b, tc.WallNS(), 10)
+	b = append(b, `,"trace_id":`...)
+	b = appendJSONStringBytes(b, tc.ID())
+	b = append(b, `,"endpoint":`...)
+	b = appendJSONString(b, tc.Endpoint)
+	b = append(b, `,"dataset":`...)
+	b = appendJSONString(b, tc.Dataset)
+	b = append(b, `,"status":`...)
+	b = strconv.AppendInt(b, int64(tc.Status), 10)
+	b = append(b, `,"disposition":`...)
+	b = appendJSONString(b, tc.Disposition.String())
+	b = append(b, `,"queue_ns":`...)
+	b = strconv.AppendInt(b, tc.QueueNS, 10)
+	b = append(b, `,"compute_ns":`...)
+	b = strconv.AppendInt(b, tc.ComputeNS, 10)
+	b = append(b, `,"encode_ns":`...)
+	b = strconv.AppendInt(b, tc.EncodeNS, 10)
+	b = append(b, `,"total_ns":`...)
+	b = strconv.AppendInt(b, tc.TotalNS, 10)
+	b = append(b, `,"deadline_ns":`...)
+	b = strconv.AppendInt(b, tc.DeadlineNS, 10)
+	b = append(b, `,"used_ns":`...)
+	b = strconv.AppendInt(b, tc.DeadlineUsedNS, 10)
+	b = append(b, `,"coalesce":`...)
+	b = appendJSONString(b, coalesceRole(tc))
+	b = append(b, `,"bytes":`...)
+	b = strconv.AppendInt(b, tc.Bytes, 10)
+	b = append(b, '}', '\n')
+
+	// The slow-trace dump rides in the same locked write so the two
+	// lines of one request never interleave with another request's.
+	var dump []byte
+	if l.slow > 0 && tc.TotalNS >= int64(l.slow) {
+		line := struct {
+			Ev string `json:"ev"`
+			obs.TraceSnapshot
+		}{Ev: "trace", TraceSnapshot: tc.Snapshot()}
+		if data, err := json.Marshal(line); err == nil {
+			dump = append(data, '\n')
+		}
+	}
+
+	l.mu.Lock()
+	_, _ = l.w.Write(b)
+	if dump != nil {
+		_, _ = l.w.Write(dump)
+	}
+	l.mu.Unlock()
+	eb.b = b
+	encBufPool.Put(eb)
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"opportunet/internal/obs"
 )
 
 // shedError reports an admission rejection: the request never acquired
@@ -50,12 +52,17 @@ func newAdmission(maxInflight, maxQueue int, queueWait time.Duration) *admission
 // is full or the queue-wait deadline passes, ctx.Err() when the
 // request's own deadline expires while queued. Every successful acquire
 // must be paired with exactly one release. The fast path — a free
-// slot — performs no allocation (pinned by TestAdmissionAllocs).
-func (a *admission) acquire(ctx context.Context) error {
+// slot — performs no allocation (pinned by TestAdmissionAllocs), and tc
+// (the request's trace, nil when tracing is off) records the admission
+// events: an immediate grant is just TraceAcquire; a queued request
+// gets TraceEnqueue, its queue wait attributed to QueueNS, and
+// TraceAcquire only if a slot frees up in time.
+func (a *admission) acquire(ctx context.Context, tc *obs.Trace) error {
 	select {
 	case a.slots <- struct{}{}:
 		srvMetrics.admitted.Inc()
 		srvMetrics.inflight.Add(1)
+		tc.Event(obs.TraceAcquire)
 		return nil
 	default:
 	}
@@ -64,12 +71,17 @@ func (a *admission) acquire(ctx context.Context) error {
 		srvMetrics.shedQueue.Inc()
 		return &shedError{reason: "queue-full", retryAfter: a.queueWait}
 	}
+	tc.Event(obs.TraceEnqueue)
 	srvMetrics.queueDepth.Add(1)
 	start := time.Now()
 	defer func() {
 		a.waiting.Add(-1)
 		srvMetrics.queueDepth.Add(-1)
-		srvMetrics.queueWait.Observe(time.Since(start).Seconds())
+		wait := time.Since(start)
+		srvMetrics.queueWait.Observe(wait.Seconds())
+		if tc != nil {
+			tc.QueueNS = int64(wait)
+		}
 	}()
 	timer := time.NewTimer(a.queueWait)
 	defer timer.Stop()
@@ -81,6 +93,7 @@ func (a *admission) acquire(ctx context.Context) error {
 	case a.slots <- struct{}{}:
 		srvMetrics.admitted.Inc()
 		srvMetrics.inflight.Add(1)
+		tc.Event(obs.TraceAcquire)
 		return nil
 	case <-timer.C:
 		srvMetrics.shedWait.Inc()

@@ -9,10 +9,10 @@ import (
 
 func TestAdmissionFastPath(t *testing.T) {
 	a := newAdmission(2, 2, time.Second)
-	if err := a.acquire(nil); err != nil {
+	if err := a.acquire(nil, nil); err != nil {
 		t.Fatalf("acquire: %v", err)
 	}
-	if err := a.acquire(nil); err != nil {
+	if err := a.acquire(nil, nil); err != nil {
 		t.Fatalf("second acquire: %v", err)
 	}
 	if a.saturated() {
@@ -20,7 +20,7 @@ func TestAdmissionFastPath(t *testing.T) {
 	}
 	a.release()
 	a.release()
-	if err := a.acquire(context.Background()); err != nil {
+	if err := a.acquire(context.Background(), nil); err != nil {
 		t.Fatalf("acquire after release: %v", err)
 	}
 	a.release()
@@ -41,16 +41,16 @@ func waitQueued(t *testing.T, a *admission, n int64) {
 
 func TestAdmissionQueueFullShed(t *testing.T) {
 	a := newAdmission(1, 1, time.Minute)
-	if err := a.acquire(nil); err != nil {
+	if err := a.acquire(nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	queued := make(chan error, 1)
-	go func() { queued <- a.acquire(context.Background()) }()
+	go func() { queued <- a.acquire(context.Background(), nil) }()
 	waitQueued(t, a, 1)
 	if !a.saturated() {
 		t.Fatalf("slot busy + waiter parked should read as saturated")
 	}
-	err := a.acquire(context.Background())
+	err := a.acquire(context.Background(), nil)
 	var she *shedError
 	if !errors.As(err, &she) || she.reason != "queue-full" {
 		t.Fatalf("overflow acquire: err = %v, want queue-full shed", err)
@@ -64,11 +64,11 @@ func TestAdmissionQueueFullShed(t *testing.T) {
 
 func TestAdmissionQueueWaitShed(t *testing.T) {
 	a := newAdmission(1, 4, 30*time.Millisecond)
-	if err := a.acquire(nil); err != nil {
+	if err := a.acquire(nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	defer a.release()
-	err := a.acquire(context.Background())
+	err := a.acquire(context.Background(), nil)
 	var she *shedError
 	if !errors.As(err, &she) || she.reason != "queue-wait" {
 		t.Fatalf("err = %v, want queue-wait shed", err)
@@ -77,13 +77,13 @@ func TestAdmissionQueueWaitShed(t *testing.T) {
 
 func TestAdmissionDeadlineWhileQueued(t *testing.T) {
 	a := newAdmission(1, 4, time.Minute)
-	if err := a.acquire(nil); err != nil {
+	if err := a.acquire(nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	defer a.release()
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+	if err := a.acquire(ctx, nil); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

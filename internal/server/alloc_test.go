@@ -2,10 +2,12 @@ package server
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"testing"
+	"time"
 )
 
 // The warm query hot path must not allocate per request where it can
@@ -17,7 +19,7 @@ import (
 func TestAdmissionAcquireReleaseAllocs(t *testing.T) {
 	a := newAdmission(4, 4, 0)
 	allocs := testing.AllocsPerRun(1000, func() {
-		if err := a.acquire(nil); err != nil {
+		if err := a.acquire(nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		a.release()
@@ -61,6 +63,48 @@ func TestWarmPathServeAllocs(t *testing.T) {
 	const budget = 4
 	if allocs > budget {
 		t.Fatalf("warm /v1/path allocates %.1f times per request, budget %d", allocs, budget)
+	}
+}
+
+// TestWarmPathServeAllocsTraced re-runs the warm /v1/path pin with the
+// full tracing stack on — recorder at the daemon default, access log,
+// slow-trace threshold. The pooled trace, the fixed-buffer recorder
+// copy and the append-encoded access-log line must keep the per-request
+// growth to the trace-ID response header (one string + one header
+// slice); the budget is unchanged.
+func TestWarmPathServeAllocsTraced(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race instrumentation allocates inside the traced header echo; the pin is measured without -race")
+	}
+	ds := testDataset(t, LoadOptions{SkipPrewarm: true})
+	s := New(context.Background(), Config{
+		Recorder:      256,
+		AccessLog:     io.Discard,
+		SlowThreshold: time.Hour, // armed but never tripped by a warm read
+	})
+	s.Register(ds)
+	s.SetReady(true)
+	h := s.Handler()
+
+	req := httptest.NewRequest("GET", "/v1/path?dataset=synth&src=0&dst=1&t=300&maxhops=3", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm request: status %d body %s", rec.Code, rec.Body)
+	}
+	want := rec.Body.String()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Body.Reset()
+		h.ServeHTTP(rec, req)
+	})
+	if got := rec.Body.String(); got != want {
+		t.Fatalf("warm response drifted across runs: %q vs %q", got, want)
+	}
+	t.Logf("allocs per traced warm /v1/path request: %.1f", allocs)
+	const budget = 4
+	if allocs > budget {
+		t.Fatalf("traced warm /v1/path allocates %.1f times per request, budget %d", allocs, budget)
 	}
 }
 

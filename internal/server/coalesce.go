@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"opportunet/internal/obs"
 )
 
 // errLeaderPanicked is what followers of a coalesced flight observe
@@ -45,7 +47,11 @@ type flightGroup struct {
 //   - A leader that panics completes the flight with errLeaderPanicked
 //     (followers fail contained) and then re-panics on its own request,
 //     where the server's recovery middleware turns it into a 500.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (any, error) {
+// The request's trace tc (nil when tracing is off) records its
+// coalescing role — TraceFollower when it attached to an in-flight
+// computation, TraceLeader plus the compute bracket when it ran fn
+// itself.
+func (g *flightGroup) do(ctx context.Context, tc *obs.Trace, key string, fn func() (any, error)) (any, error) {
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
@@ -58,6 +64,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)
 		if f, ok := g.m[key]; ok {
 			g.mu.Unlock()
 			srvMetrics.coalesced.Inc()
+			tc.Event(obs.TraceFollower)
 			select {
 			case <-done:
 				return nil, ctx.Err()
@@ -72,6 +79,12 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)
 		g.m[key] = f
 		g.mu.Unlock()
 		srvMetrics.flights.Inc()
+		tc.Event(obs.TraceLeader)
+		var c0 int64
+		if tc != nil {
+			tc.Event(obs.TraceComputeStart)
+			c0 = tc.Since()
+		}
 		completed := false
 		func() {
 			defer func() {
@@ -86,6 +99,10 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)
 			f.val, f.err = fn()
 			completed = true
 		}()
+		if tc != nil {
+			tc.ComputeNS += tc.Since() - c0
+			tc.Event(obs.TraceComputeEnd)
+		}
 		return f.val, f.err
 	}
 }

@@ -22,7 +22,7 @@ func TestCoalesceSharesOneRun(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		results[0], errs[0] = g.do(context.Background(), "k", func() (any, error) {
+		results[0], errs[0] = g.do(context.Background(), nil, "k", func() (any, error) {
 			close(entered)
 			runs.Add(1)
 			<-gate
@@ -34,7 +34,7 @@ func TestCoalesceSharesOneRun(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = g.do(context.Background(), "k", func() (any, error) {
+			results[i], errs[i] = g.do(context.Background(), nil, "k", func() (any, error) {
 				runs.Add(1)
 				return 42, nil
 			})
@@ -67,7 +67,7 @@ func TestCoalesceDistinctKeysRunIndependently(t *testing.T) {
 		key := string(rune('a' + i))
 		go func() {
 			defer wg.Done()
-			_, _ = g.do(context.Background(), key, func() (any, error) {
+			_, _ = g.do(context.Background(), nil, key, func() (any, error) {
 				runs.Add(1)
 				return nil, nil
 			})
@@ -84,7 +84,7 @@ func TestCoalesceFollowerDeadlineExits(t *testing.T) {
 	gate := make(chan struct{})
 	entered := make(chan struct{})
 	go func() {
-		_, _ = g.do(context.Background(), "k", func() (any, error) {
+		_, _ = g.do(context.Background(), nil, "k", func() (any, error) {
 			close(entered)
 			<-gate
 			return nil, nil
@@ -95,7 +95,7 @@ func TestCoalesceFollowerDeadlineExits(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	_, err := g.do(ctx, "k", func() (any, error) {
+	_, err := g.do(ctx, nil, "k", func() (any, error) {
 		t.Error("follower must not run fn")
 		return nil, nil
 	})
@@ -112,7 +112,7 @@ func TestCoalesceLeaderCtxErrorRetries(t *testing.T) {
 	gate := make(chan struct{})
 	entered := make(chan struct{})
 	go func() {
-		_, _ = g.do(context.Background(), "k", func() (any, error) {
+		_, _ = g.do(context.Background(), nil, "k", func() (any, error) {
 			close(entered)
 			<-gate
 			return nil, context.DeadlineExceeded
@@ -125,7 +125,7 @@ func TestCoalesceLeaderCtxErrorRetries(t *testing.T) {
 	var err error
 	go func() {
 		defer close(followerDone)
-		val, err = g.do(context.Background(), "k", func() (any, error) {
+		val, err = g.do(context.Background(), nil, "k", func() (any, error) {
 			return "fresh", nil
 		})
 	}()
@@ -145,7 +145,7 @@ func TestCoalesceLeaderPanicContained(t *testing.T) {
 	leaderPanicked := make(chan any, 1)
 	go func() {
 		defer func() { leaderPanicked <- recover() }()
-		_, _ = g.do(context.Background(), "k", func() (any, error) {
+		_, _ = g.do(context.Background(), nil, "k", func() (any, error) {
 			close(entered)
 			<-gate
 			panic("boom")
@@ -155,7 +155,7 @@ func TestCoalesceLeaderPanicContained(t *testing.T) {
 
 	followerDone := make(chan error, 1)
 	go func() {
-		_, err := g.do(context.Background(), "k", func() (any, error) {
+		_, err := g.do(context.Background(), nil, "k", func() (any, error) {
 			return nil, nil
 		})
 		followerDone <- err
@@ -170,7 +170,7 @@ func TestCoalesceLeaderPanicContained(t *testing.T) {
 		t.Fatalf("follower err = %v, want errLeaderPanicked", err)
 	}
 	// The key must be free again after the panic.
-	v, err := g.do(context.Background(), "k", func() (any, error) { return 7, nil })
+	v, err := g.do(context.Background(), nil, "k", func() (any, error) { return 7, nil })
 	if err != nil || v != 7 {
 		t.Fatalf("post-panic flight got (%v, %v), want (7, nil)", v, err)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"opportunet/internal/checkpoint"
 	"opportunet/internal/core"
+	"opportunet/internal/obs"
 	"opportunet/internal/trace"
 )
 
@@ -33,6 +34,11 @@ type query struct {
 	points   int
 	hops     []int
 	hopsRaw  string
+	// tr is the request's trace (nil when tracing is disabled — every
+	// use is a nil-safe no-op). It rides on the pooled query so handlers
+	// and the coalescing layer can annotate events without a signature
+	// per event site.
+	tr *obs.Trace
 }
 
 // needsDeadline reports whether the endpoint can actually compute for
@@ -345,6 +351,12 @@ func (s *Server) handlePath(ctx context.Context, ds *Dataset, q *query) (any, er
 	if !q.hasT {
 		t = ds.View.Start()
 	}
+	tc := q.tr
+	var c0 int64
+	if tc != nil {
+		tc.Event(obs.TraceComputeStart)
+		c0 = tc.Since()
+	}
 	res := ds.Study.Result
 	var del float64
 	if res.Delta == 0 {
@@ -381,6 +393,10 @@ func (s *Server) handlePath(ctx context.Context, ds *Dataset, q *query) (any, er
 			resp.Path = append(resp.Path, pathHop{From: h.From, To: h.To, At: h.At, Beg: h.Beg, End: h.End})
 		}
 	}
+	if tc != nil {
+		tc.ComputeNS += tc.Since() - c0
+		tc.Event(obs.TraceComputeEnd)
+	}
 	return resp, nil
 }
 
@@ -391,9 +407,9 @@ func (s *Server) handlePath(ctx context.Context, ds *Dataset, q *query) (any, er
 func (s *Server) handleDiameter(ctx context.Context, ds *Dataset, q *query) (any, error) {
 	grid := ds.Grid(q.points)
 	key := queryKey("diameter", ds.Name, formatFloat(q.eps), strconv.Itoa(len(grid)))
-	return s.flights.do(ctx, key, func() (any, error) {
+	return s.flights.do(ctx, q.tr, key, func() (any, error) {
 		if s.adm.saturated() {
-			if resp, ok := s.diameterBounds(ctx, ds, q.eps, grid, "shed"); ok {
+			if resp, ok := s.diameterBounds(ctx, ds, q.tr, q.eps, grid, "shed"); ok {
 				return resp, nil
 			}
 		}
@@ -401,12 +417,13 @@ func (s *Server) handleDiameter(ctx context.Context, ds *Dataset, q *query) (any
 		k, worst := st.Diameter(q.eps, grid)
 		if err := st.Err(); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
-				if resp, ok := s.diameterBounds(ctx, ds, q.eps, grid, "deadline"); ok {
+				if resp, ok := s.diameterBounds(ctx, ds, q.tr, q.eps, grid, "deadline"); ok {
 					return resp, nil
 				}
 			}
 			return nil, err
 		}
+		q.tr.Event(obs.TraceTierExact)
 		return &diameterResponse{
 			Dataset: ds.Name, Eps: q.eps, Points: len(grid),
 			Diameter: k, WorstRatio: worst,
@@ -420,7 +437,7 @@ func (s *Server) handleDiameter(ctx context.Context, ds *Dataset, q *query) (any
 // uncertified upper side falls back to the archive's fixpoint hop
 // count — paths longer than the longest optimal path do not exist, so
 // it is a sound (if loose) certificate.
-func (s *Server) diameterBounds(ctx context.Context, ds *Dataset, eps float64, grid []float64, reason string) (*diameterResponse, bool) {
+func (s *Server) diameterBounds(ctx context.Context, ds *Dataset, tc *obs.Trace, eps float64, grid []float64, reason string) (*diameterResponse, bool) {
 	if ds.Reach == nil {
 		return nil, false
 	}
@@ -432,6 +449,7 @@ func (s *Server) diameterBounds(ctx context.Context, ds *Dataset, eps float64, g
 		hi = ds.Study.Result.Hops
 	}
 	srvMetrics.degraded.Inc()
+	tc.EventNote(obs.TraceTierDegraded, reason)
 	return &diameterResponse{
 		Dataset: ds.Name, Eps: eps, Points: len(grid),
 		Degraded: "bounds-only", Reason: reason,
@@ -446,9 +464,9 @@ func (s *Server) diameterBounds(ctx context.Context, ds *Dataset, eps float64, g
 func (s *Server) handleDelayCDF(ctx context.Context, ds *Dataset, q *query) (any, error) {
 	grid := ds.Grid(q.points)
 	key := queryKey("delaycdf", ds.Name, q.hopsRaw, strconv.Itoa(len(grid)))
-	return s.flights.do(ctx, key, func() (any, error) {
+	return s.flights.do(ctx, q.tr, key, func() (any, error) {
 		if s.adm.saturated() {
-			if resp, ok := s.cdfBounds(ds, q.hops, grid, "shed"); ok {
+			if resp, ok := s.cdfBounds(ds, q.tr, q.hops, grid, "shed"); ok {
 				return resp, nil
 			}
 		}
@@ -456,12 +474,13 @@ func (s *Server) handleDelayCDF(ctx context.Context, ds *Dataset, q *query) (any
 		cdfs := st.DelayCDFs(q.hops, grid)
 		if err := st.Err(); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
-				if resp, ok := s.cdfBounds(ds, q.hops, grid, "deadline"); ok {
+				if resp, ok := s.cdfBounds(ds, q.tr, q.hops, grid, "deadline"); ok {
 					return resp, nil
 				}
 			}
 			return nil, err
 		}
+		q.tr.Event(obs.TraceTierExact)
 		resp := &delayCDFResponse{Dataset: ds.Name, Points: len(grid), Grid: grid}
 		for _, c := range cdfs {
 			resp.Curves = append(resp.Curves, cdfCurve{HopBound: c.HopBound, Success: c.Success})
@@ -474,7 +493,7 @@ func (s *Server) handleDelayCDF(ctx context.Context, ds *Dataset, q *query) (any
 // certified lower/upper bracket of the exact success curve. Only warm
 // envelope builds qualify — building envelopes for an already expired
 // request would burn CPU nobody is waiting for.
-func (s *Server) cdfBounds(ds *Dataset, hops []int, grid []float64, reason string) (*delayCDFResponse, bool) {
+func (s *Server) cdfBounds(ds *Dataset, tc *obs.Trace, hops []int, grid []float64, reason string) (*delayCDFResponse, bool) {
 	if ds.Reach == nil || !ds.Reach.HasBuild(grid) {
 		return nil, false
 	}
@@ -490,6 +509,7 @@ func (s *Server) cdfBounds(ds *Dataset, hops []int, grid []float64, reason strin
 		resp.Curves = append(resp.Curves, cdfCurve{HopBound: k, Lower: lower, Upper: upper})
 	}
 	srvMetrics.degraded.Inc()
+	tc.EventNote(obs.TraceTierDegraded, reason)
 	return resp, true
 }
 
@@ -500,12 +520,47 @@ func (s *Server) cdfBounds(ds *Dataset, hops []int, grid []float64, reason strin
 // requests is safe and skips the per-request slice Set allocates.
 var contentTypeJSON = []string{"application/json"}
 
+// isDegradedResponse reports whether v is a bounds-tier answer. It is
+// how the serving pipeline classifies a 200 as "degraded" — including
+// for coalesced followers, who share the leader's response value but
+// never ran the tier decision themselves.
+func isDegradedResponse(v any) bool {
+	switch r := v.(type) {
+	case *diameterResponse:
+		return r.Degraded != ""
+	case *delayCDFResponse:
+		return r.Degraded != ""
+	}
+	return false
+}
+
+// countWriter counts bytes through to w (the cold generic-encoder
+// route's byte attribution).
+type countWriter struct {
+	w http.ResponseWriter
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // writeJSON serializes v: hot response shapes (jsonAppender) go
 // through a pooled append buffer with no reflection; everything else
 // falls back to the stock encoder. Both routes produce identical bytes
 // (object + trailing newline) — the append encoders are pinned
-// byte-for-byte against encoding/json.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// byte-for-byte against encoding/json. When the request carries a
+// trace, the write stamps its encode attribution (status, disposition,
+// bytes, encode time); tracing never changes the bytes.
+func writeJSON(w http.ResponseWriter, tc *obs.Trace, code int, v any) {
+	var enc0 int64
+	if tc != nil {
+		tc.Event(obs.TraceEncodeStart)
+		enc0 = tc.Since()
+	}
+	var wrote int64
 	if enc, ok := v.(jsonAppender); ok {
 		eb := encBufPool.Get().(*encBuf)
 		b := enc.appendJSON(eb.b[:0])
@@ -515,18 +570,37 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 			h["Content-Type"] = contentTypeJSON
 		}
 		w.WriteHeader(code)
-		_, _ = w.Write(b)
+		n, _ := w.Write(b)
+		wrote = int64(n)
 		eb.b = b
 		encBufPool.Put(eb)
-		return
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		cw := countWriter{w: w}
+		_ = json.NewEncoder(&cw).Encode(v)
+		wrote = cw.n
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	if tc != nil {
+		tc.EncodeNS += tc.Since() - enc0
+		tc.EventArg(obs.TraceWrite, wrote)
+		tc.Status = code
+		tc.Bytes = wrote
+		if code == http.StatusOK && tc.Disposition == obs.DispOK && isDegradedResponse(v) {
+			tc.Disposition = obs.DispDegraded
+		}
+	}
 }
 
-func writeJSONError(w http.ResponseWriter, err error) {
+func writeJSONError(w http.ResponseWriter, tc *obs.Trace, err error) {
 	code, retry := mapError(err)
+	if tc != nil {
+		if code == http.StatusTooManyRequests {
+			tc.Disposition = obs.DispShed
+		} else {
+			tc.Disposition = obs.DispError
+		}
+	}
 	if retry > 0 {
 		secs := int(retry / time.Second)
 		if secs < 1 {
@@ -534,5 +608,5 @@ func writeJSONError(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
-	writeJSON(w, code, &errorResponse{Error: err.Error()})
+	writeJSON(w, tc, code, &errorResponse{Error: err.Error()})
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; the allocation pins skip themselves around it, since race
+// instrumentation adds allocations the production binary never makes.
+const raceDetectorEnabled = true

@@ -31,8 +31,10 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime/debug"
@@ -64,6 +66,20 @@ type Config struct {
 	// Spans, when non-nil, records one span per request under
 	// server/<endpoint>.
 	Spans *obs.SpanLog
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// completed request (see accesslog.go for the schema), plus a full
+	// event-trace line for requests slower than SlowThreshold. Writes
+	// are serialized; the writer need not be.
+	AccessLog io.Writer
+	// SlowThreshold, when positive, dumps the complete event trace of
+	// any request whose end-to-end latency exceeds it into AccessLog.
+	SlowThreshold time.Duration
+	// Recorder is the flight-recorder capacity in traces: the last N
+	// completed requests stay inspectable at /debug/requests, with
+	// tail-biased retention (errors, sheds, degradations and the
+	// slowest request per endpoint survive a firehose of healthy
+	// traffic). 0 disables the recorder.
+	Recorder int
 }
 
 // Server is the warm dataset registry plus the robustness pipeline.
@@ -73,6 +89,12 @@ type Server struct {
 	cfg     Config
 	adm     *admission
 	flights flightGroup
+
+	// tracer hands out per-request traces; nil when Config enables
+	// neither the recorder, the access log, nor slow dumps — the
+	// disabled state, where every trace call is a free nil no-op.
+	tracer    *obs.Tracer
+	accessLog *accessLogger
 
 	mu       sync.Mutex
 	datasets map[string]*Dataset
@@ -115,13 +137,22 @@ func New(baseCtx context.Context, cfg Config) *Server {
 		cfg.MaxDeadline = 30 * time.Second
 	}
 	reqCtx, cancel := context.WithCancel(baseCtx)
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		adm:        newAdmission(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
 		datasets:   make(map[string]*Dataset),
 		reqCtx:     reqCtx,
 		cancelReqs: cancel,
+		accessLog:  newAccessLogger(cfg.AccessLog, cfg.SlowThreshold),
 	}
+	var rec *obs.Recorder
+	if cfg.Recorder > 0 {
+		rec = obs.NewRecorder(cfg.Recorder)
+	}
+	if rec != nil || cfg.AccessLog != nil || cfg.SlowThreshold > 0 {
+		s.tracer = obs.NewTracer(rec)
+	}
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -187,7 +218,45 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/path", s.endpoint("path", true, s.handlePath))
 	mux.Handle("/v1/diameter", s.endpoint("diameter", true, s.handleDiameter))
 	mux.Handle("/v1/delaycdf", s.endpoint("delaycdf", true, s.handleDelayCDF))
+	if s.tracer.Recorder() != nil {
+		mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	}
 	return mux
+}
+
+// handleDebugRequests serves the flight recorder: the last N completed
+// request traces (newest first) with the tail-biased retention merged
+// in, filterable by ?endpoint= and ?disposition= and capped by ?limit=.
+// An operator endpoint — it allocates freely and skips the admission
+// pipeline so it stays inspectable while the server is drowning.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	f := obs.TraceFilter{
+		Endpoint:    r.URL.Query().Get("endpoint"),
+		Disposition: r.URL.Query().Get("disposition"),
+	}
+	if f.Disposition != "" {
+		if _, ok := obs.ParseDisposition(f.Disposition); !ok {
+			writeJSONError(w, nil, badRequest("bad disposition %q: want ok|shed|degraded|error", f.Disposition))
+			return
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeJSONError(w, nil, badRequest("bad limit %q: want a positive integer", v))
+			return
+		}
+		f.Limit = n
+	}
+	snaps := s.tracer.Recorder().Snapshot(f)
+	if snaps == nil {
+		snaps = []obs.TraceSnapshot{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"count":    len(snaps),
+		"requests": snaps,
+	})
 }
 
 // httpError carries a status code (and optional Retry-After) from a
@@ -213,51 +282,94 @@ func (s *Server) endpoint(name string, admitted bool, h func(ctx context.Context
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// Layer 4 first: nothing below this line can kill the daemon.
 		// The recovery mirrors par's panic containment — value plus
-		// goroutine stack, logged, request failed with 500.
+		// goroutine stack, logged, request failed with 500. The same
+		// (outermost) defer retires the request's trace, so the access
+		// log sees the panicked 500 like any other outcome.
+		var (
+			tc      *obs.Trace
+			sp      *obs.Span
+			start   time.Time
+			entered bool
+		)
 		defer func() {
 			if v := recover(); v != nil {
 				srvMetrics.panics.Inc()
 				s.logf("[server: %s: panic: %v\n%s]", name, v, debug.Stack())
-				writeJSONError(w, &httpError{code: http.StatusInternalServerError,
+				writeJSONError(w, tc, &httpError{code: http.StatusInternalServerError,
 					msg: fmt.Sprintf("internal error in %s", name)})
 			}
+			if !entered {
+				return
+			}
+			sp.End()
+			if tc != nil {
+				tc.TotalNS = tc.Since()
+				if tc.DeadlineNS > 0 {
+					tc.DeadlineUsedNS = tc.TotalNS
+					if tc.DeadlineUsedNS > tc.DeadlineNS {
+						tc.DeadlineUsedNS = tc.DeadlineNS
+					}
+				}
+				// The exemplar links the latency histogram bucket this
+				// request landed in to its trace ID, so a /metrics tail
+				// resolves to a concrete /debug/requests entry.
+				srvMetrics.latency.ObserveExemplar(time.Since(start).Seconds(), tc.ID())
+				s.accessLog.log(tc)
+				s.tracer.Finish(tc)
+			} else {
+				srvMetrics.latency.Observe(time.Since(start).Seconds())
+			}
+			srvMetrics.finished.Inc()
+			s.finished.Add(1)
 		}()
 
 		if s.draining.Load() {
-			writeJSONError(w, &httpError{code: http.StatusServiceUnavailable,
+			writeJSONError(w, nil, &httpError{code: http.StatusServiceUnavailable,
 				msg: "draining", retryAfter: time.Second})
 			return
 		}
 		if !s.ready.Load() {
-			writeJSONError(w, &httpError{code: http.StatusServiceUnavailable,
+			writeJSONError(w, nil, &httpError{code: http.StatusServiceUnavailable,
 				msg: "loading datasets", retryAfter: time.Second})
 			return
 		}
 
 		s.started.Add(1)
 		srvMetrics.started.Inc()
-		start := time.Now()
-		sp := spanStart(s.cfg.Spans, "server/"+name)
-		defer func() {
-			sp.End()
-			srvMetrics.latency.Observe(time.Since(start).Seconds())
-			srvMetrics.finished.Inc()
-			s.finished.Add(1)
-		}()
+		entered = true
+		start = time.Now()
+		sp = spanStart(s.cfg.Spans, "server/"+name)
+		tc = s.tracer.Start(name)
+		if tc != nil {
+			// Adopt a caller-provided trace ID (truncated, not trusted
+			// further) and echo the effective ID back so the client can
+			// correlate its own records with the daemon's.
+			if id := r.Header.Get("X-Trace-Id"); id != "" {
+				tc.SetID(id)
+			}
+			w.Header()["X-Trace-Id"] = []string{string(tc.ID())}
+		}
 
 		// Layer 2: derive (and validate) the request deadline before
 		// admission so time spent queued counts against it.
 		d, err := requestDeadline(r, s.cfg.MaxDeadline)
 		if err != nil {
-			writeJSONError(w, err)
+			writeJSONError(w, tc, err)
 			return
+		}
+		if tc != nil {
+			tc.DeadlineNS = int64(d)
 		}
 
 		q, ds, err := s.parseQuery(r, name)
 		defer putQuery(q)
 		if err != nil {
-			writeJSONError(w, err)
+			writeJSONError(w, tc, err)
 			return
+		}
+		q.tr = tc
+		if tc != nil && ds != nil {
+			tc.Dataset = ds.Name
 		}
 
 		// Warm archive reads finish in microseconds — a deadline timer
@@ -275,8 +387,8 @@ func (s *Server) endpoint(name string, admitted bool, h func(ctx context.Context
 
 		if admitted {
 			// Layer 1: acquire an execution slot or shed.
-			if err := s.adm.acquire(ctx); err != nil {
-				writeJSONError(w, err)
+			if err := s.adm.acquire(ctx, tc); err != nil {
+				writeJSONError(w, tc, err)
 				return
 			}
 			defer s.adm.release()
@@ -284,10 +396,10 @@ func (s *Server) endpoint(name string, admitted bool, h func(ctx context.Context
 
 		val, err := h(ctx, ds, q)
 		if err != nil {
-			writeJSONError(w, err)
+			writeJSONError(w, tc, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, val)
+		writeJSON(w, tc, http.StatusOK, val)
 		if rel, ok := val.(releasable); ok {
 			rel.release()
 		}

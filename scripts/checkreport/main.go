@@ -123,8 +123,9 @@ func main() {
 // checkLoadgen validates a LOADGEN_REPORT.json: identity fields, a
 // well-formed schedule fingerprint, and per-phase accounting — every
 // request the schedule offered must be represented in exactly one
-// per-type count, and each type's latency summary must be internally
-// ordered (p50 <= p90 <= p99).
+// per-type count, each type's latency summary must be internally
+// ordered (p50 <= p90 <= p99), and each type's worst exchange must be
+// attributed to a deterministic lg-<fingerprint>-<index> trace ID.
 func checkLoadgen(path string, data []byte, minPhases int, requireShed bool) {
 	var rep loadgen.Report
 	dec := json.NewDecoder(strings.NewReader(string(data)))
@@ -171,6 +172,13 @@ func checkLoadgen(path string, data []byte, minPhases int, requireShed bool) {
 			if ts.Shed+ts.Degraded+ts.Errors > ts.Count {
 				fail("%s: phase %q type %s: dispositions exceed count: %+v",
 					path, ph.Name, kind, ts)
+			}
+			// The worst exchange must resolve back to the daemon: its
+			// trace ID is deterministic over the schedule fingerprint.
+			if wantPrefix := "lg-" + rep.Fingerprint[:16] + "-"; ts.WorstMS <= 0 ||
+				!strings.HasPrefix(ts.WorstTraceID, wantPrefix) {
+				fail("%s: phase %q type %s: worst exchange unattributed: worst_ms=%g worst_trace_id=%q (want prefix %s)",
+					path, ph.Name, kind, ts.WorstMS, ts.WorstTraceID, wantPrefix)
 			}
 		}
 		if int(phaseCount) != ph.Requests {

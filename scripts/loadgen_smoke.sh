@@ -14,6 +14,10 @@
 #      is partially shed (>= 1 429 counted in the report), because the
 #      volley's distinct diameter grids defeat both the curve cache and
 #      request coalescing.
+#   4. Attribution: every request carries a deterministic
+#      lg-<fingerprint>-<index> trace ID, the report names the slowest
+#      exchange per (phase, type) by that ID, and the ID resolves to a
+#      req line in the daemon's access log (validated by checktrace).
 #
 # Usage: scripts/loadgen_smoke.sh [output-dir]
 set -euo pipefail
@@ -28,6 +32,7 @@ go build -o "$TMP/opportunetd" ./cmd/opportunetd
 go build -o "$TMP/tracegen" ./cmd/tracegen
 go build -o "$TMP/loadgen" ./cmd/loadgen
 go build -o "$TMP/checkreport" ./scripts/checkreport
+go build -o "$TMP/checktrace" ./scripts/checktrace
 
 # A random discrete-time trace loads in milliseconds and is dense
 # enough that most sampled pairs deliver inside the window.
@@ -38,6 +43,7 @@ go build -o "$TMP/checkreport" ./scripts/checkreport
 # volley must.
 "$TMP/opportunetd" -addr 127.0.0.1:0 -trace synth="$TMP/feed.trace" \
     -max-inflight 4 -max-queue 4 -queue-wait 250ms \
+    -access-log "$TMP/access.log" \
     > /dev/null 2> "$TMP/err.txt" &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$TMP"' EXIT
@@ -83,6 +89,22 @@ dfp=$(sed -n 's/^schedule_fingerprint \([0-9a-f]*\)$/\1/p' "$TMP/fp1.txt")
 [ "$rfp" = "$dfp" ] || fail "report fingerprint $rfp differs from dry-run fingerprint $dfp"
 echo "loadgen_smoke: closed-loop mix measured all three query types, zero shed"
 
+# ---- the report's tail resolves into the daemon's access log --------
+# Every generated request carried a deterministic lg-<fp>-<index> trace
+# ID; the report names the slowest exchange per type, and that exact ID
+# must appear on a req line the daemon logged.
+for wid in $(sed -n 's/.*"worst_trace_id": "\([^"]*\)".*/\1/p' "$OUTDIR/LOADGEN_REPORT.json"); do
+    case "$wid" in
+        lg-*) ;;
+        *) fail "worst_trace_id $wid is not a deterministic loadgen ID" ;;
+    esac
+    grep -q "\"trace_id\":\"$wid\"" "$TMP/access.log" \
+        || fail "worst trace $wid absent from the daemon access log"
+done
+nworst=$(grep -c '"worst_trace_id"' "$OUTDIR/LOADGEN_REPORT.json")
+[ "$nworst" -ge 3 ] || fail "report names only $nworst worst traces, want one per type"
+echo "loadgen_smoke: $nworst worst-latency trace IDs resolve in the access log"
+
 # ---- burst beyond the admission budget is shed ----------------------
 "$TMP/loadgen" -url "http://$addr" -mode burst -requests 64 -seed 11 \
     -out "$OUTDIR/LOADGEN_BURST.json"
@@ -93,5 +115,12 @@ echo "loadgen_smoke: burst of 64 against 4+4 admission shed $shed"
 
 kill -TERM "$pid"
 wait "$pid" || fail "daemon exited nonzero after SIGTERM"
+
+# The whole run's access log — closed loop and burst — validates on
+# schema and stage accounting, and the burst must have logged sheds.
+"$TMP/checktrace" -require-dispositions ok,shed "$TMP/access.log" \
+    || fail "access log failed checktrace validation"
+
+cp "$TMP/access.log" "$OUTDIR/access.log"
 cp "$TMP/err.txt" "$OUTDIR/opportunetd_stderr.txt"
 echo "loadgen smoke passed (artifacts in $OUTDIR)"

@@ -11,6 +11,12 @@
 # 0 with no request left in flight (asserted from the daemon's own
 # drain accounting).
 #
+# The tracing contract rides the same run: a client X-Trace-Id round
+# trips through the response header into the access log, the flight
+# recorder at /debug/requests holds the shed and degraded requests
+# mid-run, slow requests dump full event traces, and scripts/checktrace
+# validates the whole access log's schema and stage accounting.
+#
 # Usage: scripts/server_smoke.sh [output-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,12 +28,15 @@ trap 'rm -rf "$TMP"' EXIT
 
 go build -o "$TMP/opportunetd" ./cmd/opportunetd
 go build -o "$TMP/tracegen" ./cmd/tracegen
+go build -o "$TMP/checktrace" ./scripts/checktrace
 "$TMP/tracegen" -dataset infocom05 -quiet -o "$TMP/feed.trace"
 
 # One execution slot, one queue seat, a short queue wait: the overload
 # phase below only needs three concurrent queries to prove shedding.
+# -slow-ms 1 guarantees the cold exact queries dump full event traces.
 "$TMP/opportunetd" -addr 127.0.0.1:0 -trace "$TMP/feed.trace" \
     -max-inflight 1 -max-queue 1 -queue-wait 250ms \
+    -access-log "$TMP/access.log" -slow-ms 1 \
     -obsaddr 127.0.0.1:0 > /dev/null 2> "$TMP/err.txt" &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$TMP"' EXIT
@@ -82,6 +91,22 @@ curl -fsS "http://$addr/v1/path?src=1&dst=5&t=0&reconstruct=1" > "$TMP/path.json
     || fail "path query failed"
 grep -q '"delivered":' "$TMP/path.json" || fail "path answer malformed: $(cat "$TMP/path.json")"
 
+# ---- trace IDs round trip -------------------------------------------
+# A client-supplied X-Trace-Id must be adopted, echoed on the response,
+# and land on that request's access-log line; absent the header the
+# daemon generates one and still echoes it.
+tid="smoke-trace-$$"
+curl -fsS -D "$TMP/tid_hdr.txt" -H "X-Trace-Id: $tid" \
+    "http://$addr/v1/path?src=1&dst=5&t=0" > /dev/null || fail "traced path query failed"
+grep -qi "^X-Trace-Id: $tid" "$TMP/tid_hdr.txt" \
+    || fail "client trace ID not echoed: $(cat "$TMP/tid_hdr.txt")"
+grep -q "\"trace_id\":\"$tid\"" "$TMP/access.log" \
+    || fail "client trace ID $tid absent from the access log"
+curl -fsS -D "$TMP/gen_hdr.txt" "http://$addr/v1/path?src=1&dst=5&t=0" > /dev/null
+grep -qiE '^X-Trace-Id: [0-9a-f]{16}' "$TMP/gen_hdr.txt" \
+    || fail "daemon generated no trace ID: $(cat "$TMP/gen_hdr.txt")"
+echo "server_smoke: trace ID $tid round-tripped into the access log"
+
 # ---- overload sheds with 429 ----------------------------------------
 # Twenty concurrent diameter queries on distinct grids (distinct points
 # defeat both the curve cache and coalescing) against one slot and one
@@ -107,6 +132,21 @@ for h in "$TMP"/hdr.*; do
 done
 [ "$ra" = 1 ] || fail "shed responses carry no Retry-After header"
 echo "server_smoke: overload shed $shed of 20 queries with 429, served $served"
+
+# ---- the flight recorder explains the tail mid-run ------------------
+# With the burst settled, /debug/requests must still hold the shed and
+# degraded requests (tail-biased retention keeps every non-ok trace),
+# and the disposition filter must narrow to exactly that class.
+curl -fsS "http://$addr/debug/requests" > "$OUTDIR/debug_requests.json" \
+    || fail "/debug/requests unavailable"
+grep -q '"disposition":"shed"' "$OUTDIR/debug_requests.json" \
+    || fail "recorder holds no shed request after the burst"
+grep -q '"disposition":"degraded"' "$OUTDIR/debug_requests.json" \
+    || fail "recorder holds no degraded request"
+curl -fsS "http://$addr/debug/requests?disposition=shed" > "$TMP/shed.json"
+grep -q '"disposition":"shed"' "$TMP/shed.json" || fail "disposition filter lost the shed traces"
+grep -q '"disposition":"ok"' "$TMP/shed.json" && fail "disposition=shed filter leaked ok traces"
+echo "server_smoke: /debug/requests holds shed + degraded traces mid-run"
 
 # ---- serving metrics are live ---------------------------------------
 curl -fsS "http://$obsaddr/metrics" > "$OUTDIR/server_metrics.txt"
@@ -143,5 +183,15 @@ inflight=$(echo "$drained" | sed -n 's/.*inflight=\([0-9]*\).*/\1/p')
     || fail "drain leaked requests: $drained"
 echo "server_smoke: drained clean, started=$started finished=$finished inflight=$inflight"
 
+# ---- the access log validates end to end ----------------------------
+# Every line on schema, stage partitions inside totals, slow dumps
+# monotone and attributable; the run must have produced all three
+# interesting dispositions plus at least one slow trace dump.
+"$TMP/checktrace" -require-dispositions ok,degraded,shed "$TMP/access.log" \
+    || fail "access log failed checktrace validation"
+grep -q '"ev":"trace"' "$TMP/access.log" \
+    || fail "no slow-request trace dump despite -slow-ms 1"
+
+cp "$TMP/access.log" "$OUTDIR/access.log"
 cp "$TMP/err.txt" "$OUTDIR/opportunetd_stderr.txt"
 echo "server smoke passed (artifacts in $OUTDIR)"
